@@ -1,0 +1,59 @@
+"""Shared configuration for the paper-artifact benchmark harness.
+
+Each ``test_*`` file regenerates one table/figure of the paper (see the
+per-experiment index in DESIGN.md).  Defaults are sized for a
+single-core quick pass (~minutes); environment variables scale up to
+the paper's setup:
+
+* ``REPRO_BENCHMARKS=all``   — all 16 benchmarks (default: 4
+  representative ones)
+* ``REPRO_CAMPAIGNS=3000``   — the paper's campaign count (default 120)
+* ``REPRO_SCALE=medium``     — larger inputs
+
+Rendered artifact tables are written to ``results/bench/`` and printed
+(run with ``-s`` to see them live).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentContext
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results" / "bench"
+
+#: quick defaults: one benchmark per behavioural class
+BENCH_DEFAULT = ("crc32", "pathfinder", "lud", "stringsearch")
+
+
+def bench_config() -> ExperimentConfig:
+    overrides = {}
+    if "REPRO_BENCHMARKS" not in os.environ:
+        overrides["benchmarks"] = BENCH_DEFAULT
+    if "REPRO_CAMPAIGNS" not in os.environ:
+        overrides["campaigns"] = 120
+    if "REPRO_PROFILE_CAMPAIGNS" not in os.environ:
+        overrides["profile_campaigns"] = 250
+    return ExperimentConfig.from_env(**overrides)
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext(bench_config())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print and persist a rendered artifact."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,91 @@
+"""Ablation — each Flowery patch in isolation (DESIGN.md ablation index).
+
+Each patch must specifically remove its own penetration category:
+
+* eager store      -> store penetrations vanish
+* postponed branch -> branch penetrations become detections
+* anti-comparison  -> comparison penetrations vanish (no folded checkers)
+"""
+
+import pytest
+from conftest import publish
+
+from repro.analysis.rootcause import Penetration, classify_campaign
+from repro.backend.lower import lower_module
+from repro.fi.campaign import CampaignConfig, run_asm_campaign
+from repro.frontend.codegen import compile_source
+from repro.interp.layout import GlobalLayout
+from repro.machine.machine import compile_program
+from repro.benchsuite.registry import load_source
+from repro.protection.duplication import duplicate_module
+from repro.protection.flowery import (
+    anti_comparison_duplication,
+    postponed_branch_check,
+)
+
+
+def _build_variant(bench, scale, store_mode, branch, cmp_):
+    module = compile_source(load_source(bench, scale), bench)
+    info = duplicate_module(module, store_mode=store_mode)
+    if cmp_:
+        anti_comparison_duplication(module, info)
+    if branch:
+        postponed_branch_check(module, info)
+    layout = GlobalLayout(module)
+    asm = lower_module(module, layout)
+    compiled = compile_program(asm.flatten())
+    return module, info, layout, asm, compiled
+
+
+def _penetrations(ctx, bench, store_mode, branch, cmp_):
+    module, info, layout, asm, compiled = _build_variant(
+        bench, ctx.config.scale, store_mode, branch, cmp_
+    )
+    campaign = run_asm_campaign(
+        compiled, layout,
+        CampaignConfig(n_campaigns=ctx.config.campaigns,
+                       seed=ctx.config.seed),
+    )
+    report = classify_campaign(bench, 100, campaign, module, asm, info)
+    return report, asm
+
+
+def test_ablation_flowery_parts(benchmark, ctx, results_dir):
+    bench = ctx.config.benchmarks[0]
+
+    def run_all():
+        results = {}
+        results["baseline"] = _penetrations(ctx, bench, "lazy", False, False)
+        results["eager-store"] = _penetrations(ctx, bench, "eager", False, False)
+        results["postponed-branch"] = _penetrations(ctx, bench, "lazy", True, False)
+        results["anti-cmp"] = _penetrations(ctx, bench, "lazy", False, True)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [f"Flowery ablation on {bench} (full protection, "
+             f"{ctx.config.campaigns} campaigns)"]
+    for name, (report, _) in results.items():
+        counts = {p.value: n for p, n in sorted(report.counts.items(),
+                                                key=lambda kv: -kv[1])}
+        lines.append(f"{name:18s} escapes={report.total_escapes:3d} {counts}")
+    publish(results_dir, "ablation_flowery_parts", "\n".join(lines))
+
+    base_report, base_asm = results["baseline"]
+    # anti-cmp: eliminates folded checkers entirely
+    _, anticmp_asm = results["anti-cmp"]
+    assert len(anticmp_asm.folded_checkers) == 0
+    if len(base_asm.folded_checkers) > 0:
+        anticmp_report = results["anti-cmp"][0]
+        assert anticmp_report.counts.get(Penetration.COMPARISON, 0) <= \
+            base_report.counts.get(Penetration.COMPARISON, 0)
+    # eager store: store penetrations do not increase, and when the
+    # baseline had any they must shrink
+    eager_report = results["eager-store"][0]
+    base_store = base_report.counts.get(Penetration.STORE, 0)
+    eager_store = eager_report.counts.get(Penetration.STORE, 0)
+    assert eager_store <= base_store
+    # postponed branch: branch penetrations shrink
+    pb_report = results["postponed-branch"][0]
+    assert pb_report.counts.get(Penetration.BRANCH, 0) <= \
+        base_report.counts.get(Penetration.BRANCH, 0)

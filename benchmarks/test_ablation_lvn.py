@@ -1,0 +1,55 @@
+"""Ablation — backend redundant-compare elimination on/off.
+
+The comparison penetration exists *because* of the backend combine
+(DESIGN.md §4).  With it disabled, duplicated compares and their
+checkers survive lowering, so comparison penetrations vanish and the
+protected binary runs more (all-duplicated) compare instructions.
+"""
+
+from conftest import publish
+
+from repro.analysis.rootcause import Penetration, classify_campaign
+from repro.fi.campaign import CampaignConfig, run_asm_campaign
+from repro.pipeline import build
+
+
+def test_ablation_compare_cse(benchmark, ctx, results_dir):
+    bench = ctx.config.benchmarks[0]
+    cfg = CampaignConfig(
+        n_campaigns=ctx.config.campaigns, seed=ctx.config.seed
+    )
+
+    def run():
+        out = {}
+        for cse in (True, False):
+            built = build(bench, scale=ctx.config.scale, level=100,
+                          compare_cse=cse)
+            campaign = run_asm_campaign(built.compiled, built.layout, cfg)
+            report = classify_campaign(
+                bench, 100, campaign, built.module, built.asm,
+                built.protection.dup_info,
+            )
+            out[cse] = (built, report, campaign)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    with_cse = results[True]
+    without = results[False]
+    lines = [
+        f"compare-CSE ablation on {bench} (full protection)",
+        f"CSE on : folded checkers={len(with_cse[0].asm.folded_checkers)}"
+        f" comparison escapes="
+        f"{with_cse[1].counts.get(Penetration.COMPARISON, 0)}"
+        f" dyn={with_cse[2].golden_dyn_total}",
+        f"CSE off: folded checkers={len(without[0].asm.folded_checkers)}"
+        f" comparison escapes="
+        f"{without[1].counts.get(Penetration.COMPARISON, 0)}"
+        f" dyn={without[2].golden_dyn_total}",
+    ]
+    publish(results_dir, "ablation_lvn", "\n".join(lines))
+
+    assert len(without[0].asm.folded_checkers) == 0
+    assert without[1].counts.get(Penetration.COMPARISON, 0) == 0
+    # with CSE the combine must actually fire on compare-heavy code
+    assert len(with_cse[0].asm.folded_checkers) > 0

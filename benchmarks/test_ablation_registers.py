@@ -1,0 +1,50 @@
+"""Ablation — register pressure vs store penetration (§8 of the paper).
+
+The paper argues store penetration is rooted in register scarcity and
+should also affect RISC-V/ARM.  Shrinking the backend's scratch pool
+emulates a register-starved target: home-slot reloads (the store
+penetration surface) must grow monotonically as registers shrink.
+"""
+
+from conftest import publish
+
+from repro.analysis.asmstats import static_stats
+from repro.backend.isa import Role, SCRATCH_GPRS
+from repro.backend.lower import LoweringOptions, lower_module
+from repro.benchsuite.registry import load_source
+from repro.frontend.codegen import compile_source
+from repro.protection.duplication import duplicate_module
+
+
+def test_ablation_register_pressure(benchmark, ctx, results_dir):
+    bench = ctx.config.benchmarks[0]
+    src = load_source(bench, ctx.config.scale)
+
+    def run():
+        rows = []
+        for pool in (4, 6, len(SCRATCH_GPRS)):
+            module = compile_source(src, bench)
+            duplicate_module(module)
+            asm = lower_module(module, options=LoweringOptions(gpr_pool=pool))
+            stats = static_stats(asm)
+            reloads = (
+                stats.by_role.get(Role.OPERAND_RELOAD, 0)
+                + stats.by_role.get(Role.STORE_RELOAD, 0)
+                + stats.by_role.get(Role.STORE_ADDR_RELOAD, 0)
+            )
+            rows.append((pool, reloads, stats.total))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"register-pressure ablation on {bench} (full protection)"]
+    for pool, reloads, total in rows:
+        lines.append(
+            f"scratch GPRs={pool:2d}: reload instructions={reloads:5d} "
+            f"of {total} total"
+        )
+    publish(results_dir, "ablation_registers", "\n".join(lines))
+
+    reload_counts = [r for _, r, _ in rows]
+    # fewer registers -> at least as many reloads (usually strictly more)
+    assert reload_counts[0] >= reload_counts[1] >= reload_counts[2]
+    assert reload_counts[0] > reload_counts[2]

@@ -1,0 +1,30 @@
+"""Figure 17 — Flowery vs original instruction duplication.
+
+Paper shape (§7.1): Flowery(asm) > ID(asm) everywhere on average;
+Flowery approaches ID(IR); at full protection the average rises from
+76.74% to 93.72%.
+"""
+
+from conftest import publish
+
+from repro.experiments.figure17 import render_figure17, run_figure17
+
+
+def test_fig17_flowery_coverage(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(
+        run_figure17, kwargs={"context": ctx}, rounds=1, iterations=1
+    )
+    publish(results_dir, "figure17", render_figure17(result))
+
+    id_asm, flowery = result.full_protection_averages()
+    # Flowery repairs the deficiency at full protection
+    assert flowery > id_asm, (
+        f"Flowery ({flowery:.2%}) must beat ID-Assembly ({id_asm:.2%})"
+    )
+    # and the average improvement across all cells is positive
+    assert result.average_improvement() > 0.0
+    # Flowery approaches the IR-level promise
+    full = [c for c in result.cells if c.level == 100]
+    avg_residual = sum(c.residual_gap for c in full) / len(full)
+    avg_original_gap = sum(c.id_ir - c.id_asm for c in full) / len(full)
+    assert avg_residual < avg_original_gap

@@ -1,0 +1,60 @@
+"""Throughput microbenchmarks of the two execution layers.
+
+These are genuine pytest-benchmark measurements (multiple rounds): the
+fault-injection campaigns execute millions of simulated instructions,
+so interpreter throughput bounds every experiment above.
+"""
+
+import pytest
+
+from repro.interp.interpreter import IRInterpreter
+from repro.machine.machine import AsmMachine
+from repro.pipeline import build
+
+
+@pytest.fixture(scope="module")
+def crc32_built():
+    return build("crc32", scale="small")
+
+
+def test_ir_interpreter_throughput(benchmark, crc32_built):
+    built = crc32_built
+
+    def run():
+        return IRInterpreter(built.module, layout=built.layout).run()
+
+    result = benchmark(run)
+    assert result.status.value == "ok"
+
+
+def test_asm_machine_throughput(benchmark, crc32_built):
+    built = crc32_built
+
+    def run():
+        return AsmMachine(built.compiled, built.layout).run()
+
+    result = benchmark(run)
+    assert result.status.value == "ok"
+
+
+def test_lowering_throughput(benchmark):
+    from repro.backend.lower import lower_module
+    from repro.frontend.codegen import compile_source
+    from repro.benchsuite.registry import load_source
+
+    src = load_source("susan", "small")
+
+    def run():
+        return lower_module(compile_source(src, "susan"))
+
+    asm = benchmark(run)
+    assert asm.static_count() > 0
+
+
+def test_frontend_throughput(benchmark):
+    from repro.frontend.codegen import compile_source
+    from repro.benchsuite.registry import load_source
+
+    src = load_source("cg", "small")
+    module = benchmark(compile_source, src, "cg")
+    assert module.static_instruction_count() > 0

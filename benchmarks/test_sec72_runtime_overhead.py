@@ -1,0 +1,31 @@
+"""§7.2 — runtime overhead of Flowery on top of instruction duplication.
+
+The paper reports 1.93/1.63/3.72/3.74% *wall-clock* extra on native
+x86; this harness reports the dynamic-instruction proxy (larger in
+absolute terms on a scalar simulator — see EXPERIMENTS.md) and checks
+the shape: bounded extra cost that does not grow with protection level
+out of proportion.
+"""
+
+from conftest import publish
+
+from repro.experiments.overhead import (
+    average_extra_by_level,
+    render_overhead,
+    run_overhead,
+)
+
+
+def test_sec72_runtime_overhead(benchmark, ctx, results_dir):
+    rows = benchmark.pedantic(
+        run_overhead, kwargs={"context": ctx}, rounds=1, iterations=1
+    )
+    publish(results_dir, "sec72_overhead", render_overhead(rows))
+
+    for row in rows:
+        # Flowery only ever adds instrumentation
+        assert row.flowery_dyn >= row.id_dyn
+        # and the addition stays bounded (well under the ID baseline cost)
+        assert row.flowery_extra < 1.5
+    avgs = average_extra_by_level(rows)
+    assert all(v >= 0 for v in avgs.values())

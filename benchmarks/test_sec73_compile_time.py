@@ -1,0 +1,34 @@
+"""§7.3 — compile-time cost of the Flowery passes.
+
+Paper shape: negligible absolute time, roughly linear in static
+instruction count (CG, the largest benchmark, is the most expensive).
+"""
+
+import numpy as np
+from conftest import publish
+
+from repro.experiments.compile_time import (
+    render_compile_time,
+    run_compile_time,
+)
+
+
+def test_sec73_compile_time(benchmark, ctx, results_dir):
+    rows = benchmark.pedantic(
+        run_compile_time, args=(ctx.config,), rounds=1, iterations=1
+    )
+    publish(results_dir, "sec73_compile_time", render_compile_time(rows))
+
+    for row in rows:
+        assert row.flowery_seconds < 2.0, "Flowery must stay near-instant"
+    # roughly linear in static size: positive rank correlation once the
+    # suite spans enough sizes to dominate first-run timer noise
+    sizes = np.array([r.static_instructions for r in rows], dtype=float)
+    times = np.array(
+        [r.duplication_seconds + r.flowery_seconds for r in rows]
+    )
+    if len(rows) >= 8 and sizes.std() > 0 and times.std() > 0:
+        from scipy.stats import spearmanr
+
+        corr = float(spearmanr(sizes, times).statistic)
+        assert corr > 0.0

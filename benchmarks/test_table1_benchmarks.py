@@ -1,0 +1,17 @@
+"""Table 1 — benchmark inventory and dynamic-instruction counts."""
+
+from conftest import publish
+
+from repro.experiments.table1 import render_table1, run_table1
+
+
+def test_table1(benchmark, ctx, results_dir):
+    rows = benchmark.pedantic(
+        run_table1, args=(ctx.config,), rounds=1, iterations=1
+    )
+    publish(results_dir, "table1", render_table1(rows))
+    # shape: the cross-layer expansion factor is always > 1 and the
+    # outputs matched (run_table1 asserts equality internally)
+    for row in rows:
+        assert row.asm_dyn > row.ir_dyn
+        assert row.asm_injectable < row.asm_dyn

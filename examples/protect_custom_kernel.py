@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Protect your own kernel: selective protection on a MiniC stencil.
+
+Shows the library as a downstream user would apply it to new code —
+write a kernel in MiniC, profile it with IR fault injection, and sweep
+the paper's protection levels to pick a coverage/overhead point.
+
+Run:  python examples/protect_custom_kernel.py
+"""
+
+from repro.analysis.coverage import sdc_coverage
+from repro.fi.campaign import CampaignConfig, run_ir_campaign
+from repro.pipeline import build_from_source
+from repro.protection.planner import profile_module
+
+# a 1-D heat-diffusion stencil with a convergence check — the kind of
+# kernel the paper's HPC motivation describes
+KERNEL = """
+const int N = 32;
+const int STEPS = 12;
+
+float grid[32];
+float next[32];
+
+int main() {
+    for (int i = 0; i < N; i++) {
+        grid[i] = float(i % 7) * 0.5;
+    }
+    for (int s = 0; s < STEPS; s++) {
+        for (int i = 1; i < N - 1; i++) {
+            next[i] = 0.25 * grid[i - 1] + 0.5 * grid[i] + 0.25 * grid[i + 1];
+        }
+        for (int i = 1; i < N - 1; i++) { grid[i] = next[i]; }
+    }
+    float checksum = 0.0;
+    for (int i = 0; i < N; i++) { checksum += grid[i] * float(i); }
+    print(checksum);
+    return 0;
+}
+"""
+
+CFG = CampaignConfig(n_campaigns=250, seed=7)
+
+
+def main() -> None:
+    # profile once on the unprotected kernel; reuse for every level
+    baseline = build_from_source(KERNEL, "stencil")
+    profile = profile_module(baseline.module, n_campaigns=500, seed=7)
+    raw = run_ir_campaign(baseline.module, CFG, baseline.layout)
+    base_dyn = baseline.run_ir().dyn_total
+    print(f"stencil kernel: {base_dyn} dynamic IR instructions, "
+          f"raw SDC probability {raw.sdc_probability:.3f}\n")
+
+    print(f"{'level':>6} {'coverage':>9} {'overhead':>9} "
+          f"{'protected':>10} {'checkers':>9}")
+    for level in (30, 50, 70, 100):
+        built = build_from_source(
+            KERNEL, "stencil", level=level, profile=profile
+        )
+        prot = run_ir_campaign(built.module, CFG, built.layout)
+        cov = sdc_coverage(raw.sdc_probability, prot.sdc_probability)
+        overhead = (prot.golden_dyn_total - base_dyn) / base_dyn
+        dup = built.protection.dup_info
+        print(f"{level:5d}% {cov:9.2%} {overhead:9.2%} "
+              f"{len(dup.protected):10d} {dup.checker_count():9d}")
+
+    print("\nThe knapsack planner front-loads the most SDC-prone "
+          "instructions, so coverage rises much faster than overhead — "
+          "the trade-off the paper's §3 describes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Root-cause analysis: why does full protection leak SDCs at assembly?
+
+Reproduces the paper's §5.2 workflow on one benchmark: run an
+assembly-level campaign against a *fully protected* binary, classify
+every escaped SDC into the five penetration categories, and show the
+actual assembly instructions where faults slipped through.
+
+Run:  python examples/root_cause_analysis.py
+"""
+
+from collections import Counter
+
+from repro.analysis.rootcause import Penetration, RootCauseClassifier
+from repro.fi.campaign import CampaignConfig, run_asm_campaign
+from repro.fi.outcomes import Outcome
+from repro.pipeline import build
+
+BENCH = "pathfinder"
+CFG = CampaignConfig(n_campaigns=500, seed=11)
+
+
+def main() -> None:
+    built = build(BENCH, scale="small", level=100)
+    assert built.protection is not None
+    print(f"benchmark: {BENCH}, full instruction duplication")
+    print(f"checkers inserted: {built.protection.dup_info.checker_count()}, "
+          f"folded by backend: {len(built.asm.folded_checkers)}\n")
+
+    campaign = run_asm_campaign(built.compiled, built.layout, CFG)
+    print("assembly-level campaign:", {
+        o.value: n for o, n in campaign.counts.items() if n
+    })
+
+    clf = RootCauseClassifier(
+        built.module, built.asm, built.protection.dup_info
+    )
+    causes = Counter()
+    samples = {}
+    for record in campaign.sdc_records():
+        cause = clf.classify(record)
+        causes[cause] += 1
+        samples.setdefault(cause, record)
+
+    total = sum(n for c, n in causes.items() if c.is_deficiency)
+    print(f"\n{total} deficiency cases — root-cause distribution "
+          "(paper fig. 3: store 39.1%, branch 35.7%, cmp 19.7%, "
+          "call 3.1%, mapping 2.5%):")
+    for cause, n in causes.most_common():
+        share = f"{n / total:6.1%}" if cause.is_deficiency and total else "   — "
+        print(f"  {cause.value:12s} {n:4d}  {share}")
+
+    print("\nexample escape sites (assembly instruction that took the "
+          "fault):")
+    flat = built.asm.flatten()
+    for cause, record in samples.items():
+        if record.asm_index is None:
+            continue
+        inst = flat.insts[record.asm_index]
+        ir_part = f"(IR %t{inst.prov_iid})" if inst.prov_iid else "(no IR)"
+        print(f"  {cause.value:12s} -> {str(inst):40s} "
+              f"role={inst.role} {ir_part}")
+
+
+if __name__ == "__main__":
+    main()

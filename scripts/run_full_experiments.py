@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Regenerate every paper artifact and save the reports to results/.
+
+Honours the REPRO_* environment variables (scale, campaigns, benchmark
+list); by default runs all 16 benchmarks at small scale.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+import time
+
+os.environ.setdefault("REPRO_BENCHMARKS", "all")
+os.environ.setdefault("REPRO_SCALE", "small")
+os.environ.setdefault("REPRO_CAMPAIGNS", "200")
+os.environ.setdefault("REPRO_PROFILE_CAMPAIGNS", "400")
+
+from repro.experiments import (  # noqa: E402
+    ExperimentConfig,
+    ExperimentContext,
+    render_compile_time,
+    render_figure2,
+    render_figure3,
+    render_figure17,
+    render_overhead,
+    render_table1,
+    run_compile_time,
+    run_figure2,
+    run_figure3,
+    run_figure17,
+    run_overhead,
+    run_table1,
+)
+
+OUT = pathlib.Path(__file__).resolve().parent.parent / "results"
+OUT.mkdir(exist_ok=True)
+
+
+def save(name: str, text: str) -> None:
+    (OUT / f"{name}.txt").write_text(text + "\n")
+    print(f"=== {name} ===")
+    print(text)
+    sys.stdout.flush()
+
+
+def main() -> None:
+    cfg = ExperimentConfig.from_env()
+    print(f"config: {cfg}")
+    ctx = ExperimentContext(cfg)
+
+    t0 = time.time()
+    save("table1", render_table1(run_table1(cfg)))
+    print(f"[table1 done {time.time()-t0:.0f}s]")
+
+    save("compile_time", render_compile_time(run_compile_time(cfg)))
+
+    t0 = time.time()
+    fig2 = run_figure2(context=ctx)
+    save("figure2", render_figure2(fig2))
+    print(f"[fig2 done {time.time()-t0:.0f}s]")
+
+    t0 = time.time()
+    fig3 = run_figure3(context=ctx)
+    save("figure3", render_figure3(fig3))
+    print(f"[fig3 done {time.time()-t0:.0f}s]")
+
+    t0 = time.time()
+    fig17 = run_figure17(context=ctx)
+    save("figure17", render_figure17(fig17))
+    print(f"[fig17 done {time.time()-t0:.0f}s]")
+
+    t0 = time.time()
+    save("overhead", render_overhead(run_overhead(context=ctx)))
+    print(f"[overhead done {time.time()-t0:.0f}s]")
+
+
+if __name__ == "__main__":
+    main()

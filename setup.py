@@ -1,0 +1,6 @@
+"""Shim for environments without the `wheel` package (offline editable
+installs fall back to `setup.py develop`)."""
+
+from setuptools import setup
+
+setup()

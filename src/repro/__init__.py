@@ -1,0 +1,34 @@
+"""repro — reproduction of "Demystifying and Mitigating Cross-Layer
+Deficiencies of Soft Error Protection in Instruction Duplication"
+(SC 2023).
+
+The package builds the paper's entire stack from scratch in Python:
+
+* :mod:`repro.ir`, :mod:`repro.frontend` — a Clang -O0-style compiler
+  frontend for the MiniC benchmark language
+* :mod:`repro.interp` — the "LLVM level" execution/injection layer
+* :mod:`repro.backend`, :mod:`repro.machine` — an x86-flavoured backend
+  and simulated CPU, the "assembly level"
+* :mod:`repro.protection` — SWIFT-style selective instruction
+  duplication, the knapsack planner, and the Flowery mitigation
+* :mod:`repro.fi`, :mod:`repro.analysis` — fault-injection campaigns,
+  SDC coverage, penetration root-cause classification
+* :mod:`repro.benchsuite` — the paper's 16 benchmarks in MiniC
+* :mod:`repro.experiments` — one driver per paper table/figure
+
+Quickstart::
+
+    from repro.pipeline import build
+    from repro.fi import CampaignConfig, run_asm_campaign
+
+    built = build("crc32", scale="small", level=100, flowery=True)
+    result = run_asm_campaign(built.compiled, built.layout,
+                              CampaignConfig(n_campaigns=300))
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+from .pipeline import BuiltProgram, build, build_from_source  # noqa: F401
+
+__all__ = ["build", "build_from_source", "BuiltProgram", "__version__"]

@@ -1,0 +1,24 @@
+"""Cross-layer analysis: SDC coverage and penetration root causes."""
+
+from .asmstats import AsmStatics, dynamic_role_histogram, static_stats  # noqa: F401
+from .coverage import CoveragePoint, sdc_coverage  # noqa: F401
+from .forensics import FaultStory, explain_injection, first_divergence  # noqa: F401
+from .report import (  # noqa: F401
+    campaign_from_dict,
+    campaign_to_dict,
+    coverage_point_to_dict,
+    penetration_to_dict,
+    per_benchmark_shares,
+)
+from .rootcause import (  # noqa: F401
+    Penetration,
+    PenetrationReport,
+    RootCauseClassifier,
+    classify_campaign,
+)
+
+__all__ = [
+    "sdc_coverage", "CoveragePoint",
+    "Penetration", "PenetrationReport", "RootCauseClassifier",
+    "classify_campaign", "campaign_to_dict", "campaign_from_dict", "penetration_to_dict", "coverage_point_to_dict", "per_benchmark_shares", "AsmStatics", "static_stats", "dynamic_role_histogram", "FaultStory", "explain_injection", "first_divergence",
+]

@@ -1,0 +1,65 @@
+"""SDC-coverage computation (§2.1).
+
+``coverage = (SDC_raw - SDC_prot) / SDC_raw`` where the probabilities
+come from campaigns against the unprotected and protected binaries at
+the *same* layer — the cross-layer comparison then contrasts the IR and
+assembly coverages of the same protection plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..fi.campaign import CampaignResult
+
+__all__ = ["sdc_coverage", "CoveragePoint"]
+
+
+def sdc_coverage(raw_sdc_prob: float, prot_sdc_prob: float) -> float:
+    """SDC coverage given raw and protected SDC probabilities.
+
+    Clamped to ``[0, 1]``: sampling noise can make the protected
+    probability marginally exceed the raw one on tiny campaigns.
+    """
+    if raw_sdc_prob <= 0.0:
+        return 1.0  # nothing to cover
+    return max(0.0, min(1.0, (raw_sdc_prob - prot_sdc_prob) / raw_sdc_prob))
+
+
+@dataclass
+class CoveragePoint:
+    """One point of a coverage curve (benchmark x level x layer)."""
+
+    benchmark: str
+    level: int
+    layer: str                 # 'ir' | 'asm'
+    technique: str             # 'id' | 'flowery' | 'none'
+    raw_sdc: float
+    prot_sdc: float
+
+    @property
+    def coverage(self) -> float:
+        return sdc_coverage(self.raw_sdc, self.prot_sdc)
+
+    @classmethod
+    def from_campaigns(
+        cls,
+        benchmark: str,
+        level: int,
+        technique: str,
+        raw: CampaignResult,
+        prot: CampaignResult,
+    ) -> "CoveragePoint":
+        if raw.layer != prot.layer:
+            raise ValueError(
+                f"layer mismatch: raw={raw.layer} prot={prot.layer}"
+            )
+        return cls(
+            benchmark=benchmark,
+            level=level,
+            layer=raw.layer,
+            technique=technique,
+            raw_sdc=raw.sdc_probability,
+            prot_sdc=prot.sdc_probability,
+        )

@@ -1,0 +1,129 @@
+"""Serialisable experiment reports.
+
+Campaign and penetration results convert to plain dicts (JSON-ready) so
+long experiment runs can be archived and re-analysed without re-running
+the simulators.  The per-benchmark penetration table mirrors the paper's
+§5.2 narrative, which quotes per-benchmark category shares (e.g. store
+penetration: 15.67% in kNN vs 56.10% in BFS).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Dict, List, Optional
+
+from ..fi.campaign import CampaignResult, InjectionRecord
+from ..fi.outcomes import Outcome
+from .coverage import CoveragePoint
+from .rootcause import Penetration, PenetrationReport
+
+__all__ = [
+    "campaign_to_dict",
+    "campaign_from_dict",
+    "penetration_to_dict",
+    "coverage_point_to_dict",
+    "per_benchmark_shares",
+    "dump_json",
+    "load_json",
+]
+
+
+def campaign_to_dict(result: CampaignResult, keep_records: bool = True) -> Dict:
+    data = {
+        "layer": result.layer,
+        "n": result.n,
+        "counts": {o.value: n for o, n in result.counts.items()},
+        "golden_output": result.golden_output,
+        "golden_dyn_total": result.golden_dyn_total,
+        "golden_dyn_injectable": result.golden_dyn_injectable,
+    }
+    if keep_records:
+        data["records"] = [
+            {
+                "dyn_index": r.dyn_index,
+                "bit": r.bit,
+                "outcome": r.outcome.value,
+                "iid": r.iid,
+                "asm_index": r.asm_index,
+                "asm_role": r.asm_role,
+                "asm_opcode": r.asm_opcode,
+                "trap_kind": r.trap_kind,
+            }
+            for r in result.records
+        ]
+    return data
+
+
+def campaign_from_dict(data: Dict) -> CampaignResult:
+    counts = {Outcome(k): v for k, v in data["counts"].items()}
+    for o in Outcome:
+        counts.setdefault(o, 0)
+    records = [
+        InjectionRecord(
+            dyn_index=r["dyn_index"],
+            bit=r["bit"],
+            outcome=Outcome(r["outcome"]),
+            iid=r["iid"],
+            asm_index=r.get("asm_index"),
+            asm_role=r.get("asm_role"),
+            asm_opcode=r.get("asm_opcode"),
+            trap_kind=r.get("trap_kind"),
+        )
+        for r in data.get("records", [])
+    ]
+    return CampaignResult(
+        layer=data["layer"],
+        n=data["n"],
+        counts=counts,
+        records=records,
+        golden_output=data["golden_output"],
+        golden_dyn_total=data["golden_dyn_total"],
+        golden_dyn_injectable=data["golden_dyn_injectable"],
+    )
+
+
+def penetration_to_dict(report: PenetrationReport) -> Dict:
+    return {
+        "benchmark": report.benchmark,
+        "level": report.level,
+        "counts": {p.value: n for p, n in report.counts.items()},
+        "total_deficiencies": report.total_deficiencies,
+        "shares": {
+            p.value: s for p, s in report.deficiency_shares().items()
+        },
+    }
+
+
+def coverage_point_to_dict(point: CoveragePoint) -> Dict:
+    return {
+        "benchmark": point.benchmark,
+        "level": point.level,
+        "layer": point.layer,
+        "technique": point.technique,
+        "raw_sdc": point.raw_sdc,
+        "prot_sdc": point.prot_sdc,
+        "coverage": point.coverage,
+    }
+
+
+def per_benchmark_shares(
+    reports: List[PenetrationReport],
+) -> Dict[str, Dict[str, float]]:
+    """Per-benchmark deficiency-category shares (paper §5.2 style)."""
+    out: Dict[str, Dict[str, float]] = {}
+    for report in reports:
+        out[report.benchmark] = {
+            p.value: share for p, share in report.deficiency_shares().items()
+        }
+    return out
+
+
+def dump_json(path, payload: Dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+
+def load_json(path) -> Dict:
+    with open(path) as fh:
+        return json.load(fh)

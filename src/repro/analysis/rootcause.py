@@ -1,0 +1,195 @@
+"""Root-cause classification of assembly-level escapes (§5.2).
+
+Given an SDC record from a protected binary's assembly campaign, the
+classifier assigns one of the paper's five penetration categories (or
+``unprotected`` for faults in computation the protection plan simply
+did not cover — those are expected misses at partial protection levels,
+not deficiencies).
+
+The decision procedure is provenance-driven:
+
+* the backend tags every emitted instruction with the IR instruction it
+  implements and a *role* (``store-reload``, ``br-test``, ``call-arg``,
+  ``frame`` ...);
+* the duplication pass records, for every protected instruction, the
+  checkers transitively covering it;
+* the backend records which checkers it folded away.
+
+Rules (in order):
+
+1. ``store-reload`` / ``store-addr-reload`` on a checker-guarded store
+   -> **store penetration**;
+2. ``br-test`` / ``br-cond-reload`` on a checker-guarded branch
+   -> **branch penetration**;
+3. ``call-arg`` on a checker-guarded call -> **call penetration**;
+4. ``frame`` / ``ret-val`` roles, or no IR provenance at all
+   -> **mapping penetration**;
+5. computation roles (``main``, ``main-copy``, ``operand-reload``,
+   ``addr``, ``select-test``): if the IR instruction is protected and
+   *every* checker covering it was folded -> **comparison penetration**;
+   if it is unprotected -> ``unprotected``; otherwise ``other``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..backend.isa import Role
+from ..backend.program import AsmProgram
+from ..fi.campaign import CampaignResult, InjectionRecord
+from ..fi.outcomes import Outcome
+from ..ir.module import Module
+from ..protection.duplication import DuplicationInfo
+
+__all__ = ["Penetration", "RootCauseClassifier", "PenetrationReport",
+           "classify_campaign"]
+
+
+class Penetration(enum.Enum):
+    STORE = "store"
+    BRANCH = "branch"
+    COMPARISON = "comparison"
+    CALL = "call"
+    MAPPING = "mapping"
+    #: fault hit computation the plan chose not to protect (expected
+    #: misses at partial levels — not deficiencies)
+    UNPROTECTED = "unprotected"
+    #: escaped despite an intact checker (residual noise)
+    OTHER = "other"
+
+    @property
+    def is_deficiency(self) -> bool:
+        return self in (
+            Penetration.STORE,
+            Penetration.BRANCH,
+            Penetration.COMPARISON,
+            Penetration.CALL,
+            Penetration.MAPPING,
+        )
+
+
+_STORE_ROLES = frozenset([Role.STORE_RELOAD, Role.STORE_ADDR_RELOAD])
+_BRANCH_ROLES = frozenset([Role.BR_TEST, Role.BR_COND_RELOAD])
+_MAPPING_ROLES = frozenset([Role.FRAME, Role.RET_VAL])
+
+
+class RootCauseClassifier:
+    def __init__(
+        self,
+        module: Module,
+        program: AsmProgram,
+        dup_info: DuplicationInfo,
+    ):
+        self.module = module
+        self.program = program
+        self.dup_info = dup_info
+        self._inst_by_iid = {i.iid: i for i in module.instructions()}
+        #: syncs that have at least one checker
+        self._guarded_syncs = {
+            c.sync_iid for c in dup_info.checkers.values()
+        }
+
+    def _sync_category(self, iid, category: Penetration) -> Penetration:
+        """A fault in lowering-introduced code around a sync point.
+
+        It counts as the sync's penetration category unless the sync has
+        *duplicable but unprotected* operands — then the plan simply did
+        not cover this computation and the miss is expected.  Syncs whose
+        operands are all constants/globals (nothing IR-level protection
+        could ever duplicate) are genuine penetrations even checker-less.
+        """
+        if iid in self._guarded_syncs:
+            return category
+        from ..protection.duplication import is_duplicable
+        from ..ir.instructions import Instruction
+
+        sync = self._inst_by_iid.get(iid)
+        if sync is None:
+            return Penetration.MAPPING
+        for op in sync.operands:
+            if (
+                isinstance(op, Instruction)
+                and is_duplicable(op)
+                and not op.is_protected
+            ):
+                return Penetration.UNPROTECTED
+        return category
+
+    def classify(self, record: InjectionRecord) -> Penetration:
+        role = record.asm_role
+        iid = record.iid
+
+        if role in _STORE_ROLES:
+            return self._sync_category(iid, Penetration.STORE)
+        if role in _BRANCH_ROLES:
+            return self._sync_category(iid, Penetration.BRANCH)
+        if role == Role.CALL_ARG:
+            return self._sync_category(iid, Penetration.CALL)
+        if iid is None or role in _MAPPING_ROLES:
+            return Penetration.MAPPING
+
+        inst = self._inst_by_iid.get(iid)
+        if inst is None:
+            return Penetration.MAPPING
+        if inst.is_checker or "flowery" in inst.attrs:
+            return Penetration.OTHER
+        if not inst.is_protected and not inst.is_shadow:
+            return Penetration.UNPROTECTED
+        master = self.dup_info.shadow_of.get(iid, iid)
+        guards = self.dup_info.guarded_by.get(master, [])
+        if guards and all(
+            g in self.program.folded_checkers for g in guards
+        ):
+            return Penetration.COMPARISON
+        return Penetration.OTHER
+
+
+@dataclass
+class PenetrationReport:
+    """Distribution of escape causes over a campaign's SDC records."""
+
+    benchmark: str
+    level: int
+    counts: Dict[Penetration, int] = field(default_factory=dict)
+
+    @property
+    def total_escapes(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def total_deficiencies(self) -> int:
+        return sum(
+            n for p, n in self.counts.items() if p.is_deficiency
+        )
+
+    def deficiency_shares(self) -> Dict[Penetration, float]:
+        """Fractions of the five deficiency categories (Figure 3)."""
+        total = self.total_deficiencies
+        if total == 0:
+            return {}
+        return {
+            p: n / total
+            for p, n in self.counts.items()
+            if p.is_deficiency
+        }
+
+
+def classify_campaign(
+    benchmark: str,
+    level: int,
+    campaign: CampaignResult,
+    module: Module,
+    program: AsmProgram,
+    dup_info: DuplicationInfo,
+) -> PenetrationReport:
+    """Classify every SDC record of an asm campaign on a protected binary."""
+    clf = RootCauseClassifier(module, program, dup_info)
+    report = PenetrationReport(benchmark=benchmark, level=level)
+    for record in campaign.records:
+        if record.outcome is not Outcome.SDC:
+            continue
+        cause = clf.classify(record)
+        report.counts[cause] = report.counts.get(cause, 0) + 1
+    return report

@@ -1,0 +1,11 @@
+"""x86-flavoured backend: lowering, frame layout, the asm program model."""
+
+from .isa import AsmInst, Imm, Label, Mem, Reg, Role  # noqa: F401
+from .lower import LoweringOptions, lower_module  # noqa: F401
+from .program import AsmFunction, AsmProgram, FlatProgram  # noqa: F401
+
+__all__ = [
+    "lower_module", "LoweringOptions",
+    "AsmProgram", "AsmFunction", "FlatProgram",
+    "AsmInst", "Reg", "Imm", "Mem", "Label", "Role",
+]

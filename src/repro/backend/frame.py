@@ -1,0 +1,85 @@
+"""Stack-frame layout — the ``-O0`` home-slot discipline.
+
+Every ``alloca`` gets a frame object, and *every result-producing IR
+instruction gets a "home slot"*: its result is spilled there at the
+definition and reloaded from there whenever the local register cache no
+longer holds it.  This is the central property behind the paper's store
+penetration: a value that crosses a basic-block boundary (e.g. because a
+checker block was inserted before its consuming store) must be reloaded
+from its home slot — and that reload is an unprotected injection site.
+
+Frame picture (rbp-based, all offsets negative):
+
+::
+
+    rbp + 8   return address       (pushed by call)
+    rbp + 0   saved rbp
+    rbp - 8.. alloca objects, argument slots, temp home slots
+    rsp       = rbp - frame_size
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import LoweringError
+from ..ir.instructions import Alloca, Instruction
+from ..ir.module import Function
+from .isa import Mem, Reg
+
+__all__ = ["FrameLayout"]
+
+RBP = Reg("rbp")
+
+
+def _align(n: int, a: int) -> int:
+    return (n + a - 1) & ~(a - 1)
+
+
+class FrameLayout:
+    """Assigns rbp-relative offsets to allocas, argument spill slots and
+    instruction home slots of one function."""
+
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self._offset = 0
+        self.alloca_offsets: Dict[int, int] = {}
+        self.arg_offsets: Dict[int, int] = {}
+        self.home_offsets: Dict[int, int] = {}
+
+        for i, arg in enumerate(fn.args):
+            self.arg_offsets[i] = self._reserve(8)
+        for inst in fn.instructions():
+            if isinstance(inst, Alloca):
+                self.alloca_offsets[inst.iid] = self._reserve(
+                    max(1, inst.allocated_type.size)
+                )
+            elif inst.has_result and not inst.type.is_void:
+                self.home_offsets[inst.iid] = self._reserve(
+                    max(1, inst.type.size)
+                )
+        self.frame_size = _align(self._offset, 16)
+
+    def _reserve(self, size: int) -> int:
+        size = _align(size, 8)
+        self._offset += size
+        return -self._offset
+
+    # -- addressing helpers -------------------------------------------------
+
+    def alloca_mem(self, inst: Alloca) -> Mem:
+        return Mem(RBP, self.alloca_offsets[inst.iid])
+
+    def home_mem(self, iid: int) -> Mem:
+        try:
+            return Mem(RBP, self.home_offsets[iid])
+        except KeyError:
+            raise LoweringError(
+                f"no home slot for %t{iid} in @{self.fn.name}"
+            ) from None
+
+    def arg_mem(self, index: int) -> Mem:
+        return Mem(RBP, self.arg_offsets[index])
+
+    def has_home(self, iid: int) -> bool:
+        return iid in self.home_offsets

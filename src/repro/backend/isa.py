@@ -1,0 +1,218 @@
+"""The x86-flavoured target ISA.
+
+A deliberately simplified x86-64: 16 integer registers, 16 XMM
+registers, a FLAGS register, 2-operand arithmetic, FLAGS-based control
+flow, and a System-V-style calling convention (first six integer args in
+``rdi rsi rdx rcx r8 r9``, float args in ``xmm0..xmm7``, returns in
+``rax``/``xmm0``).
+
+Documented simplifications (none affect the paper's phenomena):
+
+* all integer operations are 64-bit (MiniC ``int`` is ``i64``); ``mov``
+  carries a byte-size of 1 or 8 for ``i1`` memory traffic, and a 1-byte
+  load zero-extends (i.e. it is ``movzbq``);
+* ``setcc`` writes the full register with 0/1 (real x86 writes the low
+  byte; the difference is unobservable because ``i1`` slots hold 0/1);
+* ``idiv src`` computes ``rax = rax / src``, ``rdx = rax % src`` from
+  the 64-bit ``rax`` alone (no ``cqo``/128-bit dividend);
+* ``ucomisd`` sets an explicit unordered flag ``UF`` and FP condition
+  codes (``fe``, ``fne``, ``fb`` ...) read it, so NaN semantics match
+  the IR's ordered predicates exactly without parity-flag tricks.
+
+Fault-injection sites (PIN-style, §4.3 of the paper): an assembly
+instruction is injectable iff it has a *register* destination — a GPR,
+an XMM register, or FLAGS.  Stores to memory, pushes, branches, calls
+and returns have no register destination and are not injection sites;
+this mirrors how the extra ``mov``s/``test``s introduced by lowering
+become unprotected sites while the IR instructions they came from have
+none.
+
+Every instruction carries provenance: the ``iid`` of the IR instruction
+it implements (or ``None`` for frame code) and a ``role`` string; the
+root-cause classifier is driven entirely by these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+__all__ = [
+    "Reg",
+    "Imm",
+    "Mem",
+    "Label",
+    "AsmInst",
+    "GPRS",
+    "XMMS",
+    "INT_ARG_REGS",
+    "FP_ARG_REGS",
+    "SCRATCH_GPRS",
+    "SCRATCH_XMMS",
+    "CC_CODES",
+    "FP_CC_CODES",
+    "Role",
+]
+
+GPRS = (
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+XMMS = tuple(f"xmm{i}" for i in range(16))
+
+INT_ARG_REGS = ("rdi", "rsi", "rdx", "rcx", "r8", "r9")
+FP_ARG_REGS = tuple(f"xmm{i}" for i in range(8))
+
+#: registers the lowering's local value cache may hand out (caller-saved)
+SCRATCH_GPRS = ("rax", "rcx", "rdx", "rsi", "rdi", "r8", "r9", "r10", "r11")
+SCRATCH_XMMS = ("xmm2", "xmm3", "xmm4", "xmm5", "xmm6", "xmm7")
+
+#: integer condition codes
+CC_CODES = ("e", "ne", "l", "le", "g", "ge", "b", "be", "a", "ae")
+#: floating-point condition codes (read UF; all-false when unordered
+#: except none — matching the IR's ordered predicates)
+FP_CC_CODES = ("fe", "fne", "fb", "fbe", "fa", "fae")
+
+
+class Role:
+    """Provenance role vocabulary (see the classifier in
+    :mod:`repro.analysis.rootcause`)."""
+
+    MAIN = "main"                    # the core computation of the IR inst
+    MAIN_COPY = "main-copy"          # mov into the dest reg before a 2-op op
+    OPERAND_RELOAD = "operand-reload"  # home-slot reload of an operand
+    RESULT_SPILL = "result-spill"    # spill of a fresh result to its slot
+    ADDR = "addr"                    # address materialisation
+    STORE_RELOAD = "store-reload"    # reload of the value a store writes
+    STORE_ADDR_RELOAD = "store-addr-reload"  # reload of a store's pointer
+    BR_COND_RELOAD = "br-cond-reload"  # reload of a branch condition
+    BR_TEST = "br-test"              # test materialising branch flags
+    CALL_ARG = "call-arg"            # argument-register setup mov
+    RET_VAL = "ret-val"              # move of the return value into rax
+    FRAME = "frame"                  # prologue/epilogue/frame bookkeeping
+    ARG_SPILL = "arg-spill"          # spill of an incoming argument
+    CHECKER = "checker"              # instruction belongs to a checker
+    SELECT_TEST = "select-test"      # test feeding a cmov
+    FOLDED_CHECKER_JMP = "folded-checker-jmp"  # checker folded to a jump
+
+
+@dataclass(frozen=True)
+class Reg:
+    name: str
+
+    @property
+    def is_xmm(self) -> bool:
+        return self.name.startswith("xmm")
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    value: Union[int, float]
+
+    def __str__(self) -> str:
+        return f"${self.value}"
+
+
+@dataclass(frozen=True)
+class Mem:
+    """``disp(base)`` addressing; ``base=None`` means absolute."""
+
+    base: Optional[Reg]
+    disp: int
+
+    def __str__(self) -> str:
+        if self.base is None:
+            return f"{self.disp:#x}"
+        if self.disp:
+            return f"{self.disp:#x}({self.base})"
+        return f"({self.base})"
+
+
+@dataclass(frozen=True)
+class Label:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Operand = Union[Reg, Imm, Mem, Label]
+
+# opcodes with a GPR destination as first operand
+_REG_DEST_OPS = frozenset(
+    ["mov", "lea", "add", "sub", "imul", "and", "or", "xor",
+     "shl", "sar", "shr", "setcc", "cmov", "cvttsd2si", "pop"]
+)
+_XMM_DEST_OPS = frozenset(
+    ["movsd", "addsd", "subsd", "mulsd", "divsd", "cvtsi2sd"]
+)
+_FLAGS_DEST_OPS = frozenset(["cmp", "test", "ucomisd"])
+
+
+@dataclass
+class AsmInst:
+    """One assembly instruction.
+
+    ``operands`` puts the destination first (Intel operand order; the
+    printed form uses AT&T-style ``%reg``/``disp(base)`` spelling but
+    keeps destination-first order — ``mov %rax, -0x8(%rbp)`` therefore
+    reads "load the slot into rax").  ``cc`` holds the condition code
+    for ``setcc``, ``cmov`` and ``jcc``.  ``size`` is the memory-access
+    width in bytes for ``mov`` (1 or 8).
+    """
+
+    opcode: str
+    operands: Tuple[Operand, ...] = ()
+    cc: Optional[str] = None
+    size: int = 8
+    #: IR instruction this lowers (None = frame/runtime code)
+    prov_iid: Optional[int] = None
+    role: str = Role.MAIN
+    comment: str = ""
+
+    # -- fault-injection site analysis -------------------------------------
+
+    def dest_kind(self) -> Optional[str]:
+        """'gpr' | 'xmm' | 'flags' | None — what a fault would corrupt."""
+        op = self.opcode
+        if op in _FLAGS_DEST_OPS:
+            return "flags"
+        if op in _XMM_DEST_OPS:
+            dest = self.operands[0]
+            if isinstance(dest, Reg) and dest.is_xmm:
+                return "xmm"
+            return None  # movsd to memory
+        if op in _REG_DEST_OPS:
+            dest = self.operands[0]
+            if isinstance(dest, Reg):
+                return "xmm" if dest.is_xmm else "gpr"
+            return None  # mov to memory
+        if op == "idiv":
+            return "gpr"  # quotient lands in rax
+        return None  # push, jmp, jcc, call, ret, label-pseudo
+
+    @property
+    def is_injectable(self) -> bool:
+        return self.dest_kind() is not None
+
+    def dest_reg(self) -> Optional[Reg]:
+        """Destination register, when dest_kind is gpr/xmm."""
+        if self.opcode == "idiv":
+            return Reg("rax")
+        kind = self.dest_kind()
+        if kind in ("gpr", "xmm"):
+            return self.operands[0]  # type: ignore[return-value]
+        return None
+
+    def __str__(self) -> str:
+        parts = [self.opcode if self.cc is None else f"{self.opcode}{self.cc}"]
+        if self.opcode == "mov" and self.size == 1:
+            parts[0] = "movb"
+        ops = ", ".join(str(o) for o in self.operands)
+        text = f"{parts[0]:10s}{ops}"
+        if self.comment:
+            text = f"{text:44s}# {self.comment}"
+        return text

@@ -1,0 +1,793 @@
+"""IR -> assembly lowering (instruction selection + local allocation).
+
+This stage is where every cross-layer deficiency of the paper *emerges
+mechanically*:
+
+* **store penetration** — operands are kept in a per-block register
+  cache; a value consumed in a *different* block than its definition
+  (e.g. a store pushed behind a checker's conditional branch) must be
+  reloaded from its home slot (``mov slot -> reg``), and that reload is
+  an unprotected injection site (§5.2, fig. 4/5);
+* **branch penetration** — a conditional branch uses the FLAGS set by
+  its compare only while no flag-clobbering instruction intervened;
+  checkers insert a compare in between, forcing ``test cond, cond``
+  whose FLAGS write is unprotected (§5.2, fig. 6/7);
+* **comparison penetration** — redundant-compare elimination: two
+  compares with the same predicate over value-numbered-equal operands
+  (loads from the same address with no intervening store, geps over
+  equal bases/indices, constants) are folded to one ``cmp/setcc``; the
+  duplication checker ``icmp eq c, c'`` then becomes constant-true and
+  its branch an unconditional jump, deleting the protection (§5.2,
+  fig. 8/9).  Scope is a single basic block; volatile loads advance the
+  memory epoch — both of which Flowery's anti-comparison patch exploits;
+* **call penetration** — arguments are moved into the argument
+  registers right before the call; those ``mov``s map to no IR value
+  (§5.2, fig. 10/11);
+* **mapping penetration** — prologue/epilogue frame code (``mov
+  rsp->rbp``, ``sub rsp``, ``pop rbp``) and return-value moves have no
+  IR counterpart (§5.2, fig. 12).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from ..errors import LoweringError
+from ..interp.layout import GlobalLayout
+from ..ir import types as T
+from ..ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    Gep,
+    ICmp,
+    Instruction,
+    Load,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from ..ir.module import BasicBlock, Function, Module
+from ..ir.values import Argument, Constant, GlobalVariable, Value
+from .frame import RBP, FrameLayout
+from .isa import (
+    AsmInst,
+    FP_ARG_REGS,
+    Imm,
+    INT_ARG_REGS,
+    Label,
+    Mem,
+    Reg,
+    Role,
+)
+from .program import AsmFunction, AsmProgram
+from .regcache import RegCache
+
+__all__ = ["lower_module", "LoweringOptions"]
+
+RSP = Reg("rsp")
+RAX = Reg("rax")
+RDX = Reg("rdx")
+RCX = Reg("rcx")
+XMM0 = Reg("xmm0")
+
+_ICMP_CC = {
+    "eq": "e", "ne": "ne", "slt": "l", "sle": "le", "sgt": "g", "sge": "ge",
+    "ult": "b", "ule": "be", "ugt": "a", "uge": "ae",
+}
+_FCMP_CC = {
+    "oeq": "fe", "one": "fne", "olt": "fb", "ole": "fbe",
+    "ogt": "fa", "oge": "fae",
+}
+
+_INT_2OP = {"add": "add", "sub": "sub", "mul": "imul",
+            "and": "and", "or": "or", "xor": "xor"}
+_SHIFTS = {"shl": "shl", "ashr": "sar", "lshr": "shr"}
+_FP_2OP = {"fadd": "addsd", "fsub": "subsd", "fmul": "mulsd", "fdiv": "divsd"}
+
+_FLAG_CLOBBERING = frozenset(
+    ["add", "sub", "imul", "and", "or", "xor", "shl", "sar", "shr",
+     "idiv", "cmp", "test", "ucomisd"]
+)
+
+
+class LoweringOptions:
+    """Backend configuration knobs (ablation levers)."""
+
+    def __init__(
+        self,
+        compare_cse: bool = True,
+        gpr_pool: int = 0,
+        xmm_pool: int = 0,
+    ):
+        #: redundant-compare elimination — the cause of comparison
+        #: penetration; disable for the `ablation_lvn` experiment
+        self.compare_cse = compare_cse
+        #: scratch-register pool limits (0 = full x86-64 pool); small
+        #: pools model register-starved ISAs, inflating store penetration
+        self.gpr_pool = gpr_pool
+        self.xmm_pool = xmm_pool
+
+
+def _arg_key(index: int) -> int:
+    """Pseudo-iid for argument values in the register cache."""
+    return -(index + 1)
+
+
+class FunctionLowering:
+    def __init__(
+        self,
+        fn: Function,
+        layout: GlobalLayout,
+        program: AsmProgram,
+        options: LoweringOptions,
+    ):
+        self.fn = fn
+        self.layout = layout
+        self.program = program
+        self.options = options
+        self.frame = FrameLayout(fn)
+        self.out = AsmFunction(fn.name, frame_size=self.frame.frame_size)
+        self.cache = RegCache(options.gpr_pool, options.xmm_pool)
+        # FLAGS tracking: iid of the compare whose result the flags hold
+        self.flags_owner: Optional[int] = None
+        # per-block compare CSE state
+        self.avail_cmp: Dict[tuple, int] = {}
+        self.load_vn: Dict[tuple, int] = {}     # (addrkey, epoch) -> iid
+        self.vn_of: Dict[int, object] = {}      # iid -> value number
+        self.epoch = 0
+        # folding results
+        self.cmp_alias: Dict[int, int] = {}     # folded cmp iid -> master iid
+        self.slot_alias: Dict[int, int] = {}    # reload aliasing for folds
+        self.const_result: Dict[int, int] = {}  # compile-time-known i1 results
+        self.cmp_iids: Set[int] = set()         # iids that are compares
+
+    # -- emission helpers ---------------------------------------------------
+
+    def _emit(
+        self,
+        opcode: str,
+        *operands,
+        cc: Optional[str] = None,
+        size: int = 8,
+        prov: Optional[int] = None,
+        role: str = Role.MAIN,
+        comment: str = "",
+    ) -> AsmInst:
+        inst = AsmInst(
+            opcode=opcode,
+            operands=tuple(operands),
+            cc=cc,
+            size=size,
+            prov_iid=prov,
+            role=role,
+            comment=comment,
+        )
+        self.out.emit(inst)
+        if opcode in _FLAG_CLOBBERING:
+            self.flags_owner = None
+        if opcode == "call":
+            self.flags_owner = None
+        return inst
+
+    @staticmethod
+    def _slot_size(ty: T.Type) -> int:
+        return 1 if ty.size == 1 else 8
+
+    def _block_label(self, block: BasicBlock) -> str:
+        return block.label
+
+    def _reset_block_state(self) -> None:
+        self.cache.clear()
+        self.flags_owner = None
+        self.avail_cmp.clear()
+        self.load_vn.clear()
+        # vn_of / aliases persist: they are per-function facts about which
+        # IR values were folded, needed wherever those values are used
+        self.epoch += 1
+
+    # -- value numbering for compare CSE ---------------------------------------
+
+    def _vnkey(self, v: Value) -> object:
+        if isinstance(v, Constant):
+            return ("c", v.value)
+        if isinstance(v, GlobalVariable):
+            return ("g", v.name)
+        if isinstance(v, Argument):
+            return ("a", v.index)
+        if isinstance(v, Instruction):
+            iid = self.cmp_alias.get(v.iid, v.iid)
+            return self.vn_of.get(iid, iid)
+        raise LoweringError(f"unexpected operand {v!r}")
+
+    def _addr_vnkey(self, ptr: Value) -> object:
+        if isinstance(ptr, Alloca):
+            return ("al", ptr.iid)
+        if isinstance(ptr, GlobalVariable):
+            return ("g", ptr.name)
+        return self._vnkey(ptr)
+
+    # -- operand materialisation ---------------------------------------------
+
+    def _home_mem(self, iid: int) -> Mem:
+        return self.frame.home_mem(self.slot_alias.get(iid, iid))
+
+    def _fetch(
+        self,
+        v: Value,
+        consumer: Instruction,
+        reload_role: str = Role.OPERAND_RELOAD,
+        exclude: Set[str] = frozenset(),
+    ) -> Reg:
+        """Materialise ``v`` into a register, reloading from its home
+        slot (tagged ``reload_role``) only when the cache misses."""
+        fp = v.type.is_float
+        if isinstance(v, Constant):
+            reg = self.cache.alloc(fp=fp, exclude=exclude)
+            if fp:
+                self._emit("movsd", reg, Imm(float(v.value)),
+                           prov=consumer.iid, role=reload_role)
+            else:
+                self._emit("mov", reg, Imm(int(v.value)),
+                           prov=consumer.iid, role=reload_role)
+            return reg
+        if isinstance(v, GlobalVariable):
+            reg = self.cache.alloc(exclude=exclude)
+            self._emit("mov", reg, Imm(self.layout.address_of(v)),
+                       prov=consumer.iid, role=Role.ADDR)
+            return reg
+        if isinstance(v, Argument):
+            key = _arg_key(v.index)
+            cached = self.cache.lookup(key)
+            if cached is not None:
+                return cached
+            reg = self.cache.alloc(fp=fp, exclude=exclude)
+            op = "movsd" if fp else "mov"
+            self._emit(op, reg, self.frame.arg_mem(v.index),
+                       prov=consumer.iid, role=reload_role)
+            self.cache.bind(key, reg)
+            return reg
+        if isinstance(v, Alloca):
+            reg = self.cache.alloc(exclude=exclude)
+            self._emit("lea", reg, self.frame.alloca_mem(v),
+                       prov=consumer.iid, role=Role.ADDR)
+            return reg
+        if isinstance(v, Instruction):
+            key = self.slot_alias.get(v.iid, v.iid)
+            if v.iid in self.const_result or key in self.const_result:
+                # folded checker result used as a plain value
+                reg = self.cache.alloc(exclude=exclude)
+                self._emit("mov", reg, Imm(self.const_result.get(
+                    v.iid, self.const_result.get(key, 0))),
+                    prov=consumer.iid, role=reload_role)
+                return reg
+            cached = self.cache.lookup(key) or self.cache.lookup(v.iid)
+            if cached is not None:
+                return cached
+            reg = self.cache.alloc(fp=fp, exclude=exclude)
+            op = "movsd" if fp else "mov"
+            self._emit(op, reg, self._home_mem(v.iid),
+                       size=self._slot_size(v.type),
+                       prov=consumer.iid, role=reload_role)
+            self.cache.bind(key, reg)
+            return reg
+        raise LoweringError(f"cannot materialise operand {v!r}")
+
+    def _operand_ri(
+        self, v: Value, consumer: Instruction, exclude: Set[str] = frozenset()
+    ) -> Union[Reg, Imm]:
+        """Register-or-immediate form for 2-operand arithmetic sources."""
+        if isinstance(v, Constant) and not v.type.is_float:
+            return Imm(int(v.value))
+        return self._fetch(v, consumer, exclude=exclude)
+
+    def _pointer_mem(
+        self, ptr: Value, consumer: Instruction, reload_role: str
+    ) -> Mem:
+        """Addressing mode for a load/store pointer operand."""
+        if isinstance(ptr, Alloca):
+            return self.frame.alloca_mem(ptr)
+        if isinstance(ptr, GlobalVariable):
+            return Mem(None, self.layout.address_of(ptr))
+        reg = self._fetch(ptr, consumer, reload_role=reload_role)
+        return Mem(reg, 0)
+
+    # -- prologue / epilogue -----------------------------------------------------
+
+    def _prologue(self) -> None:
+        self.out.place_label(self.fn.name)
+        self._emit("push", RBP, role=Role.FRAME)
+        self._emit("mov", RBP, RSP, role=Role.FRAME)
+        if self.frame.frame_size:
+            self._emit("sub", RSP, Imm(self.frame.frame_size), role=Role.FRAME)
+        int_idx = fp_idx = 0
+        for i, arg in enumerate(self.fn.args):
+            if arg.type.is_float:
+                if fp_idx >= len(FP_ARG_REGS):
+                    raise LoweringError(
+                        f"@{self.fn.name}: more than {len(FP_ARG_REGS)} float args"
+                    )
+                self._emit("movsd", self.frame.arg_mem(i),
+                           Reg(FP_ARG_REGS[fp_idx]), role=Role.ARG_SPILL)
+                fp_idx += 1
+            else:
+                if int_idx >= len(INT_ARG_REGS):
+                    raise LoweringError(
+                        f"@{self.fn.name}: more than {len(INT_ARG_REGS)} int args"
+                    )
+                self._emit("mov", self.frame.arg_mem(i),
+                           Reg(INT_ARG_REGS[int_idx]), role=Role.ARG_SPILL)
+                int_idx += 1
+
+    def _epilogue(self, prov: Optional[int]) -> None:
+        self._emit("mov", RSP, RBP, prov=prov, role=Role.FRAME)
+        self._emit("pop", RBP, prov=prov, role=Role.FRAME)
+        self._emit("ret", prov=prov, role=Role.FRAME)
+
+    # -- driver -----------------------------------------------------------------
+
+    def run(self) -> AsmFunction:
+        self._prologue()
+        for block in self.fn.blocks:
+            self.out.place_label(self._block_label(block))
+            self._reset_block_state()
+            for inst in block.instructions:
+                self._lower_inst(inst)
+        return self.out
+
+    def _lower_inst(self, inst: Instruction) -> None:
+        op = inst.opcode
+        if op == "alloca":
+            return  # pure frame layout
+        if op == "load":
+            self._lower_load(inst)  # type: ignore[arg-type]
+        elif op == "store":
+            self._lower_store(inst)  # type: ignore[arg-type]
+        elif op in _INT_2OP or op in _SHIFTS or op in ("sdiv", "srem"):
+            self._lower_int_binop(inst)  # type: ignore[arg-type]
+        elif op in _FP_2OP:
+            self._lower_fp_binop(inst)  # type: ignore[arg-type]
+        elif op in ("icmp", "fcmp"):
+            self._lower_cmp(inst)  # type: ignore[arg-type]
+        elif op == "gep":
+            self._lower_gep(inst)  # type: ignore[arg-type]
+        elif op in ("sext", "zext", "trunc", "sitofp", "fptosi",
+                    "bitcast", "ptrtoint", "inttoptr"):
+            self._lower_cast(inst)  # type: ignore[arg-type]
+        elif op == "select":
+            self._lower_select(inst)  # type: ignore[arg-type]
+        elif op == "call":
+            self._lower_call(inst)  # type: ignore[arg-type]
+        elif op == "br":
+            self._emit("jmp", Label(inst.target.label), prov=inst.iid)
+        elif op == "condbr":
+            self._lower_condbr(inst)  # type: ignore[arg-type]
+        elif op == "ret":
+            self._lower_ret(inst)  # type: ignore[arg-type]
+        elif op == "unreachable":
+            self._emit("ud2", prov=inst.iid)
+        else:  # pragma: no cover
+            raise LoweringError(f"cannot lower opcode {op!r}")
+
+    # -- results ---------------------------------------------------------------
+
+    def _define(self, inst: Instruction, reg: Reg) -> None:
+        """Spill a fresh result to its home slot and cache the register."""
+        op = "movsd" if inst.type.is_float else "mov"
+        self._emit(op, self._home_mem(inst.iid), reg,
+                   size=self._slot_size(inst.type),
+                   prov=inst.iid, role=Role.RESULT_SPILL)
+        self.cache.bind(inst.iid, reg)
+
+    # -- memory ------------------------------------------------------------------
+
+    def _lower_load(self, inst: Load) -> None:
+        ptr = inst.pointer
+        mem = self._pointer_mem(ptr, inst, Role.OPERAND_RELOAD)
+        fp = inst.type.is_float
+        reg = self.cache.alloc(fp=fp)
+        if fp:
+            self._emit("movsd", reg, mem, prov=inst.iid, role=Role.MAIN)
+        else:
+            self._emit("mov", reg, mem, size=self._slot_size(inst.type),
+                       prov=inst.iid, role=Role.MAIN)
+        self._define(inst, reg)
+        # value numbering for compare CSE
+        if inst.volatile:
+            self.epoch += 1
+            self.vn_of[inst.iid] = ("vol", inst.iid)
+        else:
+            key = (self._addr_vnkey(ptr), self.epoch)
+            first = self.load_vn.get(key)
+            if first is None:
+                self.load_vn[key] = inst.iid
+                self.vn_of[inst.iid] = ("ld", key)
+            else:
+                self.vn_of[inst.iid] = ("ld", key)
+
+    def _lower_store(self, inst: Store) -> None:
+        value, ptr = inst.value, inst.pointer
+        mem = self._pointer_mem(ptr, inst, Role.STORE_ADDR_RELOAD)
+        size = self._slot_size(value.type)
+        if isinstance(value, Constant) and not value.type.is_float:
+            self._emit("mov", mem, Imm(int(value.value)), size=size,
+                       prov=inst.iid, role=Role.MAIN)
+        else:
+            reg = self._fetch(value, inst, reload_role=Role.STORE_RELOAD,
+                              exclude=_mem_regs(mem))
+            op = "movsd" if value.type.is_float else "mov"
+            self._emit(op, mem, reg, size=size, prov=inst.iid, role=Role.MAIN)
+        self.epoch += 1  # stores invalidate load availability
+
+    # -- integer arithmetic ----------------------------------------------------------
+
+    def _lower_int_binop(self, inst: BinOp) -> None:
+        op = inst.opcode
+        a, b = inst.operands
+        if op in ("sdiv", "srem"):
+            self._lower_div(inst, op, a, b)
+            return
+        if op in _SHIFTS:
+            self._lower_shift(inst, _SHIFTS[op], a, b)
+            return
+        dst = self.cache.alloc()
+        if isinstance(a, Constant):
+            self._emit("mov", dst, Imm(int(a.value)),
+                       prov=inst.iid, role=Role.MAIN_COPY)
+        else:
+            ra = self._fetch(a, inst, exclude={dst.name})
+            self._emit("mov", dst, ra, prov=inst.iid, role=Role.MAIN_COPY)
+        src = self._operand_ri(b, inst, exclude={dst.name})
+        self._emit(_INT_2OP[op], dst, src, prov=inst.iid, role=Role.MAIN)
+        self._define(inst, dst)
+
+    def _lower_div(self, inst: BinOp, op: str, a: Value, b: Value) -> None:
+        # rax = a; idiv b  ->  quotient rax, remainder rdx
+        self.cache.evict("rax")
+        self.cache.evict("rdx")
+        if isinstance(a, Constant):
+            self._emit("mov", RAX, Imm(int(a.value)),
+                       prov=inst.iid, role=Role.MAIN_COPY)
+        else:
+            ra = self._fetch(a, inst, exclude={"rax", "rdx"})
+            if ra.name != "rax":
+                self._emit("mov", RAX, ra, prov=inst.iid, role=Role.MAIN_COPY)
+        rb = self._fetch(b, inst, exclude={"rax", "rdx"})
+        if rb.name in ("rax", "rdx"):
+            moved = self.cache.alloc(exclude={"rax", "rdx", rb.name})
+            self._emit("mov", moved, rb, prov=inst.iid, role=Role.MAIN_COPY)
+            rb = moved
+        self._emit("idiv", rb, prov=inst.iid, role=Role.MAIN)
+        if op == "sdiv":
+            self._define(inst, RAX)
+        else:
+            dst = self.cache.alloc(exclude={"rdx"})
+            self._emit("mov", dst, RDX, prov=inst.iid, role=Role.MAIN)
+            self._define(inst, dst)
+
+    def _lower_shift(self, inst: BinOp, opcode: str, a: Value, b: Value) -> None:
+        dst = self.cache.alloc(exclude={"rcx"})
+        if isinstance(a, Constant):
+            self._emit("mov", dst, Imm(int(a.value)),
+                       prov=inst.iid, role=Role.MAIN_COPY)
+        else:
+            ra = self._fetch(a, inst, exclude={dst.name, "rcx"})
+            self._emit("mov", dst, ra, prov=inst.iid, role=Role.MAIN_COPY)
+        if isinstance(b, Constant):
+            self._emit(opcode, dst, Imm(int(b.value)),
+                       prov=inst.iid, role=Role.MAIN)
+        else:
+            self.cache.evict("rcx")
+            rb = self._fetch(b, inst, exclude={dst.name, "rcx"})
+            if rb.name != "rcx":
+                self._emit("mov", RCX, rb, prov=inst.iid, role=Role.MAIN_COPY)
+            self._emit(opcode, dst, RCX, prov=inst.iid, role=Role.MAIN)
+        self._define(inst, dst)
+
+    # -- floating point ------------------------------------------------------------
+
+    def _lower_fp_binop(self, inst: BinOp) -> None:
+        a, b = inst.operands
+        dst = self.cache.alloc(fp=True)
+        ra = self._fetch(a, inst, exclude={dst.name})
+        self._emit("movsd", dst, ra, prov=inst.iid, role=Role.MAIN_COPY)
+        rb = self._fetch(b, inst, exclude={dst.name, ra.name})
+        self._emit(_FP_2OP[inst.opcode], dst, rb, prov=inst.iid, role=Role.MAIN)
+        self._define(inst, dst)
+
+    # -- compares & the redundant-compare elimination -----------------------------------
+
+    def _cmp_key(self, inst: Union[ICmp, FCmp]) -> tuple:
+        a, b = inst.operands
+        return (inst.opcode, inst.pred, self._vnkey(a), self._vnkey(b))
+
+    def _lower_cmp(self, inst: Union[ICmp, FCmp]) -> None:
+        self.cmp_iids.add(inst.iid)
+        a, b = inst.operands
+
+        # constant-fold compares of literals
+        if isinstance(a, Constant) and isinstance(b, Constant):
+            self.const_result[inst.iid] = 1 if _static_cmp(inst) else 0
+            return
+
+        if self.options.compare_cse:
+            # checker fold: `icmp eq c, c'` over two compares with equal
+            # value numbers is constant-true (the comparison penetration)
+            if inst.opcode == "icmp" and inst.pred in ("eq", "ne"):
+                if (
+                    isinstance(a, Instruction)
+                    and isinstance(b, Instruction)
+                    and self.cmp_alias.get(a.iid, a.iid) in self.cmp_iids
+                    and self.cmp_alias.get(b.iid, b.iid) in self.cmp_iids
+                    and self.cmp_alias.get(a.iid, a.iid)
+                    == self.cmp_alias.get(b.iid, b.iid)
+                ):
+                    self.const_result[inst.iid] = 1 if inst.pred == "eq" else 0
+                    if inst.is_checker:
+                        master = self.cmp_alias.get(a.iid, a.iid)
+                        self.program.folded_checkers.add(inst.iid)
+                        self.program.folded_masters.add(master)
+                    return
+
+            # redundant-compare elimination proper
+            key = self._cmp_key(inst)
+            master = self.avail_cmp.get(key)
+            if master is not None:
+                self.cmp_alias[inst.iid] = master
+                self.slot_alias[inst.iid] = master
+                cached = self.cache.lookup(master)
+                if cached is not None:
+                    self.cache.bind(master, cached)  # refresh LRU only
+                return
+
+        # emit the compare
+        if inst.opcode == "fcmp":
+            ra = self._fetch(a, inst)
+            rb = self._fetch(b, inst, exclude={ra.name})
+            self._emit("ucomisd", ra, rb, prov=inst.iid, role=Role.MAIN)
+            cc = _FCMP_CC[inst.pred]
+        else:
+            ra = self._fetch(a, inst)
+            src = self._operand_ri(b, inst, exclude={ra.name})
+            self._emit("cmp", ra, src, prov=inst.iid, role=Role.MAIN)
+            cc = _ICMP_CC[inst.pred]
+        self.flags_owner = inst.iid
+        dst = self.cache.alloc()
+        self._emit("setcc", dst, cc=cc, prov=inst.iid, role=Role.MAIN)
+        self._define(inst, dst)
+        if self.options.compare_cse:
+            self.avail_cmp[self._cmp_key(inst)] = inst.iid
+
+    # -- address arithmetic -----------------------------------------------------------
+
+    def _lower_gep(self, inst: Gep) -> None:
+        base, index = inst.base, inst.index
+        scale = inst.element_size
+        dst = self.cache.alloc()
+        if isinstance(index, Constant):
+            rb = self._fetch(base, inst, exclude={dst.name})
+            self._emit("mov", dst, rb, prov=inst.iid, role=Role.MAIN_COPY)
+            offset = int(index.value) * scale
+            if offset:
+                self._emit("add", dst, Imm(offset), prov=inst.iid, role=Role.MAIN)
+        else:
+            ri = self._fetch(index, inst, exclude={dst.name})
+            self._emit("mov", dst, ri, prov=inst.iid, role=Role.MAIN_COPY)
+            if scale != 1:
+                self._emit("imul", dst, Imm(scale), prov=inst.iid, role=Role.MAIN)
+            rb = self._fetch(base, inst, exclude={dst.name})
+            self._emit("add", dst, rb, prov=inst.iid, role=Role.MAIN)
+        self._define(inst, dst)
+        self.vn_of[inst.iid] = (
+            "gep", self._vnkey(base), self._vnkey(index), scale
+        )
+
+    # -- casts ------------------------------------------------------------------------
+
+    def _lower_cast(self, inst: Cast) -> None:
+        (src,) = inst.operands
+        op = inst.opcode
+        if op == "sitofp":
+            ra = self._fetch(src, inst)
+            dst = self.cache.alloc(fp=True)
+            self._emit("cvtsi2sd", dst, ra, prov=inst.iid, role=Role.MAIN)
+            self._define(inst, dst)
+            return
+        if op == "fptosi":
+            ra = self._fetch(src, inst)
+            dst = self.cache.alloc()
+            self._emit("cvttsd2si", dst, ra, prov=inst.iid, role=Role.MAIN)
+            self._define(inst, dst)
+            return
+        ra = self._fetch(src, inst)
+        dst = self.cache.alloc(exclude={ra.name})
+        self._emit("mov", dst, ra, prov=inst.iid, role=Role.MAIN)
+        if op == "trunc" and inst.type is T.I1:
+            self._emit("and", dst, Imm(1), prov=inst.iid, role=Role.MAIN)
+        self._define(inst, dst)
+
+    # -- select -------------------------------------------------------------------------
+
+    def _lower_select(self, inst: Select) -> None:
+        cond, a, b = inst.operands
+        if inst.type.is_float:
+            raise LoweringError("float select is not used by this frontend")
+        rc = self._fetch(cond, inst)
+        dst = self.cache.alloc(exclude={rc.name})
+        if isinstance(b, Constant):
+            self._emit("mov", dst, Imm(int(b.value)),
+                       prov=inst.iid, role=Role.MAIN_COPY)
+        else:
+            rb = self._fetch(b, inst, exclude={dst.name, rc.name})
+            self._emit("mov", dst, rb, prov=inst.iid, role=Role.MAIN_COPY)
+        ra = self._fetch(a, inst, exclude={dst.name, rc.name})
+        self._emit("test", rc, rc, prov=inst.iid, role=Role.SELECT_TEST)
+        self._emit("cmov", dst, ra, cc="ne", prov=inst.iid, role=Role.MAIN)
+        self._define(inst, dst)
+
+    # -- calls --------------------------------------------------------------------------
+
+    def _lower_call(self, inst: Call) -> None:
+        # Argument registers are about to be overwritten; drop any cached
+        # values living there so later arguments reload from their home
+        # slots instead of reading a clobbered register.
+        for name in INT_ARG_REGS + FP_ARG_REGS:
+            self.cache.evict(name)
+        int_idx = fp_idx = 0
+        for arg in inst.operands:
+            if arg.type.is_float:
+                if fp_idx >= len(FP_ARG_REGS):
+                    raise LoweringError("too many float call arguments")
+                target = Reg(FP_ARG_REGS[fp_idx])
+                fp_idx += 1
+                self._move_arg(arg, target, inst, fp=True)
+            else:
+                if int_idx >= len(INT_ARG_REGS):
+                    raise LoweringError("too many int call arguments")
+                target = Reg(INT_ARG_REGS[int_idx])
+                int_idx += 1
+                self._move_arg(arg, target, inst, fp=False)
+        self.cache.clear()   # caller-saved registers die here
+        self.epoch += 1      # callee may write memory
+        self._emit("call", Label(inst.callee_name), prov=inst.iid, role=Role.MAIN)
+        if inst.has_result:
+            ret_reg = XMM0 if inst.type.is_float else RAX
+            self._define(inst, ret_reg)
+
+    def _move_arg(self, arg: Value, target: Reg, inst: Call, fp: bool) -> None:
+        """Argument-register setup — the call penetration sites."""
+        op = "movsd" if fp else "mov"
+        if isinstance(arg, Constant):
+            imm = Imm(float(arg.value)) if fp else Imm(int(arg.value))
+            self._emit(op, target, imm, prov=inst.iid, role=Role.CALL_ARG)
+            return
+        if isinstance(arg, GlobalVariable):
+            self._emit("mov", target, Imm(self.layout.address_of(arg)),
+                       prov=inst.iid, role=Role.CALL_ARG)
+            return
+        if isinstance(arg, Alloca):
+            self._emit("lea", target, self.frame.alloca_mem(arg),
+                       prov=inst.iid, role=Role.CALL_ARG)
+            return
+        if isinstance(arg, Argument):
+            key = _arg_key(arg.index)
+            cached = self.cache.lookup(key)
+            if cached is not None:
+                self._emit(op, target, cached, prov=inst.iid, role=Role.CALL_ARG)
+            else:
+                self._emit(op, target, self.frame.arg_mem(arg.index),
+                           prov=inst.iid, role=Role.CALL_ARG)
+            return
+        assert isinstance(arg, Instruction)
+        key = self.slot_alias.get(arg.iid, arg.iid)
+        if arg.iid in self.const_result:
+            self._emit("mov", target, Imm(self.const_result[arg.iid]),
+                       prov=inst.iid, role=Role.CALL_ARG)
+            return
+        cached = self.cache.lookup(key)
+        if cached is not None:
+            self._emit(op, target, cached, prov=inst.iid, role=Role.CALL_ARG)
+        else:
+            self._emit(op, target, self._home_mem(arg.iid),
+                       size=self._slot_size(arg.type),
+                       prov=inst.iid, role=Role.CALL_ARG)
+
+    # -- control flow -----------------------------------------------------------------------
+
+    def _lower_condbr(self, inst: CondBr) -> None:
+        cond = inst.condition
+        then_l = Label(inst.then_block.label)
+        else_l = Label(inst.else_block.label)
+
+        const = None
+        if isinstance(cond, Constant):
+            const = int(cond.value)
+        elif isinstance(cond, Instruction) and cond.iid in self.const_result:
+            const = self.const_result[cond.iid]
+        if const is not None:
+            role = (
+                Role.FOLDED_CHECKER_JMP
+                if isinstance(cond, Instruction)
+                and cond.iid in self.program.folded_checkers
+                else Role.MAIN
+            )
+            self._emit("jmp", then_l if const else else_l,
+                       prov=inst.iid, role=role)
+            return
+
+        if (
+            isinstance(cond, (ICmp, FCmp))
+            and self.flags_owner == cond.iid
+        ):
+            # flags still live: branch directly on the compare
+            cc = (_FCMP_CC[cond.pred] if isinstance(cond, FCmp)
+                  else _ICMP_CC[cond.pred])
+            self._emit("jcc", then_l, cc=cc, prov=inst.iid, role=Role.MAIN)
+            self._emit("jmp", else_l, prov=inst.iid, role=Role.MAIN)
+            return
+
+        # flags dead: materialise them — the branch penetration sites
+        rc = self._fetch(cond, inst, reload_role=Role.BR_COND_RELOAD)
+        self._emit("test", rc, rc, prov=inst.iid, role=Role.BR_TEST)
+        self._emit("jcc", then_l, cc="ne", prov=inst.iid, role=Role.MAIN)
+        self._emit("jmp", else_l, prov=inst.iid, role=Role.MAIN)
+
+    def _lower_ret(self, inst: Ret) -> None:
+        value = inst.value
+        if value is not None:
+            if value.type.is_float:
+                if isinstance(value, Constant):
+                    self._emit("movsd", XMM0, Imm(float(value.value)),
+                               prov=inst.iid, role=Role.RET_VAL)
+                else:
+                    reg = self._fetch(value, inst, reload_role=Role.RET_VAL)
+                    if reg.name != "xmm0":
+                        self._emit("movsd", XMM0, reg,
+                                   prov=inst.iid, role=Role.RET_VAL)
+            else:
+                if isinstance(value, Constant):
+                    self._emit("mov", RAX, Imm(int(value.value)),
+                               prov=inst.iid, role=Role.RET_VAL)
+                else:
+                    reg = self._fetch(value, inst, reload_role=Role.RET_VAL)
+                    if reg.name != "rax":
+                        self._emit("mov", RAX, reg,
+                                   prov=inst.iid, role=Role.RET_VAL)
+        self._epilogue(inst.iid)
+
+
+def _mem_regs(mem: Mem) -> Set[str]:
+    return {mem.base.name} if mem.base is not None else set()
+
+
+def _static_cmp(inst: Union[ICmp, FCmp]) -> bool:
+    """Compile-time evaluation of a compare between two constants."""
+    from ..interp.interpreter import _fcmp, _icmp
+
+    a, b = inst.operands
+    if inst.opcode == "fcmp":
+        return _fcmp(inst.pred, float(a.value), float(b.value))
+    return _icmp(inst.pred, int(a.value), int(b.value), a.type)
+
+
+def lower_module(
+    module: Module,
+    layout: Optional[GlobalLayout] = None,
+    options: Optional[LoweringOptions] = None,
+) -> AsmProgram:
+    """Lower every defined function of ``module`` to assembly."""
+    layout = layout or GlobalLayout(module)
+    options = options or LoweringOptions()
+    program = AsmProgram(module.name)
+    for fn in module.functions.values():
+        if fn.is_declaration:
+            continue
+        program.add_function(
+            FunctionLowering(fn, layout, program, options).run()
+        )
+    return program

@@ -1,0 +1,109 @@
+"""Assembly program container and flattening for the machine.
+
+An :class:`AsmFunction` is a list of :class:`~repro.backend.isa.AsmInst`
+plus a label table (label -> instruction index).  :class:`AsmProgram`
+owns one per IR function plus lowering metadata the analysis layer
+consumes (folded checkers, asm->IR provenance statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import LoweringError
+from .isa import AsmInst
+
+__all__ = ["AsmFunction", "AsmProgram", "FlatProgram"]
+
+
+@dataclass
+class AsmFunction:
+    name: str
+    insts: List[AsmInst] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    frame_size: int = 0
+
+    def place_label(self, label: str) -> None:
+        if label in self.labels:
+            raise LoweringError(f"duplicate label {label} in {self.name}")
+        self.labels[label] = len(self.insts)
+
+    def emit(self, inst: AsmInst) -> AsmInst:
+        self.insts.append(inst)
+        return inst
+
+
+@dataclass
+class FlatProgram:
+    """The machine's view: one linear instruction array."""
+
+    insts: List[AsmInst]
+    label_index: Dict[str, int]
+    #: function name of each instruction (diagnostics)
+    inst_fn: List[str]
+    entry_label: str
+
+
+class AsmProgram:
+    """All lowered functions plus metadata for cross-layer analysis."""
+
+    def __init__(self, module_name: str):
+        self.module_name = module_name
+        self.functions: Dict[str, AsmFunction] = {}
+        #: iids of checker compares the backend folded away (comparison
+        #: penetration evidence)
+        self.folded_checkers: Set[int] = set()
+        #: iids of compare instructions whose duplicate was folded onto them
+        self.folded_masters: Set[int] = set()
+
+    def add_function(self, fn: AsmFunction) -> AsmFunction:
+        if fn.name in self.functions:
+            raise LoweringError(f"duplicate function {fn.name}")
+        self.functions[fn.name] = fn
+        return fn
+
+    def static_count(self) -> int:
+        return sum(len(f.insts) for f in self.functions.values())
+
+    def flatten(self, entry: str = "main") -> FlatProgram:
+        """Concatenate all functions into one instruction array with
+        globally unique labels (``fn`` for entries, ``fn.block`` inside)."""
+        insts: List[AsmInst] = []
+        label_index: Dict[str, int] = {}
+        inst_fn: List[str] = []
+        for fn in self.functions.values():
+            base = len(insts)
+            if fn.name in label_index:
+                raise LoweringError(f"label clash for function {fn.name}")
+            label_index[fn.name] = base
+            for label, idx in fn.labels.items():
+                qualified = label if label == fn.name else f"{fn.name}.{label}"
+                label_index[qualified] = base + idx
+            insts.extend(fn.insts)
+            inst_fn.extend([fn.name] * len(fn.insts))
+        if entry not in label_index:
+            raise LoweringError(f"entry function {entry!r} not lowered")
+        return FlatProgram(insts, label_index, inst_fn, entry)
+
+    def text(self) -> str:
+        """Human-readable listing of the whole program."""
+        lines: List[str] = [f"# module {self.module_name}"]
+        for fn in self.functions.values():
+            lines.append("")
+            lines.append(f"{fn.name}:")
+            by_index: Dict[int, List[str]] = {}
+            for label, idx in fn.labels.items():
+                by_index.setdefault(idx, []).append(label)
+            for i, inst in enumerate(fn.insts):
+                for label in by_index.get(i, []):
+                    lines.append(f".{label}:")
+                prov = (
+                    f" ; ir=%t{inst.prov_iid}:{inst.role}"
+                    if inst.prov_iid is not None
+                    else (f" ; {inst.role}" if inst.role != "main" else "")
+                )
+                lines.append(f"    {inst}{prov}")
+            for label in by_index.get(len(fn.insts), []):  # trailing labels
+                lines.append(f".{label}:")
+        return "\n".join(lines) + "\n"

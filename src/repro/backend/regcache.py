@@ -1,0 +1,103 @@
+"""Local register value cache used during lowering.
+
+The backend allocates registers *per basic block*: a freshly computed
+value stays bound to its register until the register is reused (LRU),
+a call clobbers the caller-saved set, or the block ends.  Because every
+definition is also spilled to its home slot, eviction is free — the
+cache only tracks which register still mirrors which IR value.
+
+This is exactly what makes the paper's eager-store fix work: a store
+emitted in the *defining* block finds the value still cached and needs
+no reload; a store pushed into a later block (by the checker) does not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..errors import LoweringError
+from .isa import Reg, SCRATCH_GPRS, SCRATCH_XMMS
+
+__all__ = ["RegCache"]
+
+
+class RegCache:
+    def __init__(self, gpr_pool: int = 0, xmm_pool: int = 0):
+        """``gpr_pool``/``xmm_pool`` limit the scratch registers the
+        cache may use (0 = all).  Shrinking the pool models a
+        register-starved ISA: more home-slot reloads, hence more
+        store-penetration surface (the paper's §8 RISC-V/ARM argument).
+        A GPR pool below 4 cannot satisfy lowering's operand-exclusion
+        requirements."""
+        n_gpr = gpr_pool or len(SCRATCH_GPRS)
+        n_xmm = xmm_pool or len(SCRATCH_XMMS)
+        if not 4 <= n_gpr <= len(SCRATCH_GPRS):
+            raise LoweringError(
+                f"gpr_pool must be in [4, {len(SCRATCH_GPRS)}], got {n_gpr}"
+            )
+        if not 2 <= n_xmm <= len(SCRATCH_XMMS):
+            raise LoweringError(
+                f"xmm_pool must be in [2, {len(SCRATCH_XMMS)}], got {n_xmm}"
+            )
+        self._gpr_order: List[str] = list(SCRATCH_GPRS[:n_gpr])
+        self._xmm_order: List[str] = list(SCRATCH_XMMS[:n_xmm])
+        self.reg_to_iid: Dict[str, int] = {}
+        self.iid_to_reg: Dict[int, str] = {}
+        self._lru: List[str] = []  # least-recently-used first
+
+    # -- queries ----------------------------------------------------------
+
+    def lookup(self, iid: int) -> Optional[Reg]:
+        name = self.iid_to_reg.get(iid)
+        if name is None:
+            return None
+        self._touch(name)
+        return Reg(name)
+
+    # -- allocation ---------------------------------------------------------
+
+    def alloc(self, fp: bool = False, exclude: Set[str] = frozenset()) -> Reg:
+        """A register to define a new value in; evicts LRU if needed.
+
+        ``exclude`` protects registers holding operands of the current
+        instruction from being reused mid-lowering.
+        """
+        order = self._xmm_order if fp else self._gpr_order
+        free = [r for r in order if r not in self.reg_to_iid and r not in exclude]
+        if free:
+            name = free[0]
+        else:
+            for name in self._lru:
+                if name in order and name not in exclude:
+                    self.evict(name)
+                    break
+            else:
+                raise LoweringError("register pool exhausted")
+        self._touch(name)
+        return Reg(name)
+
+    def bind(self, iid: int, reg: Reg) -> None:
+        self.evict(reg.name)
+        old = self.iid_to_reg.pop(iid, None)
+        if old is not None:
+            self.reg_to_iid.pop(old, None)
+        self.reg_to_iid[reg.name] = iid
+        self.iid_to_reg[iid] = reg.name
+        self._touch(reg.name)
+
+    # -- invalidation ---------------------------------------------------------
+
+    def evict(self, reg_name: str) -> None:
+        iid = self.reg_to_iid.pop(reg_name, None)
+        if iid is not None:
+            self.iid_to_reg.pop(iid, None)
+
+    def clear(self) -> None:
+        self.reg_to_iid.clear()
+        self.iid_to_reg.clear()
+        self._lru.clear()
+
+    def _touch(self, name: str) -> None:
+        if name in self._lru:
+            self._lru.remove(name)
+        self._lru.append(name)

@@ -1,0 +1,13 @@
+"""The 16-benchmark suite of the paper's Table 1, in MiniC."""
+
+from .registry import (  # noqa: F401
+    BENCHMARKS,
+    Benchmark,
+    SCALES,
+    benchmark_names,
+    get_benchmark,
+    load_source,
+)
+
+__all__ = ["BENCHMARKS", "Benchmark", "SCALES", "benchmark_names",
+           "get_benchmark", "load_source"]

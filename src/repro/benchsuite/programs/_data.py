@@ -1,0 +1,31 @@
+"""Deterministic input-data generation helpers for the benchmark suite."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["rng", "fmt_ints", "fmt_floats", "int_array_decl",
+           "float_array_decl"]
+
+
+def rng(seed: int) -> np.random.Generator:
+    """Seeded generator; every benchmark derives its data from one."""
+    return np.random.default_rng(seed)
+
+
+def fmt_ints(values: Iterable[int]) -> str:
+    return ", ".join(str(int(v)) for v in values)
+
+
+def fmt_floats(values: Iterable[float]) -> str:
+    return ", ".join(repr(round(float(v), 6)) for v in values)
+
+
+def int_array_decl(name: str, values: Sequence[int]) -> str:
+    return f"int {name}[{len(values)}] = {{{fmt_ints(values)}}};"
+
+
+def float_array_decl(name: str, values: Sequence[float]) -> str:
+    return f"float {name}[{len(values)}] = {{{fmt_floats(values)}}};"

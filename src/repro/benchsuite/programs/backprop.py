@@ -1,0 +1,101 @@
+"""Backprop (Rodinia) — one training step of a 2-layer MLP.
+
+Forward pass with a rational sigmoid approximation, output error,
+backward pass updating both weight matrices — the same compute
+structure (dense mat-vec + elementwise nonlinearity + outer-product
+update) as the Rodinia kernel, scaled down.
+"""
+
+from __future__ import annotations
+
+from ._data import float_array_decl, rng
+
+_SIZES = {"tiny": (4, 3, 2), "small": (8, 6, 3), "medium": (16, 12, 4)}
+
+
+def source(scale: str = "small") -> str:
+    n_in, n_hid, n_out = _SIZES[scale]
+    g = rng(101)
+    x = g.uniform(-1, 1, n_in)
+    w1 = g.uniform(-0.5, 0.5, n_in * n_hid)
+    w2 = g.uniform(-0.5, 0.5, n_hid * n_out)
+    target = g.uniform(0, 1, n_out)
+    return f"""
+const int NIN = {n_in};
+const int NHID = {n_hid};
+const int NOUT = {n_out};
+
+{float_array_decl("x", x)}
+{float_array_decl("w1", w1)}
+{float_array_decl("w2", w2)}
+{float_array_decl("target", target)}
+
+float hidden[{n_hid}];
+float output[{n_out}];
+float delta_out[{n_out}];
+float delta_hid[{n_hid}];
+
+float squash(float v) {{
+    // rational sigmoid approximation (Rodinia uses expf; keep it
+    // algebraic so both layers agree bit-for-bit)
+    if (v < 0.0) {{ return 1.0 - 1.0 / (1.0 + fabs(v) + v * v * 0.5); }}
+    return 1.0 / (1.0 + fabs(v) + v * v * 0.5);
+}}
+
+void forward() {{
+    for (int j = 0; j < NHID; j++) {{
+        float sum = 0.0;
+        for (int i = 0; i < NIN; i++) {{
+            sum += x[i] * w1[i * NHID + j];
+        }}
+        hidden[j] = squash(sum);
+    }}
+    for (int k = 0; k < NOUT; k++) {{
+        float sum = 0.0;
+        for (int j = 0; j < NHID; j++) {{
+            sum += hidden[j] * w2[j * NOUT + k];
+        }}
+        output[k] = squash(sum);
+    }}
+}}
+
+void backward() {{
+    for (int k = 0; k < NOUT; k++) {{
+        float o = output[k];
+        delta_out[k] = o * (1.0 - o) * (target[k] - o);
+    }}
+    for (int j = 0; j < NHID; j++) {{
+        float sum = 0.0;
+        for (int k = 0; k < NOUT; k++) {{
+            sum += delta_out[k] * w2[j * NOUT + k];
+        }}
+        float h = hidden[j];
+        delta_hid[j] = h * (1.0 - h) * sum;
+    }}
+    float eta = 0.3;
+    for (int j = 0; j < NHID; j++) {{
+        for (int k = 0; k < NOUT; k++) {{
+            w2[j * NOUT + k] += eta * delta_out[k] * hidden[j];
+        }}
+    }}
+    for (int i = 0; i < NIN; i++) {{
+        for (int j = 0; j < NHID; j++) {{
+            w1[i * NHID + j] += eta * delta_hid[j] * x[i];
+        }}
+    }}
+}}
+
+int main() {{
+    forward();
+    backward();
+    forward();
+    float err = 0.0;
+    for (int k = 0; k < NOUT; k++) {{
+        float d = target[k] - output[k];
+        err += d * d;
+        print(output[k]);
+    }}
+    print(err);
+    return 0;
+}}
+"""

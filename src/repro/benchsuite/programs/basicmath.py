@@ -1,0 +1,77 @@
+"""Basicmath (MiBench) — cubic roots, integer square roots, angle
+conversions.
+
+The MiBench kernel solves cubics (Cardano), computes isqrt by bit
+shifting and converts degrees to radians; all three parts appear here
+with deterministic inputs.
+"""
+
+from __future__ import annotations
+
+from ._data import float_array_decl, rng
+
+_SIZES = {"tiny": 3, "small": 8, "medium": 24}
+
+
+def source(scale: str = "small") -> str:
+    n = _SIZES[scale]
+    g = rng(121)
+    coeff_b = g.uniform(-5, 5, n)
+    coeff_c = g.uniform(-10, 10, n)
+    coeff_d = g.uniform(-20, 20, n)
+    return f"""
+const int N = {n};
+
+{float_array_decl("cb", coeff_b)}
+{float_array_decl("cc", coeff_c)}
+{float_array_decl("cd", coeff_d)}
+
+int isqrt(int x) {{
+    // bit-by-bit integer square root (MiBench's usqrt)
+    int root = 0;
+    int bit = 1 << 30;
+    while (bit > x) {{ bit = bit >> 2; }}
+    while (bit != 0) {{
+        if (x >= root + bit) {{
+            x -= root + bit;
+            root = (root >> 1) + bit;
+        }} else {{
+            root = root >> 1;
+        }}
+        bit = bit >> 2;
+    }}
+    return root;
+}}
+
+int main() {{
+    float pi = 3.14159265358979;
+    // cubic x^3 + b x^2 + c x + d: count real roots via discriminant
+    for (int i = 0; i < N; i++) {{
+        float b = cb[i];
+        float c = cc[i];
+        float d = cd[i];
+        float q = (3.0 * c - b * b) / 9.0;
+        float r = (9.0 * b * c - 27.0 * d - 2.0 * b * b * b) / 54.0;
+        float disc = q * q * q + r * r;
+        if (disc > 0.0) {{
+            float s = r + sqrt(disc);
+            float t = r - sqrt(disc);
+            float cube = 1.0 / 3.0;
+            float sr = pow(fabs(s), cube);
+            if (s < 0.0) {{ sr = -sr; }}
+            float tr = pow(fabs(t), cube);
+            if (t < 0.0) {{ tr = -tr; }}
+            print(sr + tr - b / 3.0);
+        }} else {{
+            print(disc);
+        }}
+    }}
+    for (int x = 1; x <= N; x++) {{
+        print(isqrt(x * x * 7 + x));
+    }}
+    for (int deg = 0; deg <= 180; deg += 60) {{
+        print(float(deg) * pi / 180.0);
+    }}
+    return 0;
+}}
+"""

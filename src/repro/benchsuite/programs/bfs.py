@@ -1,0 +1,66 @@
+"""BFS (Rodinia) — breadth-first search over a CSR graph.
+
+Random sparse digraph in CSR form (offsets + edge array), explicit
+frontier queue, per-node cost (depth) output — the Rodinia kernel's
+memory-bound pointer-chasing behaviour, scaled down.
+"""
+
+from __future__ import annotations
+
+from ._data import int_array_decl, rng
+
+_SIZES = {"tiny": (12, 2), "small": (48, 3), "medium": (160, 4)}
+
+
+def source(scale: str = "small") -> str:
+    n_nodes, avg_deg = _SIZES[scale]
+    g = rng(202)
+    edges = []
+    offsets = [0]
+    for u in range(n_nodes):
+        deg = int(g.integers(1, avg_deg * 2 + 1))
+        targets = sorted(set(int(v) for v in g.integers(0, n_nodes, deg)))
+        edges.extend(targets)
+        offsets.append(len(edges))
+    return f"""
+const int NNODES = {n_nodes};
+const int NEDGES = {len(edges)};
+
+{int_array_decl("offsets", offsets)}
+{int_array_decl("edges", edges)}
+
+int cost[{n_nodes}];
+int queue[{n_nodes * 4}];
+
+int main() {{
+    for (int i = 0; i < NNODES; i++) {{ cost[i] = -1; }}
+    int head = 0;
+    int tail = 0;
+    cost[0] = 0;
+    queue[tail] = 0;
+    tail++;
+    while (head < tail) {{
+        int u = queue[head];
+        head++;
+        int start = offsets[u];
+        int end = offsets[u + 1];
+        for (int e = start; e < end; e++) {{
+            int v = edges[e];
+            if (cost[v] < 0) {{
+                cost[v] = cost[u] + 1;
+                queue[tail] = v;
+                tail++;
+            }}
+        }}
+    }}
+    int reached = 0;
+    int sum = 0;
+    for (int i = 0; i < NNODES; i++) {{
+        if (cost[i] >= 0) {{ reached++; sum += cost[i]; }}
+        print(cost[i]);
+    }}
+    print(reached);
+    print(sum);
+    return 0;
+}}
+"""

@@ -1,0 +1,98 @@
+"""CG (NAS Parallel Benchmarks) — conjugate gradient on a sparse SPD matrix.
+
+A random symmetric diagonally dominant matrix in CSR form, a fixed
+number of CG iterations, and the residual norm as verification — NPB
+CG's structure (sparse mat-vec + dot products + axpys) at toy scale.
+"""
+
+from __future__ import annotations
+
+from ._data import float_array_decl, int_array_decl, rng
+
+_SIZES = {"tiny": (5, 2), "small": (10, 3), "medium": (24, 4)}
+
+
+def source(scale: str = "small") -> str:
+    n, nnz_row = _SIZES[scale]
+    g = rng(707)
+    import numpy as np
+
+    dense = np.zeros((n, n))
+    for i in range(n):
+        cols = g.choice(n, size=min(nnz_row, n), replace=False)
+        for j in cols:
+            v = float(g.uniform(-1, 1))
+            dense[i, j] += v
+            dense[j, i] += v
+    for i in range(n):
+        dense[i, i] = abs(dense[i]).sum() + 1.0
+    # CSR
+    values, colidx, offsets = [], [], [0]
+    for i in range(n):
+        for j in range(n):
+            if dense[i, j] != 0.0:
+                values.append(dense[i, j])
+                colidx.append(j)
+        offsets.append(len(values))
+    b = g.uniform(0.0, 1.0, n)
+    iters = {"tiny": 3, "small": 6, "medium": 10}[
+        "tiny" if n == 5 else ("small" if n == 10 else "medium")
+    ]
+    return f"""
+const int N = {n};
+const int ITERS = {iters};
+
+{float_array_decl("values", values)}
+{int_array_decl("colidx", colidx)}
+{int_array_decl("offsets", offsets)}
+{float_array_decl("rhs", b)}
+
+float x[{n}];
+float r[{n}];
+float p[{n}];
+float q[{n}];
+
+void spmv(float vec[], float out[]) {{
+    for (int i = 0; i < N; i++) {{
+        float sum = 0.0;
+        for (int e = offsets[i]; e < offsets[i + 1]; e++) {{
+            sum += values[e] * vec[colidx[e]];
+        }}
+        out[i] = sum;
+    }}
+}}
+
+float dot(float u[], float v[]) {{
+    float sum = 0.0;
+    for (int i = 0; i < N; i++) {{ sum += u[i] * v[i]; }}
+    return sum;
+}}
+
+int main() {{
+    for (int i = 0; i < N; i++) {{
+        x[i] = 0.0;
+        r[i] = rhs[i];
+        p[i] = rhs[i];
+    }}
+    float rho = dot(r, r);
+    for (int it = 0; it < ITERS; it++) {{
+        spmv(p, q);
+        float alpha = rho / dot(p, q);
+        for (int i = 0; i < N; i++) {{
+            x[i] += alpha * p[i];
+            r[i] -= alpha * q[i];
+        }}
+        float rho_new = dot(r, r);
+        float beta = rho_new / rho;
+        rho = rho_new;
+        for (int i = 0; i < N; i++) {{
+            p[i] = r[i] + beta * p[i];
+        }}
+    }}
+    print(sqrt(rho));
+    float xsum = 0.0;
+    for (int i = 0; i < N; i++) {{ xsum += x[i]; }}
+    print(xsum);
+    return 0;
+}}
+"""

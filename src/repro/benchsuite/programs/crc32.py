@@ -1,0 +1,42 @@
+"""CRC32 (MiBench) — bitwise CRC-32 (IEEE polynomial) over a buffer.
+
+The shift-and-xor inner loop over every bit of every byte — the
+error-detection kernel MiBench runs over files, applied to an embedded
+pseudo-random buffer.
+"""
+
+from __future__ import annotations
+
+from ._data import int_array_decl, rng
+
+_SIZES = {"tiny": 6, "small": 24, "medium": 96}
+
+
+def source(scale: str = "small") -> str:
+    n = _SIZES[scale]
+    g = rng(141)
+    data = g.integers(0, 256, n)
+    return f"""
+const int N = {n};
+const int POLY = 0xEDB88320;
+const int MASK32 = 0xFFFFFFFF;
+
+{int_array_decl("data", data)}
+
+int main() {{
+    int crc = MASK32;
+    for (int i = 0; i < N; i++) {{
+        crc = crc ^ data[i];
+        for (int bit = 0; bit < 8; bit++) {{
+            if ((crc & 1) != 0) {{
+                crc = ((crc >> 1) & 0x7FFFFFFF) ^ POLY;
+            }} else {{
+                crc = (crc >> 1) & 0x7FFFFFFF;
+            }}
+            crc = crc & MASK32;
+        }}
+    }}
+    print(crc ^ MASK32);
+    return 0;
+}}
+"""

@@ -1,0 +1,59 @@
+"""EP (NAS Parallel Benchmarks) — embarrassingly parallel Gaussian pairs.
+
+A linear-congruential stream feeds the Marsaglia polar acceptance test;
+accepted pairs are binned by annulus exactly like NPB's EP, with the
+sums of deviates as the verification output.
+"""
+
+from __future__ import annotations
+
+_SIZES = {"tiny": 24, "small": 96, "medium": 320}
+
+
+def source(scale: str = "small") -> str:
+    n_pairs = _SIZES[scale]
+    return f"""
+const int NPAIRS = {n_pairs};
+
+int counts[10];
+
+int lcg_state = 271828183;
+
+float lcg_next() {{
+    // 31-bit LCG (same constants as C rand) scaled to [0, 1)
+    lcg_state = (lcg_state * 1103515245 + 12345) % 2147483648;
+    if (lcg_state < 0) {{ lcg_state = -lcg_state; }}
+    return float(lcg_state) / 2147483648.0;
+}}
+
+int main() {{
+    float sx = 0.0;
+    float sy = 0.0;
+    int accepted = 0;
+    for (int i = 0; i < NPAIRS; i++) {{
+        float x = 2.0 * lcg_next() - 1.0;
+        float y = 2.0 * lcg_next() - 1.0;
+        float t = x * x + y * y;
+        if (t <= 1.0 && t > 0.0) {{
+            float factor = sqrt(-2.0 * log(t) / t);
+            float gx = x * factor;
+            float gy = y * factor;
+            sx += gx;
+            sy += gy;
+            float ax = fabs(gx);
+            float ay = fabs(gy);
+            float m = ax;
+            if (ay > m) {{ m = ay; }}
+            int bin = int(m);
+            if (bin > 9) {{ bin = 9; }}
+            counts[bin]++;
+            accepted++;
+        }}
+    }}
+    print(accepted);
+    print(sx);
+    print(sy);
+    for (int b = 0; b < 10; b++) {{ print(counts[b]); }}
+    return 0;
+}}
+"""

@@ -1,0 +1,71 @@
+"""FFT2 (MiBench) — iterative radix-2 FFT over a real signal.
+
+Bit-reversal permutation plus butterfly stages with sin/cos twiddles,
+printing the magnitude spectrum — the MiBench fft kernel's structure.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ._data import float_array_decl, rng
+
+_SIZES = {"tiny": 8, "small": 16, "medium": 64}
+
+
+def source(scale: str = "small") -> str:
+    n = _SIZES[scale]
+    g = rng(909)
+    signal = [
+        math.sin(2 * math.pi * 3 * i / n) + 0.5 * float(g.uniform(-1, 1))
+        for i in range(n)
+    ]
+    logn = int(math.log2(n))
+    return f"""
+const int N = {n};
+const int LOGN = {logn};
+
+{float_array_decl("signal", signal)}
+
+float re[{n}];
+float im[{n}];
+
+int main() {{
+    // bit-reversal permutation
+    for (int i = 0; i < N; i++) {{
+        int rev = 0;
+        int v = i;
+        for (int b = 0; b < LOGN; b++) {{
+            rev = (rev << 1) | (v & 1);
+            v = v >> 1;
+        }}
+        re[rev] = signal[i];
+        im[rev] = 0.0;
+    }}
+    // butterfly stages
+    float pi = 3.14159265358979;
+    for (int s = 1; s <= LOGN; s++) {{
+        int m = 1 << s;
+        int half = m >> 1;
+        float ang = -2.0 * pi / float(m);
+        for (int k = 0; k < N; k += m) {{
+            for (int j = 0; j < half; j++) {{
+                float wr = cos(ang * float(j));
+                float wi = sin(ang * float(j));
+                int top = k + j;
+                int bot = k + j + half;
+                float tr = wr * re[bot] - wi * im[bot];
+                float ti = wr * im[bot] + wi * re[bot];
+                re[bot] = re[top] - tr;
+                im[bot] = im[top] - ti;
+                re[top] = re[top] + tr;
+                im[top] = im[top] + ti;
+            }}
+        }}
+    }}
+    for (int i = 0; i < N / 2; i++) {{
+        print(sqrt(re[i] * re[i] + im[i] * im[i]));
+    }}
+    return 0;
+}}
+"""

@@ -1,0 +1,47 @@
+"""IS (NAS Parallel Benchmarks) — integer sort via bucketed counting.
+
+Key histogram, prefix sum, rank assignment — NPB IS's counting-sort
+structure with a partial-verification probe of ranked keys.
+"""
+
+from __future__ import annotations
+
+from ._data import int_array_decl, rng
+
+_SIZES = {"tiny": (10, 8), "small": (40, 16), "medium": (160, 32)}
+
+
+def source(scale: str = "small") -> str:
+    n, max_key = _SIZES[scale]
+    g = rng(808)
+    keys = g.integers(0, max_key, n)
+    return f"""
+const int N = {n};
+const int MAXKEY = {max_key};
+
+{int_array_decl("keys", keys)}
+
+int histogram[{max_key}];
+int rank_of[{n}];
+
+int main() {{
+    for (int k = 0; k < MAXKEY; k++) {{ histogram[k] = 0; }}
+    for (int i = 0; i < N; i++) {{
+        histogram[keys[i]]++;
+    }}
+    for (int k = 1; k < MAXKEY; k++) {{
+        histogram[k] += histogram[k - 1];
+    }}
+    for (int i = N - 1; i >= 0; i--) {{
+        histogram[keys[i]]--;
+        rank_of[i] = histogram[keys[i]];
+    }}
+    int checksum = 0;
+    for (int i = 0; i < N; i++) {{
+        checksum += rank_of[i] * (i + 1);
+        print(rank_of[i]);
+    }}
+    print(checksum);
+    return 0;
+}}
+"""

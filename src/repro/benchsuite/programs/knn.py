@@ -1,0 +1,54 @@
+"""kNN (Rodinia "nn") — k nearest neighbours by Euclidean distance.
+
+Distance sweep over random 2-D records followed by k rounds of
+selection, the same compute/compare mix as the Rodinia hurricane-record
+kernel.
+"""
+
+from __future__ import annotations
+
+from ._data import float_array_decl, rng
+
+_SIZES = {"tiny": (8, 2), "small": (24, 4), "medium": (80, 5)}
+
+
+def source(scale: str = "small") -> str:
+    n, k = _SIZES[scale]
+    g = rng(606)
+    lat = g.uniform(0.0, 90.0, n)
+    lng = g.uniform(0.0, 180.0, n)
+    return f"""
+const int N = {n};
+const int K = {k};
+
+{float_array_decl("lat", lat)}
+{float_array_decl("lng", lng)}
+
+float dist[{n}];
+int taken[{n}];
+
+int main() {{
+    float qlat = 45.0;
+    float qlng = 90.0;
+    for (int i = 0; i < N; i++) {{
+        float dx = lat[i] - qlat;
+        float dy = lng[i] - qlng;
+        dist[i] = sqrt(dx * dx + dy * dy);
+        taken[i] = 0;
+    }}
+    for (int round = 0; round < K; round++) {{
+        int best = -1;
+        float bestd = 1.0e18;
+        for (int i = 0; i < N; i++) {{
+            if (taken[i] == 0 && dist[i] < bestd) {{
+                bestd = dist[i];
+                best = i;
+            }}
+        }}
+        taken[best] = 1;
+        print(best);
+        print(bestd);
+    }}
+    return 0;
+}}
+"""

@@ -1,0 +1,55 @@
+"""LUD (Rodinia) — in-place LU decomposition (Doolittle, no pivoting).
+
+The matrix is generated diagonally dominant so the factorisation is
+well-conditioned; the checksum is the trace of L+U plus a probe of the
+factors, mirroring how Rodinia validates.
+"""
+
+from __future__ import annotations
+
+from ._data import float_array_decl, rng
+
+_SIZES = {"tiny": 3, "small": 6, "medium": 12}
+
+
+def source(scale: str = "small") -> str:
+    n = _SIZES[scale]
+    g = rng(404)
+    a = g.uniform(-1.0, 1.0, (n, n))
+    for i in range(n):
+        a[i, i] = float(n) + abs(a[i]).sum()
+    return f"""
+const int N = {n};
+
+{float_array_decl("a", a.flatten())}
+
+int main() {{
+    for (int k = 0; k < N; k++) {{
+        for (int j = k; j < N; j++) {{
+            float sum = a[k * N + j];
+            for (int p = 0; p < k; p++) {{
+                sum -= a[k * N + p] * a[p * N + j];
+            }}
+            a[k * N + j] = sum;
+        }}
+        for (int i = k + 1; i < N; i++) {{
+            float sum = a[i * N + k];
+            for (int p = 0; p < k; p++) {{
+                sum -= a[i * N + p] * a[p * N + k];
+            }}
+            a[i * N + k] = sum / a[k * N + k];
+        }}
+    }}
+    float trace = 0.0;
+    for (int i = 0; i < N; i++) {{ trace += a[i * N + i]; }}
+    print(trace);
+    float probe = 0.0;
+    for (int i = 0; i < N; i++) {{
+        for (int j = 0; j < N; j++) {{
+            probe += a[i * N + j] * float(i - j);
+        }}
+    }}
+    print(probe);
+    return 0;
+}}
+"""

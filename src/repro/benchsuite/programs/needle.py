@@ -1,0 +1,62 @@
+"""Needle (Rodinia) — Needleman-Wunsch sequence alignment scoring.
+
+Fills the full DP score matrix with affine-free gap penalty and a
+random substitution reference, exactly the Rodinia access pattern
+(anti-diagonal dependency through a row-major table).
+"""
+
+from __future__ import annotations
+
+from ._data import int_array_decl, rng
+
+_SIZES = {"tiny": 5, "small": 12, "medium": 28}
+
+
+def source(scale: str = "small") -> str:
+    n = _SIZES[scale]
+    g = rng(505)
+    seq1 = g.integers(0, 4, n)
+    seq2 = g.integers(0, 4, n)
+    blosum = g.integers(-4, 6, 16)
+    dim = n + 1
+    return f"""
+const int N = {n};
+const int DIM = {dim};
+const int PENALTY = 2;
+
+{int_array_decl("seq1", seq1)}
+{int_array_decl("seq2", seq2)}
+{int_array_decl("blosum", blosum)}
+
+int table[{dim * dim}];
+
+int max3(int a, int b, int c) {{
+    int m = a;
+    if (b > m) {{ m = b; }}
+    if (c > m) {{ m = c; }}
+    return m;
+}}
+
+int main() {{
+    for (int i = 0; i < DIM; i++) {{
+        table[i * DIM] = -i * PENALTY;
+        table[i] = -i * PENALTY;
+    }}
+    for (int i = 1; i < DIM; i++) {{
+        for (int j = 1; j < DIM; j++) {{
+            int match = table[(i - 1) * DIM + (j - 1)]
+                + blosum[seq1[i - 1] * 4 + seq2[j - 1]];
+            int del = table[(i - 1) * DIM + j] - PENALTY;
+            int ins = table[i * DIM + (j - 1)] - PENALTY;
+            table[i * DIM + j] = max3(match, del, ins);
+        }}
+    }}
+    print(table[N * DIM + N]);
+    int checksum = 0;
+    for (int i = 0; i < DIM; i++) {{
+        checksum += table[i * DIM + i];
+    }}
+    print(checksum);
+    return 0;
+}}
+"""

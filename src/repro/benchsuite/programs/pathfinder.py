@@ -1,0 +1,50 @@
+"""Pathfinder (Rodinia) — minimum-cost path through a grid, row by row.
+
+Classic dynamic program: each row's cost is the cell weight plus the
+minimum of the three parents above, double-buffered exactly like the
+Rodinia kernel.
+"""
+
+from __future__ import annotations
+
+from ._data import int_array_decl, rng
+
+_SIZES = {"tiny": (4, 6), "small": (8, 16), "medium": (16, 40)}
+
+
+def source(scale: str = "small") -> str:
+    rows, cols = _SIZES[scale]
+    g = rng(303)
+    wall = g.integers(1, 10, rows * cols)
+    return f"""
+const int ROWS = {rows};
+const int COLS = {cols};
+
+{int_array_decl("wall", wall)}
+
+int src[{cols}];
+int dst[{cols}];
+
+int min2(int a, int b) {{
+    if (a < b) {{ return a; }}
+    return b;
+}}
+
+int main() {{
+    for (int j = 0; j < COLS; j++) {{ src[j] = wall[j]; }}
+    for (int r = 1; r < ROWS; r++) {{
+        for (int j = 0; j < COLS; j++) {{
+            int best = src[j];
+            if (j > 0) {{ best = min2(best, src[j - 1]); }}
+            if (j < COLS - 1) {{ best = min2(best, src[j + 1]); }}
+            dst[j] = wall[r * COLS + j] + best;
+        }}
+        for (int j = 0; j < COLS; j++) {{ src[j] = dst[j]; }}
+    }}
+    int best = src[0];
+    for (int j = 1; j < COLS; j++) {{ best = min2(best, src[j]); }}
+    for (int j = 0; j < COLS; j++) {{ print(src[j]); }}
+    print(best);
+    return 0;
+}}
+"""

@@ -1,0 +1,120 @@
+"""Patricia (MiBench) — PATRICIA trie insertion and lookup.
+
+An array-backed binary radix trie over 16-bit keys (IP-prefix style):
+insert a batch of keys choosing branch bits from the first differing
+bit, then look up a mix of hits and misses — the pointer-chasing,
+call-dense behaviour of MiBench patricia.
+"""
+
+from __future__ import annotations
+
+from ._data import int_array_decl, rng
+
+_SIZES = {"tiny": (6, 5), "small": (18, 14), "medium": (56, 40)}
+
+
+def source(scale: str = "small") -> str:
+    n_insert, n_lookup = _SIZES[scale]
+    g = rng(151)
+    keys = sorted(set(int(k) for k in g.integers(0, 1 << 16, n_insert)))
+    lookups = [int(k) for k in g.integers(0, 1 << 16, n_lookup // 2)]
+    lookups += [keys[int(i)] for i in g.integers(0, len(keys), n_lookup - len(lookups))]
+    max_nodes = 2 * len(keys) + 2
+    return f"""
+const int NKEYS = {len(keys)};
+const int NLOOKUPS = {len(lookups)};
+const int MAXNODES = {max_nodes};
+
+{int_array_decl("keys", keys)}
+{int_array_decl("lookups", lookups)}
+
+// node arrays: key, branch bit, left child, right child
+int node_key[{max_nodes}];
+int node_bit[{max_nodes}];
+int node_left[{max_nodes}];
+int node_right[{max_nodes}];
+int n_nodes = 0;
+
+int bit_of(int key, int b) {{
+    return (key >> b) & 1;
+}}
+
+int new_node(int key, int b) {{
+    node_key[n_nodes] = key;
+    node_bit[n_nodes] = b;
+    node_left[n_nodes] = -1;
+    node_right[n_nodes] = -1;
+    n_nodes++;
+    return n_nodes - 1;
+}}
+
+int find_leaf(int root, int key) {{
+    int cur = root;
+    while (node_left[cur] >= 0 || node_right[cur] >= 0) {{
+        if (bit_of(key, node_bit[cur]) == 1) {{
+            if (node_right[cur] < 0) {{ break; }}
+            cur = node_right[cur];
+        }} else {{
+            if (node_left[cur] < 0) {{ break; }}
+            cur = node_left[cur];
+        }}
+    }}
+    return cur;
+}}
+
+int insert(int root, int key) {{
+    int leaf = find_leaf(root, key);
+    if (node_key[leaf] == key) {{ return root; }}
+    int diff = node_key[leaf] ^ key;
+    int b = 15;
+    while (b > 0 && bit_of(diff, b) == 0) {{ b--; }}
+    int fresh = new_node(key, b);
+    // re-descend and splice at the first node testing a lower bit
+    int parent = -1;
+    int cur = root;
+    int went_right = 0;
+    while ((node_left[cur] >= 0 || node_right[cur] >= 0)
+           && node_bit[cur] > b) {{
+        int go_right = bit_of(key, node_bit[cur]);
+        int next = node_left[cur];
+        if (go_right == 1) {{ next = node_right[cur]; }}
+        if (next < 0) {{ break; }}
+        parent = cur;
+        went_right = go_right;
+        cur = next;
+    }}
+    if (bit_of(key, b) == 1) {{
+        node_right[fresh] = -1;
+        node_left[fresh] = cur;
+    }} else {{
+        node_left[fresh] = -1;
+        node_right[fresh] = cur;
+    }}
+    if (parent < 0) {{ return fresh; }}
+    if (went_right == 1) {{ node_right[parent] = fresh; }}
+    else {{ node_left[parent] = fresh; }}
+    return root;
+}}
+
+int lookup(int root, int key) {{
+    int leaf = find_leaf(root, key);
+    if (node_key[leaf] == key) {{ return 1; }}
+    return 0;
+}}
+
+int main() {{
+    int root = new_node(keys[0], 15);
+    for (int i = 1; i < NKEYS; i++) {{
+        root = insert(root, keys[i]);
+    }}
+    int hits = 0;
+    for (int i = 0; i < NLOOKUPS; i++) {{
+        int found = lookup(root, lookups[i]);
+        hits += found;
+        print(found);
+    }}
+    print(hits);
+    print(n_nodes);
+    return 0;
+}}
+"""

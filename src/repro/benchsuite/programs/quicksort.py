@@ -1,0 +1,60 @@
+"""Quicksort (MiBench qsort) — recursive quicksort with median-of-three.
+
+Recursive partition-exchange over random integers; recursion exercises
+the call/return machinery (the paper's call and mapping penetrations).
+"""
+
+from __future__ import annotations
+
+from ._data import int_array_decl, rng
+
+_SIZES = {"tiny": 10, "small": 32, "medium": 128}
+
+
+def source(scale: str = "small") -> str:
+    n = _SIZES[scale]
+    g = rng(111)
+    data = g.integers(-1000, 1000, n)
+    return f"""
+const int N = {n};
+
+{int_array_decl("data", data)}
+
+void sort_range(int lo, int hi) {{
+    if (lo >= hi) {{ return; }}
+    int mid = lo + (hi - lo) / 2;
+    // median-of-three pivot selection
+    int a = data[lo];
+    int b = data[mid];
+    int c = data[hi];
+    int pivot = a;
+    if ((a <= b && b <= c) || (c <= b && b <= a)) {{ pivot = b; }}
+    if ((a <= c && c <= b) || (b <= c && c <= a)) {{ pivot = c; }}
+    int i = lo;
+    int j = hi;
+    while (i <= j) {{
+        while (data[i] < pivot) {{ i++; }}
+        while (data[j] > pivot) {{ j--; }}
+        if (i <= j) {{
+            int t = data[i];
+            data[i] = data[j];
+            data[j] = t;
+            i++;
+            j--;
+        }}
+    }}
+    sort_range(lo, j);
+    sort_range(i, hi);
+}}
+
+int main() {{
+    sort_range(0, N - 1);
+    int checksum = 0;
+    for (int i = 0; i < N; i++) {{
+        print(data[i]);
+        checksum += data[i] * (i + 1);
+    }}
+    print(checksum);
+    return 0;
+}}
+"""

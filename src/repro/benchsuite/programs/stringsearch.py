@@ -1,0 +1,75 @@
+"""Stringsearch (MiBench) — Boyer-Moore-Horspool substring search.
+
+Bad-character table construction + the skip-loop search over an
+embedded text, for several patterns — the comparison-heavy kernel
+whose coverage gap is the paper's worst case (82%).
+"""
+
+from __future__ import annotations
+
+from ._data import int_array_decl, rng
+
+_TEXTS = {
+    "tiny": ("the quick brown fox", ["quick", "fox", "dog"]),
+    "small": (
+        "we hold these truths to be self evident that all men are "
+        "created equal and endowed with certain unalienable rights",
+        ["truths", "rights", "liberty", "equal"],
+    ),
+    "medium": (
+        ("four score and seven years ago our fathers brought forth on this "
+         "continent a new nation conceived in liberty and dedicated to the "
+         "proposition that all men are created equal now we are engaged in "
+         "a great civil war testing whether that nation can long endure"),
+        ["nation", "liberty", "conceived", "endure", "fathers", "zebra"],
+    ),
+}
+
+
+def source(scale: str = "small") -> str:
+    text, patterns = _TEXTS[scale]
+    text_codes = [ord(c) for c in text]
+    decls = [int_array_decl("text", text_codes)]
+    pat_offsets = [0]
+    pat_codes = []
+    for p in patterns:
+        pat_codes.extend(ord(c) for c in p)
+        pat_offsets.append(len(pat_codes))
+    decls.append(int_array_decl("patterns", pat_codes))
+    decls.append(int_array_decl("pat_offsets", pat_offsets))
+    decl_text = "\n".join(decls)
+    return f"""
+const int TEXTLEN = {len(text_codes)};
+const int NPATTERNS = {len(patterns)};
+
+{decl_text}
+
+int skip[128];
+
+int search(int pstart, int plen) {{
+    // Boyer-Moore-Horspool
+    for (int c = 0; c < 128; c++) {{ skip[c] = plen; }}
+    for (int k = 0; k < plen - 1; k++) {{
+        skip[patterns[pstart + k]] = plen - k - 1;
+    }}
+    int pos = 0;
+    while (pos <= TEXTLEN - plen) {{
+        int j = plen - 1;
+        while (j >= 0 && text[pos + j] == patterns[pstart + j]) {{
+            j--;
+        }}
+        if (j < 0) {{ return pos; }}
+        pos += skip[text[pos + plen - 1]];
+    }}
+    return -1;
+}}
+
+int main() {{
+    for (int p = 0; p < NPATTERNS; p++) {{
+        int start = pat_offsets[p];
+        int len = pat_offsets[p + 1] - start;
+        print(search(start, len));
+    }}
+    return 0;
+}}
+"""

@@ -1,0 +1,61 @@
+"""Susan (MiBench) — SUSAN-style corner response on a grayscale image.
+
+For each interior pixel, the USAN area (neighbours within a brightness
+threshold) is accumulated over a 3x3 mask and thresholded into a corner
+response map — the comparison-dense image kernel of MiBench susan.
+"""
+
+from __future__ import annotations
+
+from ._data import int_array_decl, rng
+
+_SIZES = {"tiny": (5, 5), "small": (9, 9), "medium": (18, 18)}
+
+
+def source(scale: str = "small") -> str:
+    h, w = _SIZES[scale]
+    g = rng(131)
+    img = g.integers(0, 256, h * w)
+    return f"""
+const int H = {h};
+const int W = {w};
+const int BT = 27;
+const int GEOM = 6;
+
+{int_array_decl("img", img)}
+
+int response[{h * w}];
+
+int main() {{
+    int corners = 0;
+    for (int y = 1; y < H - 1; y++) {{
+        for (int x = 1; x < W - 1; x++) {{
+            int center = img[y * W + x];
+            int usan = 0;
+            for (int dy = -1; dy <= 1; dy++) {{
+                for (int dx = -1; dx <= 1; dx++) {{
+                    if (dy != 0 || dx != 0) {{
+                        int p = img[(y + dy) * W + (x + dx)];
+                        int diff = p - center;
+                        if (diff < 0) {{ diff = -diff; }}
+                        if (diff < BT) {{ usan++; }}
+                    }}
+                }}
+            }}
+            int resp = 0;
+            if (usan < GEOM) {{
+                resp = GEOM - usan;
+                corners++;
+            }}
+            response[y * W + x] = resp;
+        }}
+    }}
+    int checksum = 0;
+    for (int i = 0; i < H * W; i++) {{
+        checksum += response[i] * (i % 13 + 1);
+    }}
+    print(corners);
+    print(checksum);
+    return 0;
+}}
+"""

@@ -1,0 +1,220 @@
+"""Command-line interface.
+
+::
+
+    repro list                               # benchmarks
+    repro run crc32 --scale small            # run at both layers
+    repro asm crc32 --scale tiny             # assembly listing
+    repro ir crc32                           # IR listing
+    repro protect crc32 --level 70 --flowery # protect + report structure
+    repro inject crc32 --level 100 -n 300    # campaign + coverage + causes
+    repro experiment fig2|fig3|fig17|table1|overhead|compile-time
+
+Environment knobs (REPRO_SCALE, REPRO_CAMPAIGNS, REPRO_BENCHMARKS...)
+apply to the ``experiment`` subcommand; see
+:mod:`repro.experiments.config`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.rootcause import classify_campaign
+from .analysis.coverage import sdc_coverage
+from .benchsuite.registry import BENCHMARKS, benchmark_names, load_source
+from .fi.campaign import CampaignConfig, run_asm_campaign, run_ir_campaign
+from .ir.printer import print_module
+from .pipeline import build
+from .experiments import (
+    ExperimentConfig,
+    render_compile_time,
+    render_figure2,
+    render_figure3,
+    render_figure17,
+    render_overhead,
+    render_table1,
+    run_compile_time,
+    run_figure2,
+    run_figure3,
+    run_figure17,
+    run_overhead,
+    run_table1,
+)
+
+__all__ = ["main"]
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("benchmark", choices=benchmark_names())
+    p.add_argument("--scale", default="small",
+                   choices=("tiny", "small", "medium"))
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Cross-layer evaluation of instruction duplication "
+                     "(SC'23 reproduction)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks")
+
+    run_p = sub.add_parser("run", help="run a benchmark at both layers")
+    _add_common(run_p)
+
+    ir_p = sub.add_parser("ir", help="print a benchmark's IR")
+    _add_common(ir_p)
+    ir_p.add_argument("--level", type=int, default=None)
+    ir_p.add_argument("--flowery", action="store_true")
+
+    asm_p = sub.add_parser("asm", help="print a benchmark's assembly")
+    _add_common(asm_p)
+    asm_p.add_argument("--level", type=int, default=None)
+    asm_p.add_argument("--flowery", action="store_true")
+
+    prot_p = sub.add_parser("protect", help="protect and report structure")
+    _add_common(prot_p)
+    prot_p.add_argument("--level", type=int, default=100)
+    prot_p.add_argument("--flowery", action="store_true")
+
+    inj_p = sub.add_parser("inject", help="fault-injection campaign")
+    _add_common(inj_p)
+    inj_p.add_argument("--level", type=int, default=None,
+                       help="protection level (omit for unprotected)")
+    inj_p.add_argument("--flowery", action="store_true")
+    inj_p.add_argument("-n", "--campaigns", type=int, default=300)
+    inj_p.add_argument("--seed", type=int, default=2023)
+
+    exp_p = sub.add_parser("experiment", help="regenerate a paper artifact")
+    exp_p.add_argument(
+        "which",
+        choices=("table1", "fig2", "fig3", "fig17", "overhead",
+                 "compile-time"),
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    for name in benchmark_names():
+        b = BENCHMARKS[name]
+        print(f"{name:14s} {b.suite:8s} {b.domain}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    built = build(args.benchmark, scale=args.scale)
+    ir = built.run_ir()
+    asm = built.run_asm()
+    print(ir.output, end="")
+    print(f"# IR dyn: {ir.dyn_total}  injectable: {ir.dyn_injectable}")
+    print(f"# ASM dyn: {asm.dyn_total}  injectable: {asm.dyn_injectable}")
+    print(f"# cross-layer outputs match: {ir.output == asm.output}")
+    return 0
+
+
+def _cmd_ir(args) -> int:
+    built = build(args.benchmark, scale=args.scale, level=args.level,
+                  flowery=args.flowery)
+    print(print_module(built.module), end="")
+    return 0
+
+
+def _cmd_asm(args) -> int:
+    built = build(args.benchmark, scale=args.scale, level=args.level,
+                  flowery=args.flowery)
+    print(built.asm.text(), end="")
+    return 0
+
+
+def _cmd_protect(args) -> int:
+    built = build(args.benchmark, scale=args.scale, level=args.level,
+                  flowery=args.flowery)
+    prot = built.protection
+    assert prot is not None
+    print(f"benchmark:          {args.benchmark} ({args.scale})")
+    print(f"protection level:   {args.level}%")
+    print(f"flowery:            {prot.flowery} {prot.flowery_stats}")
+    print(f"protected instrs:   {len(prot.dup_info.protected)}")
+    print(f"checkers inserted:  {prot.dup_info.checker_count()}")
+    print(f"checkers folded:    {len(built.asm.folded_checkers)} (backend)")
+    if prot.plan is not None:
+        print(f"plan budget/spent:  {prot.plan.budget}/{prot.plan.spent} "
+              f"dynamic instructions")
+    return 0
+
+
+def _cmd_inject(args) -> int:
+    cfg = CampaignConfig(n_campaigns=args.campaigns, seed=args.seed)
+    built = build(args.benchmark, scale=args.scale, level=args.level,
+                  flowery=args.flowery)
+    ir = run_ir_campaign(built.module, cfg, built.layout)
+    asm = run_asm_campaign(built.compiled, built.layout, cfg)
+    print(f"{'layer':6s} {'sdc':>8s} {'due':>8s} {'detected':>9s} "
+          f"{'benign':>8s}")
+    for res in (ir, asm):
+        s = res.summary()
+        print(f"{res.layer:6s} {s['sdc']:8.3f} {s['due']:8.3f} "
+              f"{s['detected']:9.3f} {s['benign']:8.3f}")
+    if args.level is not None:
+        raw_built = build(args.benchmark, scale=args.scale)
+        raw_ir = run_ir_campaign(raw_built.module, cfg, raw_built.layout)
+        raw_asm = run_asm_campaign(
+            raw_built.compiled, raw_built.layout, cfg
+        )
+        print(f"coverage IR : "
+              f"{sdc_coverage(raw_ir.sdc_probability, ir.sdc_probability):.3f}")
+        print(f"coverage ASM: "
+              f"{sdc_coverage(raw_asm.sdc_probability, asm.sdc_probability):.3f}")
+        assert built.protection is not None
+        report = classify_campaign(
+            args.benchmark, args.level, asm, built.module, built.asm,
+            built.protection.dup_info,
+        )
+        if report.counts:
+            print("escape root causes:",
+                  {p.value: n for p, n in sorted(
+                      report.counts.items(), key=lambda kv: -kv[1])})
+    return 0
+
+
+def _cmd_experiment(which: str) -> int:
+    cfg = ExperimentConfig.from_env()
+    if which == "table1":
+        print(render_table1(run_table1(cfg)))
+    elif which == "fig2":
+        print(render_figure2(run_figure2(cfg)))
+    elif which == "fig3":
+        print(render_figure3(run_figure3(cfg)))
+    elif which == "fig17":
+        print(render_figure17(run_figure17(cfg)))
+    elif which == "overhead":
+        print(render_overhead(run_overhead(cfg)))
+    else:
+        print(render_compile_time(run_compile_time(cfg)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "ir":
+        return _cmd_ir(args)
+    if args.command == "asm":
+        return _cmd_asm(args)
+    if args.command == "protect":
+        return _cmd_protect(args)
+    if args.command == "inject":
+        return _cmd_inject(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args.which)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

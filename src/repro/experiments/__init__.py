@@ -1,0 +1,21 @@
+"""Experiment drivers — one per paper table/figure (see DESIGN.md)."""
+
+from .compile_time import render_compile_time, run_compile_time  # noqa: F401
+from .config import ExperimentConfig, QUICK_BENCHMARKS  # noqa: F401
+from .figure2 import Figure2Result, render_figure2, run_figure2  # noqa: F401
+from .figure3 import Figure3Result, render_figure3, run_figure3  # noqa: F401
+from .figure17 import Figure17Result, render_figure17, run_figure17  # noqa: F401
+from .overhead import render_overhead, run_overhead  # noqa: F401
+from .runner import ExperimentContext, ProtectedRun  # noqa: F401
+from .table1 import render_table1, run_table1  # noqa: F401
+
+__all__ = [
+    "ExperimentConfig", "QUICK_BENCHMARKS", "ExperimentContext",
+    "ProtectedRun",
+    "run_table1", "render_table1",
+    "run_figure2", "render_figure2", "Figure2Result",
+    "run_figure3", "render_figure3", "Figure3Result",
+    "run_figure17", "render_figure17", "Figure17Result",
+    "run_overhead", "render_overhead",
+    "run_compile_time", "render_compile_time",
+]

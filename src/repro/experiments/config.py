@@ -1,0 +1,70 @@
+"""Experiment configuration.
+
+Defaults are sized for a single-core pure-Python run (minutes, not
+hours).  Environment variables raise them toward the paper's setup:
+
+* ``REPRO_SCALE``       — benchmark input scale (tiny/small/medium)
+* ``REPRO_CAMPAIGNS``   — fault injections per (benchmark, level, layer)
+  (paper: 3000)
+* ``REPRO_PROFILE_CAMPAIGNS`` — IR profiling injections per benchmark
+* ``REPRO_BENCHMARKS``  — comma list or ``all`` (default: a 6-benchmark
+  representative subset for quick runs)
+* ``REPRO_SEED``        — campaign RNG seed
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..benchsuite.registry import benchmark_names
+
+__all__ = ["ExperimentConfig", "QUICK_BENCHMARKS"]
+
+#: representative quick subset: covers memory-bound (bfs), compute/FP
+#: (lud, ep), branchy (stringsearch, susan) and call-dense (quicksort)
+QUICK_BENCHMARKS = ["bfs", "lud", "ep", "stringsearch", "susan", "quicksort"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    scale: str = "small"
+    campaigns: int = 150
+    profile_campaigns: int = 400
+    seed: int = 2023
+    benchmarks: Tuple[str, ...] = tuple(QUICK_BENCHMARKS)
+    levels: Tuple[int, ...] = (30, 50, 70, 100)
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ExperimentConfig":
+        scale = os.environ.get("REPRO_SCALE", overrides.pop("scale", "small"))
+        campaigns = int(
+            os.environ.get("REPRO_CAMPAIGNS", overrides.pop("campaigns", 150))
+        )
+        profile_campaigns = int(
+            os.environ.get(
+                "REPRO_PROFILE_CAMPAIGNS",
+                overrides.pop("profile_campaigns", 400),
+            )
+        )
+        seed = int(os.environ.get("REPRO_SEED", overrides.pop("seed", 2023)))
+        bench_env = os.environ.get("REPRO_BENCHMARKS", "")
+        if bench_env.strip().lower() == "all":
+            benchmarks = tuple(benchmark_names())
+        elif bench_env.strip():
+            benchmarks = tuple(
+                b.strip() for b in bench_env.split(",") if b.strip()
+            )
+        else:
+            benchmarks = tuple(
+                overrides.pop("benchmarks", QUICK_BENCHMARKS)
+            )
+        return cls(
+            scale=scale,
+            campaigns=campaigns,
+            profile_campaigns=profile_campaigns,
+            seed=seed,
+            benchmarks=benchmarks,
+            **overrides,
+        )

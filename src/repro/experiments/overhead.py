@@ -1,0 +1,94 @@
+"""§7.2 — runtime overhead of Flowery on top of instruction duplication.
+
+The paper measures wall-clock on native x86 (1.93/1.63/3.72/3.74% extra
+at the four levels).  Wall-clock of a Python simulator measures the
+simulator, not the program, so the faithful proxy here is *dynamic
+assembly instruction count*: overhead = (flowery_dyn - id_dyn) / id_dyn
+per level.  A scalar dynamic-instruction proxy over-states what a
+superscalar x86 would see, so expect larger percentages with the same
+ordering (documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .config import ExperimentConfig
+from .render import pct, render_table
+from .runner import ExperimentContext
+
+__all__ = ["OverheadRow", "run_overhead", "render_overhead",
+           "PAPER_OVERHEADS"]
+
+PAPER_OVERHEADS = {30: 0.0193, 50: 0.0163, 70: 0.0372, 100: 0.0374}
+
+
+@dataclass
+class OverheadRow:
+    benchmark: str
+    level: int
+    baseline_dyn: int     # unprotected
+    id_dyn: int
+    flowery_dyn: int
+
+    @property
+    def id_overhead(self) -> float:
+        return (self.id_dyn - self.baseline_dyn) / self.baseline_dyn
+
+    @property
+    def flowery_extra(self) -> float:
+        """Flowery's additional overhead on top of ID (the paper's
+        §7.2 metric)."""
+        return (self.flowery_dyn - self.id_dyn) / self.id_dyn
+
+
+def run_overhead(
+    config: Optional[ExperimentConfig] = None,
+    context: Optional[ExperimentContext] = None,
+) -> List[OverheadRow]:
+    ctx = context or ExperimentContext(config)
+    rows: List[OverheadRow] = []
+    for name in ctx.config.benchmarks:
+        baseline = ctx.raw_build(name).run_asm().dyn_total
+        for level in ctx.config.levels:
+            id_run = ctx.protected_run(name, level, flowery=False)
+            fl_run = ctx.protected_run(name, level, flowery=True)
+            rows.append(
+                OverheadRow(
+                    benchmark=name,
+                    level=level,
+                    baseline_dyn=baseline,
+                    id_dyn=id_run.asm_campaign.golden_dyn_total,
+                    flowery_dyn=fl_run.asm_campaign.golden_dyn_total,
+                )
+            )
+    return rows
+
+
+def average_extra_by_level(rows: List[OverheadRow]) -> Dict[int, float]:
+    by_level: Dict[int, List[float]] = {}
+    for r in rows:
+        by_level.setdefault(r.level, []).append(r.flowery_extra)
+    return {lvl: sum(v) / len(v) for lvl, v in sorted(by_level.items())}
+
+
+def render_overhead(rows: List[OverheadRow]) -> str:
+    table = render_table(
+        ["Benchmark", "Level", "Base dyn", "ID dyn", "Flowery dyn",
+         "ID overhead", "Flowery extra"],
+        [
+            (r.benchmark, f"{r.level}%", r.baseline_dyn, r.id_dyn,
+             r.flowery_dyn, pct(r.id_overhead), pct(r.flowery_extra))
+            for r in rows
+        ],
+        title=("Section 7.2: Flowery runtime overhead "
+               "(dynamic-instruction proxy)"),
+    )
+    avgs = average_extra_by_level(rows)
+    tail = "\naverage Flowery extra overhead by level: " + ", ".join(
+        f"{lvl}%: {pct(v)} (paper {pct(PAPER_OVERHEADS[lvl])})"
+        for lvl, v in avgs.items()
+        if lvl in PAPER_OVERHEADS
+    )
+    return table + tail

@@ -1,0 +1,136 @@
+"""Shared experiment context: builds, profiles and campaigns with caching.
+
+Profiles and raw (unprotected) campaigns are benchmark-level facts
+reused across protection levels and techniques, so the context memoises
+them.  Compilation is deterministic (same source -> same instruction
+ids), which is what lets one profile drive plans for many separately
+compiled module instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..analysis.coverage import CoveragePoint
+from ..analysis.rootcause import PenetrationReport, classify_campaign
+from ..fi.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    run_asm_campaign,
+    run_ir_campaign,
+)
+from ..pipeline import BuiltProgram, build
+from ..protection.planner import SdcProfile, profile_module
+from .config import ExperimentConfig
+
+__all__ = ["ExperimentContext", "ProtectedRun"]
+
+
+@dataclass
+class ProtectedRun:
+    """Everything measured for one (benchmark, level, technique) cell."""
+
+    built: BuiltProgram
+    ir_campaign: CampaignResult
+    asm_campaign: CampaignResult
+    ir_point: CoveragePoint
+    asm_point: CoveragePoint
+    penetration: PenetrationReport
+
+
+class ExperimentContext:
+    def __init__(self, config: Optional[ExperimentConfig] = None):
+        self.config = config or ExperimentConfig.from_env()
+        self._profiles: Dict[str, SdcProfile] = {}
+        self._raw: Dict[str, Tuple[CampaignResult, CampaignResult]] = {}
+        self._raw_built: Dict[str, BuiltProgram] = {}
+        self._protected: Dict[Tuple[str, int, bool, bool], ProtectedRun] = {}
+
+    # -- benchmark-level cached facts ------------------------------------
+
+    def campaign_config(self) -> CampaignConfig:
+        return CampaignConfig(
+            n_campaigns=self.config.campaigns, seed=self.config.seed
+        )
+
+    def raw_build(self, name: str) -> BuiltProgram:
+        built = self._raw_built.get(name)
+        if built is None:
+            built = build(name, scale=self.config.scale)
+            self._raw_built[name] = built
+        return built
+
+    def profile(self, name: str) -> SdcProfile:
+        prof = self._profiles.get(name)
+        if prof is None:
+            built = self.raw_build(name)
+            prof = profile_module(
+                built.module,
+                n_campaigns=self.config.profile_campaigns,
+                seed=self.config.seed,
+                layout=built.layout,
+            )
+            self._profiles[name] = prof
+        return prof
+
+    def raw_campaigns(self, name: str) -> Tuple[CampaignResult, CampaignResult]:
+        """Unprotected SDC probabilities at both layers (cached)."""
+        cached = self._raw.get(name)
+        if cached is None:
+            built = self.raw_build(name)
+            cfg = self.campaign_config()
+            raw_ir = run_ir_campaign(built.module, cfg, built.layout)
+            raw_asm = run_asm_campaign(built.compiled, built.layout, cfg)
+            cached = (raw_ir, raw_asm)
+            self._raw[name] = cached
+        return cached
+
+    # -- protected measurement -----------------------------------------------
+
+    def protected_run(
+        self,
+        name: str,
+        level: int,
+        flowery: bool = False,
+        compare_cse: bool = True,
+    ) -> ProtectedRun:
+        key = (name, level, flowery, compare_cse)
+        cached = self._protected.get(key)
+        if cached is not None:
+            return cached
+        profile = self.profile(name) if level < 100 else None
+        built = build(
+            name,
+            scale=self.config.scale,
+            level=level,
+            flowery=flowery,
+            profile=profile,
+            compare_cse=compare_cse,
+        )
+        cfg = self.campaign_config()
+        prot_ir = run_ir_campaign(built.module, cfg, built.layout)
+        prot_asm = run_asm_campaign(built.compiled, built.layout, cfg)
+        raw_ir, raw_asm = self.raw_campaigns(name)
+        technique = "flowery" if flowery else "id"
+        ir_point = CoveragePoint.from_campaigns(
+            name, level, technique, raw_ir, prot_ir
+        )
+        asm_point = CoveragePoint.from_campaigns(
+            name, level, technique, raw_asm, prot_asm
+        )
+        assert built.protection is not None
+        penetration = classify_campaign(
+            name, level, prot_asm, built.module, built.asm,
+            built.protection.dup_info,
+        )
+        run = ProtectedRun(
+            built=built,
+            ir_campaign=prot_ir,
+            asm_campaign=prot_asm,
+            ir_point=ir_point,
+            asm_point=asm_point,
+            penetration=penetration,
+        )
+        self._protected[key] = run
+        return run

@@ -1,0 +1,18 @@
+"""Fault injection: outcome taxonomy and campaign orchestration."""
+
+from .campaign import (  # noqa: F401
+    CampaignConfig,
+    CampaignResult,
+    DEFAULT_CAMPAIGNS,
+    InjectionRecord,
+    run_asm_campaign,
+    run_ir_campaign,
+)
+from .outcomes import Outcome, classify_outcome  # noqa: F401
+from .parallel import WorkSpec, default_workers, run_parallel_campaign  # noqa: F401
+
+__all__ = [
+    "CampaignConfig", "CampaignResult", "InjectionRecord",
+    "run_ir_campaign", "run_asm_campaign", "Outcome", "classify_outcome",
+    "DEFAULT_CAMPAIGNS", "WorkSpec", "run_parallel_campaign", "default_workers",
+]

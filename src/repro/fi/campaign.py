@@ -1,0 +1,208 @@
+"""Fault-injection campaign orchestration (§4.3).
+
+A campaign against one binary/level/layer:
+
+1. golden run (also counts dynamic + injectable instructions);
+2. draw ``n`` (dynamic-instruction index, bit) pairs uniformly with
+   replacement — the paper's standard methodology;
+3. re-execute with the single flip, classify the outcome;
+4. aggregate counts and keep per-injection records for root-cause
+   analysis.
+
+Both layers share this module: :func:`run_ir_campaign` drives the IR
+interpreter (LLFI-style), :func:`run_asm_campaign` the machine
+(PINFI-style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import CampaignError
+from ..execresult import RunStatus
+from ..interp.interpreter import IRInterpreter
+from ..interp.layout import GlobalLayout
+from ..ir.module import Module
+from ..machine.machine import AsmMachine, CompiledProgram
+from .outcomes import Outcome, classify_outcome
+
+__all__ = [
+    "CampaignConfig",
+    "InjectionRecord",
+    "CampaignResult",
+    "run_ir_campaign",
+    "run_asm_campaign",
+]
+
+DEFAULT_CAMPAIGNS = 300
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Shared knobs for a fault-injection campaign."""
+
+    n_campaigns: int = DEFAULT_CAMPAIGNS
+    seed: int = 0
+    #: timeout = factor x golden dynamic count (hangs become DUEs)
+    max_steps_factor: int = 4
+    min_max_steps: int = 20_000
+
+
+@dataclass
+class InjectionRecord:
+    """One injection and its outcome."""
+
+    dyn_index: int
+    bit: int
+    outcome: Outcome
+    #: static IR iid the fault maps to (None for unmapped asm code)
+    iid: Optional[int]
+    #: asm-only fields
+    asm_index: Optional[int] = None
+    asm_role: Optional[str] = None
+    asm_opcode: Optional[str] = None
+    trap_kind: Optional[str] = None
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated campaign outcome."""
+
+    layer: str                      # 'ir' | 'asm'
+    n: int
+    counts: Dict[Outcome, int]
+    records: List[InjectionRecord]
+    golden_output: str
+    golden_dyn_total: int
+    golden_dyn_injectable: int
+
+    @property
+    def sdc_probability(self) -> float:
+        return self.counts.get(Outcome.SDC, 0) / self.n if self.n else 0.0
+
+    @property
+    def detected_probability(self) -> float:
+        return self.counts.get(Outcome.DETECTED, 0) / self.n if self.n else 0.0
+
+    @property
+    def due_probability(self) -> float:
+        return self.counts.get(Outcome.DUE, 0) / self.n if self.n else 0.0
+
+    def sdc_records(self) -> List[InjectionRecord]:
+        return [r for r in self.records if r.outcome is Outcome.SDC]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "sdc": self.sdc_probability,
+            "due": self.due_probability,
+            "detected": self.detected_probability,
+            "benign": self.counts.get(Outcome.BENIGN, 0) / self.n if self.n else 0.0,
+        }
+
+
+def _draw(
+    rng: np.random.Generator, n: int, injectable: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    if injectable <= 0:
+        raise CampaignError("program has no injectable dynamic instructions")
+    return (
+        rng.integers(0, injectable, size=n),
+        rng.integers(0, 64, size=n),
+    )
+
+
+def run_ir_campaign(
+    module: Module,
+    config: CampaignConfig = CampaignConfig(),
+    layout: Optional[GlobalLayout] = None,
+) -> CampaignResult:
+    """LLFI-style campaign at the IR layer."""
+    layout = layout or GlobalLayout(module)
+    golden = IRInterpreter(module, layout=layout).run()
+    if golden.status is not RunStatus.OK:
+        raise CampaignError(
+            f"golden IR run failed: {golden.status.value}/{golden.trap_kind}"
+        )
+    max_steps = max(
+        config.min_max_steps, golden.dyn_total * config.max_steps_factor
+    )
+    rng = np.random.default_rng(config.seed)
+    indices, bits = _draw(rng, config.n_campaigns, golden.dyn_injectable)
+
+    counts: Dict[Outcome, int] = {o: 0 for o in Outcome}
+    records: List[InjectionRecord] = []
+    for idx, bit in zip(indices.tolist(), bits.tolist()):
+        res = IRInterpreter(module, layout=layout, max_steps=max_steps).run(
+            inject_index=idx, inject_bit=bit
+        )
+        outcome = classify_outcome(res, golden.output)
+        counts[outcome] += 1
+        records.append(
+            InjectionRecord(
+                dyn_index=idx,
+                bit=bit,
+                outcome=outcome,
+                iid=res.injected_iid,
+                trap_kind=res.trap_kind,
+            )
+        )
+    return CampaignResult(
+        layer="ir",
+        n=config.n_campaigns,
+        counts=counts,
+        records=records,
+        golden_output=golden.output,
+        golden_dyn_total=golden.dyn_total,
+        golden_dyn_injectable=golden.dyn_injectable,
+    )
+
+
+def run_asm_campaign(
+    program: CompiledProgram,
+    layout: GlobalLayout,
+    config: CampaignConfig = CampaignConfig(),
+) -> CampaignResult:
+    """PINFI-style campaign at the assembly layer."""
+    golden = AsmMachine(program, layout).run()
+    if golden.status is not RunStatus.OK:
+        raise CampaignError(
+            f"golden asm run failed: {golden.status.value}/{golden.trap_kind}"
+        )
+    max_steps = max(
+        config.min_max_steps, golden.dyn_total * config.max_steps_factor
+    )
+    rng = np.random.default_rng(config.seed)
+    indices, bits = _draw(rng, config.n_campaigns, golden.dyn_injectable)
+
+    counts: Dict[Outcome, int] = {o: 0 for o in Outcome}
+    records: List[InjectionRecord] = []
+    for idx, bit in zip(indices.tolist(), bits.tolist()):
+        res = AsmMachine(program, layout, max_steps=max_steps).run(
+            inject_index=idx, inject_bit=bit
+        )
+        outcome = classify_outcome(res, golden.output)
+        counts[outcome] += 1
+        records.append(
+            InjectionRecord(
+                dyn_index=idx,
+                bit=bit,
+                outcome=outcome,
+                iid=res.injected_iid,
+                asm_index=res.extra.get("asm_index"),
+                asm_role=res.extra.get("asm_role"),
+                asm_opcode=res.extra.get("asm_opcode"),
+                trap_kind=res.trap_kind,
+            )
+        )
+    return CampaignResult(
+        layer="asm",
+        n=config.n_campaigns,
+        counts=counts,
+        records=records,
+        golden_output=golden.output,
+        golden_dyn_total=golden.dyn_total,
+        golden_dyn_injectable=golden.dyn_injectable,
+    )

@@ -1,0 +1,33 @@
+"""Outcome taxonomy of a fault-injection campaign (§2.1).
+
+* **Benign**   — run completed, output identical to golden
+* **SDC**      — run completed, output differs (silent data corruption)
+* **DUE**      — run trapped (segfault/div-by-zero/bad jump/timeout)
+* **Detected** — a duplication/Flowery checker fired
+
+The paper studies SDCs; DUEs are tracked but not optimised for (§2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..execresult import ExecResult, RunStatus
+
+__all__ = ["Outcome", "classify_outcome"]
+
+
+class Outcome(enum.Enum):
+    BENIGN = "benign"
+    SDC = "sdc"
+    DUE = "due"
+    DETECTED = "detected"
+
+
+def classify_outcome(result: ExecResult, golden_output: str) -> Outcome:
+    """Map an execution result to the paper's outcome taxonomy."""
+    if result.status is RunStatus.DETECTED:
+        return Outcome.DETECTED
+    if result.status is RunStatus.TRAP:
+        return Outcome.DUE
+    return Outcome.BENIGN if result.output == golden_output else Outcome.SDC

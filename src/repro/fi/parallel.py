@@ -1,0 +1,173 @@
+"""Multiprocess fault-injection campaigns.
+
+Campaigns are embarrassingly parallel: every injection is an
+independent re-execution.  On multi-core hosts this module fans a
+campaign out over worker processes; each worker rebuilds the pipeline
+from a compact :class:`WorkSpec` (source + protection parameters)
+because compiled program graphs are cheaper to rebuild than to pickle.
+
+On a single-core host (or with ``workers=1``) it falls back to the
+serial runners — results are bit-identical either way because the
+(index, bit) sample list is drawn once up front from the campaign seed
+and sliced across workers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import CampaignError
+from ..execresult import RunStatus
+from ..interp.interpreter import IRInterpreter
+from ..machine.machine import AsmMachine
+from .campaign import (
+    CampaignConfig,
+    CampaignResult,
+    InjectionRecord,
+    run_asm_campaign,
+    run_ir_campaign,
+)
+from .outcomes import Outcome, classify_outcome
+
+__all__ = ["WorkSpec", "run_parallel_campaign", "default_workers"]
+
+
+@dataclass(frozen=True)
+class WorkSpec:
+    """Everything a worker needs to rebuild the program under test."""
+
+    source: str
+    name: str = "program"
+    level: Optional[int] = None
+    flowery: bool = False
+    compare_cse: bool = True
+    #: explicit protected set (avoids re-profiling inside workers)
+    selected: Optional[frozenset] = None
+    layer: str = "asm"          # 'ir' | 'asm'
+
+
+def default_workers() -> int:
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(1, int(env))
+    return max(1, (os.cpu_count() or 1))
+
+
+def _build_from_spec(spec: WorkSpec):
+    from ..pipeline import build_from_source
+
+    return build_from_source(
+        spec.source,
+        name=spec.name,
+        level=spec.level,
+        flowery=spec.flowery,
+        compare_cse=spec.compare_cse,
+        selected=set(spec.selected) if spec.selected is not None else None,
+    )
+
+
+def _worker(args: Tuple[WorkSpec, List[Tuple[int, int]], int]) -> List[Tuple]:
+    spec, samples, max_steps = args
+    built = _build_from_spec(spec)
+    rows: List[Tuple] = []
+    for idx, bit in samples:
+        if spec.layer == "ir":
+            res = IRInterpreter(
+                built.module, layout=built.layout, max_steps=max_steps
+            ).run(inject_index=idx, inject_bit=bit)
+            rows.append((idx, bit, res.status.value,
+                         res.output, res.injected_iid, None, None, None,
+                         res.trap_kind))
+        else:
+            res = AsmMachine(
+                built.compiled, built.layout, max_steps=max_steps
+            ).run(inject_index=idx, inject_bit=bit)
+            rows.append((idx, bit, res.status.value,
+                         res.output, res.injected_iid,
+                         res.extra.get("asm_index"),
+                         res.extra.get("asm_role"),
+                         res.extra.get("asm_opcode"),
+                         res.trap_kind))
+    return rows
+
+
+def run_parallel_campaign(
+    spec: WorkSpec,
+    config: CampaignConfig = CampaignConfig(),
+    workers: Optional[int] = None,
+) -> CampaignResult:
+    """Run a campaign for ``spec``, fanned out over processes.
+
+    Deterministic for a given (spec, config) regardless of worker count.
+    """
+    workers = workers or default_workers()
+    built = _build_from_spec(spec)
+    if spec.layer == "ir":
+        golden = built.run_ir()
+    else:
+        golden = built.run_asm()
+    if golden.status is not RunStatus.OK:
+        raise CampaignError(f"golden run failed: {golden.trap_kind}")
+    max_steps = max(
+        config.min_max_steps, golden.dyn_total * config.max_steps_factor
+    )
+
+    if workers <= 1:
+        if spec.layer == "ir":
+            return run_ir_campaign(built.module, config, built.layout)
+        return run_asm_campaign(built.compiled, built.layout, config)
+
+    rng = np.random.default_rng(config.seed)
+    indices = rng.integers(0, golden.dyn_injectable,
+                           size=config.n_campaigns).tolist()
+    bits = rng.integers(0, 64, size=config.n_campaigns).tolist()
+    samples = list(zip(indices, bits))
+    chunks = [samples[i::workers] for i in range(workers)]
+    jobs = [(spec, chunk, max_steps) for chunk in chunks if chunk]
+
+    ctx = get_context("spawn")
+    with ctx.Pool(processes=len(jobs)) as pool:
+        chunk_rows = pool.map(_worker, jobs)
+
+    # stitch back in the original sample order for determinism
+    by_sample: Dict[Tuple[int, int, int], Tuple] = {}
+    for wi, rows in enumerate(chunk_rows):
+        for pos, row in enumerate(rows):
+            original_index = wi + pos * workers
+            by_sample[original_index] = row
+
+    counts: Dict[Outcome, int] = {o: 0 for o in Outcome}
+    records: List[InjectionRecord] = []
+    for i in range(config.n_campaigns):
+        (idx, bit, status, output, iid, asm_index, asm_role, asm_opcode,
+         trap_kind) = by_sample[i]
+        if status == "detected":
+            outcome = Outcome.DETECTED
+        elif status == "trap":
+            outcome = Outcome.DUE
+        elif output == golden.output:
+            outcome = Outcome.BENIGN
+        else:
+            outcome = Outcome.SDC
+        counts[outcome] += 1
+        records.append(
+            InjectionRecord(
+                dyn_index=idx, bit=bit, outcome=outcome, iid=iid,
+                asm_index=asm_index, asm_role=asm_role,
+                asm_opcode=asm_opcode, trap_kind=trap_kind,
+            )
+        )
+    return CampaignResult(
+        layer=spec.layer,
+        n=config.n_campaigns,
+        counts=counts,
+        records=records,
+        golden_output=golden.output,
+        golden_dyn_total=golden.dyn_total,
+        golden_dyn_injectable=golden.dyn_injectable,
+    )

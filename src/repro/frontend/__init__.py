@@ -1,0 +1,7 @@
+"""MiniC frontend: lexer, parser, semantic analysis, IR code generation."""
+
+from .codegen import compile_ast, compile_source  # noqa: F401
+from .parser import parse_program  # noqa: F401
+from .sema import analyze  # noqa: F401
+
+__all__ = ["compile_source", "compile_ast", "parse_program", "analyze"]

@@ -1,0 +1,209 @@
+"""MiniC abstract syntax tree.
+
+Nodes carry source positions for diagnostics and, after semantic
+analysis (:mod:`repro.frontend.sema`), a resolved ``ty`` annotation on
+every expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+__all__ = [
+    "Node",
+    "Program",
+    "GlobalDecl",
+    "FunctionDecl",
+    "Param",
+    "Block",
+    "VarDecl",
+    "Assign",
+    "If",
+    "While",
+    "For",
+    "Return",
+    "Break",
+    "Continue",
+    "ExprStmt",
+    "IntLit",
+    "FloatLit",
+    "VarRef",
+    "Index",
+    "Unary",
+    "Binary",
+    "CallExpr",
+    "CastExpr",
+    "PrintStmt",
+]
+
+
+@dataclass
+class Node:
+    line: int = 0
+    col: int = 0
+
+
+# -- expressions ---------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    #: resolved MiniC type, set by sema: 'int' | 'float' | ('array', base) | ('ptr', base)
+    ty: object = None
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""          # '-' | '!' | '~'
+    operand: Expr = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class CastExpr(Expr):
+    target: str = ""      # 'int' | 'float'
+    operand: Expr = None
+
+
+# -- statements -----------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    base_type: str = ""            # 'int' | 'float'
+    array_size: Optional[int] = None
+    init: Optional[Expr] = None
+    array_init: Optional[List[Expr]] = None
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr = None            # VarRef or Index
+    op: str = "="                  # '=', '+=', '-=', '*=', '/=', '%=', '<<=', '>>='
+    value: Expr = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then_body: Block = None
+    else_body: Optional[Block] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: Block = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None    # VarDecl or Assign
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None    # Assign
+    body: Block = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class PrintStmt(Stmt):
+    kind: str = "print"            # 'print' | 'printc' | 'prints'
+    arg: Union[Expr, str, None] = None
+
+
+# -- declarations ------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    base_type: str = ""            # 'int' | 'float'
+    is_array: bool = False
+
+
+@dataclass
+class FunctionDecl(Node):
+    name: str = ""
+    return_type: str = "void"      # 'int' | 'float' | 'void'
+    params: List[Param] = field(default_factory=list)
+    body: Block = None
+
+
+@dataclass
+class GlobalDecl(Node):
+    name: str = ""
+    base_type: str = ""
+    array_size: Optional[int] = None
+    init_scalar: Optional[Union[int, float]] = None
+    init_list: Optional[List[Union[int, float]]] = None
+    is_const: bool = False
+
+
+@dataclass
+class Program(Node):
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FunctionDecl] = field(default_factory=list)

@@ -1,0 +1,549 @@
+"""MiniC -> IR code generation, following the Clang ``-O0`` discipline.
+
+The properties the paper's cross-layer analysis relies on are preserved
+deliberately:
+
+* every variable lives in an ``alloca``; every use loads it, every
+  assignment stores it (no mem2reg);
+* expression temporaries are fresh IR values consumed exactly once;
+* short-circuit ``&&``/``||`` compile to control flow through an ``i1``
+  stack slot;
+* comparisons produce ``i1`` values that feed ``condbr`` directly when
+  used as conditions (the icmp/br adjacency that branch lowering later
+  depends on).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import SemanticError
+from ..ir import types as T
+from ..ir.builder import IRBuilder
+from ..ir.instructions import Instruction
+from ..ir.module import BasicBlock, Function, Module
+from ..ir.types import function_type
+from ..ir.values import GlobalVariable, Value, const_float, const_int
+from . import ast_nodes as A
+from .parser import parse_program
+from .sema import BUILTIN_MATH, FunctionSig, analyze
+
+__all__ = ["compile_source", "compile_ast", "CodeGenerator"]
+
+
+def _ir_scalar(base: str) -> T.Type:
+    return T.F64 if base == "float" else T.I64
+
+
+class _LoopContext:
+    def __init__(self, cond_block: BasicBlock, exit_block: BasicBlock):
+        self.continue_target = cond_block
+        self.break_target = exit_block
+
+
+class CodeGenerator:
+    """Translates an analyzed MiniC AST into an IR module."""
+
+    def __init__(self, program: A.Program, name: str = "minic"):
+        self.program = program
+        self.signatures: Dict[str, FunctionSig] = analyze(program)
+        self.module = Module(name)
+        self.ir_functions: Dict[str, Function] = {}
+        # per-function state
+        self.builder: Optional[IRBuilder] = None
+        self.entry_block: Optional[BasicBlock] = None
+        self.current_sig: Optional[FunctionSig] = None
+        self.scopes: List[Dict[str, Tuple[Value, object]]] = []
+        self.loops: List[_LoopContext] = []
+
+    # -- module level -----------------------------------------------------
+
+    def generate(self) -> Module:
+        for g in self.program.globals:
+            self._global(g)
+        # declare all functions first so calls resolve in any order
+        for fn in self.program.functions:
+            sig = self.signatures[fn.name]
+            ret = (
+                T.VOID if sig.return_type == "void" else _ir_scalar(sig.return_type)
+            )
+            params = [
+                T.ptr(_ir_scalar(base)) if is_array else _ir_scalar(base)
+                for base, is_array in sig.params
+            ]
+            self.ir_functions[fn.name] = self.module.add_function(
+                fn.name, function_type(ret, params)
+            )
+        for fn in self.program.functions:
+            self._function(fn)
+        return self.module
+
+    def _global(self, g: A.GlobalDecl) -> None:
+        scalar = _ir_scalar(g.base_type)
+        if g.array_size is not None:
+            vt: T.Type = T.array(scalar, g.array_size)
+            init = g.init_list
+        else:
+            vt = scalar
+            init = g.init_scalar
+        self.module.global_var(g.name, vt, init, is_const=g.is_const)
+
+    # -- function level -----------------------------------------------------
+
+    def _function(self, fn: A.FunctionDecl) -> None:
+        ir_fn = self.ir_functions[fn.name]
+        self.current_sig = self.signatures[fn.name]
+        self.builder = IRBuilder(ir_fn)
+        self.entry_block = ir_fn.new_block("entry")
+        body = ir_fn.new_block("body")
+        self.builder.set_block(body)
+        self.scopes = [{}]
+        self.loops = []
+
+        # parameters spill to allocas immediately (the -O0 discipline)
+        for p, arg in zip(fn.params, ir_fn.args):
+            arg.name = p.name
+            slot = self._entry_alloca(arg.type, p.name)
+            self.builder.store(arg, slot)
+            ty = ("arr", p.base_type) if p.is_array else p.base_type
+            self.scopes[-1][p.name] = (slot, ty)
+
+        self._gen_block(fn.body, new_scope=False)
+
+        # implicit return if control can fall off the end
+        if not self.builder.is_terminated:
+            self._default_return(fn)
+        # terminate any stray unterminated dead blocks
+        for block in ir_fn.blocks:
+            if block is self.entry_block:
+                continue
+            if block.terminator is None:
+                saved = self.builder.block
+                self.builder.set_block(block)
+                self._default_return(fn)
+                self.builder.set_block(saved)
+        # entry holds only allocas; finish it with a jump into the body
+        self.entry_block.append(self._mk_br(body))
+
+    def _default_return(self, fn: A.FunctionDecl) -> None:
+        if fn.return_type == "void":
+            self.builder.ret()
+        elif fn.return_type == "float":
+            self.builder.ret(const_float(0.0))
+        else:
+            self.builder.ret(const_int(0, T.I64))
+
+    def _mk_br(self, target: BasicBlock):
+        from ..ir.instructions import Br
+
+        br = Br(target)
+        self.module.assign_iid(br)
+        return br
+
+    def _entry_alloca(self, ty: T.Type, name: str) -> Value:
+        from ..ir.instructions import Alloca
+
+        inst = Alloca(ty, name)
+        self.module.assign_iid(inst)
+        self.entry_block.instructions.append(inst)
+        inst.parent = self.entry_block
+        return inst
+
+    # -- scopes -----------------------------------------------------------------
+
+    def _declare(self, name: str, slot: Value, ty: object) -> None:
+        self.scopes[-1][name] = (slot, ty)
+
+    def _lookup(self, name: str) -> Optional[Tuple[Value, object]]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        gv = self.module.globals.get(name)
+        if gv is not None:
+            ty = (
+                ("arr", "float" if gv.value_type.flattened_element.is_float else "int")
+                if gv.value_type.is_array
+                else ("float" if gv.value_type.is_float else "int")
+            )
+            return gv, ty
+        return None
+
+    # -- statements ----------------------------------------------------------------
+
+    def _gen_block(self, block: A.Block, new_scope: bool = True) -> None:
+        if new_scope:
+            self.scopes.append({})
+        for stmt in block.statements:
+            self._gen_stmt(stmt)
+        if new_scope:
+            self.scopes.pop()
+
+    def _gen_stmt(self, stmt: A.Stmt) -> None:
+        b = self.builder
+        if isinstance(stmt, A.Block):
+            self._gen_block(stmt)
+        elif isinstance(stmt, A.VarDecl):
+            self._gen_vardecl(stmt)
+        elif isinstance(stmt, A.Assign):
+            self._gen_assign(stmt)
+        elif isinstance(stmt, A.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, A.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, A.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, A.Return):
+            self._gen_return(stmt)
+        elif isinstance(stmt, A.Break):
+            b.br(self.loops[-1].break_target)
+            b.set_block(b.new_block("after.break"))
+        elif isinstance(stmt, A.Continue):
+            b.br(self.loops[-1].continue_target)
+            b.set_block(b.new_block("after.continue"))
+        elif isinstance(stmt, A.ExprStmt):
+            self._gen_expr(stmt.expr)
+        elif isinstance(stmt, A.PrintStmt):
+            self._gen_print(stmt)
+        else:  # pragma: no cover
+            raise SemanticError(f"cannot generate {type(stmt).__name__}")
+
+    def _gen_vardecl(self, decl: A.VarDecl) -> None:
+        b = self.builder
+        scalar = _ir_scalar(decl.base_type)
+        if decl.array_size is not None:
+            slot = self._entry_alloca(T.array(scalar, decl.array_size), decl.name)
+            self._declare(decl.name, slot, ("arr", decl.base_type))
+            if decl.array_init is not None:
+                for i, e in enumerate(decl.array_init):
+                    val = self._gen_expr_as(e, decl.base_type)
+                    addr = b.gep(slot, const_int(i, T.I64))
+                    b.store(val, addr)
+        else:
+            slot = self._entry_alloca(scalar, decl.name)
+            self._declare(decl.name, slot, decl.base_type)
+            if decl.init is not None:
+                val = self._gen_expr_as(decl.init, decl.base_type)
+                b.store(val, slot)
+
+    def _gen_assign(self, stmt: A.Assign) -> None:
+        b = self.builder
+        addr, elem_ty = self._gen_lvalue(stmt.target)
+        if stmt.op == "=":
+            value = self._gen_expr_as(stmt.value, elem_ty)
+            b.store(value, addr)
+            return
+        # compound assignment: load, combine, store
+        current = b.load(addr)
+        op = stmt.op[:-1]  # '+=' -> '+'
+        if elem_ty == "float":
+            rhs = self._gen_expr_as(stmt.value, "float")
+            combined = b.binop(_FLOAT_OPS[op], current, rhs)
+        else:
+            rhs = self._gen_expr_as(stmt.value, "int")
+            combined = b.binop(_INT_OPS[op], current, rhs)
+        b.store(combined, addr)
+
+    def _gen_if(self, stmt: A.If) -> None:
+        b = self.builder
+        cond = self._gen_cond(stmt.cond)
+        then_block = b.new_block("if.then")
+        end_block = b.new_block("if.end")
+        else_block = b.new_block("if.else") if stmt.else_body else end_block
+        b.condbr(cond, then_block, else_block)
+        b.set_block(then_block)
+        self._gen_block(stmt.then_body)
+        if not b.is_terminated:
+            b.br(end_block)
+        if stmt.else_body is not None:
+            b.set_block(else_block)
+            self._gen_block(stmt.else_body)
+            if not b.is_terminated:
+                b.br(end_block)
+        b.set_block(end_block)
+
+    def _gen_while(self, stmt: A.While) -> None:
+        b = self.builder
+        cond_block = b.new_block("while.cond")
+        body_block = b.new_block("while.body")
+        exit_block = b.new_block("while.end")
+        b.br(cond_block)
+        b.set_block(cond_block)
+        cond = self._gen_cond(stmt.cond)
+        b.condbr(cond, body_block, exit_block)
+        b.set_block(body_block)
+        self.loops.append(_LoopContext(cond_block, exit_block))
+        self._gen_block(stmt.body)
+        self.loops.pop()
+        if not b.is_terminated:
+            b.br(cond_block)
+        b.set_block(exit_block)
+
+    def _gen_for(self, stmt: A.For) -> None:
+        b = self.builder
+        self.scopes.append({})  # for-init scope
+        if stmt.init is not None:
+            self._gen_stmt(stmt.init)
+        cond_block = b.new_block("for.cond")
+        body_block = b.new_block("for.body")
+        step_block = b.new_block("for.step")
+        exit_block = b.new_block("for.end")
+        b.br(cond_block)
+        b.set_block(cond_block)
+        if stmt.cond is not None:
+            cond = self._gen_cond(stmt.cond)
+            b.condbr(cond, body_block, exit_block)
+        else:
+            b.br(body_block)
+        b.set_block(body_block)
+        self.loops.append(_LoopContext(step_block, exit_block))
+        self._gen_block(stmt.body)
+        self.loops.pop()
+        if not b.is_terminated:
+            b.br(step_block)
+        b.set_block(step_block)
+        if stmt.step is not None:
+            self._gen_stmt(stmt.step)
+        b.br(cond_block)
+        b.set_block(exit_block)
+        self.scopes.pop()
+
+    def _gen_return(self, stmt: A.Return) -> None:
+        b = self.builder
+        sig = self.current_sig
+        assert sig is not None
+        if stmt.value is None:
+            b.ret()
+        else:
+            b.ret(self._gen_expr_as(stmt.value, sig.return_type))
+        b.set_block(b.new_block("after.return"))
+
+    def _gen_print(self, stmt: A.PrintStmt) -> None:
+        b = self.builder
+        if stmt.kind == "prints":
+            for ch in stmt.arg:  # type: ignore[union-attr]
+                b.call("print_char", [const_int(ord(ch), T.I64)], ret_type=T.VOID)
+            return
+        val, ty = self._gen_expr(stmt.arg)  # type: ignore[arg-type]
+        if stmt.kind == "printc":
+            val = self._convert(val, ty, "int")
+            b.call("print_char", [val], ret_type=T.VOID)
+        elif ty == "float":
+            b.call("print_f64", [val], ret_type=T.VOID)
+        else:
+            b.call("print_i64", [val], ret_type=T.VOID)
+
+    # -- lvalues --------------------------------------------------------------------
+
+    def _gen_lvalue(self, expr: A.Expr) -> Tuple[Value, str]:
+        """Address of an assignable location + its element MiniC type."""
+        b = self.builder
+        if isinstance(expr, A.VarRef):
+            found = self._lookup(expr.name)
+            assert found is not None
+            slot, ty = found
+            if isinstance(ty, tuple):
+                raise SemanticError(
+                    f"cannot assign to array {expr.name!r}", expr.line, expr.col
+                )
+            return slot, ty
+        if isinstance(expr, A.Index):
+            base_ptr, elem_ty = self._array_pointer(expr.base)
+            idx = self._gen_expr_as(expr.index, "int")
+            return b.gep(base_ptr, idx), elem_ty
+        raise SemanticError("invalid assignment target", expr.line, expr.col)
+
+    def _array_pointer(self, expr: A.Expr) -> Tuple[Value, str]:
+        """Pointer value suitable for GEP + element MiniC type."""
+        if not isinstance(expr, A.VarRef):
+            raise SemanticError(
+                "only named arrays can be indexed", expr.line, expr.col
+            )
+        found = self._lookup(expr.name)
+        assert found is not None
+        slot, ty = found
+        assert isinstance(ty, tuple), "sema guarantees array type here"
+        elem = ty[1]
+        if isinstance(slot, GlobalVariable):
+            return slot, elem            # ptr-to-array; Gep handles decay
+        if isinstance(slot, Instruction) and slot.opcode == "alloca":
+            if slot.type.pointee.is_array:
+                return slot, elem        # local array alloca
+            return self.builder.load(slot), elem  # array parameter slot
+        return slot, elem  # pragma: no cover
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _gen_expr_as(self, expr: A.Expr, want: str) -> Value:
+        val, ty = self._gen_expr(expr)
+        return self._convert(val, ty, want)
+
+    def _convert(self, val: Value, from_ty: object, to_ty: object) -> Value:
+        if from_ty == to_ty:
+            return val
+        b = self.builder
+        if from_ty == "int" and to_ty == "float":
+            return b.sitofp(val)
+        if from_ty == "float" and to_ty == "int":
+            return b.fptosi(val, T.I64)
+        raise SemanticError(f"cannot convert {from_ty} to {to_ty}")
+
+    def _gen_expr(self, expr: A.Expr) -> Tuple[Value, str]:
+        b = self.builder
+        if isinstance(expr, A.IntLit):
+            return const_int(expr.value, T.I64), "int"
+        if isinstance(expr, A.FloatLit):
+            return const_float(expr.value), "float"
+        if isinstance(expr, A.VarRef):
+            found = self._lookup(expr.name)
+            assert found is not None, f"sema missed {expr.name!r}"
+            slot, ty = found
+            if isinstance(ty, tuple):
+                raise SemanticError(
+                    f"array {expr.name!r} used as a value",
+                    expr.line, expr.col,
+                )
+            return b.load(slot), ty
+        if isinstance(expr, A.Index):
+            base_ptr, elem_ty = self._array_pointer(expr.base)
+            idx = self._gen_expr_as(expr.index, "int")
+            return b.load(b.gep(base_ptr, idx)), elem_ty
+        if isinstance(expr, A.Unary):
+            return self._gen_unary(expr)
+        if isinstance(expr, A.Binary):
+            return self._gen_binary(expr)
+        if isinstance(expr, A.CastExpr):
+            val, ty = self._gen_expr(expr.operand)
+            return self._convert(val, ty, expr.target), expr.target
+        if isinstance(expr, A.CallExpr):
+            return self._gen_call(expr)
+        raise SemanticError(f"cannot generate {type(expr).__name__}")
+
+    def _gen_unary(self, expr: A.Unary) -> Tuple[Value, str]:
+        b = self.builder
+        if expr.op == "!":
+            cond = self._gen_cond(expr.operand)
+            flipped = b.xor(cond, const_int(1, T.I1))
+            return b.zext(flipped, T.I64), "int"
+        val, ty = self._gen_expr(expr.operand)
+        if expr.op == "-":
+            if ty == "float":
+                return b.fsub(const_float(0.0), val), "float"
+            return b.sub(const_int(0, T.I64), val), "int"
+        if expr.op == "~":
+            return b.xor(val, const_int(-1, T.I64)), "int"
+        raise SemanticError(f"unknown unary {expr.op!r}")  # pragma: no cover
+
+    def _gen_binary(self, expr: A.Binary) -> Tuple[Value, str]:
+        b = self.builder
+        op = expr.op
+        if op in ("&&", "||"):
+            cond = self._gen_shortcircuit(expr)
+            return b.zext(cond, T.I64), "int"
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            cond = self._gen_comparison(expr)
+            return b.zext(cond, T.I64), "int"
+        lt = expr.left.ty
+        rt = expr.right.ty
+        if op in ("%", "<<", ">>", "&", "|", "^") or ("float" not in (lt, rt)):
+            left = self._gen_expr_as(expr.left, "int")
+            right = self._gen_expr_as(expr.right, "int")
+            return b.binop(_INT_OPS[op], left, right), "int"
+        left = self._gen_expr_as(expr.left, "float")
+        right = self._gen_expr_as(expr.right, "float")
+        return b.binop(_FLOAT_OPS[op], left, right), "float"
+
+    def _gen_comparison(self, expr: A.Binary) -> Value:
+        b = self.builder
+        lt, rt = expr.left.ty, expr.right.ty
+        if "float" in (lt, rt):
+            left = self._gen_expr_as(expr.left, "float")
+            right = self._gen_expr_as(expr.right, "float")
+            return b.fcmp(_FCMP[expr.op], left, right)
+        left = self._gen_expr_as(expr.left, "int")
+        right = self._gen_expr_as(expr.right, "int")
+        return b.icmp(_ICMP[expr.op], left, right)
+
+    def _gen_shortcircuit(self, expr: A.Binary) -> Value:
+        """C-style short-circuit through an i1 stack slot (Clang -O0)."""
+        b = self.builder
+        slot = self._entry_alloca(T.I1, "sc.tmp")
+        left = self._gen_cond(expr.left)
+        rhs_block = b.new_block("sc.rhs")
+        end_block = b.new_block("sc.end")
+        b.store(left, slot)
+        if expr.op == "&&":
+            b.condbr(left, rhs_block, end_block)
+        else:
+            b.condbr(left, end_block, rhs_block)
+        b.set_block(rhs_block)
+        right = self._gen_cond(expr.right)
+        b.store(right, slot)
+        b.br(end_block)
+        b.set_block(end_block)
+        return b.load(slot)
+
+    def _gen_cond(self, expr: A.Expr) -> Value:
+        """Evaluate an expression as an ``i1`` condition."""
+        b = self.builder
+        if isinstance(expr, A.Binary) and expr.op in _ICMP:
+            return self._gen_comparison(expr)
+        if isinstance(expr, A.Binary) and expr.op in ("&&", "||"):
+            return self._gen_shortcircuit(expr)
+        if isinstance(expr, A.Unary) and expr.op == "!":
+            inner = self._gen_cond(expr.operand)
+            return b.xor(inner, const_int(1, T.I1))
+        val, ty = self._gen_expr(expr)
+        if ty == "float":
+            return b.fcmp("one", val, const_float(0.0))
+        return b.icmp("ne", val, const_int(0, T.I64))
+
+    def _gen_call(self, expr: A.CallExpr) -> Tuple[Value, str]:
+        b = self.builder
+        if expr.name in BUILTIN_MATH:
+            intrinsic, _ = BUILTIN_MATH[expr.name]
+            args = [self._gen_expr_as(a, "float") for a in expr.args]
+            return b.call(intrinsic, args, ret_type=T.F64), "float"
+        sig = self.signatures[expr.name]
+        callee = self.ir_functions[expr.name]
+        args: List[Value] = []
+        for a, (base, is_array) in zip(expr.args, sig.params):
+            if is_array:
+                args.append(self._array_argument(a, base))
+            else:
+                args.append(self._gen_expr_as(a, base))
+        result = b.call(callee, args)
+        if sig.return_type == "void":
+            return result, "void"
+        return result, sig.return_type
+
+    def _array_argument(self, expr: A.Expr, base: str) -> Value:
+        """Array-to-pointer decay for a call argument."""
+        b = self.builder
+        ptr, _elem = self._array_pointer(expr)
+        want = T.ptr(_ir_scalar(base))
+        if ptr.type is want:
+            return ptr
+        return b.cast("bitcast", ptr, want)
+
+
+_INT_OPS = {
+    "+": "add", "-": "sub", "*": "mul", "/": "sdiv", "%": "srem",
+    "<<": "shl", ">>": "ashr", "&": "and", "|": "or", "^": "xor",
+}
+_FLOAT_OPS = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+_ICMP = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle", ">": "sgt", ">=": "sge"}
+_FCMP = {"==": "oeq", "!=": "one", "<": "olt", "<=": "ole", ">": "ogt", ">=": "oge"}
+
+
+def compile_ast(program: A.Program, name: str = "minic") -> Module:
+    """Generate IR from a parsed (not yet analyzed) AST."""
+    return CodeGenerator(program, name).generate()
+
+
+def compile_source(source: str, name: str = "minic") -> Module:
+    """Compile MiniC source text into a verified IR module."""
+    from ..ir.verifier import verify_module
+
+    module = compile_ast(parse_program(source), name)
+    verify_module(module)
+    return module

@@ -1,0 +1,210 @@
+"""MiniC lexer.
+
+MiniC is the C-like source language the benchmark suite is written in.
+The token set covers the C subset Clang ``-O0`` compiles to the IR
+vocabulary of :mod:`repro.ir`: ints, floats, 1-D arrays, functions,
+control flow, and the print/math builtins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..errors import ParseError
+
+__all__ = ["Token", "Lexer", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    [
+        "int",
+        "float",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+        "global",
+        "const",
+    ]
+)
+
+# multi-char operators, longest first so maximal munch works
+_OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # 'int_lit' | 'float_lit' | 'ident' | 'keyword' | 'op' | 'string' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+class Lexer:
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def _error(self, msg: str) -> ParseError:
+        return ParseError(msg, self.line, self.col)
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.source[i] if i < len(self.source) else ""
+
+    def tokens(self) -> Iterator[Token]:
+        src = self.source
+        while self.pos < len(src):
+            ch = src[self.pos]
+            # whitespace
+            if ch in " \t\r\n":
+                self._advance()
+                continue
+            # comments
+            if ch == "/" and self._peek(1) == "/":
+                while self.pos < len(src) and src[self.pos] != "\n":
+                    self._advance()
+                continue
+            if ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(src) and not (
+                    src[self.pos] == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(src):
+                    raise self._error("unterminated block comment")
+                self._advance(2)
+                continue
+
+            line, col = self.line, self.col
+
+            # numbers
+            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                yield self._number(line, col)
+                continue
+            # identifiers / keywords
+            if ch.isalpha() or ch == "_":
+                start = self.pos
+                while self.pos < len(src) and (
+                    src[self.pos].isalnum() or src[self.pos] == "_"
+                ):
+                    self._advance()
+                text = src[start : self.pos]
+                kind = "keyword" if text in KEYWORDS else "ident"
+                yield Token(kind, text, line, col)
+                continue
+            # string literal (prints builtin only)
+            if ch == '"':
+                yield self._string(line, col)
+                continue
+            # char literal -> int token
+            if ch == "'":
+                yield self._char(line, col)
+                continue
+            # operators
+            for op in _OPERATORS:
+                if src.startswith(op, self.pos):
+                    self._advance(len(op))
+                    yield Token("op", op, line, col)
+                    break
+            else:
+                raise self._error(f"unexpected character {ch!r}")
+        yield Token("eof", "", self.line, self.col)
+
+    def _number(self, line: int, col: int) -> Token:
+        src = self.source
+        start = self.pos
+        if src.startswith("0x", self.pos) or src.startswith("0X", self.pos):
+            self._advance(2)
+            while self.pos < len(src) and src[self.pos] in "0123456789abcdefABCDEF":
+                self._advance()
+            return Token("int_lit", src[start : self.pos], line, col)
+        is_float = False
+        while self.pos < len(src) and src[self.pos].isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self.pos < len(src) and src[self.pos].isdigit():
+                self._advance()
+        elif self._peek() == ".":
+            is_float = True
+            self._advance()
+        if self._peek() in "eE":
+            nxt = self._peek(1)
+            if nxt.isdigit() or (nxt in "+-" and self._peek(2).isdigit()):
+                is_float = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+                while self.pos < len(src) and src[self.pos].isdigit():
+                    self._advance()
+        kind = "float_lit" if is_float else "int_lit"
+        return Token(kind, src[start : self.pos], line, col)
+
+    def _string(self, line: int, col: int) -> Token:
+        src = self.source
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while self.pos < len(src) and src[self.pos] != '"':
+            ch = src[self.pos]
+            if ch == "\\":
+                self._advance()
+                esc = self._peek()
+                mapping = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", '"': '"'}
+                if esc not in mapping:
+                    raise self._error(f"bad escape \\{esc}")
+                chars.append(mapping[esc])
+                self._advance()
+            else:
+                chars.append(ch)
+                self._advance()
+        if self.pos >= len(src):
+            raise self._error("unterminated string literal")
+        self._advance()  # closing quote
+        return Token("string", "".join(chars), line, col)
+
+    def _char(self, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        ch = self._peek()
+        if ch == "\\":
+            self._advance()
+            esc = self._peek()
+            mapping = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", "'": "'"}
+            if esc not in mapping:
+                raise self._error(f"bad escape \\{esc}")
+            ch = mapping[esc]
+        self._advance()
+        if self._peek() != "'":
+            raise self._error("unterminated char literal")
+        self._advance()
+        return Token("int_lit", str(ord(ch)), line, col)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize MiniC source into a token list ending with an EOF token."""
+    return list(Lexer(source).tokens())

@@ -1,0 +1,467 @@
+"""MiniC recursive-descent parser.
+
+Grammar (C subset; `int` is 64-bit, `float` is binary64):
+
+::
+
+    program   := (global | function)*
+    global    := ['const'] type IDENT ['[' INT ']'] ['=' ginit] ';'
+    ginit     := literal | '{' literal (',' literal)* '}'
+    function  := rettype IDENT '(' [param (',' param)*] ')' block
+    param     := type IDENT ['[' ']']
+    block     := '{' stmt* '}'
+    stmt      := vardecl | assign ';' | if | while | for | 'return' [expr] ';'
+               | 'break' ';' | 'continue' ';' | print ';' | block | expr ';'
+    vardecl   := type IDENT ['[' INT ']'] ['=' expr | '=' '{' expr,* '}'] ';'
+    assign    := target ('='|'+='|'-='|'*='|'/='|'%='|'<<='|'>>=') expr
+               | target '++' | target '--'
+    target    := IDENT ['[' expr ']']
+    print     := 'print' '(' expr ')' | 'printc' '(' expr ')'
+               | 'prints' '(' STRING ')'
+
+Expressions use standard C precedence; ``&&``/``||`` short-circuit.
+``int(e)`` and ``float(e)`` are cast expressions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ParseError
+from . import ast_nodes as A
+from .lexer import Token, tokenize
+
+__all__ = ["Parser", "parse_program"]
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>="}
+
+# binary operator precedence (higher binds tighter)
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_PRINT_STMTS = {"print": "print", "printc": "printc", "prints": "prints"}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> Token:
+        tok = self.cur
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.cur
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self._check(kind, text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, found {self.cur.text!r}",
+                self.cur.line,
+                self.cur.col,
+            )
+        return self._advance()
+
+    def _error(self, msg: str) -> ParseError:
+        return ParseError(msg, self.cur.line, self.cur.col)
+
+    # -- top level ------------------------------------------------------------
+
+    def parse(self) -> A.Program:
+        prog = A.Program(line=1, col=1)
+        while not self._check("eof"):
+            is_const = bool(self._accept("keyword", "const"))
+            ty_tok = self.cur
+            if not (
+                self._check("keyword", "int")
+                or self._check("keyword", "float")
+                or self._check("keyword", "void")
+            ):
+                raise self._error(
+                    f"expected declaration, found {self.cur.text!r}"
+                )
+            self._advance()
+            name = self._expect("ident").text
+            if self._check("op", "("):
+                if is_const:
+                    raise self._error("functions cannot be const")
+                prog.functions.append(
+                    self._function_rest(ty_tok.text, name, ty_tok)
+                )
+            else:
+                if ty_tok.text == "void":
+                    raise self._error("globals cannot be void")
+                prog.globals.append(
+                    self._global_rest(ty_tok.text, name, is_const, ty_tok)
+                )
+        return prog
+
+    def _global_rest(
+        self, base_type: str, name: str, is_const: bool, at: Token
+    ) -> A.GlobalDecl:
+        decl = A.GlobalDecl(
+            line=at.line, col=at.col, name=name, base_type=base_type,
+            is_const=is_const,
+        )
+        if self._accept("op", "["):
+            decl.array_size = self._const_int()
+            self._expect("op", "]")
+        if self._accept("op", "="):
+            if self._accept("op", "{"):
+                items: List = []
+                if not self._check("op", "}"):
+                    items.append(self._const_literal(base_type))
+                    while self._accept("op", ","):
+                        if self._check("op", "}"):
+                            break  # trailing comma
+                        items.append(self._const_literal(base_type))
+                self._expect("op", "}")
+                decl.init_list = items
+            else:
+                decl.init_scalar = self._const_literal(base_type)
+        self._expect("op", ";")
+        return decl
+
+    def _const_int(self) -> int:
+        neg = bool(self._accept("op", "-"))
+        tok = self._expect("int_lit")
+        val = int(tok.text, 0)
+        return -val if neg else val
+
+    def _const_literal(self, base_type: str):
+        neg = bool(self._accept("op", "-"))
+        if self._check("float_lit"):
+            val: object = float(self._advance().text)
+        elif self._check("int_lit"):
+            raw = int(self._advance().text, 0)
+            val = float(raw) if base_type == "float" else raw
+        else:
+            raise self._error("expected literal in initializer")
+        return -val if neg else val
+
+    def _function_rest(
+        self, return_type: str, name: str, at: Token
+    ) -> A.FunctionDecl:
+        self._expect("op", "(")
+        params: List[A.Param] = []
+        if not self._check("op", ")"):
+            params.append(self._param())
+            while self._accept("op", ","):
+                params.append(self._param())
+        self._expect("op", ")")
+        body = self._block()
+        return A.FunctionDecl(
+            line=at.line, col=at.col, name=name, return_type=return_type,
+            params=params, body=body,
+        )
+
+    def _param(self) -> A.Param:
+        ty_tok = self.cur
+        if not (self._check("keyword", "int") or self._check("keyword", "float")):
+            raise self._error(f"expected parameter type, found {self.cur.text!r}")
+        self._advance()
+        name = self._expect("ident").text
+        is_array = False
+        if self._accept("op", "["):
+            self._expect("op", "]")
+            is_array = True
+        return A.Param(
+            line=ty_tok.line, col=ty_tok.col, name=name,
+            base_type=ty_tok.text, is_array=is_array,
+        )
+
+    # -- statements -----------------------------------------------------------
+
+    def _block(self) -> A.Block:
+        at = self._expect("op", "{")
+        stmts: List[A.Stmt] = []
+        while not self._check("op", "}"):
+            if self._check("eof"):
+                raise self._error("unterminated block")
+            stmts.append(self._statement())
+        self._expect("op", "}")
+        return A.Block(line=at.line, col=at.col, statements=stmts)
+
+    def _stmt_as_block(self) -> A.Block:
+        """A control-flow body: either a braced block or one statement."""
+        if self._check("op", "{"):
+            return self._block()
+        stmt = self._statement()
+        return A.Block(line=stmt.line, col=stmt.col, statements=[stmt])
+
+    def _statement(self) -> A.Stmt:
+        tok = self.cur
+        if self._check("op", "{"):
+            return self._block()
+        if self._check("keyword", "int") or self._check("keyword", "float"):
+            # could be a cast expression statement — MiniC has no use for
+            # those, so a leading type keyword always means a declaration
+            return self._vardecl()
+        if self._accept("keyword", "if"):
+            return self._if(tok)
+        if self._accept("keyword", "while"):
+            self._expect("op", "(")
+            cond = self._expression()
+            self._expect("op", ")")
+            body = self._stmt_as_block()
+            return A.While(line=tok.line, col=tok.col, cond=cond, body=body)
+        if self._accept("keyword", "for"):
+            return self._for(tok)
+        if self._accept("keyword", "return"):
+            value = None
+            if not self._check("op", ";"):
+                value = self._expression()
+            self._expect("op", ";")
+            return A.Return(line=tok.line, col=tok.col, value=value)
+        if self._accept("keyword", "break"):
+            self._expect("op", ";")
+            return A.Break(line=tok.line, col=tok.col)
+        if self._accept("keyword", "continue"):
+            self._expect("op", ";")
+            return A.Continue(line=tok.line, col=tok.col)
+        if tok.kind == "ident" and tok.text in _PRINT_STMTS:
+            nxt = self.tokens[self.pos + 1]
+            if nxt.kind == "op" and nxt.text == "(":
+                return self._print()
+        stmt = self._assign_or_expr()
+        self._expect("op", ";")
+        return stmt
+
+    def _print(self) -> A.PrintStmt:
+        tok = self._advance()  # print/printc/prints
+        kind = _PRINT_STMTS[tok.text]
+        self._expect("op", "(")
+        if kind == "prints":
+            s = self._expect("string").text
+            node = A.PrintStmt(line=tok.line, col=tok.col, kind=kind, arg=s)
+        else:
+            expr = self._expression()
+            node = A.PrintStmt(line=tok.line, col=tok.col, kind=kind, arg=expr)
+        self._expect("op", ")")
+        self._expect("op", ";")
+        return node
+
+    def _vardecl(self) -> A.VarDecl:
+        ty_tok = self._advance()
+        name = self._expect("ident").text
+        decl = A.VarDecl(
+            line=ty_tok.line, col=ty_tok.col, name=name, base_type=ty_tok.text
+        )
+        if self._accept("op", "["):
+            decl.array_size = self._const_int()
+            self._expect("op", "]")
+            if self._accept("op", "="):
+                self._expect("op", "{")
+                items: List[A.Expr] = []
+                if not self._check("op", "}"):
+                    items.append(self._expression())
+                    while self._accept("op", ","):
+                        if self._check("op", "}"):
+                            break
+                        items.append(self._expression())
+                self._expect("op", "}")
+                decl.array_init = items
+        elif self._accept("op", "="):
+            decl.init = self._expression()
+        self._expect("op", ";")
+        return decl
+
+    def _if(self, tok: Token) -> A.If:
+        self._expect("op", "(")
+        cond = self._expression()
+        self._expect("op", ")")
+        then_body = self._stmt_as_block()
+        else_body = None
+        if self._accept("keyword", "else"):
+            if self._check("keyword", "if"):
+                elif_tok = self._advance()
+                inner = self._if(elif_tok)
+                else_body = A.Block(
+                    line=inner.line, col=inner.col, statements=[inner]
+                )
+            else:
+                else_body = self._stmt_as_block()
+        return A.If(
+            line=tok.line, col=tok.col, cond=cond,
+            then_body=then_body, else_body=else_body,
+        )
+
+    def _for(self, tok: Token) -> A.For:
+        self._expect("op", "(")
+        init: Optional[A.Stmt] = None
+        if not self._check("op", ";"):
+            if self._check("keyword", "int") or self._check("keyword", "float"):
+                init = self._vardecl()  # consumes the ';'
+            else:
+                init = self._assign_or_expr()
+                self._expect("op", ";")
+        else:
+            self._expect("op", ";")
+        cond: Optional[A.Expr] = None
+        if not self._check("op", ";"):
+            cond = self._expression()
+        self._expect("op", ";")
+        step: Optional[A.Stmt] = None
+        if not self._check("op", ")"):
+            step = self._assign_or_expr()
+        self._expect("op", ")")
+        body = self._stmt_as_block()
+        return A.For(
+            line=tok.line, col=tok.col, init=init, cond=cond, step=step,
+            body=body,
+        )
+
+    def _assign_or_expr(self) -> A.Stmt:
+        start = self.pos
+        tok = self.cur
+        if tok.kind == "ident":
+            # lookahead for an assignment target
+            target = self._try_target()
+            if target is not None:
+                op_tok = self.cur
+                if op_tok.kind == "op" and op_tok.text in _ASSIGN_OPS:
+                    self._advance()
+                    value = self._expression()
+                    return A.Assign(
+                        line=tok.line, col=tok.col, target=target,
+                        op=op_tok.text, value=value,
+                    )
+                if op_tok.kind == "op" and op_tok.text in ("++", "--"):
+                    self._advance()
+                    one = A.IntLit(line=op_tok.line, col=op_tok.col, value=1)
+                    return A.Assign(
+                        line=tok.line, col=tok.col, target=target,
+                        op="+=" if op_tok.text == "++" else "-=", value=one,
+                    )
+                self.pos = start  # not an assignment — reparse as expression
+        expr = self._expression()
+        return A.ExprStmt(line=tok.line, col=tok.col, expr=expr)
+
+    def _try_target(self) -> Optional[A.Expr]:
+        """Parse ``IDENT`` or ``IDENT[expr]`` if it is followed by an
+        assignment operator; otherwise restore position and return None."""
+        start = self.pos
+        name_tok = self._advance()
+        node: A.Expr = A.VarRef(
+            line=name_tok.line, col=name_tok.col, name=name_tok.text
+        )
+        if self._check("op", "["):
+            self._advance()
+            index = self._expression()
+            if not self._accept("op", "]"):
+                self.pos = start
+                return None
+            node = A.Index(
+                line=name_tok.line, col=name_tok.col, base=node, index=index
+            )
+        if self.cur.kind == "op" and self.cur.text in (
+            _ASSIGN_OPS | {"++", "--"}
+        ):
+            return node
+        self.pos = start
+        return None
+
+    # -- expressions -----------------------------------------------------------
+
+    def _expression(self) -> A.Expr:
+        return self._binary(1)
+
+    def _binary(self, min_prec: int) -> A.Expr:
+        left = self._unary()
+        while True:
+            tok = self.cur
+            prec = _PRECEDENCE.get(tok.text) if tok.kind == "op" else None
+            if prec is None or prec < min_prec:
+                return left
+            self._advance()
+            right = self._binary(prec + 1)
+            left = A.Binary(
+                line=tok.line, col=tok.col, op=tok.text, left=left, right=right
+            )
+
+    def _unary(self) -> A.Expr:
+        tok = self.cur
+        if tok.kind == "op" and tok.text in ("-", "!", "~"):
+            self._advance()
+            operand = self._unary()
+            return A.Unary(line=tok.line, col=tok.col, op=tok.text, operand=operand)
+        if tok.kind == "op" and tok.text == "+":
+            self._advance()
+            return self._unary()
+        return self._postfix()
+
+    def _postfix(self) -> A.Expr:
+        expr = self._primary()
+        while self._check("op", "["):
+            at = self._advance()
+            index = self._expression()
+            self._expect("op", "]")
+            expr = A.Index(line=at.line, col=at.col, base=expr, index=index)
+        return expr
+
+    def _primary(self) -> A.Expr:
+        tok = self.cur
+        if tok.kind == "int_lit":
+            self._advance()
+            return A.IntLit(line=tok.line, col=tok.col, value=int(tok.text, 0))
+        if tok.kind == "float_lit":
+            self._advance()
+            return A.FloatLit(line=tok.line, col=tok.col, value=float(tok.text))
+        if tok.kind == "keyword" and tok.text in ("int", "float"):
+            self._advance()
+            self._expect("op", "(")
+            operand = self._expression()
+            self._expect("op", ")")
+            return A.CastExpr(
+                line=tok.line, col=tok.col, target=tok.text, operand=operand
+            )
+        if tok.kind == "ident":
+            self._advance()
+            if self._check("op", "("):
+                self._advance()
+                args: List[A.Expr] = []
+                if not self._check("op", ")"):
+                    args.append(self._expression())
+                    while self._accept("op", ","):
+                        args.append(self._expression())
+                self._expect("op", ")")
+                return A.CallExpr(
+                    line=tok.line, col=tok.col, name=tok.text, args=args
+                )
+            return A.VarRef(line=tok.line, col=tok.col, name=tok.text)
+        if self._accept("op", "("):
+            expr = self._expression()
+            self._expect("op", ")")
+            return expr
+        raise self._error(f"unexpected token {tok.text!r} in expression")
+
+
+def parse_program(source: str) -> A.Program:
+    """Parse MiniC source text into an AST."""
+    return Parser(tokenize(source)).parse()

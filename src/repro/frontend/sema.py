@@ -1,0 +1,327 @@
+"""MiniC semantic analysis.
+
+Resolves names, checks types, and annotates every expression node with
+its MiniC type so the code generator can be a straightforward syntax-
+directed translation.
+
+MiniC types (the ``ty`` annotation):
+
+* ``"int"``   — 64-bit signed integer
+* ``"float"`` — binary64
+* ``("arr", base)`` — an array object (only as the type of an array
+  variable name; decays to a pointer when indexed or passed)
+
+Implicit conversions follow C: ``int`` promotes to ``float`` in mixed
+arithmetic/comparisons; assignments convert the value to the target's
+type.  Conditions accept either scalar type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SemanticError
+from . import ast_nodes as A
+
+__all__ = ["analyze", "BUILTIN_MATH", "FunctionSig"]
+
+#: MiniC builtin name -> (intrinsic name, arity)
+BUILTIN_MATH: Dict[str, Tuple[str, int]] = {
+    "sqrt": ("sqrt_f64", 1),
+    "log": ("log_f64", 1),
+    "exp": ("exp_f64", 1),
+    "sin": ("sin_f64", 1),
+    "cos": ("cos_f64", 1),
+    "fabs": ("fabs_f64", 1),
+    "pow": ("pow_f64", 2),
+    "floor": ("floor_f64", 1),
+}
+
+_INT_ONLY_OPS = frozenset(["%", "<<", ">>", "&", "|", "^", "&&", "||"])
+_CMP_OPS = frozenset(["==", "!=", "<", "<=", ">", ">="])
+
+
+@dataclass
+class FunctionSig:
+    name: str
+    return_type: str                       # 'int' | 'float' | 'void'
+    params: List[Tuple[str, bool]]         # (base_type, is_array)
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.vars: Dict[str, object] = {}
+
+    def declare(self, name: str, ty: object, node: A.Node) -> None:
+        if name in self.vars:
+            raise SemanticError(f"redeclaration of {name!r}", node.line, node.col)
+        self.vars[name] = ty
+
+    def lookup(self, name: str) -> Optional[object]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        return None
+
+
+class Analyzer:
+    def __init__(self, program: A.Program):
+        self.program = program
+        self.globals: Dict[str, object] = {}
+        self.functions: Dict[str, FunctionSig] = {}
+        self.current_fn: Optional[FunctionSig] = None
+        self.loop_depth = 0
+
+    def _err(self, msg: str, node: A.Node) -> SemanticError:
+        return SemanticError(msg, node.line, node.col)
+
+    # -- driver ----------------------------------------------------------
+
+    def run(self) -> Dict[str, FunctionSig]:
+        for g in self.program.globals:
+            if g.name in self.globals:
+                raise self._err(f"redeclaration of global {g.name!r}", g)
+            ty = ("arr", g.base_type) if g.array_size is not None else g.base_type
+            if g.array_size is not None and g.array_size <= 0:
+                raise self._err(f"array size must be positive", g)
+            if g.init_list is not None and g.array_size is None:
+                raise self._err("brace initializer on non-array global", g)
+            if (
+                g.init_list is not None
+                and g.array_size is not None
+                and len(g.init_list) > g.array_size
+            ):
+                raise self._err(
+                    f"too many initializers for {g.name!r} "
+                    f"({len(g.init_list)} > {g.array_size})", g,
+                )
+            self.globals[g.name] = ty
+
+        for fn in self.program.functions:
+            if fn.name in self.functions:
+                raise self._err(f"redefinition of function {fn.name!r}", fn)
+            if fn.name in BUILTIN_MATH:
+                raise self._err(f"{fn.name!r} shadows a builtin", fn)
+            self.functions[fn.name] = FunctionSig(
+                fn.name, fn.return_type,
+                [(p.base_type, p.is_array) for p in fn.params],
+            )
+
+        if "main" not in self.functions:
+            raise SemanticError("program has no main function")
+        if self.functions["main"].params:
+            raise SemanticError("main must take no parameters")
+
+        for fn in self.program.functions:
+            self._function(fn)
+        return self.functions
+
+    # -- functions & statements ---------------------------------------------
+
+    def _function(self, fn: A.FunctionDecl) -> None:
+        self.current_fn = self.functions[fn.name]
+        scope = _Scope()
+        seen = set()
+        for p in fn.params:
+            if p.name in seen:
+                raise self._err(f"duplicate parameter {p.name!r}", p)
+            seen.add(p.name)
+            ty = ("arr", p.base_type) if p.is_array else p.base_type
+            scope.declare(p.name, ty, p)
+        self._block(fn.body, scope)
+        self.current_fn = None
+
+    def _block(self, block: A.Block, parent: _Scope) -> None:
+        scope = _Scope(parent)
+        for stmt in block.statements:
+            self._statement(stmt, scope)
+
+    def _statement(self, stmt: A.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, A.Block):
+            self._block(stmt, scope)
+        elif isinstance(stmt, A.VarDecl):
+            self._vardecl(stmt, scope)
+        elif isinstance(stmt, A.Assign):
+            self._assign(stmt, scope)
+        elif isinstance(stmt, A.If):
+            self._scalar(self._expr(stmt.cond, scope), stmt.cond, "if condition")
+            self._block(stmt.then_body, scope)
+            if stmt.else_body is not None:
+                self._block(stmt.else_body, scope)
+        elif isinstance(stmt, A.While):
+            self._scalar(self._expr(stmt.cond, scope), stmt.cond, "while condition")
+            self.loop_depth += 1
+            self._block(stmt.body, scope)
+            self.loop_depth -= 1
+        elif isinstance(stmt, A.For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._statement(stmt.init, inner)
+            if stmt.cond is not None:
+                self._scalar(self._expr(stmt.cond, inner), stmt.cond, "for condition")
+            if stmt.step is not None:
+                self._statement(stmt.step, inner)
+            self.loop_depth += 1
+            self._block(stmt.body, inner)
+            self.loop_depth -= 1
+        elif isinstance(stmt, A.Return):
+            assert self.current_fn is not None
+            want = self.current_fn.return_type
+            if stmt.value is None:
+                if want != "void":
+                    raise self._err(
+                        f"return without value in {want} function", stmt
+                    )
+            else:
+                if want == "void":
+                    raise self._err("return with value in void function", stmt)
+                got = self._expr(stmt.value, scope)
+                self._scalar(got, stmt.value, "return value")
+        elif isinstance(stmt, (A.Break, A.Continue)):
+            if self.loop_depth == 0:
+                kw = "break" if isinstance(stmt, A.Break) else "continue"
+                raise self._err(f"{kw} outside of a loop", stmt)
+        elif isinstance(stmt, A.ExprStmt):
+            self._expr(stmt.expr, scope)
+        elif isinstance(stmt, A.PrintStmt):
+            if stmt.kind != "prints":
+                ty = self._expr(stmt.arg, scope)  # type: ignore[arg-type]
+                self._scalar(ty, stmt.arg, "print argument")  # type: ignore[arg-type]
+        else:  # pragma: no cover - parser produces no other nodes
+            raise self._err(f"unknown statement {type(stmt).__name__}", stmt)
+
+    def _vardecl(self, decl: A.VarDecl, scope: _Scope) -> None:
+        if decl.array_size is not None:
+            if decl.array_size <= 0:
+                raise self._err("array size must be positive", decl)
+            if decl.array_init is not None:
+                if len(decl.array_init) > decl.array_size:
+                    raise self._err("too many array initializers", decl)
+                for e in decl.array_init:
+                    self._scalar(self._expr(e, scope), e, "array initializer")
+            scope.declare(decl.name, ("arr", decl.base_type), decl)
+        else:
+            if decl.init is not None:
+                self._scalar(self._expr(decl.init, scope), decl.init, "initializer")
+            scope.declare(decl.name, decl.base_type, decl)
+
+    def _assign(self, stmt: A.Assign, scope: _Scope) -> None:
+        target_ty = self._expr(stmt.target, scope)
+        if not isinstance(stmt.target, (A.VarRef, A.Index)):
+            raise self._err("invalid assignment target", stmt)
+        if isinstance(target_ty, tuple):
+            raise self._err("cannot assign to an array", stmt)
+        value_ty = self._expr(stmt.value, scope)
+        self._scalar(value_ty, stmt.value, "assigned value")
+        if stmt.op in ("%=", "<<=", ">>=") and (
+            target_ty != "int" or value_ty != "int"
+        ):
+            raise self._err(f"{stmt.op} requires int operands", stmt)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _scalar(self, ty: object, node: A.Node, what: str) -> None:
+        if ty not in ("int", "float"):
+            raise self._err(f"{what} must be a scalar, got array", node)
+
+    def _expr(self, expr: A.Expr, scope: _Scope) -> object:
+        ty = self._expr_inner(expr, scope)
+        expr.ty = ty
+        return ty
+
+    def _expr_inner(self, expr: A.Expr, scope: _Scope) -> object:
+        if isinstance(expr, A.IntLit):
+            return "int"
+        if isinstance(expr, A.FloatLit):
+            return "float"
+        if isinstance(expr, A.VarRef):
+            ty = scope.lookup(expr.name)
+            if ty is None:
+                ty = self.globals.get(expr.name)
+            if ty is None:
+                raise self._err(f"undeclared identifier {expr.name!r}", expr)
+            return ty
+        if isinstance(expr, A.Index):
+            base_ty = self._expr(expr.base, scope)
+            if not isinstance(base_ty, tuple):
+                raise self._err("indexing a non-array", expr)
+            idx_ty = self._expr(expr.index, scope)
+            if idx_ty != "int":
+                raise self._err("array index must be int", expr)
+            return base_ty[1]
+        if isinstance(expr, A.Unary):
+            ty = self._expr(expr.operand, scope)
+            self._scalar(ty, expr, f"operand of {expr.op}")
+            if expr.op == "~" and ty != "int":
+                raise self._err("~ requires an int operand", expr)
+            if expr.op == "!":
+                return "int"
+            return ty
+        if isinstance(expr, A.Binary):
+            lt = self._expr(expr.left, scope)
+            rt = self._expr(expr.right, scope)
+            self._scalar(lt, expr.left, f"left operand of {expr.op}")
+            self._scalar(rt, expr.right, f"right operand of {expr.op}")
+            if expr.op in _INT_ONLY_OPS:
+                if lt != "int" or rt != "int":
+                    raise self._err(f"{expr.op} requires int operands", expr)
+                return "int"
+            if expr.op in _CMP_OPS:
+                return "int"
+            return "float" if ("float" in (lt, rt)) else "int"
+        if isinstance(expr, A.CastExpr):
+            ty = self._expr(expr.operand, scope)
+            self._scalar(ty, expr, "cast operand")
+            return expr.target
+        if isinstance(expr, A.CallExpr):
+            return self._call(expr, scope)
+        raise self._err(f"unknown expression {type(expr).__name__}", expr)
+
+    def _call(self, expr: A.CallExpr, scope: _Scope) -> object:
+        if expr.name in BUILTIN_MATH:
+            _, arity = BUILTIN_MATH[expr.name]
+            if len(expr.args) != arity:
+                raise self._err(
+                    f"{expr.name} expects {arity} argument(s), "
+                    f"got {len(expr.args)}", expr,
+                )
+            for a in expr.args:
+                self._scalar(self._expr(a, scope), a, f"argument of {expr.name}")
+            return "float"
+        sig = self.functions.get(expr.name)
+        if sig is None:
+            raise self._err(f"call to undeclared function {expr.name!r}", expr)
+        if len(expr.args) != len(sig.params):
+            raise self._err(
+                f"{expr.name} expects {len(sig.params)} argument(s), "
+                f"got {len(expr.args)}", expr,
+            )
+        for i, (a, (base, is_array)) in enumerate(zip(expr.args, sig.params)):
+            at = self._expr(a, scope)
+            if is_array:
+                if at != ("arr", base):
+                    raise self._err(
+                        f"argument {i + 1} of {expr.name} must be "
+                        f"{base}[] (got {_tyname(at)})", a,
+                    )
+            else:
+                self._scalar(at, a, f"argument {i + 1} of {expr.name}")
+        return sig.return_type
+
+
+def _tyname(ty: object) -> str:
+    if isinstance(ty, tuple):
+        return f"{ty[1]}[]"
+    return str(ty)
+
+
+def analyze(program: A.Program) -> Dict[str, FunctionSig]:
+    """Type-check ``program`` in place; returns the function signatures.
+
+    Raises :class:`~repro.errors.SemanticError` on the first problem.
+    """
+    return Analyzer(program).run()

@@ -1,0 +1,6 @@
+"""IR interpreter — the "LLVM level" execution and injection layer."""
+
+from .interpreter import DEFAULT_MAX_STEPS, IRInterpreter, run_ir  # noqa: F401
+from .layout import GlobalLayout  # noqa: F401
+
+__all__ = ["IRInterpreter", "run_ir", "GlobalLayout", "DEFAULT_MAX_STEPS"]

@@ -1,0 +1,538 @@
+"""The IR interpreter — the "LLVM level" execution layer.
+
+Executes a verified module instruction by instruction with an explicit
+call stack (no host recursion), counting dynamic instructions and
+optionally injecting a single bit-flip into the *destination value* of
+one dynamic instruction — the LLFI-style fault model of the paper:
+
+* injection sites are instructions that produce a result (loads, binops,
+  compares, geps, casts, selects, calls-with-result);
+* ``store``/``br``/``condbr``/``ret`` have no destination and are NOT
+  injection sites — the root of the cross-layer deficiency;
+* the flipped bit is uniform over the destination's type width.
+
+The interpreter shares the memory model and global layout with the
+machine so program semantics (pointer values, trap behaviour, output
+bytes) agree across layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..errors import FaultDetected, IRError, SimTrap
+from ..execresult import ExecResult, RunStatus
+from ..ir import types as T
+from ..ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    Gep,
+    ICmp,
+    Instruction,
+    Load,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from ..ir.intrinsics import (
+    DETECT,
+    INTRINSICS,
+    PRINT_CHAR,
+    PRINT_F64,
+    PRINT_I64,
+    math_impl,
+)
+from ..ir.module import BasicBlock, Function, Module
+from ..ir.values import Argument, Constant, GlobalVariable, Value
+from ..memorymodel import Memory
+from ..utils import bits
+from ..utils.fmt import format_char, format_f64, format_i64
+from .layout import GlobalLayout
+
+__all__ = ["IRInterpreter", "run_ir", "DEFAULT_MAX_STEPS"]
+
+DEFAULT_MAX_STEPS = 50_000_000
+
+_MATH_CACHE: Dict[str, Callable[..., float]] = {}
+
+
+def _math(name: str) -> Callable[..., float]:
+    fn = _MATH_CACHE.get(name)
+    if fn is None:
+        fn = math_impl(name)
+        _MATH_CACHE[name] = fn
+    return fn
+
+
+@dataclass
+class _Frame:
+    fn: Function
+    block: BasicBlock
+    index: int
+    temps: Dict[int, Union[int, float]]
+    sp_save: int
+    #: iid in the *caller's* temps to receive our return value
+    ret_target: Optional[int]
+    #: actual argument values, indexed by Argument.index
+    arg_values: List[Union[int, float]] = None  # type: ignore[assignment]
+    #: bit to flip in our return value when it lands in the caller
+    ret_flip_bit: Optional[int] = None
+
+
+def _flip_value(value: Union[int, float], ty: T.Type, bit: int) -> Union[int, float]:
+    """Flip one bit of a destination value according to its type."""
+    if ty.is_float:
+        return bits.flip_float_bit(float(value), bit % 64)
+    if ty.is_pointer:
+        return (int(value) ^ (1 << (bit % 64))) & bits.mask(64)
+    width = ty.bits
+    return bits.flip_int_bit(int(value), bit % width, width)
+
+
+def _c_div(a: int, b: int) -> int:
+    """C-style truncating integer division."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+class IRInterpreter:
+    """One interpreter instance per execution (holds mutable run state)."""
+
+    def __init__(
+        self,
+        module: Module,
+        layout: Optional[GlobalLayout] = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        heap_size: int = 1 << 20,
+        stack_size: int = 1 << 19,
+    ):
+        self.module = module
+        self.layout = layout or GlobalLayout(module)
+        self.max_steps = max_steps
+        self.memory: Memory = self.layout.make_memory(heap_size, stack_size)
+        self.sp = self.memory.stack_base
+        self.outputs: List[str] = []
+        self.dyn_total = 0
+        self.dyn_injectable = 0
+        # fault injection state
+        self.inject_index: Optional[int] = None
+        self.inject_bit: int = 0
+        self.injected = False
+        self.injected_iid: Optional[int] = None
+        # profiling state
+        self.per_inst_counts: Optional[Dict[int, int]] = None
+
+    # -- public API ------------------------------------------------------
+
+    def run(
+        self,
+        entry: str = "main",
+        args: Sequence[Union[int, float]] = (),
+        inject_index: Optional[int] = None,
+        inject_bit: int = 0,
+        profile: bool = False,
+    ) -> ExecResult:
+        """Execute ``entry`` and classify the run.
+
+        ``inject_index`` selects the N-th injectable dynamic instruction
+        (0-based) whose destination value gets ``inject_bit`` flipped.
+        ``profile=True`` additionally records per-static-instruction
+        dynamic execution counts.
+        """
+        self.inject_index = inject_index
+        self.inject_bit = inject_bit
+        if profile:
+            self.per_inst_counts = {}
+        fn = self.module.function(entry)
+        try:
+            ret = self._execute(fn, list(args))
+            status, trap = RunStatus.OK, None
+        except FaultDetected:
+            ret, status, trap = None, RunStatus.DETECTED, None
+        except SimTrap as t:
+            ret, status, trap = None, RunStatus.TRAP, t.kind
+        return ExecResult(
+            status=status,
+            output="".join(self.outputs),
+            dyn_total=self.dyn_total,
+            dyn_injectable=self.dyn_injectable,
+            trap_kind=trap,
+            return_value=ret,
+            injected=self.injected,
+            injected_iid=self.injected_iid,
+            per_inst_counts=self.per_inst_counts,
+        )
+
+    # -- execution core -----------------------------------------------------
+
+    def _execute(self, entry_fn: Function, args: List[Union[int, float]]):
+        if entry_fn.is_declaration:
+            raise IRError(f"cannot execute declaration @{entry_fn.name}")
+        stack: List[_Frame] = []
+        frame = self._push_frame(entry_fn, args, None)
+        mem = self.memory
+        counts = self.per_inst_counts
+
+        while True:
+            block = frame.block
+            insts = block.instructions
+            if frame.index >= len(insts):
+                raise IRError(
+                    f"fell off block {block.label} in @{frame.fn.name}"
+                )
+            inst = insts[frame.index]
+            frame.index += 1
+
+            self.dyn_total += 1
+            if self.dyn_total > self.max_steps:
+                raise SimTrap("timeout", f"exceeded {self.max_steps} steps")
+            if counts is not None:
+                counts[inst.iid] = counts.get(inst.iid, 0) + 1
+
+            op = inst.opcode
+
+            # ---- terminators & control flow (no destination value) -----
+            if op == "br":
+                frame.block = inst.target
+                frame.index = 0
+                continue
+            if op == "condbr":
+                cond = self._value(frame, inst.operands[0])
+                frame.block = inst.then_block if cond else inst.else_block
+                frame.index = 0
+                continue
+            if op == "ret":
+                retval = (
+                    self._value(frame, inst.operands[0]) if inst.operands else None
+                )
+                self.sp = frame.sp_save
+                if not stack:
+                    return retval
+                target, flip_bit = frame.ret_target, frame.ret_flip_bit
+                callee_ret = frame.fn.return_type
+                frame = stack.pop()
+                if target is not None:
+                    if flip_bit is not None:
+                        retval = _flip_value(retval, callee_ret, flip_bit)
+                        self.injected = True
+                    frame.temps[target] = retval
+                continue
+            if op == "store":
+                value = self._value(frame, inst.operands[0])
+                addr = self._value(frame, inst.operands[1])
+                self._store_typed(addr, value, inst.operands[0].type)
+                continue
+            if op == "unreachable":
+                raise SimTrap("unreachable", f"@{frame.fn.name}/{block.label}")
+
+            if op == "call":
+                frame = self._do_call(inst, frame, stack)
+                continue
+
+            if op == "alloca":
+                size = max(1, inst.allocated_type.size)
+                self.sp = (self.sp - size) & ~7
+                if self.sp < mem.stack_limit:
+                    raise SimTrap("stack-overflow", f"@{frame.fn.name}")
+                frame.temps[inst.iid] = self.sp
+                continue
+
+            # ---- value-producing instructions (injection sites) --------
+            result = self._compute(frame, inst, op)
+            idx = self.dyn_injectable
+            self.dyn_injectable += 1
+            if idx == self.inject_index:
+                result = _flip_value(result, inst.type, self.inject_bit)
+                self.injected = True
+                self.injected_iid = inst.iid
+            frame.temps[inst.iid] = result
+
+    # -- helpers -----------------------------------------------------------
+
+    def _push_frame(
+        self,
+        fn: Function,
+        args: Sequence[Union[int, float]],
+        ret_target: Optional[int],
+    ) -> _Frame:
+        if len(args) != len(fn.args):
+            raise IRError(
+                f"@{fn.name} expects {len(fn.args)} args, got {len(args)}"
+            )
+        # Model the call's stack footprint (return address + saved frame
+        # pointer) so runaway recursion traps as a stack overflow, exactly
+        # as at assembly level.
+        sp_save = self.sp
+        self.sp -= 16
+        if self.sp < self.memory.stack_limit:
+            raise SimTrap("stack-overflow", f"calling @{fn.name}")
+        return _Frame(
+            fn=fn,
+            block=fn.entry,
+            index=0,
+            temps={},
+            sp_save=sp_save,
+            ret_target=ret_target,
+            arg_values=list(args),
+        )
+
+    def _value(self, frame: _Frame, v: Value) -> Union[int, float]:
+        if isinstance(v, Instruction):
+            try:
+                return frame.temps[v.iid]
+            except KeyError:
+                raise IRError(
+                    f"use of unevaluated %t{v.iid} in @{frame.fn.name}"
+                ) from None
+        if isinstance(v, Constant):
+            return v.value
+        if isinstance(v, GlobalVariable):
+            return self.layout.address_of(v)
+        if isinstance(v, Argument):
+            return frame.arg_values[v.index]
+        raise IRError(f"cannot evaluate operand {v!r}")
+
+    def _load_typed(self, addr: int, ty: T.Type) -> Union[int, float]:
+        if ty.is_float:
+            return self.memory.read_f64(addr)
+        if ty.is_pointer:
+            return self.memory.read_int(addr, 8, signed=False)
+        return self.memory.read_int(addr, ty.size)
+
+    def _store_typed(self, addr: int, value: Union[int, float], ty: T.Type) -> None:
+        if ty.is_float:
+            self.memory.write_f64(addr, float(value))
+        else:
+            self.memory.write_int(addr, int(value), ty.size)
+
+    def _do_call(self, inst: Call, frame: _Frame, stack: List[_Frame]) -> _Frame:
+        args = [self._value(frame, a) for a in inst.operands]
+        has_result = not inst.type.is_void
+
+        # decide whether this call's *result* receives the fault
+        flip_bit: Optional[int] = None
+        if has_result:
+            idx = self.dyn_injectable
+            self.dyn_injectable += 1
+            if idx == self.inject_index:
+                flip_bit = self.inject_bit
+                self.injected_iid = inst.iid
+
+        if isinstance(inst.callee, str):
+            result = self._intrinsic(inst.callee, args)
+            if has_result:
+                if flip_bit is not None:
+                    result = _flip_value(result, inst.type, flip_bit)
+                    self.injected = True
+                frame.temps[inst.iid] = result
+            return frame
+
+        callee: Function = inst.callee
+        if callee.is_declaration:
+            raise IRError(f"call to declaration @{callee.name}")
+        stack.append(frame)
+        new = self._push_frame(
+            callee, args, inst.iid if has_result else None
+        )
+        new.ret_flip_bit = flip_bit
+        return new
+
+    def _intrinsic(self, name: str, args: List[Union[int, float]]):
+        if name == PRINT_I64:
+            self.outputs.append(format_i64(int(args[0])) + "\n")
+            return None
+        if name == PRINT_F64:
+            self.outputs.append(format_f64(float(args[0])) + "\n")
+            return None
+        if name == PRINT_CHAR:
+            self.outputs.append(format_char(int(args[0])))
+            return None
+        if name == DETECT:
+            raise FaultDetected("checker")
+        if name in INTRINSICS:
+            return _math(name)(*[float(a) for a in args])
+        raise IRError(f"unknown intrinsic @{name}")
+
+    # -- pure computation --------------------------------------------------
+
+    def _compute(self, frame: _Frame, inst: Instruction, op: str):
+        val = self._value
+        if op == "load":
+            addr = val(frame, inst.operands[0])
+            return self._load_typed(addr, inst.type)
+        if op == "gep":
+            base = val(frame, inst.operands[0])
+            index = val(frame, inst.operands[1])
+            return (base + index * inst.element_size) & bits.mask(64)
+        if op == "icmp":
+            a = val(frame, inst.operands[0])
+            b = val(frame, inst.operands[1])
+            return 1 if _icmp(inst.pred, int(a), int(b),
+                              inst.operands[0].type) else 0
+        if op == "fcmp":
+            a = float(val(frame, inst.operands[0]))
+            b = float(val(frame, inst.operands[1]))
+            return 1 if _fcmp(inst.pred, a, b) else 0
+        if op == "select":
+            c = val(frame, inst.operands[0])
+            return val(frame, inst.operands[1 if c else 2])
+        if op in _INT_ARITH:
+            a = int(val(frame, inst.operands[0]))
+            b = int(val(frame, inst.operands[1]))
+            return _int_arith(op, a, b, inst.type.bits)
+        if op in _FLOAT_ARITH:
+            a = float(val(frame, inst.operands[0]))
+            b = float(val(frame, inst.operands[1]))
+            return _float_arith(op, a, b)
+        if op in ("sext", "zext", "trunc", "sitofp", "fptosi",
+                  "bitcast", "ptrtoint", "inttoptr"):
+            return _cast(op, val(frame, inst.operands[0]),
+                         inst.operands[0].type, inst.type)
+        raise IRError(f"cannot execute opcode {op!r}")
+
+
+_INT_ARITH = frozenset(
+    ["add", "sub", "mul", "sdiv", "srem", "and", "or", "xor", "shl", "ashr", "lshr"]
+)
+_FLOAT_ARITH = frozenset(["fadd", "fsub", "fmul", "fdiv"])
+
+
+def _int_arith(op: str, a: int, b: int, width: int) -> int:
+    if op == "add":
+        return bits.wrap_signed(a + b, width)
+    if op == "sub":
+        return bits.wrap_signed(a - b, width)
+    if op == "mul":
+        return bits.wrap_signed(a * b, width)
+    if op == "sdiv":
+        if b == 0:
+            raise SimTrap("div-by-zero")
+        return bits.wrap_signed(_c_div(a, b), width)
+    if op == "srem":
+        if b == 0:
+            raise SimTrap("div-by-zero")
+        return bits.wrap_signed(a - _c_div(a, b) * b, width)
+    if op == "and":
+        return bits.wrap_signed(a & b, width)
+    if op == "or":
+        return bits.wrap_signed(a | b, width)
+    if op == "xor":
+        return bits.wrap_signed(a ^ b, width)
+    sh = b & (width - 1)
+    ua = bits.to_unsigned(a, width)
+    if op == "shl":
+        return bits.wrap_signed(ua << sh, width)
+    if op == "ashr":
+        return bits.wrap_signed(a >> sh, width)
+    if op == "lshr":
+        return bits.wrap_signed(ua >> sh, width)
+    raise IRError(f"unknown int op {op!r}")
+
+
+def _float_arith(op: str, a: float, b: float) -> float:
+    try:
+        if op == "fadd":
+            return a + b
+        if op == "fsub":
+            return a - b
+        if op == "fmul":
+            return a * b
+        if op == "fdiv":
+            if b == 0.0:
+                return float("inf") if a > 0 else (
+                    float("-inf") if a < 0 else float("nan")
+                )
+            return a / b
+    except OverflowError:
+        return float("inf")
+    raise IRError(f"unknown float op {op!r}")
+
+
+def _icmp(pred: str, a: int, b: int, ty: T.Type) -> bool:
+    if pred in ("ult", "ule", "ugt", "uge"):
+        width = 64 if ty.is_pointer else ty.bits
+        a = bits.to_unsigned(a, width)
+        b = bits.to_unsigned(b, width)
+        pred = {"ult": "slt", "ule": "sle", "ugt": "sgt", "uge": "sge"}[pred]
+    if pred == "eq":
+        return a == b
+    if pred == "ne":
+        return a != b
+    if pred == "slt":
+        return a < b
+    if pred == "sle":
+        return a <= b
+    if pred == "sgt":
+        return a > b
+    if pred == "sge":
+        return a >= b
+    raise IRError(f"unknown icmp predicate {pred!r}")
+
+
+def _fcmp(pred: str, a: float, b: float) -> bool:
+    import math
+
+    if math.isnan(a) or math.isnan(b):
+        return False  # ordered predicates are all false on NaN
+    if pred == "oeq":
+        return a == b
+    if pred == "one":
+        return a != b
+    if pred == "olt":
+        return a < b
+    if pred == "ole":
+        return a <= b
+    if pred == "ogt":
+        return a > b
+    if pred == "oge":
+        return a >= b
+    raise IRError(f"unknown fcmp predicate {pred!r}")
+
+
+def _cast(op: str, v, from_ty: T.Type, to_ty: T.Type):
+    import math
+
+    if op == "sext":
+        return int(v)  # canonical signed form is width-independent
+    if op == "zext":
+        return bits.to_unsigned(int(v), from_ty.bits)
+    if op == "trunc":
+        return bits.truncate(int(v), to_ty.bits)
+    if op == "sitofp":
+        return float(int(v))
+    if op == "fptosi":
+        f = float(v)
+        if math.isnan(f) or math.isinf(f):
+            return 0
+        return bits.wrap_signed(int(f), to_ty.bits)
+    if op in ("bitcast", "ptrtoint", "inttoptr"):
+        return int(v) & bits.mask(64)
+    raise IRError(f"unknown cast {op!r}")
+
+
+def run_ir(
+    module: Module,
+    entry: str = "main",
+    args: Sequence[Union[int, float]] = (),
+    layout: Optional[GlobalLayout] = None,
+    inject_index: Optional[int] = None,
+    inject_bit: int = 0,
+    profile: bool = False,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> ExecResult:
+    """Convenience wrapper: build an interpreter and run once."""
+    interp = IRInterpreter(module, layout=layout, max_steps=max_steps)
+    return interp.run(
+        entry=entry,
+        args=args,
+        inject_index=inject_index,
+        inject_bit=inject_bit,
+        profile=profile,
+    )

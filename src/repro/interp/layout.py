@@ -1,0 +1,70 @@
+"""Global-variable layout: assigns every module global an address and
+materialises initializers into a :class:`~repro.memorymodel.Memory`.
+
+The same layout is used by the assembly loader so pointer values agree
+across layers (see :mod:`repro.memorymodel`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Union
+
+from ..ir import types as T
+from ..ir.module import Module
+from ..ir.values import GlobalVariable
+from ..memorymodel import GLOBAL_BASE, Memory
+from ..utils.bits import to_unsigned
+
+__all__ = ["GlobalLayout"]
+
+
+def _align(n: int, a: int) -> int:
+    return (n + a - 1) & ~(a - 1)
+
+
+class GlobalLayout:
+    """Address assignment for a module's globals (deterministic: insertion
+    order, 16-byte alignment)."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.addresses: Dict[str, int] = {}
+        offset = GLOBAL_BASE
+        for name, gv in module.globals.items():
+            offset = _align(offset, 16)
+            self.addresses[name] = offset
+            offset += max(1, gv.value_type.size)
+        self.total_size = offset - GLOBAL_BASE
+
+    def address_of(self, gv: GlobalVariable) -> int:
+        return self.addresses[gv.name]
+
+    def make_memory(
+        self, heap_size: int = 1 << 20, stack_size: int = 1 << 19
+    ) -> Memory:
+        """Fresh memory image with all globals initialised."""
+        mem = Memory(self.total_size, heap_size=heap_size, stack_size=stack_size)
+        for name, gv in self.module.globals.items():
+            self._init_global(mem, self.addresses[name], gv)
+        return mem
+
+    @staticmethod
+    def _init_global(mem: Memory, addr: int, gv: GlobalVariable) -> None:
+        vt = gv.value_type
+        if vt.is_array:
+            elem = vt.flattened_element
+            values = gv.flat_initializer()
+            if elem.is_float:
+                for i, v in enumerate(values):
+                    mem.write_f64(addr + 8 * i, float(v))
+            else:
+                size = elem.size
+                payload = b"".join(
+                    to_unsigned(int(v), size * 8).to_bytes(size, "little")
+                    for v in values
+                )
+                mem.write_bytes(addr, payload)
+        elif vt.is_float:
+            mem.write_f64(addr, float(gv.initializer or 0.0))
+        else:
+            mem.write_int(addr, int(gv.initializer or 0), vt.size)

@@ -1,0 +1,60 @@
+"""Miniature typed IR modeled on Clang ``-O0`` LLVM output.
+
+Public surface:
+
+* :mod:`repro.ir.types` — interned type system (``I32``, ``F64``, ...)
+* :class:`repro.ir.Module` / :class:`Function` / :class:`BasicBlock`
+* :class:`repro.ir.IRBuilder` — construction API
+* instruction classes in :mod:`repro.ir.instructions`
+* :func:`repro.ir.verify_module`, :func:`repro.ir.print_module`
+"""
+
+from . import types  # noqa: F401
+from .builder import IRBuilder  # noqa: F401
+from .instructions import (  # noqa: F401
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    Gep,
+    ICmp,
+    Instruction,
+    Load,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .intrinsics import DETECT, INTRINSICS, PRINT_F64, PRINT_I64, PRINT_CHAR  # noqa: F401
+from .module import BasicBlock, Function, Module  # noqa: F401
+from .parser import parse_ir  # noqa: F401
+from .printer import format_instruction, print_function, print_module  # noqa: F401
+from .values import (  # noqa: F401
+    Argument,
+    Constant,
+    GlobalVariable,
+    Value,
+    const_bool,
+    const_float,
+    const_int,
+)
+from .verifier import verify_function, verify_module  # noqa: F401
+
+__all__ = [
+    "types",
+    "IRBuilder",
+    "Module",
+    "Function",
+    "BasicBlock",
+    "Instruction",
+    "Alloca", "BinOp", "Br", "Call", "Cast", "CondBr", "FCmp", "Gep",
+    "ICmp", "Load", "Ret", "Select", "Store", "Unreachable",
+    "Argument", "Constant", "GlobalVariable", "Value",
+    "const_bool", "const_float", "const_int",
+    "verify_module", "verify_function",
+    "print_module", "print_function", "format_instruction", "parse_ir",
+    "DETECT", "INTRINSICS", "PRINT_F64", "PRINT_I64", "PRINT_CHAR",
+]

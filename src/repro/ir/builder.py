@@ -1,0 +1,199 @@
+"""Convenience builder for constructing IR programmatically.
+
+The builder holds an insertion point (a basic block) and appends
+instructions to it, assigning module-unique ids on the way.  The MiniC
+code generator, the protection passes and hand-written test fixtures all
+construct IR through this interface.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from ..errors import IRError
+from . import types as T
+from .instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    Gep,
+    ICmp,
+    Instruction,
+    Load,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .module import BasicBlock, Function, Module
+from .values import Constant, Value, const_bool, const_float, const_int
+
+__all__ = ["IRBuilder"]
+
+
+class IRBuilder:
+    """Appends instructions at an insertion point, like llvm::IRBuilder."""
+
+    def __init__(self, function: Function, block: Optional[BasicBlock] = None):
+        self.function = function
+        self.module: Module = function.module
+        self.block: Optional[BasicBlock] = block
+
+    # -- positioning ------------------------------------------------------
+
+    def set_block(self, block: BasicBlock) -> BasicBlock:
+        self.block = block
+        return block
+
+    def new_block(self, label: str = "") -> BasicBlock:
+        return self.function.new_block(label)
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.block is not None and self.block.terminator is not None
+
+    def _emit(self, inst: Instruction) -> Instruction:
+        if self.block is None:
+            raise IRError("builder has no insertion block")
+        self.module.assign_iid(inst)
+        self.block.append(inst)
+        return inst
+
+    # -- constants --------------------------------------------------------
+
+    @staticmethod
+    def i64(value: int) -> Constant:
+        return const_int(value, T.I64)
+
+    @staticmethod
+    def i32(value: int) -> Constant:
+        return const_int(value, T.I32)
+
+    @staticmethod
+    def f64(value: float) -> Constant:
+        return const_float(value)
+
+    @staticmethod
+    def true() -> Constant:
+        return const_bool(True)
+
+    @staticmethod
+    def false() -> Constant:
+        return const_bool(False)
+
+    # -- memory -------------------------------------------------------------
+
+    def alloca(self, ty: T.Type, name: str = "") -> Alloca:
+        return self._emit(Alloca(ty, name))  # type: ignore[return-value]
+
+    def load(self, ptr: Value, volatile: bool = False) -> Load:
+        return self._emit(Load(ptr, volatile))  # type: ignore[return-value]
+
+    def store(self, value: Value, ptr: Value, volatile: bool = False) -> Store:
+        return self._emit(Store(value, ptr, volatile))  # type: ignore[return-value]
+
+    def gep(self, ptr: Value, index: Value) -> Gep:
+        return self._emit(Gep(ptr, index))  # type: ignore[return-value]
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def binop(self, op: str, a: Value, b: Value) -> BinOp:
+        return self._emit(BinOp(op, a, b))  # type: ignore[return-value]
+
+    def add(self, a: Value, b: Value) -> BinOp:
+        return self.binop("add", a, b)
+
+    def sub(self, a: Value, b: Value) -> BinOp:
+        return self.binop("sub", a, b)
+
+    def mul(self, a: Value, b: Value) -> BinOp:
+        return self.binop("mul", a, b)
+
+    def sdiv(self, a: Value, b: Value) -> BinOp:
+        return self.binop("sdiv", a, b)
+
+    def srem(self, a: Value, b: Value) -> BinOp:
+        return self.binop("srem", a, b)
+
+    def and_(self, a: Value, b: Value) -> BinOp:
+        return self.binop("and", a, b)
+
+    def or_(self, a: Value, b: Value) -> BinOp:
+        return self.binop("or", a, b)
+
+    def xor(self, a: Value, b: Value) -> BinOp:
+        return self.binop("xor", a, b)
+
+    def shl(self, a: Value, b: Value) -> BinOp:
+        return self.binop("shl", a, b)
+
+    def ashr(self, a: Value, b: Value) -> BinOp:
+        return self.binop("ashr", a, b)
+
+    def lshr(self, a: Value, b: Value) -> BinOp:
+        return self.binop("lshr", a, b)
+
+    def fadd(self, a: Value, b: Value) -> BinOp:
+        return self.binop("fadd", a, b)
+
+    def fsub(self, a: Value, b: Value) -> BinOp:
+        return self.binop("fsub", a, b)
+
+    def fmul(self, a: Value, b: Value) -> BinOp:
+        return self.binop("fmul", a, b)
+
+    def fdiv(self, a: Value, b: Value) -> BinOp:
+        return self.binop("fdiv", a, b)
+
+    def icmp(self, pred: str, a: Value, b: Value) -> ICmp:
+        return self._emit(ICmp(pred, a, b))  # type: ignore[return-value]
+
+    def fcmp(self, pred: str, a: Value, b: Value) -> FCmp:
+        return self._emit(FCmp(pred, a, b))  # type: ignore[return-value]
+
+    def select(self, cond: Value, a: Value, b: Value) -> Select:
+        return self._emit(Select(cond, a, b))  # type: ignore[return-value]
+
+    def cast(self, op: str, value: Value, to_type: T.Type) -> Cast:
+        return self._emit(Cast(op, value, to_type))  # type: ignore[return-value]
+
+    def sext(self, value: Value, to_type: T.Type) -> Cast:
+        return self.cast("sext", value, to_type)
+
+    def zext(self, value: Value, to_type: T.Type) -> Cast:
+        return self.cast("zext", value, to_type)
+
+    def trunc(self, value: Value, to_type: T.Type) -> Cast:
+        return self.cast("trunc", value, to_type)
+
+    def sitofp(self, value: Value) -> Cast:
+        return self.cast("sitofp", value, T.F64)
+
+    def fptosi(self, value: Value, to_type: T.Type = T.I64) -> Cast:
+        return self.cast("fptosi", value, to_type)
+
+    # -- calls and control flow ------------------------------------------------
+
+    def call(
+        self,
+        callee: Union[Function, str],
+        args: Sequence[Value] = (),
+        ret_type: Optional[T.Type] = None,
+    ) -> Call:
+        return self._emit(Call(callee, args, ret_type))  # type: ignore[return-value]
+
+    def br(self, target: BasicBlock) -> Br:
+        return self._emit(Br(target))  # type: ignore[return-value]
+
+    def condbr(self, cond: Value, then_block: BasicBlock, else_block: BasicBlock) -> CondBr:
+        return self._emit(CondBr(cond, then_block, else_block))  # type: ignore[return-value]
+
+    def ret(self, value: Optional[Value] = None) -> Ret:
+        return self._emit(Ret(value))  # type: ignore[return-value]
+
+    def unreachable(self) -> Unreachable:
+        return self._emit(Unreachable())  # type: ignore[return-value]

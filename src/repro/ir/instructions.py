@@ -1,0 +1,458 @@
+"""IR instruction set.
+
+The instruction vocabulary mirrors the subset of LLVM IR that Clang
+``-O0`` emits for C kernels: stack slots (``alloca``), explicit
+``load``/``store`` for every variable access, integer/float arithmetic,
+comparisons, ``getelementptr``-style address arithmetic (single index),
+casts, ``select``, calls, and the three terminators ``br``/``condbr``/
+``ret``.  There is no ``phi`` — the ``-O0`` discipline keeps all values
+in memory across control flow, which is exactly the property the paper's
+store-penetration analysis depends on.
+
+Protection metadata lives on each instruction:
+
+* ``iid``       — module-unique integer identity
+* ``attrs``     — free-form dict used by passes.  Established keys:
+
+  - ``"dup_of"``:   iid of the master instruction this shadow copies
+  - ``"checker"``:  True on instructions belonging to a checker sequence
+  - ``"protected"``: True once the duplication pass has covered this
+    instruction with a shadow + checker
+  - ``"flowery"``:  name of the Flowery patch that introduced the
+    instruction (``"eager-store" | "postponed-branch" | "anti-cmp"``)
+  - ``"origin"``:   source-position string from the frontend
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import IRTypeError
+from . import types as T
+from .values import Value
+
+__all__ = [
+    "Instruction",
+    "Alloca",
+    "Load",
+    "Store",
+    "BinOp",
+    "ICmp",
+    "FCmp",
+    "Gep",
+    "Cast",
+    "Select",
+    "Call",
+    "Br",
+    "CondBr",
+    "Ret",
+    "Unreachable",
+    "INT_BINOPS",
+    "FLOAT_BINOPS",
+    "ICMP_PREDS",
+    "FCMP_PREDS",
+    "CAST_OPS",
+]
+
+INT_BINOPS = frozenset(
+    ["add", "sub", "mul", "sdiv", "srem", "and", "or", "xor", "shl", "ashr", "lshr"]
+)
+FLOAT_BINOPS = frozenset(["fadd", "fsub", "fmul", "fdiv"])
+ICMP_PREDS = frozenset(["eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge"])
+FCMP_PREDS = frozenset(["oeq", "one", "olt", "ole", "ogt", "oge"])
+CAST_OPS = frozenset(
+    ["sext", "zext", "trunc", "sitofp", "fptosi", "bitcast", "ptrtoint", "inttoptr"]
+)
+
+
+class Instruction(Value):
+    """Base class.  Instructions that produce no result have void type."""
+
+    __slots__ = ("opcode", "operands", "iid", "attrs", "parent")
+
+    #: does this opcode produce a value that lives in a (virtual) register?
+    has_result = True
+    #: is this a synchronisation point for instruction duplication?
+    is_sync_point = False
+    #: terminator instructions end a basic block
+    is_terminator = False
+
+    def __init__(self, opcode: str, type: T.Type, operands: Sequence[Value]):
+        super().__init__(type, "")
+        self.opcode = opcode
+        self.operands: List[Value] = list(operands)
+        self.iid: int = 0          # assigned on insertion into a function
+        self.attrs: Dict = {}
+        self.parent = None         # owning BasicBlock
+
+    # -- identity & printing ------------------------------------------
+
+    def short(self) -> str:
+        return f"%t{self.iid}"
+
+    def describe(self) -> str:
+        """One-line description used in diagnostics and reports."""
+        ops = ", ".join(o.short() for o in self.operands)
+        head = f"%t{self.iid} = {self.opcode}" if self.has_result else self.opcode
+        return f"{head} {ops}".rstrip()
+
+    # -- metadata helpers ----------------------------------------------
+
+    @property
+    def is_shadow(self) -> bool:
+        return "dup_of" in self.attrs
+
+    @property
+    def is_checker(self) -> bool:
+        return bool(self.attrs.get("checker"))
+
+    @property
+    def is_protected(self) -> bool:
+        return bool(self.attrs.get("protected"))
+
+    #: Instructions with a result are fault-injection sites at IR level;
+    #: this mirrors the paper's statement that stores/branches are not.
+    @property
+    def is_ir_injection_site(self) -> bool:
+        return self.has_result and not self.type.is_void
+
+    def successors(self) -> List:
+        """Successor basic blocks (terminators only)."""
+        return []
+
+
+# -- memory -------------------------------------------------------------
+
+
+class Alloca(Instruction):
+    """Reserve one stack object of ``allocated_type``; yields a pointer.
+
+    Allocas are not fault-injection sites in our model: their "result"
+    is a compile-time frame address, not a runtime datapath value (LLFI
+    likewise excludes them).
+    """
+
+    __slots__ = ("allocated_type",)
+
+    def __init__(self, allocated_type: T.Type, name: str = ""):
+        super().__init__("alloca", T.ptr(allocated_type), [])
+        self.allocated_type = allocated_type
+        self.name = name
+
+    @property
+    def is_ir_injection_site(self) -> bool:
+        return False
+
+    def describe(self) -> str:
+        return f"%t{self.iid} = alloca {self.allocated_type}"
+
+
+class Load(Instruction):
+    """Load a scalar through a pointer."""
+
+    __slots__ = ("volatile",)
+
+    def __init__(self, ptr: Value, volatile: bool = False):
+        if not ptr.type.is_pointer:
+            raise IRTypeError(f"load from non-pointer {ptr.type}")
+        pointee = ptr.type.pointee
+        if not pointee.is_scalar:
+            raise IRTypeError(f"load of non-scalar {pointee}")
+        super().__init__("load", pointee, [ptr])
+        self.volatile = volatile
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+
+class Store(Instruction):
+    """Store a scalar through a pointer.  No result; a sync point."""
+
+    has_result = False
+    is_sync_point = True
+    __slots__ = ("volatile",)
+
+    def __init__(self, value: Value, ptr: Value, volatile: bool = False):
+        if not ptr.type.is_pointer:
+            raise IRTypeError(f"store to non-pointer {ptr.type}")
+        if ptr.type.pointee is not value.type:
+            raise IRTypeError(
+                f"store type mismatch: {value.type} into {ptr.type}"
+            )
+        super().__init__("store", T.VOID, [value, ptr])
+        self.volatile = volatile
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+
+# -- arithmetic ----------------------------------------------------------
+
+
+class BinOp(Instruction):
+    """Binary arithmetic/logic.  Operand types must match the op class."""
+
+    __slots__ = ()
+
+    def __init__(self, op: str, a: Value, b: Value):
+        if op in INT_BINOPS:
+            if not (a.type.is_integer and a.type is b.type):
+                raise IRTypeError(f"{op} needs matching integer operands, "
+                                  f"got {a.type} and {b.type}")
+        elif op in FLOAT_BINOPS:
+            if not (a.type.is_float and b.type.is_float):
+                raise IRTypeError(f"{op} needs f64 operands, got {a.type}, {b.type}")
+        else:
+            raise IRTypeError(f"unknown binary op {op!r}")
+        super().__init__(op, a.type, [a, b])
+
+
+class ICmp(Instruction):
+    """Integer/pointer comparison yielding ``i1``."""
+
+    __slots__ = ("pred",)
+
+    def __init__(self, pred: str, a: Value, b: Value):
+        if pred not in ICMP_PREDS:
+            raise IRTypeError(f"unknown icmp predicate {pred!r}")
+        if a.type is not b.type or not (a.type.is_integer or a.type.is_pointer):
+            raise IRTypeError(
+                f"icmp needs matching int/ptr operands, got {a.type}, {b.type}"
+            )
+        super().__init__("icmp", T.I1, [a, b])
+        self.pred = pred
+
+    def describe(self) -> str:
+        return (f"%t{self.iid} = icmp {self.pred} "
+                + ", ".join(o.short() for o in self.operands))
+
+
+class FCmp(Instruction):
+    """Float comparison yielding ``i1`` (ordered predicates only)."""
+
+    __slots__ = ("pred",)
+
+    def __init__(self, pred: str, a: Value, b: Value):
+        if pred not in FCMP_PREDS:
+            raise IRTypeError(f"unknown fcmp predicate {pred!r}")
+        if not (a.type.is_float and b.type.is_float):
+            raise IRTypeError(f"fcmp needs f64 operands, got {a.type}, {b.type}")
+        super().__init__("fcmp", T.I1, [a, b])
+        self.pred = pred
+
+    def describe(self) -> str:
+        return (f"%t{self.iid} = fcmp {self.pred} "
+                + ", ".join(o.short() for o in self.operands))
+
+
+class Gep(Instruction):
+    """Single-index address arithmetic.
+
+    For ``ptr : [N x E]*`` the result is ``E*`` at ``base + index *
+    sizeof(E)`` (i.e. LLVM's ``gep 0, index``).  For ``ptr : S*`` with
+    scalar ``S`` the result is ``S*`` at ``base + index * sizeof(S)``.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, ptr: Value, index: Value):
+        if not ptr.type.is_pointer:
+            raise IRTypeError(f"gep on non-pointer {ptr.type}")
+        if not index.type.is_integer:
+            raise IRTypeError(f"gep index must be integer, got {index.type}")
+        pointee = ptr.type.pointee
+        elem = pointee.element if pointee.is_array else pointee
+        super().__init__("gep", T.ptr(elem), [ptr, index])
+
+    @property
+    def base(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def element_size(self) -> int:
+        return self.type.pointee.size
+
+
+class Cast(Instruction):
+    """Type conversion."""
+
+    __slots__ = ()
+
+    def __init__(self, op: str, value: Value, to_type: T.Type):
+        if op not in CAST_OPS:
+            raise IRTypeError(f"unknown cast op {op!r}")
+        _check_cast(op, value.type, to_type)
+        super().__init__(op, to_type, [value])
+
+    def describe(self) -> str:
+        return f"%t{self.iid} = {self.opcode} {self.operands[0].short()} to {self.type}"
+
+
+def _check_cast(op: str, from_ty: T.Type, to_ty: T.Type) -> None:
+    ok = {
+        "sext": from_ty.is_integer and to_ty.is_integer and to_ty.bits > from_ty.bits,
+        "zext": from_ty.is_integer and to_ty.is_integer and to_ty.bits > from_ty.bits,
+        "trunc": from_ty.is_integer and to_ty.is_integer and to_ty.bits < from_ty.bits,
+        "sitofp": from_ty.is_integer and to_ty.is_float,
+        "fptosi": from_ty.is_float and to_ty.is_integer,
+        "bitcast": from_ty.is_pointer and to_ty.is_pointer,
+        "ptrtoint": from_ty.is_pointer and to_ty is T.I64,
+        "inttoptr": from_ty is T.I64 and to_ty.is_pointer,
+    }[op]
+    if not ok:
+        raise IRTypeError(f"invalid {op}: {from_ty} -> {to_ty}")
+
+
+class Select(Instruction):
+    """``select cond, a, b`` — branchless conditional."""
+
+    __slots__ = ()
+
+    def __init__(self, cond: Value, a: Value, b: Value):
+        if cond.type is not T.I1:
+            raise IRTypeError(f"select condition must be i1, got {cond.type}")
+        if a.type is not b.type or not a.type.is_scalar:
+            raise IRTypeError(f"select arms must match scalars, got {a.type}, {b.type}")
+        super().__init__("select", a.type, [cond, a, b])
+
+
+class Call(Instruction):
+    """Direct call.  ``callee`` is a Function or an intrinsic name string.
+
+    Calls are sync points for duplication (argument values are checked
+    before the call).  A call with a result is an IR injection site — a
+    fault in its destination register models corruption of the returned
+    value in the caller.
+    """
+
+    is_sync_point = True
+    __slots__ = ("callee",)
+
+    def __init__(self, callee, args: Sequence[Value], ret_type: Optional[T.Type] = None):
+        from .module import Function  # local to avoid cycle
+
+        if isinstance(callee, Function):
+            fnty = callee.type
+            if len(args) != len(fnty.params) and not fnty.variadic:
+                raise IRTypeError(
+                    f"call to @{callee.name}: expected {len(fnty.params)} args, "
+                    f"got {len(args)}"
+                )
+            for i, (a, p) in enumerate(zip(args, fnty.params)):
+                if a.type is not p:
+                    raise IRTypeError(
+                        f"call to @{callee.name}: arg {i} is {a.type}, expected {p}"
+                    )
+            rty = fnty.ret
+        else:
+            if ret_type is None:
+                raise IRTypeError("intrinsic call needs explicit ret_type")
+            rty = ret_type
+        super().__init__("call", rty, list(args))
+        self.callee = callee
+
+    @property
+    def has_result(self) -> bool:  # type: ignore[override]
+        return not self.type.is_void
+
+    @property
+    def callee_name(self) -> str:
+        from .module import Function
+
+        return self.callee.name if isinstance(self.callee, Function) else self.callee
+
+    def describe(self) -> str:
+        ops = ", ".join(o.short() for o in self.operands)
+        head = f"%t{self.iid} = call" if self.has_result else "call"
+        return f"{head} @{self.callee_name}({ops})"
+
+
+# -- terminators ---------------------------------------------------------
+
+
+class Br(Instruction):
+    """Unconditional branch."""
+
+    has_result = False
+    is_terminator = True
+    __slots__ = ("target",)
+
+    def __init__(self, target):
+        super().__init__("br", T.VOID, [])
+        self.target = target
+
+    def successors(self) -> List:
+        return [self.target]
+
+    def describe(self) -> str:
+        return f"br label %{self.target.label}"
+
+
+class CondBr(Instruction):
+    """Conditional branch; a sync point for duplication."""
+
+    has_result = False
+    is_terminator = True
+    is_sync_point = True
+    __slots__ = ("then_block", "else_block")
+
+    def __init__(self, cond: Value, then_block, else_block):
+        if cond.type is not T.I1:
+            raise IRTypeError(f"condbr condition must be i1, got {cond.type}")
+        super().__init__("condbr", T.VOID, [cond])
+        self.then_block = then_block
+        self.else_block = else_block
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    def successors(self) -> List:
+        return [self.then_block, self.else_block]
+
+    def describe(self) -> str:
+        return (f"condbr {self.condition.short()}, "
+                f"label %{self.then_block.label}, label %{self.else_block.label}")
+
+
+class Ret(Instruction):
+    """Return (a sync point when it carries a value)."""
+
+    has_result = False
+    is_terminator = True
+    is_sync_point = True
+    __slots__ = ()
+
+    def __init__(self, value: Optional[Value] = None):
+        super().__init__("ret", T.VOID, [value] if value is not None else [])
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+    def describe(self) -> str:
+        return f"ret {self.value.short()}" if self.operands else "ret void"
+
+
+class Unreachable(Instruction):
+    """Marks control flow that must never execute (after detect calls)."""
+
+    has_result = False
+    is_terminator = True
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__("unreachable", T.VOID, [])
+
+    def describe(self) -> str:
+        return "unreachable"

@@ -1,0 +1,102 @@
+"""Runtime intrinsics.
+
+Intrinsics are calls by *name* (string callee) handled directly by the
+IR interpreter and lowered to runtime stubs by the backend.  They model
+the C runtime the paper's benchmarks link against:
+
+* ``print_i64`` / ``print_f64`` / ``print_char`` — program output, which
+  is what SDC detection diffs against the golden run.  ``print_f64``
+  formats with 6 significant digits (like ``printf("%g")``), so tiny
+  float perturbations below the printed precision are benign — the same
+  effect appears in the paper's benchmarks.
+* ``__detect`` — the checker's error handler.  Terminates the run with
+  the *Detected* outcome.  Inserted by the duplication pass and Flowery.
+* ``sqrt_f64`` / ``log_f64`` / ``exp_f64`` / ``sin_f64`` / ``cos_f64``
+  / ``fabs_f64`` / ``pow_f64`` — libm subset used by the numerical
+  benchmarks (EP, CG, FFT2, Basicmath...).
+
+Intrinsic calls never count as protected computation: like libc calls
+in the paper's setup, faults inside them are out of scope; their
+*arguments* are checked at the call sync point like any other call.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Tuple
+
+from . import types as T
+
+__all__ = [
+    "INTRINSICS",
+    "is_intrinsic",
+    "intrinsic_signature",
+    "DETECT",
+    "PRINT_I64",
+    "PRINT_F64",
+    "PRINT_CHAR",
+]
+
+DETECT = "__detect"
+PRINT_I64 = "print_i64"
+PRINT_F64 = "print_f64"
+PRINT_CHAR = "print_char"
+
+#: name -> (param types, return type)
+INTRINSICS: Dict[str, Tuple[Tuple[T.Type, ...], T.Type]] = {
+    PRINT_I64: ((T.I64,), T.VOID),
+    PRINT_F64: ((T.F64,), T.VOID),
+    PRINT_CHAR: ((T.I64,), T.VOID),
+    DETECT: ((), T.VOID),
+    "sqrt_f64": ((T.F64,), T.F64),
+    "log_f64": ((T.F64,), T.F64),
+    "exp_f64": ((T.F64,), T.F64),
+    "sin_f64": ((T.F64,), T.F64),
+    "cos_f64": ((T.F64,), T.F64),
+    "fabs_f64": ((T.F64,), T.F64),
+    "pow_f64": ((T.F64, T.F64), T.F64),
+    "floor_f64": ((T.F64,), T.F64),
+}
+
+
+def is_intrinsic(name: str) -> bool:
+    return name in INTRINSICS
+
+
+def intrinsic_signature(name: str) -> Tuple[Tuple[T.Type, ...], T.Type]:
+    return INTRINSICS[name]
+
+
+def _clamp(x: float) -> float:
+    """Keep libm results finite-ish under faulty inputs instead of raising."""
+    return x
+
+
+def math_impl(name: str) -> Callable[..., float]:
+    """Host implementation of a math intrinsic.
+
+    Domain errors under faulty inputs return NaN rather than raising a
+    Python exception — mirroring IEEE behaviour of the real libm (which
+    sets errno but returns NaN/inf).
+    """
+
+    def safe(fn: Callable[..., float]) -> Callable[..., float]:
+        def wrapped(*args: float) -> float:
+            try:
+                return _clamp(fn(*args))
+            except (ValueError, OverflowError):
+                return float("nan")
+
+        return wrapped
+
+    table: Dict[str, Callable[..., float]] = {
+        "sqrt_f64": safe(math.sqrt),
+        "log_f64": safe(math.log),
+        "exp_f64": safe(math.exp),
+        "sin_f64": safe(math.sin),
+        "cos_f64": safe(math.cos),
+        "fabs_f64": safe(math.fabs),
+        "pow_f64": safe(math.pow),
+        "floor_f64": safe(math.floor),
+    }
+    return table[name]

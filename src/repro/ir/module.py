@@ -1,0 +1,240 @@
+"""Module, function and basic-block containers.
+
+A :class:`Module` owns globals and functions and allocates instruction
+ids.  A :class:`Function` is an ordered list of :class:`BasicBlock`;
+the first block is the entry.  Blocks hold plain Python lists of
+instructions — passes mutate them directly and call
+:meth:`Function.renumber` afterwards if they created instructions
+outside the builder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from ..errors import IRError
+from ..utils.ids import IdAllocator
+from . import types as T
+from .instructions import Instruction
+from .values import Argument, GlobalVariable, Value
+
+__all__ = ["Module", "Function", "BasicBlock"]
+
+
+class BasicBlock:
+    """A labelled straight-line instruction sequence ending in a terminator."""
+
+    __slots__ = ("label", "instructions", "parent")
+
+    def __init__(self, label: str, parent: Optional["Function"] = None):
+        self.label = label
+        self.instructions: List[Instruction] = []
+        self.parent = parent
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    def append(self, inst: Instruction) -> Instruction:
+        if self.terminator is not None:
+            raise IRError(f"block {self.label} already terminated")
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    def insert(self, index: int, inst: Instruction) -> Instruction:
+        inst.parent = self
+        self.instructions.insert(index, inst)
+        return inst
+
+    def index_of(self, inst: Instruction) -> int:
+        for i, x in enumerate(self.instructions):
+            if x is inst:
+                return i
+        raise IRError(f"instruction not in block {self.label}")
+
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        return term.successors() if term else []
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<BasicBlock {self.label} ({len(self.instructions)} insts)>"
+
+
+class Function(Value):
+    """A function definition (or declaration, when it has no blocks)."""
+
+    __slots__ = ("module", "blocks", "args", "_label_counter")
+
+    def __init__(self, name: str, fnty: T.FunctionType, module: "Module"):
+        super().__init__(fnty, name)
+        self.module = module
+        self.blocks: List[BasicBlock] = []
+        self.args: List[Argument] = []
+        for i, pty in enumerate(fnty.params):
+            arg = Argument(pty, i)
+            arg.function = self
+            self.args.append(arg)
+        self._label_counter = 0
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    @property
+    def return_type(self) -> T.Type:
+        return self.type.ret
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise IRError(f"function @{self.name} has no blocks")
+        return self.blocks[0]
+
+    def new_block(self, label: str = "") -> BasicBlock:
+        if not label:
+            label = f"bb{self._label_counter}"
+        else:
+            label = self._unique_label(label)
+        self._label_counter += 1
+        block = BasicBlock(label, self)
+        self.blocks.append(block)
+        return block
+
+    def _unique_label(self, label: str) -> str:
+        existing = {b.label for b in self.blocks}
+        if label not in existing:
+            return label
+        n = 1
+        while f"{label}.{n}" in existing:
+            n += 1
+        return f"{label}.{n}"
+
+    def block_by_label(self, label: str) -> BasicBlock:
+        for b in self.blocks:
+            if b.label == label:
+                return b
+        raise IRError(f"no block {label!r} in @{self.name}")
+
+    def instructions(self) -> Iterator[Instruction]:
+        """All instructions in block order."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    def predecessors(self) -> Dict[BasicBlock, List[BasicBlock]]:
+        """Map each block to its predecessor list."""
+        preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors():
+                # tolerate foreign targets here; the verifier reports them
+                preds.setdefault(succ, []).append(block)
+        return preds
+
+    def compute_uses(self) -> Dict[int, List[Instruction]]:
+        """Map instruction iid -> instructions using it as an operand."""
+        uses: Dict[int, List[Instruction]] = {}
+        for inst in self.instructions():
+            for op in inst.operands:
+                if isinstance(op, Instruction):
+                    uses.setdefault(op.iid, []).append(inst)
+        return uses
+
+    def short(self) -> str:
+        return f"@{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "declaration" if self.is_declaration else f"{len(self.blocks)} blocks"
+        return f"<Function @{self.name} ({kind})>"
+
+
+class Module:
+    """Top-level IR container."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.globals: Dict[str, GlobalVariable] = {}
+        self.functions: Dict[str, Function] = {}
+        self._ids = IdAllocator()
+
+    # -- construction ---------------------------------------------------
+
+    def add_global(self, gv: GlobalVariable) -> GlobalVariable:
+        if gv.name in self.globals:
+            raise IRError(f"duplicate global @{gv.name}")
+        self.globals[gv.name] = gv
+        return gv
+
+    def global_var(
+        self,
+        name: str,
+        value_type: T.Type,
+        initializer=None,
+        is_const: bool = False,
+        volatile: bool = False,
+    ) -> GlobalVariable:
+        return self.add_global(
+            GlobalVariable(name, value_type, initializer, is_const, volatile)
+        )
+
+    def add_function(self, name: str, fnty: T.FunctionType) -> Function:
+        if name in self.functions:
+            raise IRError(f"duplicate function @{name}")
+        fn = Function(name, fnty, self)
+        self.functions[name] = fn
+        return fn
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IRError(f"no function @{name} in module {self.name}") from None
+
+    def get_global(self, name: str) -> GlobalVariable:
+        try:
+            return self.globals[name]
+        except KeyError:
+            raise IRError(f"no global @{name} in module {self.name}") from None
+
+    def next_iid(self) -> int:
+        return self._ids.next()
+
+    def assign_iid(self, inst: Instruction) -> Instruction:
+        """Give ``inst`` a fresh id if it does not have one."""
+        if inst.iid == 0:
+            inst.iid = self.next_iid()
+        return inst
+
+    def assign_all_iids(self) -> None:
+        """Assign ids to every instruction lacking one (post-pass fixup)."""
+        for fn in self.functions.values():
+            for inst in fn.instructions():
+                self.assign_iid(inst)
+
+    # -- queries ----------------------------------------------------------
+
+    def instructions(self) -> Iterator[Instruction]:
+        for fn in self.functions.values():
+            yield from fn.instructions()
+
+    def instruction_by_iid(self, iid: int) -> Instruction:
+        for inst in self.instructions():
+            if inst.iid == iid:
+                return inst
+        raise IRError(f"no instruction with iid {iid}")
+
+    def static_instruction_count(self) -> int:
+        return sum(1 for _ in self.instructions())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Module {self.name}: {len(self.functions)} functions, "
+                f"{len(self.globals)} globals>")

@@ -1,0 +1,461 @@
+"""Textual IR parser — the inverse of :mod:`repro.ir.printer`.
+
+Lets users write IR fixtures directly and round-trips every module the
+printer can emit, including protection metadata comments (``dup_of``,
+``checker``, ``protected``, ``flowery``), so a protected module can be
+serialised and reloaded.
+
+Grammar (exactly the printer's output format)::
+
+    ; module NAME
+    @g = [volatile] (global|constant) TYPE (INT | FLOAT | [v, ...] | zeroinitializer)
+    define RET @fn(TYPE %a, ...) {
+    label:
+      %tN = add i64 %t3, i64 7
+      store i64 %t4, i64* @g
+      condbr i1 %t5, label %then, label %else
+      ...
+    }
+    declare RET @fn(TYPE, ...)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import ParseError
+from . import types as T
+from .instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    Gep,
+    ICmp,
+    Instruction,
+    Load,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+    CAST_OPS,
+    FLOAT_BINOPS,
+    INT_BINOPS,
+)
+from .module import BasicBlock, Function, Module
+from .values import Argument, Constant, GlobalVariable, Value
+
+__all__ = ["parse_ir", "IRParseError"]
+
+
+class IRParseError(ParseError):
+    pass
+
+
+_TYPE_RE = re.compile(r"^(i1|i8|i16|i32|i64|f64|void)(\**)$")
+_ARRAY_RE = re.compile(r"^\[(\d+) x (.+)\]$")
+
+
+def _parse_type(text: str, line: int) -> T.Type:
+    text = text.strip()
+    m = _ARRAY_RE.match(text)
+    if m:
+        inner = _parse_type(m.group(2), line)
+        return T.array(inner, int(m.group(1)))
+    stars = 0
+    while text.endswith("*"):
+        stars += 1
+        text = text[:-1]
+    m2 = _ARRAY_RE.match(text)
+    if m2:
+        base: T.Type = T.array(_parse_type(m2.group(2), line),
+                               int(m2.group(1)))
+    else:
+        base = {
+            "i1": T.I1, "i8": T.I8, "i16": T.I16, "i32": T.I32,
+            "i64": T.I64, "f64": T.F64, "void": T.VOID,
+        }.get(text)
+        if base is None:
+            raise IRParseError(f"unknown type {text!r}", line)
+    for _ in range(stars):
+        base = T.ptr(base)
+    return base
+
+
+def _split_args(text: str) -> List[str]:
+    """Split a comma-separated operand list, respecting brackets."""
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+class _FunctionContext:
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self.temps: Dict[int, Instruction] = {}
+        self.args = {f"%{a.name}": a for a in fn.args}
+        #: (instruction, operand template) fixups resolved after all
+        #: blocks exist / all temps are defined
+        self.pending: List[Tuple[Instruction, List[Tuple[int, int]]]] = []
+        self.block_fixups: List[Tuple[Instruction, str, str]] = []
+
+
+class IRTextParser:
+    def __init__(self, text: str):
+        self.lines = text.splitlines()
+        self.pos = 0
+        self.module = Module("parsed")
+
+    def _error(self, msg: str) -> IRParseError:
+        return IRParseError(msg, self.pos)
+
+    # -- top level ---------------------------------------------------------
+
+    def parse(self) -> Module:
+        while self.pos < len(self.lines):
+            line = self.lines[self.pos].strip()
+            self.pos += 1
+            if not line:
+                continue
+            if line.startswith("; module"):
+                self.module.name = line[len("; module"):].strip() or "parsed"
+                continue
+            if line.startswith(";"):
+                continue
+            if line.startswith("@"):
+                self._parse_global(line)
+            elif line.startswith("define"):
+                self._parse_function(line)
+            elif line.startswith("declare"):
+                self._parse_declaration(line)
+            else:
+                raise self._error(f"unexpected top-level line: {line!r}")
+        # instructions without results print no %tN, so they lost their
+        # ids; hand out fresh ones above every id seen in the text
+        from ..utils.ids import IdAllocator
+
+        max_iid = max(
+            (i.iid for i in self.module.instructions()), default=0
+        )
+        self.module._ids = IdAllocator(max_iid + 1)
+        self.module.assign_all_iids()
+        return self.module
+
+    _GLOBAL_RE = re.compile(
+        r"^@(?P<name>[\w.]+) =(?P<vol> volatile)? "
+        r"(?P<kind>global|constant) (?P<rest>.+)$"
+    )
+
+    def _parse_global(self, line: str) -> None:
+        m = self._GLOBAL_RE.match(line)
+        if not m:
+            raise self._error(f"bad global: {line!r}")
+        rest = m.group("rest").strip()
+        # the type is everything up to the initializer; initializer is
+        # the last space-separated token unless it is a bracket list
+        if rest.endswith("zeroinitializer"):
+            ty_text = rest[: -len("zeroinitializer")].strip()
+            init = None
+        elif rest.endswith("]") and " [" in rest:
+            ty_text, _, init_text = rest.rpartition(" [")
+            init_text = "[" + init_text
+            items = _split_args(init_text[1:-1])
+            vt = _parse_type(ty_text, self.pos)
+            is_float = vt.is_array and vt.flattened_element.is_float
+            init = [
+                float(x) if is_float else int(x) for x in items if x
+            ]
+            self.module.global_var(
+                m.group("name"), vt, init,
+                is_const=m.group("kind") == "constant",
+                volatile=bool(m.group("vol")),
+            )
+            return
+        else:
+            ty_text, _, init_text = rest.rpartition(" ")
+            vt0 = _parse_type(ty_text, self.pos)
+            init = (
+                float(init_text) if vt0.is_float else int(init_text)
+            )
+            self.module.global_var(
+                m.group("name"), vt0, init,
+                is_const=m.group("kind") == "constant",
+                volatile=bool(m.group("vol")),
+            )
+            return
+        vt = _parse_type(ty_text, self.pos)
+        self.module.global_var(
+            m.group("name"), vt, init,
+            is_const=m.group("kind") == "constant",
+            volatile=bool(m.group("vol")),
+        )
+
+    _SIG_RE = re.compile(
+        r"^(define|declare) (?P<ret>[^@]+) @(?P<name>[\w.]+)"
+        r"\((?P<params>.*)\)(?P<brace> \{)?$"
+    )
+
+    def _parse_signature(self, line: str):
+        m = self._SIG_RE.match(line.strip())
+        if not m:
+            raise self._error(f"bad function signature: {line!r}")
+        ret = _parse_type(m.group("ret"), self.pos)
+        params: List[T.Type] = []
+        names: List[str] = []
+        for p in _split_args(m.group("params")):
+            if not p:
+                continue
+            ty_text, _, pname = p.rpartition(" %")
+            if not ty_text:  # declaration without names
+                params.append(_parse_type(p, self.pos))
+                names.append("")
+            else:
+                params.append(_parse_type(ty_text, self.pos))
+                names.append(pname)
+        return m.group("name"), ret, params, names
+
+    def _parse_declaration(self, line: str) -> None:
+        name, ret, params, names = self._parse_signature(line)
+        fn = self.module.add_function(name, T.function_type(ret, params))
+        for arg, n in zip(fn.args, names):
+            if n:
+                arg.name = n
+
+    def _parse_function(self, line: str) -> None:
+        name, ret, params, names = self._parse_signature(line)
+        fn = self.module.add_function(name, T.function_type(ret, params))
+        for arg, n in zip(fn.args, names):
+            if n:
+                arg.name = n
+        ctx = _FunctionContext(fn)
+        current: Optional[BasicBlock] = None
+        while self.pos < len(self.lines):
+            raw = self.lines[self.pos]
+            self.pos += 1
+            line = raw.strip()
+            if line == "}":
+                break
+            if not line or line.startswith(";"):
+                continue
+            if line.endswith(":") and not raw.startswith(" "):
+                label = line[:-1]
+                current = BasicBlock(label, fn)
+                fn.blocks.append(current)
+                continue
+            if current is None:
+                raise self._error(f"instruction outside a block: {line!r}")
+            inst = self._parse_instruction(line, ctx)
+            inst.parent = current
+            current.instructions.append(inst)
+        # resolve block references
+        for inst, then_label, else_label in ctx.block_fixups:
+            if isinstance(inst, Br):
+                inst.target = fn.block_by_label(then_label)
+            else:
+                inst.then_block = fn.block_by_label(then_label)
+                inst.else_block = fn.block_by_label(else_label)
+
+    # -- instructions ----------------------------------------------------------
+
+    _ATTR_RE = re.compile(r"\s*;\s*(.*)$")
+
+    def _split_attrs(self, line: str) -> Tuple[str, Dict]:
+        attrs: Dict = {}
+        if ";" in line:
+            body, _, tail = line.partition(";")
+            for item in tail.split(","):
+                item = item.strip()
+                if not item:
+                    continue
+                if item.startswith("dup_of=%t"):
+                    attrs["dup_of"] = int(item[len("dup_of=%t"):])
+                elif item == "checker":
+                    attrs["checker"] = True
+                elif item == "protected":
+                    attrs["protected"] = True
+                elif item.startswith("flowery="):
+                    attrs["flowery"] = item[len("flowery="):]
+            return body.strip(), attrs
+        return line.strip(), attrs
+
+    def _value(self, text: str, ctx: _FunctionContext,
+               ty: Optional[T.Type] = None) -> Value:
+        """Operand of the form 'TYPE ref' or a bare ref/literal with a
+        context-supplied type."""
+        text = text.strip()
+        # 'TYPE %ref' / 'TYPE @ref' — the type may itself contain spaces
+        # ([N x T]), so split at the last %/@ token
+        for marker in (" %", " @"):
+            idx = text.rfind(marker)
+            if idx >= 0:
+                maybe_ty = text[:idx].strip()
+                try:
+                    ty = _parse_type(maybe_ty, self.pos)
+                    text = text[idx + 1:].strip()
+                except IRParseError:
+                    pass
+                break
+        else:
+            if " " in text:
+                maybe_ty, _, rest = text.partition(" ")
+                try:
+                    ty = _parse_type(maybe_ty, self.pos)
+                    text = rest.strip()
+                except IRParseError:
+                    pass
+        if text.startswith("%t"):
+            iid = int(text[2:])
+            inst = ctx.temps.get(iid)
+            if inst is None:
+                raise self._error(f"use of undefined %t{iid}")
+            return inst
+        if text.startswith("%"):
+            arg = ctx.args.get(text)
+            if arg is None:
+                raise self._error(f"unknown argument {text}")
+            return arg
+        if text.startswith("@"):
+            return self.module.get_global(text[1:])
+        if ty is None:
+            raise self._error(f"cannot type literal {text!r}")
+        if ty.is_float:
+            return Constant(ty, float(text))
+        return Constant(ty, int(text))
+
+    _INST_RE = re.compile(r"^%t(?P<iid>\d+) = (?P<body>.+)$")
+
+    def _parse_instruction(self, line: str, ctx: _FunctionContext) -> Instruction:
+        body, attrs = self._split_attrs(line)
+        m = self._INST_RE.match(body)
+        iid = None
+        if m:
+            iid = int(m.group("iid"))
+            body = m.group("body")
+        inst = self._build(body, ctx)
+        inst.attrs.update(attrs)
+        if iid is not None:
+            inst.iid = iid
+            ctx.temps[iid] = inst
+        return inst
+
+    def _build(self, body: str, ctx: _FunctionContext) -> Instruction:
+        op, _, rest = body.partition(" ")
+        rest = rest.strip()
+
+        if op == "alloca":
+            return Alloca(_parse_type(rest, self.pos))
+        if op == "load":
+            vol = rest.startswith("volatile ")
+            if vol:
+                rest = rest[len("volatile "):]
+            parts = _split_args(rest)
+            ptr = self._value(parts[1], ctx)
+            return Load(ptr, volatile=vol)
+        if op == "store":
+            vol = rest.startswith("volatile ")
+            if vol:
+                rest = rest[len("volatile "):]
+            parts = _split_args(rest)
+            ptr = self._value(parts[1], ctx)
+            value = self._value(parts[0], ctx, ptr.type.pointee)
+            return Store(value, ptr, volatile=vol)
+        if op in ("icmp", "fcmp"):
+            pred, _, operands = rest.partition(" ")
+            parts = _split_args(operands)
+            a = self._value(parts[0], ctx)
+            b = self._value(parts[1], ctx, a.type)
+            return ICmp(pred, a, b) if op == "icmp" else FCmp(pred, a, b)
+        if op == "gep":
+            parts = _split_args(rest)
+            base = self._value(parts[0], ctx)
+            index = self._value(parts[1], ctx, T.I64)
+            return Gep(base, index)
+        if op in CAST_OPS:
+            src_text, _, to_text = rest.rpartition(" to ")
+            value = self._value(src_text, ctx)
+            return Cast(op, value, _parse_type(to_text, self.pos))
+        if op == "select":
+            parts = _split_args(rest)
+            cond = self._value(parts[0], ctx, T.I1)
+            a = self._value(parts[1], ctx)
+            b = self._value(parts[2], ctx, a.type)
+            return Select(cond, a, b)
+        if op == "call" or (op == "void" and rest.startswith("@")):
+            return self._build_call(rest, ctx)
+        if op == "br":
+            label = rest.split("%", 1)[1]
+            inst = Br(None)
+            ctx.block_fixups.append((inst, label, ""))
+            return inst
+        if op == "condbr":
+            parts = _split_args(rest)
+            cond = self._value(parts[0], ctx, T.I1)
+            then_label = parts[1].split("%", 1)[1]
+            else_label = parts[2].split("%", 1)[1]
+            inst = CondBr(cond, None, None)
+            ctx.block_fixups.append((inst, then_label, else_label))
+            return inst
+        if op == "ret":
+            if rest == "void":
+                return Ret()
+            return Ret(self._value(rest, ctx))
+        if op == "unreachable" or body == "unreachable":
+            return Unreachable()
+        if op in INT_BINOPS or op in FLOAT_BINOPS:
+            parts = _split_args(rest)
+            a = self._value(parts[0], ctx)
+            b = self._value(parts[1], ctx, a.type)
+            return BinOp(op, a, b)
+        raise self._error(f"cannot parse instruction {body!r}")
+
+    _CALL_RE = re.compile(r"^(?P<ret>.*?)\s*@(?P<name>[\w.]+)\((?P<args>.*)\)$")
+
+    def _build_call(self, rest: str, ctx: _FunctionContext) -> Call:
+        m = self._CALL_RE.match(rest)
+        if not m:
+            raise self._error(f"bad call: {rest!r}")
+        ret = _parse_type(m.group("ret") or "void", self.pos)
+        name = m.group("name")
+        args = [
+            self._value(a, ctx) for a in _split_args(m.group("args")) if a
+        ]
+        callee: Union[str, Function]
+        if name in self.module.functions:
+            callee = self.module.functions[name]
+            return Call(callee, args)
+        from .intrinsics import is_intrinsic
+
+        if is_intrinsic(name):
+            return Call(name, args, ret_type=ret)
+        # forward reference to a function defined later: record a stub
+        raise self._error(
+            f"call to @{name} before its definition — the printer emits "
+            "functions in definition order; reorder or declare it first"
+        )
+
+
+def parse_ir(text: str) -> Module:
+    """Parse printer-format IR text into a verified-parseable module.
+
+    Note: call targets must be defined (or declared) before use, as in
+    the printer's output order for modules built by the frontend.
+    """
+    return IRTextParser(text).parse()

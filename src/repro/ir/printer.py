@@ -1,0 +1,135 @@
+"""Textual IR printer (LLVM-flavoured).
+
+Purely for diagnostics, tests and examples — the toolchain operates on
+the object graph.  The format is stable so tests can assert on it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import types as T
+from .instructions import (
+    Alloca,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    Gep,
+    ICmp,
+    Instruction,
+    Load,
+    Ret,
+    Select,
+    Store,
+)
+from .module import Function, Module
+from .values import Argument, Constant, GlobalVariable, Value
+
+__all__ = ["print_module", "print_function", "format_instruction"]
+
+
+def _val(v: Value) -> str:
+    if isinstance(v, Constant):
+        return f"{v.type} {v.short()}"
+    if isinstance(v, GlobalVariable):
+        return f"{v.type} @{v.name}"
+    if isinstance(v, Argument):
+        return f"{v.type} %{v.name}"
+    if isinstance(v, Instruction):
+        return f"{v.type} %t{v.iid}"
+    return f"{v.type} {v.short()}"
+
+
+def _attrs_suffix(inst: Instruction) -> str:
+    tags: List[str] = []
+    if inst.is_shadow:
+        tags.append(f"dup_of=%t{inst.attrs['dup_of']}")
+    if inst.is_checker:
+        tags.append("checker")
+    if inst.is_protected:
+        tags.append("protected")
+    if "flowery" in inst.attrs:
+        tags.append(f"flowery={inst.attrs['flowery']}")
+    return f"  ; {', '.join(tags)}" if tags else ""
+
+
+def format_instruction(inst: Instruction) -> str:
+    if isinstance(inst, Alloca):
+        body = f"%t{inst.iid} = alloca {inst.allocated_type}"
+    elif isinstance(inst, Load):
+        vol = "volatile " if inst.volatile else ""
+        body = f"%t{inst.iid} = load {vol}{inst.type}, {_val(inst.pointer)}"
+    elif isinstance(inst, Store):
+        vol = "volatile " if inst.volatile else ""
+        body = f"store {vol}{_val(inst.value)}, {_val(inst.pointer)}"
+    elif isinstance(inst, ICmp):
+        a, b = inst.operands
+        body = f"%t{inst.iid} = icmp {inst.pred} {_val(a)}, {b.short()}"
+    elif isinstance(inst, FCmp):
+        a, b = inst.operands
+        body = f"%t{inst.iid} = fcmp {inst.pred} {_val(a)}, {b.short()}"
+    elif isinstance(inst, Gep):
+        body = (f"%t{inst.iid} = gep {_val(inst.base)}, {_val(inst.index)}")
+    elif isinstance(inst, Cast):
+        body = (f"%t{inst.iid} = {inst.opcode} {_val(inst.operands[0])} "
+                f"to {inst.type}")
+    elif isinstance(inst, Select):
+        c, a, b = inst.operands
+        body = (f"%t{inst.iid} = select {_val(c)}, {_val(a)}, {b.short()}")
+    elif isinstance(inst, Call):
+        args = ", ".join(_val(a) for a in inst.operands)
+        if inst.has_result:
+            body = f"%t{inst.iid} = call {inst.type} @{inst.callee_name}({args})"
+        else:
+            body = f"call void @{inst.callee_name}({args})"
+    elif isinstance(inst, Br):
+        body = f"br label %{inst.target.label}"
+    elif isinstance(inst, CondBr):
+        body = (f"condbr {_val(inst.condition)}, label %{inst.then_block.label}, "
+                f"label %{inst.else_block.label}")
+    elif isinstance(inst, Ret):
+        body = f"ret {_val(inst.value)}" if inst.value is not None else "ret void"
+    else:
+        ops = ", ".join(_val(o) for o in inst.operands)
+        if inst.has_result:
+            body = f"%t{inst.iid} = {inst.opcode} {ops}".rstrip()
+        else:
+            body = f"{inst.opcode} {ops}".rstrip()
+    return body + _attrs_suffix(inst)
+
+
+def print_function(fn: Function) -> str:
+    params = ", ".join(f"{a.type} %{a.name}" for a in fn.args)
+    head = f"define {fn.return_type} @{fn.name}({params})"
+    if fn.is_declaration:
+        return f"declare {fn.return_type} @{fn.name}({params})"
+    lines = [head + " {"]
+    for block in fn.blocks:
+        lines.append(f"{block.label}:")
+        for inst in block.instructions:
+            lines.append(f"  {format_instruction(inst)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _fmt_init(gv: GlobalVariable) -> str:
+    if gv.initializer is None:
+        return "zeroinitializer"
+    if isinstance(gv.initializer, (list, tuple)):
+        inner = ", ".join(str(x) for x in gv.flat_initializer())
+        return f"[{inner}]"
+    return str(gv.initializer)
+
+
+def print_module(module: Module) -> str:
+    lines = [f"; module {module.name}"]
+    for gv in module.globals.values():
+        qual = "constant" if gv.is_const else "global"
+        vol = " volatile" if gv.volatile else ""
+        lines.append(f"@{gv.name} ={vol} {qual} {gv.value_type} {_fmt_init(gv)}")
+    for fn in module.functions.values():
+        lines.append("")
+        lines.append(print_function(fn))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,163 @@
+"""IR value hierarchy: everything an instruction can use as an operand.
+
+``Value`` is the abstract base.  Concrete values are:
+
+* :class:`Constant` — integer/float/pointer literals
+* :class:`Argument` — formal function parameters
+* :class:`GlobalVariable` — module-level storage (also used for MiniC
+  string literals, benchmark input arrays and Flowery's guard/expect
+  globals)
+* :class:`~repro.ir.instructions.Instruction` — any instruction that
+  produces a result
+
+Values are compared by identity.  Constants are *not* interned (they are
+tiny and identity-interning them would complicate provenance when the
+duplication pass clones instruction operand lists).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from ..errors import IRTypeError
+from . import types as T
+
+__all__ = ["Value", "Constant", "Argument", "GlobalVariable", "const_int",
+           "const_float", "const_bool"]
+
+
+class Value:
+    """Abstract IR value with a type and an optional name."""
+
+    __slots__ = ("type", "name")
+
+    def __init__(self, type: T.Type, name: str = ""):
+        self.type = type
+        self.name = name
+
+    def short(self) -> str:
+        """Short printable form used inside instruction operand lists."""
+        return self.name or "<anon>"
+
+
+class Constant(Value):
+    """A scalar literal.
+
+    ``value`` is a Python int in canonical signed form for integer and
+    pointer types (pointer constants only arise as null) or a Python
+    float for ``f64``.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, type: T.Type, value: Union[int, float]):
+        if type.is_integer or type.is_pointer:
+            if not isinstance(value, int):
+                raise IRTypeError(f"constant of {type} must be int, got {value!r}")
+        elif type.is_float:
+            value = float(value)
+        else:
+            raise IRTypeError(f"cannot make constant of type {type}")
+        super().__init__(type, "")
+        self.value = value
+
+    def short(self) -> str:
+        if self.type.is_float:
+            return repr(self.value)
+        return str(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Constant({self.type}, {self.value})"
+
+
+def const_int(value: int, type: T.IntType = T.I64) -> Constant:
+    """Integer constant, wrapped into the type's signed range."""
+    from ..utils.bits import wrap_signed
+
+    return Constant(type, wrap_signed(int(value), type.width))
+
+
+def const_float(value: float) -> Constant:
+    """``f64`` constant."""
+    return Constant(T.F64, float(value))
+
+
+def const_bool(value: bool) -> Constant:
+    """``i1`` constant."""
+    return Constant(T.I1, 1 if value else 0)
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    __slots__ = ("index", "function")
+
+    def __init__(self, type: T.Type, index: int, name: str = ""):
+        super().__init__(type, name or f"arg{index}")
+        self.index = index
+        self.function = None  # back-reference set by Function
+
+    def short(self) -> str:
+        return f"%{self.name}"
+
+
+class GlobalVariable(Value):
+    """Module-level storage.
+
+    The *value type* is what the global stores; like LLVM, the global
+    used as an operand has pointer-to-value type.  ``initializer`` is a
+    scalar (int/float) for scalar globals or a list of scalars for array
+    globals; ``None`` zero-initialises.
+
+    ``volatile`` marks globals whose loads must never be assumed
+    redundant by any CSE-style analysis — Flowery's opaque guard relies
+    on this, mirroring C ``volatile`` semantics.
+    """
+
+    __slots__ = ("value_type", "initializer", "is_const", "volatile")
+
+    def __init__(
+        self,
+        name: str,
+        value_type: T.Type,
+        initializer=None,
+        is_const: bool = False,
+        volatile: bool = False,
+    ):
+        if not (value_type.is_scalar or value_type.is_array):
+            raise IRTypeError(f"global of type {value_type} is not supported")
+        super().__init__(T.ptr(value_type), name)
+        self.value_type = value_type
+        self.initializer = initializer
+        self.is_const = is_const
+        self.volatile = volatile
+
+    def short(self) -> str:
+        return f"@{self.name}"
+
+    def flat_initializer(self) -> List[Union[int, float]]:
+        """Initializer flattened to a list of scalars covering the whole
+        storage (zero-filled)."""
+        if self.value_type.is_array:
+            ty = self.value_type
+            count = ty.size // ty.flattened_element.size
+            zero = 0.0 if ty.flattened_element.is_float else 0
+            data = list(self.initializer or [])
+            flat: List[Union[int, float]] = []
+            stack = list(data)
+            for item in stack:
+                if isinstance(item, (list, tuple)):
+                    flat.extend(item)
+                else:
+                    flat.append(item)
+            if len(flat) > count:
+                raise IRTypeError(
+                    f"initializer for @{self.name} has {len(flat)} elements, "
+                    f"storage holds {count}"
+                )
+            flat.extend([zero] * (count - len(flat)))
+            return flat
+        zero = 0.0 if self.value_type.is_float else 0
+        if self.initializer is None:
+            return [zero]
+        return [self.initializer]

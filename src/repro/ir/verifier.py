@@ -1,0 +1,158 @@
+"""Structural verification of IR modules.
+
+The verifier enforces the invariants every later stage (interpreter,
+protection passes, backend) relies on.  Run it after the frontend and
+after each transformation pass in tests; it is cheap (linear).
+
+Checked invariants:
+
+* every reachable block ends in exactly one terminator (and only one);
+* every instruction has a module-unique positive ``iid``;
+* instruction operands are defined before use along every path
+  (approximated by: defined in a dominating block — we use the
+  conservative check "defined in the same block earlier, or in a block
+  that dominates", computed with a standard iterative dominator
+  analysis);
+* branch targets belong to the same function;
+* calls reference functions of the containing module (or intrinsics);
+* the entry block has no predecessors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..errors import VerifierError
+from .instructions import Br, Call, CondBr, Instruction
+from .intrinsics import is_intrinsic
+from .module import BasicBlock, Function, Module
+from .values import Argument, Constant, GlobalVariable
+
+__all__ = ["verify_module", "verify_function", "compute_dominators"]
+
+
+def compute_dominators(fn: Function) -> Dict[BasicBlock, Set[BasicBlock]]:
+    """Classic iterative dataflow dominator computation."""
+    blocks = fn.blocks
+    if not blocks:
+        return {}
+    entry = blocks[0]
+    preds = fn.predecessors()
+    all_blocks = set(blocks)
+    dom: Dict[BasicBlock, Set[BasicBlock]] = {b: set(all_blocks) for b in blocks}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for b in blocks:
+            if b is entry:
+                continue
+            pred_doms = [dom[p] for p in preds[b]]
+            new = set.intersection(*pred_doms) if pred_doms else set(all_blocks)
+            new = new | {b}
+            if new != dom[b]:
+                dom[b] = new
+                changed = True
+    return dom
+
+
+def verify_function(fn: Function, seen_iids: Set[int]) -> None:
+    if fn.is_declaration:
+        return
+    block_set = set(fn.blocks)
+
+    preds = fn.predecessors()
+    if preds[fn.entry]:
+        raise VerifierError(f"@{fn.name}: entry block has predecessors")
+
+    for block in fn.blocks:
+        if not block.instructions:
+            raise VerifierError(f"@{fn.name}/{block.label}: empty block")
+        term = block.instructions[-1]
+        if not term.is_terminator:
+            raise VerifierError(
+                f"@{fn.name}/{block.label}: block does not end in a terminator"
+            )
+        for inst in block.instructions[:-1]:
+            if inst.is_terminator:
+                raise VerifierError(
+                    f"@{fn.name}/{block.label}: terminator {inst.describe()} "
+                    "in the middle of a block"
+                )
+        for succ in block.successors():
+            if succ not in block_set:
+                raise VerifierError(
+                    f"@{fn.name}/{block.label}: branch to foreign block "
+                    f"{succ.label}"
+                )
+
+    # ids
+    for inst in fn.instructions():
+        if inst.iid <= 0:
+            raise VerifierError(
+                f"@{fn.name}: instruction without iid: {inst.describe()}"
+            )
+        if inst.iid in seen_iids:
+            raise VerifierError(f"@{fn.name}: duplicate iid {inst.iid}")
+        seen_iids.add(inst.iid)
+
+    # def-before-use via dominators
+    dom = compute_dominators(fn)
+    def_block: Dict[int, BasicBlock] = {}
+    def_index: Dict[int, int] = {}
+    for block in fn.blocks:
+        for idx, inst in enumerate(block.instructions):
+            def_block[inst.iid] = block
+            def_index[inst.iid] = idx
+
+    for block in fn.blocks:
+        for idx, inst in enumerate(block.instructions):
+            for op in inst.operands:
+                if isinstance(op, Instruction):
+                    db = def_block.get(op.iid)
+                    if db is None:
+                        raise VerifierError(
+                            f"@{fn.name}/{block.label}: operand %t{op.iid} of "
+                            f"{inst.describe()} is not defined in this function"
+                        )
+                    if db is block:
+                        if def_index[op.iid] >= idx:
+                            raise VerifierError(
+                                f"@{fn.name}/{block.label}: %t{op.iid} used "
+                                f"before definition in {inst.describe()}"
+                            )
+                    elif db not in dom[block]:
+                        raise VerifierError(
+                            f"@{fn.name}/{block.label}: %t{op.iid} does not "
+                            f"dominate its use in {inst.describe()}"
+                        )
+                elif isinstance(op, Argument):
+                    if op.function is not fn:
+                        raise VerifierError(
+                            f"@{fn.name}: foreign argument %{op.name} used"
+                        )
+                elif not isinstance(op, (Constant, GlobalVariable)):
+                    raise VerifierError(
+                        f"@{fn.name}: invalid operand kind {type(op).__name__}"
+                    )
+
+            if isinstance(inst, Call):
+                name = inst.callee_name
+                if isinstance(inst.callee, str) and not is_intrinsic(name):
+                    raise VerifierError(
+                        f"@{fn.name}: call to unknown intrinsic @{name}"
+                    )
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function; raises :class:`VerifierError` on failure."""
+    seen_iids: Set[int] = set()
+    for fn in module.functions.values():
+        verify_function(fn, seen_iids)
+        if not fn.is_declaration:
+            for inst in fn.instructions():
+                if isinstance(inst, Call) and not isinstance(inst.callee, str):
+                    if inst.callee.module is not module:
+                        raise VerifierError(
+                            f"@{fn.name}: call to function of another module"
+                        )

@@ -1,0 +1,12 @@
+"""Assembly machine — the "PIN level" execution and injection layer."""
+
+from .machine import (  # noqa: F401
+    AsmMachine,
+    CompiledProgram,
+    DEFAULT_MAX_STEPS,
+    compile_program,
+    run_asm,
+)
+
+__all__ = ["AsmMachine", "CompiledProgram", "compile_program", "run_asm",
+           "DEFAULT_MAX_STEPS"]

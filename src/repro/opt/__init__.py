@@ -1,0 +1,12 @@
+"""IR optimization passes (constant folding, DCE, CFG simplification)."""
+
+from .passes import (  # noqa: F401
+    OptStats,
+    constant_fold,
+    dead_code_elimination,
+    optimize_module,
+    simplify_cfg,
+)
+
+__all__ = ["optimize_module", "constant_fold", "dead_code_elimination",
+           "simplify_cfg", "OptStats"]

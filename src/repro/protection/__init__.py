@@ -1,0 +1,37 @@
+"""Instruction duplication, protection planning, and Flowery mitigation."""
+
+from .api import ProtectedProgram, protect  # noqa: F401
+from .duplication import (  # noqa: F401
+    CheckerInfo,
+    DuplicationInfo,
+    duplicable_instructions,
+    duplicate_module,
+    is_duplicable,
+)
+from .flowery import (  # noqa: F401
+    EXPECT_GLOBAL,
+    GUARD_GLOBAL,
+    anti_comparison_duplication,
+    apply_flowery,
+    eager_store_mode,
+    postponed_branch_check,
+)
+from .planner import (  # noqa: F401
+    PROTECTION_LEVELS,
+    ProtectionPlan,
+    SdcProfile,
+    knapsack_exact,
+    knapsack_greedy,
+    plan_protection,
+    profile_module,
+)
+
+__all__ = [
+    "protect", "ProtectedProgram",
+    "duplicate_module", "DuplicationInfo", "CheckerInfo",
+    "duplicable_instructions", "is_duplicable",
+    "apply_flowery", "postponed_branch_check", "anti_comparison_duplication",
+    "eager_store_mode", "GUARD_GLOBAL", "EXPECT_GLOBAL",
+    "profile_module", "plan_protection", "SdcProfile", "ProtectionPlan",
+    "knapsack_greedy", "knapsack_exact", "PROTECTION_LEVELS",
+]

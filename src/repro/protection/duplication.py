@@ -1,0 +1,325 @@
+"""SWIFT-style selective instruction duplication (§3 of the paper).
+
+For every *protected* computational instruction the pass inserts a
+shadow copy immediately after the master, computing on shadow operands
+where they exist.  Before every synchronisation point — ``store``,
+``condbr``, ``call``, ``ret`` — a checker compares each shadowed operand
+of the sync point against its shadow and branches to a ``__detect``
+handler on mismatch.
+
+The pass records rich metadata for the cross-layer analysis:
+
+* ``shadow_of``   — shadow iid -> master iid
+* ``checkers``    — checker (the comparison instruction) iid ->
+  :class:`CheckerInfo` with the sync point, the checked value and the
+  *dependence cone* of masters the checker transitively covers
+* ``guarded_by``  — master iid -> checker iids covering it
+
+The cone/guard maps let the root-cause classifier decide whether a
+fault that escaped at assembly level did so because every checker
+covering its instruction was folded away by the backend (comparison
+penetration) or for another reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from ..errors import IRError
+from ..ir import types as T
+from ..ir.instructions import (
+    Alloca,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    Gep,
+    ICmp,
+    Instruction,
+    Load,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from ..ir.intrinsics import DETECT
+from ..ir.module import BasicBlock, Function, Module
+from ..ir.values import Value
+
+__all__ = ["duplicate_module", "DuplicationInfo", "CheckerInfo",
+           "duplicable_instructions", "is_duplicable"]
+
+#: opcodes the pass can duplicate (pure computations + loads)
+_DUPLICABLE_OPS = frozenset(
+    ["load", "icmp", "fcmp", "gep", "select",
+     "add", "sub", "mul", "sdiv", "srem", "and", "or", "xor",
+     "shl", "ashr", "lshr", "fadd", "fsub", "fmul", "fdiv",
+     "sext", "zext", "trunc", "sitofp", "fptosi",
+     "bitcast", "ptrtoint", "inttoptr"]
+)
+
+
+def is_duplicable(inst: Instruction) -> bool:
+    """Can the duplication pass shadow this instruction?
+
+    Checker / Flowery instrumentation is never re-protected.
+    """
+    if inst.is_checker or "flowery" in inst.attrs or inst.is_shadow:
+        return False
+    return inst.opcode in _DUPLICABLE_OPS
+
+
+def duplicable_instructions(module: Module) -> List[Instruction]:
+    """All instructions a protection plan may select."""
+    return [i for i in module.instructions() if is_duplicable(i)]
+
+
+@dataclass
+class CheckerInfo:
+    checker_iid: int
+    sync_iid: int
+    value_iid: int
+    covers: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class DuplicationInfo:
+    """Metadata produced by :func:`duplicate_module`."""
+
+    protected: Set[int] = field(default_factory=set)
+    shadow_of: Dict[int, int] = field(default_factory=dict)
+    checkers: Dict[int, CheckerInfo] = field(default_factory=dict)
+    guarded_by: Dict[int, List[int]] = field(default_factory=dict)
+    #: per-function detect blocks (label names), for diagnostics
+    detect_blocks: Dict[str, str] = field(default_factory=dict)
+
+    def checker_count(self) -> int:
+        return len(self.checkers)
+
+
+def _clone_instruction(
+    inst: Instruction, shadow_operand: Dict[int, Value]
+) -> Instruction:
+    """Structural copy of ``inst`` with operands redirected to shadows."""
+
+    def m(v: Value) -> Value:
+        if isinstance(v, Instruction) and v.iid in shadow_operand:
+            return shadow_operand[v.iid]
+        return v
+
+    if isinstance(inst, Load):
+        return Load(m(inst.pointer), volatile=inst.volatile)
+    if isinstance(inst, ICmp):
+        return ICmp(inst.pred, m(inst.operands[0]), m(inst.operands[1]))
+    if isinstance(inst, FCmp):
+        return FCmp(inst.pred, m(inst.operands[0]), m(inst.operands[1]))
+    if isinstance(inst, Gep):
+        return Gep(m(inst.base), m(inst.index))
+    if isinstance(inst, Cast):
+        return Cast(inst.opcode, m(inst.operands[0]), inst.type)
+    if isinstance(inst, Select):
+        return Select(m(inst.operands[0]), m(inst.operands[1]),
+                      m(inst.operands[2]))
+    # remaining duplicable ops are plain BinOps
+    from ..ir.instructions import BinOp
+
+    return BinOp(inst.opcode, m(inst.operands[0]), m(inst.operands[1]))
+
+
+class _FunctionDuplicator:
+    def __init__(
+        self,
+        fn: Function,
+        protected: Set[int],
+        info: DuplicationInfo,
+        store_mode: str,
+    ):
+        self.fn = fn
+        self.module = fn.module
+        self.protected = protected
+        self.info = info
+        self.store_mode = store_mode
+        self.shadow: Dict[int, Value] = {}
+        self.detect_block: Optional[BasicBlock] = None
+
+    # -- detect handler -----------------------------------------------------
+
+    def _get_detect_block(self) -> BasicBlock:
+        if self.detect_block is None:
+            block = self.fn.new_block("detect")
+            call = Call(DETECT, [], ret_type=T.VOID)
+            call.attrs["checker"] = True
+            self.module.assign_iid(call)
+            block.append(call)
+            ur = Unreachable()
+            ur.attrs["checker"] = True
+            self.module.assign_iid(ur)
+            block.append(ur)
+            self.detect_block = block
+            self.info.detect_blocks[self.fn.name] = block.label
+        return self.detect_block
+
+    # -- cone computation ------------------------------------------------------
+
+    def _cone(self, value: Value) -> Set[int]:
+        """Masters transitively covered by a checker on ``value``."""
+        cone: Set[int] = set()
+        stack = [value]
+        while stack:
+            v = stack.pop()
+            if not isinstance(v, Instruction):
+                continue
+            if v.iid in cone or v.iid not in self.shadow:
+                continue
+            cone.add(v.iid)
+            stack.extend(v.operands)
+        return cone
+
+    # -- main walk ----------------------------------------------------------------
+
+    def run(self) -> None:
+        block_idx = 0
+        # fn.blocks grows as we split; index-based iteration is safe since
+        # splits append the continuation right after the current block
+        while block_idx < len(self.fn.blocks):
+            block = self.fn.blocks[block_idx]
+            block_idx += 1
+            if self.detect_block is not None and block is self.detect_block:
+                continue
+            i = 0
+            while i < len(block.instructions):
+                inst = block.instructions[i]
+                if inst.is_checker or "flowery" in inst.attrs or inst.is_shadow:
+                    i += 1
+                    continue
+                if inst.iid in self.protected and is_duplicable(inst):
+                    shadow = _clone_instruction(inst, self.shadow)
+                    shadow.attrs["dup_of"] = inst.iid
+                    self.module.assign_iid(shadow)
+                    inst.attrs["protected"] = True
+                    self.shadow[inst.iid] = shadow
+                    self.info.shadow_of[shadow.iid] = inst.iid
+                    self.info.protected.add(inst.iid)
+                    block.insert(i + 1, shadow)
+                    i += 2
+                    continue
+                if inst.is_sync_point:
+                    consumed = self._insert_checkers(block, i, inst)
+                    if consumed:
+                        # the block was split; the sync point now heads the
+                        # continuation block — move on to it
+                        break
+                i += 1
+
+    def _checked_operands(self, sync: Instruction) -> List[Value]:
+        if isinstance(sync, Store):
+            return [sync.value, sync.pointer]
+        if isinstance(sync, CondBr):
+            return [sync.condition]
+        if isinstance(sync, Call):
+            return list(sync.operands)
+        if isinstance(sync, Ret):
+            return [sync.value] if sync.value is not None else []
+        return []
+
+    def _insert_checkers(
+        self, block: BasicBlock, index: int, sync: Instruction
+    ) -> bool:
+        """Insert checker sequences before ``sync``.  Returns True if the
+        containing block was split (iteration must restart)."""
+        if sync.attrs.get("sync_checked"):
+            return False
+        to_check = [
+            v
+            for v in self._checked_operands(sync)
+            if isinstance(v, Instruction) and v.iid in self.shadow
+        ]
+        if not to_check:
+            return False
+        sync.attrs["sync_checked"] = True
+
+        # Eager store (Flowery §6.1): perform the store *before* its
+        # checkers so the stored value is consumed inside its defining
+        # block and never needs a post-checker reload.
+        eager = self.store_mode == "eager" and isinstance(sync, Store)
+
+        detect = self._get_detect_block()
+        current = block
+        split_at = index
+
+        if eager:
+            # leave the store where it is; checkers go right after it
+            split_at = index + 1
+
+        for v in to_check:
+            shadow = self.shadow[v.iid]
+            pred = "oeq" if v.type.is_float else "eq"
+            checker: Instruction = (
+                FCmp(pred, v, shadow) if v.type.is_float else ICmp(pred, v, shadow)
+            )
+            checker.attrs["checker"] = True
+            checker.attrs["checked_sync"] = sync.iid
+            checker.attrs["checked_value"] = v.iid
+            self.module.assign_iid(checker)
+
+            cont = self._split_block(current, split_at)
+            current.instructions.insert(split_at, checker)
+            checker.parent = current
+            condbr = CondBr(checker, cont, detect)
+            condbr.attrs["checker"] = True
+            self.module.assign_iid(condbr)
+            current.instructions.append(condbr)
+            condbr.parent = current
+
+            cone = self._cone(v)
+            cinfo = CheckerInfo(
+                checker_iid=checker.iid,
+                sync_iid=sync.iid,
+                value_iid=v.iid,
+                covers=cone,
+            )
+            self.info.checkers[checker.iid] = cinfo
+            for iid in cone:
+                self.info.guarded_by.setdefault(iid, []).append(checker.iid)
+
+            current = cont
+            split_at = 0
+        return True
+
+    def _split_block(self, block: BasicBlock, index: int) -> BasicBlock:
+        """Move ``block.instructions[index:]`` into a fresh block inserted
+        right after ``block`` in layout order."""
+        cont = BasicBlock(self.fn._unique_label(block.label + ".chk"), self.fn)
+        cont.instructions = block.instructions[index:]
+        for inst in cont.instructions:
+            inst.parent = cont
+        block.instructions = block.instructions[:index]
+        pos = self.fn.blocks.index(block)
+        self.fn.blocks.insert(pos + 1, cont)
+        return cont
+
+
+def duplicate_module(
+    module: Module,
+    protected: Optional[Set[int]] = None,
+    store_mode: str = "lazy",
+) -> DuplicationInfo:
+    """Apply instruction duplication in place.
+
+    ``protected`` is the set of instruction iids to duplicate (from a
+    :mod:`~repro.protection.planner` plan); ``None`` means full
+    protection.  ``store_mode`` selects the original lazy checker
+    placement (check-then-store) or Flowery's eager placement
+    (store-then-check, §6.1).
+    """
+    if store_mode not in ("lazy", "eager"):
+        raise IRError(f"unknown store mode {store_mode!r}")
+    if protected is None:
+        protected = {i.iid for i in duplicable_instructions(module)}
+    info = DuplicationInfo()
+    for fn in module.functions.values():
+        if not fn.is_declaration:
+            _FunctionDuplicator(fn, protected, info, store_mode).run()
+    return info

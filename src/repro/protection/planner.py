@@ -1,0 +1,218 @@
+"""Selective-protection planning (§3 of the paper).
+
+Protecting an instruction costs extra *dynamic* instructions at runtime
+(its own execution count, roughly doubled) and buys SDC detection
+proportional to how many SDCs faults in that instruction cause.  The
+paper formulates the selection as 0-1 knapsack: benefit = estimated SDC
+contribution, cost = dynamic execution count, budget = protection level
+x total duplicable dynamic count.
+
+Benefits come from an IR-level fault-injection *profiling* campaign on
+the unprotected program (:class:`SdcProfile`), the standard methodology
+of the instruction-duplication literature the paper follows.
+
+Two solvers are provided: the greedy benefit/cost heuristic used in
+practice (near-optimal for this problem shape) and an exact dynamic
+program for small instances (used in tests and the planner ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import PlanError
+from ..execresult import RunStatus
+from ..interp.interpreter import IRInterpreter
+from ..interp.layout import GlobalLayout
+from ..ir.module import Module
+from .duplication import duplicable_instructions
+
+__all__ = ["SdcProfile", "ProtectionPlan", "profile_module", "plan_protection",
+           "knapsack_greedy", "knapsack_exact"]
+
+PROTECTION_LEVELS = (30, 50, 70, 100)
+
+
+@dataclass
+class SdcProfile:
+    """Per-static-instruction fault profile of an unprotected module."""
+
+    #: dynamic execution count of every instruction (one golden run)
+    dyn_counts: Dict[int, int]
+    #: SDC occurrences attributed to each instruction by the campaign
+    sdc_counts: Dict[int, int]
+    #: campaign bookkeeping
+    campaigns: int
+    sdc_total: int
+    golden_output: str
+    golden_dyn_total: int
+    golden_dyn_injectable: int
+
+    @property
+    def sdc_probability(self) -> float:
+        return self.sdc_total / self.campaigns if self.campaigns else 0.0
+
+
+@dataclass
+class ProtectionPlan:
+    """The instructions selected for duplication at one protection level."""
+
+    level: int
+    selected: Set[int]
+    budget: int
+    spent: int
+    total_cost: int
+
+    @property
+    def dynamic_fraction(self) -> float:
+        return self.spent / self.total_cost if self.total_cost else 0.0
+
+
+def profile_module(
+    module: Module,
+    n_campaigns: int = 1000,
+    seed: int = 0,
+    layout: Optional[GlobalLayout] = None,
+    max_steps_factor: int = 4,
+) -> SdcProfile:
+    """IR-level fault-injection profiling of an unprotected module.
+
+    Runs one golden profiling execution, then ``n_campaigns`` single-
+    bit-flip campaigns, attributing each SDC to the static instruction
+    that received the fault.
+    """
+    layout = layout or GlobalLayout(module)
+    golden = IRInterpreter(module, layout=layout).run(profile=True)
+    if golden.status is not RunStatus.OK:
+        raise PlanError(
+            f"golden run failed: {golden.status} {golden.trap_kind}"
+        )
+    max_steps = max(10_000, golden.dyn_total * max_steps_factor)
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, golden.dyn_injectable, size=n_campaigns)
+    bits = rng.integers(0, 64, size=n_campaigns)
+
+    sdc_counts: Dict[int, int] = {}
+    sdc_total = 0
+    for idx, bit in zip(indices.tolist(), bits.tolist()):
+        res = IRInterpreter(module, layout=layout, max_steps=max_steps).run(
+            inject_index=idx, inject_bit=bit
+        )
+        if res.status is RunStatus.OK and res.output != golden.output:
+            sdc_total += 1
+            if res.injected_iid is not None:
+                sdc_counts[res.injected_iid] = (
+                    sdc_counts.get(res.injected_iid, 0) + 1
+                )
+    return SdcProfile(
+        dyn_counts=dict(golden.per_inst_counts or {}),
+        sdc_counts=sdc_counts,
+        campaigns=n_campaigns,
+        sdc_total=sdc_total,
+        golden_output=golden.output,
+        golden_dyn_total=golden.dyn_total,
+        golden_dyn_injectable=golden.dyn_injectable,
+    )
+
+
+def knapsack_greedy(
+    items: Sequence[Tuple[int, float, int]], budget: int
+) -> Set[int]:
+    """Greedy benefit/cost knapsack.
+
+    ``items`` are ``(id, benefit, cost)``; returns the chosen ids.
+    Zero-cost items (never-executed instructions) are free and always
+    taken.  Ties break deterministically by id.
+    """
+    chosen: Set[int] = set()
+    remaining = budget
+    ranked = sorted(
+        items,
+        key=lambda it: (-(it[1] / it[2]) if it[2] else float("-inf"), it[0]),
+    )
+    for iid, benefit, cost in items:
+        if cost == 0:
+            chosen.add(iid)
+    for iid, benefit, cost in ranked:
+        if cost == 0 or iid in chosen:
+            continue
+        if cost <= remaining:
+            chosen.add(iid)
+            remaining -= cost
+    return chosen
+
+
+def knapsack_exact(
+    items: Sequence[Tuple[int, float, int]], budget: int
+) -> Set[int]:
+    """Exact 0-1 knapsack via dynamic programming.
+
+    O(n * budget) — intended for small instances (tests, ablation);
+    raises :class:`PlanError` when the table would exceed ~10^7 cells.
+    """
+    n = len(items)
+    if n * max(budget, 1) > 10_000_000:
+        raise PlanError(
+            f"exact knapsack instance too large: {n} items x {budget} budget"
+        )
+    free = {iid for iid, _, c in items if c == 0}
+    paid = [(iid, b, c) for iid, b, c in items if c > 0]
+    table = np.zeros((len(paid) + 1, budget + 1), dtype=np.float64)
+    for i, (_, benefit, cost) in enumerate(paid, start=1):
+        prev = table[i - 1]
+        row = table[i]
+        row[:] = prev
+        if cost <= budget:
+            np.maximum(
+                prev[: budget + 1 - cost] + benefit,
+                prev[cost:],
+                out=row[cost:],
+            )
+    chosen: Set[int] = set(free)
+    b = budget
+    for i in range(len(paid), 0, -1):
+        iid, benefit, cost = paid[i - 1]
+        if cost <= b and table[i][b] != table[i - 1][b]:
+            chosen.add(iid)
+            b -= cost
+    return chosen
+
+
+def plan_protection(
+    module: Module,
+    profile: SdcProfile,
+    level: int,
+    solver: str = "greedy",
+) -> ProtectionPlan:
+    """Choose the instructions to duplicate for a protection level.
+
+    ``level`` is the percentage of the full-duplication dynamic-
+    instruction budget the plan may spend (30/50/70/100 in the paper).
+    """
+    if not 0 < level <= 100:
+        raise PlanError(f"protection level must be in (0, 100], got {level}")
+    candidates = duplicable_instructions(module)
+    items = [
+        (
+            inst.iid,
+            float(profile.sdc_counts.get(inst.iid, 0)),
+            profile.dyn_counts.get(inst.iid, 0),
+        )
+        for inst in candidates
+    ]
+    total_cost = sum(c for _, _, c in items)
+    if level == 100:
+        selected = {iid for iid, _, _ in items}
+        return ProtectionPlan(level, selected, total_cost, total_cost, total_cost)
+    budget = (total_cost * level) // 100
+    if solver == "greedy":
+        selected = knapsack_greedy(items, budget)
+    elif solver == "exact":
+        selected = knapsack_exact(items, budget)
+    else:
+        raise PlanError(f"unknown solver {solver!r}")
+    spent = sum(c for iid, _, c in items if iid in selected)
+    return ProtectionPlan(level, selected, budget, spent, total_cost)

@@ -1,0 +1,112 @@
+"""Bit-level helpers shared by the IR interpreter and the machine.
+
+All simulated integer state is kept in *canonical signed form*: a Python
+int within the two's-complement range of its declared width.  These
+helpers convert between signed and unsigned views, wrap arithmetic
+results back into range, and flip individual bits the way a single-event
+upset would in a hardware latch.
+
+Floating-point state is kept as a Python float; bit flips go through the
+IEEE-754 binary64 encoding via :mod:`struct`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = [
+    "mask",
+    "to_unsigned",
+    "to_signed",
+    "wrap_signed",
+    "flip_int_bit",
+    "float_to_bits",
+    "bits_to_float",
+    "flip_float_bit",
+    "sign_extend",
+    "zero_extend",
+    "truncate",
+]
+
+_MASKS = {w: (1 << w) - 1 for w in (1, 8, 16, 32, 64)}
+
+
+def mask(width: int) -> int:
+    """All-ones mask for ``width`` bits."""
+    m = _MASKS.get(width)
+    if m is None:
+        m = (1 << width) - 1
+    return m
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Reinterpret a canonical signed value as unsigned."""
+    return value & mask(width)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Reinterpret ``width`` low bits of ``value`` as two's-complement."""
+    value &= mask(width)
+    sign_bit = 1 << (width - 1)
+    if value & sign_bit:
+        return value - (1 << width)
+    return value
+
+
+def wrap_signed(value: int, width: int) -> int:
+    """Wrap an arbitrary Python int into the signed range of ``width`` bits.
+
+    This is the canonicalisation applied after every simulated integer
+    operation, mirroring register overflow semantics.
+    """
+    return to_signed(value & mask(width), width)
+
+
+def flip_int_bit(value: int, bit: int, width: int) -> int:
+    """Flip ``bit`` of a canonical signed integer, returning canonical form.
+
+    ``bit`` must lie in ``[0, width)``; this models a single-event upset
+    in one latch of the destination register.
+    """
+    if not 0 <= bit < width:
+        raise ValueError(f"bit {bit} out of range for width {width}")
+    return to_signed((value & mask(width)) ^ (1 << bit), width)
+
+
+def float_to_bits(value: float) -> int:
+    """IEEE-754 binary64 encoding of ``value`` as an unsigned int."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """Decode an unsigned 64-bit pattern as an IEEE-754 binary64 float."""
+    return struct.unpack("<d", struct.pack("<Q", bits & _MASKS[64]))[0]
+
+
+def flip_float_bit(value: float, bit: int) -> float:
+    """Flip one bit of the binary64 representation of ``value``."""
+    if not 0 <= bit < 64:
+        raise ValueError(f"bit {bit} out of range for binary64")
+    return bits_to_float(float_to_bits(value) ^ (1 << bit))
+
+
+def sign_extend(value: int, from_width: int, to_width: int) -> int:
+    """Sign-extend a canonical signed value to a wider width (identity
+    on the canonical representation, but validates the widths)."""
+    if to_width < from_width:
+        raise ValueError("sign_extend cannot narrow")
+    return to_signed(to_unsigned(value, from_width) | (
+        (mask(to_width) ^ mask(from_width)) if value < 0 else 0
+    ), to_width)
+
+
+def zero_extend(value: int, from_width: int, to_width: int) -> int:
+    """Zero-extend: reinterpret the low ``from_width`` bits as unsigned."""
+    if to_width < from_width:
+        raise ValueError("zero_extend cannot narrow")
+    return to_unsigned(value, from_width)
+
+
+def truncate(value: int, to_width: int) -> int:
+    """Truncate to ``to_width`` bits, returning canonical signed form."""
+    return to_signed(value, to_width)

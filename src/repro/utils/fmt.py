@@ -1,0 +1,29 @@
+"""Output formatting shared by both execution layers.
+
+Program output is the SDC oracle, so both layers must format values
+byte-identically.  Floats print like C ``printf("%g")`` (6 significant
+digits): perturbations below the printed precision are benign, exactly
+as with the paper's C benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["format_i64", "format_f64", "format_char"]
+
+
+def format_i64(value: int) -> str:
+    return str(value)
+
+
+def format_f64(value: float) -> str:
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return "%g" % value
+
+
+def format_char(value: int) -> str:
+    return chr(value & 0x7F)

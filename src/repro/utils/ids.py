@@ -1,0 +1,22 @@
+"""Deterministic id allocation for IR entities.
+
+Unique integer ids give instructions a stable identity across pass
+pipelines (duplication tags shadows with their master's id, the backend
+records asm->IR provenance by id, and the fault injectors attribute
+outcomes to static instructions by id).  Ids are allocated per module so
+two modules built in the same process do not interfere.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+class IdAllocator:
+    """Monotonic id source; ids are never reused within a module."""
+
+    def __init__(self, start: int = 1):
+        self._counter = itertools.count(start)
+
+    def next(self) -> int:
+        return next(self._counter)

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.lower import lower_module
+from repro.frontend.codegen import compile_source
+from repro.interp.layout import GlobalLayout
+from repro.machine.machine import compile_program
+
+
+#: a small program exercising most of MiniC: globals, arrays, calls,
+#: loops, branches, float math, recursion
+KITCHEN_SINK = """
+int a = 7;
+int b = 9;
+int out = 0;
+int acc[16];
+
+int fib(int n) {
+    if (n <= 1) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+
+int main() {
+    int x = a;
+    int y = b;
+    if (x < y) { out = x + y; } else { out = x - y; }
+    print(out);
+    int s = 0;
+    for (int i = 0; i < 10; i++) { s += i * i; acc[i % 16] = s; }
+    print(s);
+    print(float(s) / 3.0);
+    print(acc[9]);
+    print(fib(8));
+    return 0;
+}
+"""
+
+KITCHEN_SINK_OUTPUT = "16\n285\n95\n285\n21\n"
+
+
+@pytest.fixture
+def sink_module():
+    return compile_source(KITCHEN_SINK, "sink")
+
+
+@pytest.fixture
+def sink_built():
+    """(module, layout, asm_program, compiled) for the kitchen sink."""
+    module = compile_source(KITCHEN_SINK, "sink")
+    layout = GlobalLayout(module)
+    asm = lower_module(module, layout)
+    compiled = compile_program(asm.flatten())
+    return module, layout, asm, compiled
+
+
+

@@ -1,0 +1,15 @@
+"""Shared helpers importable from test modules."""
+
+from repro.backend.lower import lower_module
+from repro.frontend.codegen import compile_source
+from repro.interp.layout import GlobalLayout
+from repro.machine.machine import compile_program
+
+
+def compile_and_build(source: str, name: str = "t"):
+    """(module, layout, asm_program, compiled) for a MiniC source."""
+    module = compile_source(source, name)
+    layout = GlobalLayout(module)
+    asm = lower_module(module, layout)
+    compiled = compile_program(asm.flatten())
+    return module, layout, asm, compiled

@@ -1,0 +1,225 @@
+"""Tests for coverage computation and the root-cause classifier."""
+
+import pytest
+
+from repro.analysis.coverage import CoveragePoint, sdc_coverage
+from repro.analysis.rootcause import (
+    Penetration,
+    PenetrationReport,
+    RootCauseClassifier,
+    classify_campaign,
+)
+from repro.backend.isa import Role
+from repro.backend.lower import lower_module
+from repro.fi.campaign import CampaignConfig, InjectionRecord, run_asm_campaign
+from repro.fi.outcomes import Outcome
+from repro.frontend.codegen import compile_source
+from repro.interp.layout import GlobalLayout
+from repro.machine.machine import compile_program
+from repro.protection.duplication import duplicate_module
+
+
+class TestCoverageFormula:
+    def test_perfect_protection(self):
+        assert sdc_coverage(0.4, 0.0) == 1.0
+
+    def test_no_protection(self):
+        assert sdc_coverage(0.4, 0.4) == 0.0
+
+    def test_partial(self):
+        assert sdc_coverage(0.5, 0.25) == 0.5
+
+    def test_no_raw_sdcs(self):
+        assert sdc_coverage(0.0, 0.0) == 1.0
+
+    def test_noise_clamped(self):
+        assert sdc_coverage(0.1, 0.2) == 0.0
+
+    def test_coverage_point_layer_mismatch_rejected(self):
+        from repro.fi.campaign import CampaignResult
+
+        a = CampaignResult("ir", 1, {}, [], "", 1, 1)
+        b = CampaignResult("asm", 1, {}, [], "", 1, 1)
+        with pytest.raises(ValueError):
+            CoveragePoint.from_campaigns("x", 100, "id", a, b)
+
+
+def _setup_protected():
+    src = """
+int a = 1;
+int b = 2;
+int out = 0;
+int main() {
+    int x = a + b;
+    out = x;
+    if (a < b) { print(out); } else { print(0); }
+    return 0;
+}
+"""
+    module = compile_source(src)
+    info = duplicate_module(module)
+    layout = GlobalLayout(module)
+    asm = lower_module(module, layout)
+    return module, info, layout, asm
+
+
+def _record(role, iid, outcome=Outcome.SDC):
+    return InjectionRecord(
+        dyn_index=0, bit=0, outcome=outcome, iid=iid,
+        asm_index=0, asm_role=role, asm_opcode="mov",
+    )
+
+
+class TestClassifierRules:
+    @pytest.fixture()
+    def clf(self):
+        module, info, layout, asm = _setup_protected()
+        self.module, self.info, self.asm = module, info, asm
+        return RootCauseClassifier(module, asm, info)
+
+    def _guarded_store(self):
+        return next(
+            i for i in self.module.instructions()
+            if i.opcode == "store" and i.attrs.get("sync_checked")
+        )
+
+    def _guarded_branch(self):
+        return next(
+            i for i in self.module.instructions()
+            if i.opcode == "condbr" and i.attrs.get("sync_checked")
+        )
+
+    def test_store_reload_on_guarded_store(self, clf):
+        store = self._guarded_store()
+        rec = _record(Role.STORE_RELOAD, store.iid)
+        assert clf.classify(rec) is Penetration.STORE
+
+    def test_store_addr_reload_also_store(self, clf):
+        store = self._guarded_store()
+        rec = _record(Role.STORE_ADDR_RELOAD, store.iid)
+        assert clf.classify(rec) is Penetration.STORE
+
+    def test_br_test_on_guarded_branch(self, clf):
+        br = self._guarded_branch()
+        assert clf.classify(_record(Role.BR_TEST, br.iid)) is Penetration.BRANCH
+        assert clf.classify(
+            _record(Role.BR_COND_RELOAD, br.iid)
+        ) is Penetration.BRANCH
+
+    def test_unknown_sync_iid_maps_to_mapping(self, clf):
+        # a store iid that matches no IR instruction at all
+        rec = _record(Role.STORE_RELOAD, iid=999999)
+        assert clf.classify(rec) is Penetration.MAPPING
+
+    def test_unprotected_sync_operand_is_expected_miss(self):
+        # protect nothing: a store of a computed value has duplicable but
+        # unprotected operands -> UNPROTECTED, not a penetration
+        src = "int g = 0; int main() { int x = g + 1; g = x; return 0; }"
+        module = compile_source(src)
+        from repro.protection.duplication import DuplicationInfo
+        from repro.ir.instructions import Instruction
+
+        # pick the store of the computed value (operand is an Instruction)
+        stores = [i for i in module.instructions() if i.opcode == "store"]
+        computed = next(s for s in stores
+                        if isinstance(s.operands[0], Instruction))
+        asm = lower_module(module)
+        clf2 = RootCauseClassifier(module, asm, DuplicationInfo())
+        rec = _record(Role.STORE_RELOAD, computed.iid)
+        assert clf2.classify(rec) is Penetration.UNPROTECTED
+
+    def test_constant_arg_call_is_call_penetration_even_uncheckered(self):
+        # print(7): no duplicable operands, so the arg-setup mov is a
+        # genuine call penetration even though no checker guards it
+        src = "int main() { print(7); return 0; }"
+        module = compile_source(src)
+        from repro.protection.duplication import DuplicationInfo, duplicate_module
+
+        info = duplicate_module(module)  # full protection
+        asm = lower_module(module)
+        call = next(i for i in module.instructions() if i.opcode == "call")
+        clf2 = RootCauseClassifier(module, asm, info)
+        rec = _record(Role.CALL_ARG, call.iid)
+        assert clf2.classify(rec) is Penetration.CALL
+
+    def test_call_arg_on_guarded_call(self, clf):
+        call = next(
+            i for i in self.module.instructions()
+            if i.opcode == "call" and i.attrs.get("sync_checked")
+        )
+        assert clf.classify(_record(Role.CALL_ARG, call.iid)) is Penetration.CALL
+
+    def test_frame_roles_map_to_mapping(self, clf):
+        assert clf.classify(_record(Role.FRAME, None)) is Penetration.MAPPING
+        assert clf.classify(_record(Role.RET_VAL, 1)) is Penetration.MAPPING
+        assert clf.classify(_record(Role.MAIN, None)) is Penetration.MAPPING
+
+    def test_folded_checker_means_comparison(self, clf):
+        assert self.asm.folded_checkers, "setup must fold a checker"
+        master = next(iter(self.asm.folded_masters))
+        rec = _record(Role.MAIN, master)
+        assert clf.classify(rec) is Penetration.COMPARISON
+
+    def test_unprotected_computation(self):
+        module, info, layout, asm = _setup_protected()
+        # protect nothing this time
+        module2 = compile_source("int main() { int x = 1; print(x); return 0; }")
+        from repro.protection.duplication import DuplicationInfo
+
+        clf = RootCauseClassifier(module2, asm, DuplicationInfo())
+        some_iid = next(iter(i.iid for i in module2.instructions()
+                             if i.opcode == "load"))
+        assert clf.classify(_record(Role.MAIN, some_iid)) is Penetration.UNPROTECTED
+
+    def test_intact_checker_is_other(self, clf):
+        # an arithmetic master with intact checkers
+        add = next(
+            i for i in self.module.instructions()
+            if i.opcode == "add" and i.is_protected
+        )
+        guards = self.info.guarded_by.get(add.iid, [])
+        assert guards
+        if not all(g in self.asm.folded_checkers for g in guards):
+            assert clf.classify(_record(Role.MAIN, add.iid)) is Penetration.OTHER
+
+
+class TestPenetrationReport:
+    def test_report_aggregation(self):
+        rep = PenetrationReport("x", 100, {
+            Penetration.STORE: 4,
+            Penetration.BRANCH: 4,
+            Penetration.COMPARISON: 2,
+            Penetration.UNPROTECTED: 5,
+        })
+        assert rep.total_escapes == 15
+        assert rep.total_deficiencies == 10
+        shares = rep.deficiency_shares()
+        assert shares[Penetration.STORE] == 0.4
+        assert Penetration.UNPROTECTED not in shares
+
+    def test_empty_report(self):
+        rep = PenetrationReport("x", 100)
+        assert rep.total_deficiencies == 0
+        assert rep.deficiency_shares() == {}
+
+    def test_is_deficiency_flags(self):
+        assert Penetration.STORE.is_deficiency
+        assert Penetration.MAPPING.is_deficiency
+        assert not Penetration.UNPROTECTED.is_deficiency
+        assert not Penetration.OTHER.is_deficiency
+
+
+class TestEndToEndClassification:
+    def test_classify_campaign_on_protected_binary(self):
+        module, info, layout, asm = _setup_protected()
+        compiled = compile_program(asm.flatten())
+        campaign = run_asm_campaign(
+            compiled, layout, CampaignConfig(n_campaigns=200, seed=4)
+        )
+        report = classify_campaign("toy", 100, campaign, module, asm, info)
+        assert report.total_escapes == campaign.counts[Outcome.SDC]
+        # full protection: every escape should be a deficiency category
+        deficiency_plus_other = report.total_deficiencies + report.counts.get(
+            Penetration.OTHER, 0
+        )
+        assert deficiency_plus_other == report.total_escapes

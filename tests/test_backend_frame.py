@@ -1,0 +1,126 @@
+"""Tests for frame layout and the register cache."""
+
+import pytest
+
+from repro.backend.frame import FrameLayout
+from repro.backend.regcache import RegCache
+from repro.backend.isa import Reg, SCRATCH_GPRS, SCRATCH_XMMS
+from repro.errors import LoweringError
+from repro.frontend.codegen import compile_source
+
+
+def layout_of(src: str, fn: str = "main") -> FrameLayout:
+    module = compile_source(src)
+    return FrameLayout(module.function(fn))
+
+
+class TestFrameLayout:
+    def test_every_result_has_home_slot(self):
+        src = "int main() { int x = 1; print(x + 2); return 0; }"
+        module = compile_source(src)
+        fl = FrameLayout(module.function("main"))
+        for inst in module.function("main").instructions():
+            if inst.opcode == "alloca":
+                assert inst.iid in fl.alloca_offsets
+            elif inst.has_result and not inst.type.is_void:
+                assert fl.has_home(inst.iid)
+
+    def test_offsets_negative_and_disjoint(self):
+        fl = layout_of(
+            "int main() { int a[4]; int x = 1; float f = 2.0; "
+            "print(x); return 0; }"
+        )
+        spans = []
+        for off in fl.alloca_offsets.values():
+            assert off < 0
+        all_offsets = (
+            list(fl.alloca_offsets.values())
+            + list(fl.home_offsets.values())
+            + list(fl.arg_offsets.values())
+        )
+        assert len(set(all_offsets)) == len(all_offsets)
+
+    def test_frame_size_16_aligned(self):
+        fl = layout_of("int main() { int x = 3; print(x); return 0; }")
+        assert fl.frame_size % 16 == 0
+        assert fl.frame_size > 0
+
+    def test_array_alloca_reserves_full_size(self):
+        src = "int main() { int a[100]; a[0] = 1; print(a[0]); return 0; }"
+        fl = layout_of(src)
+        assert fl.frame_size >= 800
+
+    def test_arg_slots(self):
+        src = ("int f(int a, float b) { return a + int(b); } "
+               "int main() { print(f(1, 2.0)); return 0; }")
+        module = compile_source(src)
+        fl = FrameLayout(module.function("f"))
+        assert set(fl.arg_offsets.keys()) == {0, 1}
+
+    def test_missing_home_slot_raises(self):
+        fl = layout_of("int main() { return 0; }")
+        with pytest.raises(LoweringError):
+            fl.home_mem(99999)
+
+
+class TestRegCache:
+    def test_lookup_miss(self):
+        assert RegCache().lookup(1) is None
+
+    def test_bind_and_lookup(self):
+        c = RegCache()
+        r = c.alloc()
+        c.bind(1, r)
+        assert c.lookup(1) == r
+
+    def test_alloc_prefers_free_registers(self):
+        c = RegCache()
+        seen = set()
+        for i in range(len(SCRATCH_GPRS)):
+            r = c.alloc()
+            c.bind(i, r)
+            seen.add(r.name)
+        assert seen == set(SCRATCH_GPRS)
+
+    def test_lru_eviction(self):
+        c = RegCache()
+        for i in range(len(SCRATCH_GPRS)):
+            c.bind(i, c.alloc())
+        # pool is full; next alloc evicts the least recently used
+        c.lookup(0)  # refresh id 0
+        r = c.alloc()
+        c.bind(99, r)
+        assert c.lookup(0) is not None  # survived
+        assert c.lookup(99) is not None
+
+    def test_exclude_respected(self):
+        c = RegCache()
+        exclude = set(SCRATCH_GPRS[:-1])
+        r = c.alloc(exclude=exclude)
+        assert r.name == SCRATCH_GPRS[-1]
+
+    def test_exhaustion_raises(self):
+        from repro.errors import LoweringError
+
+        c = RegCache()
+        with pytest.raises(LoweringError):
+            c.alloc(exclude=set(SCRATCH_GPRS))
+
+    def test_fp_pool_separate(self):
+        c = RegCache()
+        r = c.alloc(fp=True)
+        assert r.name in SCRATCH_XMMS
+
+    def test_rebinding_register_evicts_old_value(self):
+        c = RegCache()
+        r = c.alloc()
+        c.bind(1, r)
+        c.bind(2, r)
+        assert c.lookup(1) is None
+        assert c.lookup(2) == r
+
+    def test_clear(self):
+        c = RegCache()
+        c.bind(1, c.alloc())
+        c.clear()
+        assert c.lookup(1) is None

@@ -1,0 +1,98 @@
+"""Tests for the ISA's fault-injection site analysis."""
+
+import pytest
+
+from repro.backend.isa import AsmInst, Imm, Label, Mem, Reg, Role
+
+
+def reg(name):
+    return Reg(name)
+
+
+class TestDestKind:
+    def test_mov_to_register_is_gpr_site(self):
+        inst = AsmInst("mov", (reg("rax"), Imm(5)))
+        assert inst.dest_kind() == "gpr"
+        assert inst.is_injectable
+        assert inst.dest_reg() == reg("rax")
+
+    def test_mov_to_memory_is_not_a_site(self):
+        inst = AsmInst("mov", (Mem(reg("rbp"), -8), reg("rax")))
+        assert inst.dest_kind() is None
+        assert not inst.is_injectable
+
+    def test_flags_writers(self):
+        for op in ("cmp", "test", "ucomisd"):
+            inst = AsmInst(op, (reg("rax"), reg("rcx")))
+            assert inst.dest_kind() == "flags"
+            assert inst.is_injectable
+
+    def test_fp_ops_are_xmm_sites(self):
+        for op in ("movsd", "addsd", "subsd", "mulsd", "divsd", "cvtsi2sd"):
+            dst = reg("xmm2")
+            src = reg("xmm3") if op != "cvtsi2sd" else reg("rax")
+            inst = AsmInst(op, (dst, src))
+            assert inst.dest_kind() == "xmm", op
+
+    def test_movsd_to_memory_not_a_site(self):
+        inst = AsmInst("movsd", (Mem(reg("rbp"), -8), reg("xmm2")))
+        assert inst.dest_kind() is None
+
+    def test_control_flow_not_sites(self):
+        for op, ops in [
+            ("jmp", (Label("x"),)),
+            ("jcc", (Label("x"),)),
+            ("call", (Label("f"),)),
+            ("ret", ()),
+            ("push", (reg("rbp"),)),
+            ("ud2", ()),
+        ]:
+            assert not AsmInst(op, ops, cc="e" if op == "jcc" else None).is_injectable, op
+
+    def test_pop_is_a_site(self):
+        assert AsmInst("pop", (reg("rbp"),)).is_injectable
+
+    def test_setcc_and_cmov_are_sites(self):
+        assert AsmInst("setcc", (reg("rdx"),), cc="l").dest_kind() == "gpr"
+        assert AsmInst("cmov", (reg("rax"), reg("rcx")), cc="ne").dest_kind() == "gpr"
+
+    def test_idiv_dest_is_rax(self):
+        inst = AsmInst("idiv", (reg("rcx"),))
+        assert inst.dest_kind() == "gpr"
+        assert inst.dest_reg() == reg("rax")
+
+    def test_arith_sites(self):
+        for op in ("add", "sub", "imul", "and", "or", "xor", "shl", "sar",
+                   "shr", "lea", "cvttsd2si"):
+            operand = Mem(reg("rbp"), -8) if op == "lea" else Imm(1)
+            inst = AsmInst(op, (reg("r10"), operand))
+            assert inst.dest_kind() == "gpr", op
+
+
+class TestOperandsAndPrinting:
+    def test_reg_classes(self):
+        assert not reg("rax").is_xmm
+        assert reg("xmm5").is_xmm
+
+    def test_mem_str(self):
+        assert str(Mem(reg("rbp"), -8)) == "-0x8(%rbp)"
+        assert str(Mem(None, 0x1000)) == "0x1000"
+        assert str(Mem(reg("rax"), 0)) == "(%rax)"
+
+    def test_inst_str_includes_cc(self):
+        inst = AsmInst("jcc", (Label("x"),), cc="ne")
+        assert "jccne" in str(inst) or "jcc" in str(inst)
+
+    def test_byte_mov_printed_distinctly(self):
+        inst = AsmInst("mov", (reg("rax"), Mem(reg("rbp"), -8)), size=1)
+        assert str(inst).startswith("movb")
+
+    def test_role_vocabulary_distinct(self):
+        roles = [
+            Role.MAIN, Role.MAIN_COPY, Role.OPERAND_RELOAD,
+            Role.RESULT_SPILL, Role.ADDR, Role.STORE_RELOAD,
+            Role.STORE_ADDR_RELOAD, Role.BR_COND_RELOAD, Role.BR_TEST,
+            Role.CALL_ARG, Role.RET_VAL, Role.FRAME, Role.ARG_SPILL,
+            Role.CHECKER, Role.SELECT_TEST, Role.FOLDED_CHECKER_JMP,
+        ]
+        assert len(set(roles)) == len(roles)

@@ -1,0 +1,109 @@
+"""Unit + property tests for bit-level helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import bits
+
+
+class TestMasksAndConversions:
+    def test_mask_widths(self):
+        assert bits.mask(1) == 1
+        assert bits.mask(8) == 0xFF
+        assert bits.mask(32) == 0xFFFFFFFF
+        assert bits.mask(64) == (1 << 64) - 1
+
+    def test_to_unsigned_negative(self):
+        assert bits.to_unsigned(-1, 8) == 0xFF
+        assert bits.to_unsigned(-1, 64) == (1 << 64) - 1
+
+    def test_to_signed_msb(self):
+        assert bits.to_signed(0x80, 8) == -128
+        assert bits.to_signed(0x7F, 8) == 127
+
+    def test_wrap_signed_overflow(self):
+        assert bits.wrap_signed(128, 8) == -128
+        assert bits.wrap_signed(-129, 8) == 127
+        assert bits.wrap_signed(1 << 63, 64) == -(1 << 63)
+
+    @given(st.integers(), st.sampled_from([1, 8, 16, 32, 64]))
+    def test_signed_unsigned_roundtrip(self, value, width):
+        wrapped = bits.wrap_signed(value, width)
+        assert bits.to_signed(bits.to_unsigned(wrapped, width), width) == wrapped
+
+    @given(st.integers(), st.sampled_from([8, 16, 32, 64]))
+    def test_wrap_signed_in_range(self, value, width):
+        w = bits.wrap_signed(value, width)
+        assert -(1 << (width - 1)) <= w < (1 << (width - 1))
+
+
+class TestIntBitFlips:
+    def test_flip_lsb(self):
+        assert bits.flip_int_bit(0, 0, 64) == 1
+        assert bits.flip_int_bit(1, 0, 64) == 0
+
+    def test_flip_sign_bit(self):
+        assert bits.flip_int_bit(0, 63, 64) == -(1 << 63)
+
+    def test_flip_out_of_range(self):
+        with pytest.raises(ValueError):
+            bits.flip_int_bit(0, 64, 64)
+        with pytest.raises(ValueError):
+            bits.flip_int_bit(0, -1, 64)
+
+    @given(st.integers(-(1 << 63), (1 << 63) - 1), st.integers(0, 63))
+    def test_flip_is_involution(self, value, bit):
+        once = bits.flip_int_bit(value, bit, 64)
+        assert once != value
+        assert bits.flip_int_bit(once, bit, 64) == value
+
+    @given(st.integers(0, 0), st.integers(0, 0))
+    def test_flip_i1(self, value, bit):
+        assert bits.flip_int_bit(value, bit, 1) == -1  # i1: 1 -> signed -1
+
+
+class TestFloatBits:
+    def test_roundtrip_simple(self):
+        for v in (0.0, 1.5, -2.25, 1e300, -1e-300):
+            assert bits.bits_to_float(bits.float_to_bits(v)) == v
+
+    def test_nan_pattern(self):
+        assert math.isnan(bits.bits_to_float(0x7FF8000000000000))
+
+    def test_flip_sign(self):
+        assert bits.flip_float_bit(1.0, 63) == -1.0
+
+    @given(st.floats(allow_nan=False), st.integers(0, 63))
+    def test_flip_is_involution(self, value, bit):
+        once = bits.flip_float_bit(value, bit)
+        back = bits.flip_float_bit(once, bit)
+        assert bits.float_to_bits(back) == bits.float_to_bits(value)
+
+    def test_flip_out_of_range(self):
+        with pytest.raises(ValueError):
+            bits.flip_float_bit(1.0, 64)
+
+
+class TestExtensions:
+    def test_sign_extend_preserves_value(self):
+        assert bits.sign_extend(-5, 8, 64) == -5
+        assert bits.sign_extend(100, 8, 64) == 100
+
+    def test_zero_extend_reinterprets(self):
+        assert bits.zero_extend(-1, 8, 64) == 255
+
+    def test_truncate(self):
+        assert bits.truncate(0x1FF, 8) == -1
+        assert bits.truncate(5, 8) == 5
+
+    def test_narrowing_raises(self):
+        with pytest.raises(ValueError):
+            bits.sign_extend(0, 64, 8)
+        with pytest.raises(ValueError):
+            bits.zero_extend(0, 64, 8)
+
+    @given(st.integers(-(1 << 31), (1 << 31) - 1))
+    def test_extend_truncate_roundtrip(self, value):
+        assert bits.truncate(bits.sign_extend(value, 32, 64), 32) == value

@@ -1,0 +1,54 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "crc32" in out and "MiBench" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "crc32", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "cross-layer outputs match: True" in out
+
+    def test_ir_listing(self, capsys):
+        assert main(["ir", "crc32", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "define i64 @main" in out
+
+    def test_asm_listing(self, capsys):
+        assert main(["asm", "crc32", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "main:" in out and "push" in out
+
+    def test_protect_report(self, capsys):
+        assert main(["protect", "crc32", "--scale", "tiny",
+                     "--level", "100", "--flowery"]) == 0
+        out = capsys.readouterr().out
+        assert "checkers inserted" in out
+
+    def test_inject_unprotected(self, capsys):
+        assert main(["inject", "crc32", "--scale", "tiny", "-n", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "sdc" in out
+
+    def test_inject_protected_reports_coverage(self, capsys):
+        assert main(["inject", "crc32", "--scale", "tiny",
+                     "--level", "100", "-n", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage ASM" in out
+
+    def test_bad_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "not-a-benchmark"])
+
+    def test_experiment_compile_time(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCHMARKS", "crc32")
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert main(["experiment", "compile-time"]) == 0
+        assert "compile-time" in capsys.readouterr().out

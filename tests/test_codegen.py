@@ -1,0 +1,194 @@
+"""Tests for MiniC -> IR code generation (golden-output based)."""
+
+import pytest
+
+from repro.execresult import RunStatus
+from repro.frontend.codegen import compile_source
+from repro.interp.interpreter import run_ir
+from repro.ir.instructions import Alloca, CondBr, ICmp
+from repro.ir.verifier import verify_module
+
+
+def out(src: str) -> str:
+    return run_ir(compile_source(src)).output
+
+
+class TestCodegenGolden:
+    def test_nested_loops(self):
+        src = """
+int main() {
+    int total = 0;
+    for (int i = 0; i < 4; i++) {
+        for (int j = 0; j <= i; j++) { total += i * j; }
+    }
+    print(total);
+    return 0;
+}
+"""
+        # sum over i of i * (0+..+i) = 0 + 1 + 2*3 + 3*6 = 25
+        assert out(src) == "25\n"
+
+    def test_while_with_complex_condition(self):
+        src = """
+int main() {
+    int i = 0;
+    int j = 10;
+    while (i < j && j > 3) { i++; j--; }
+    print(i); print(j);
+    return 0;
+}
+"""
+        assert out(src) == "5\n5\n"
+
+    def test_short_circuit_effects(self):
+        # the RHS of && must not evaluate when LHS is false
+        src = """
+int calls = 0;
+int bump() { calls++; return 1; }
+int main() {
+    int r = (0 && bump());
+    print(r); print(calls);
+    r = (1 || bump());
+    print(r); print(calls);
+    r = (1 && bump());
+    print(r); print(calls);
+    return 0;
+}
+"""
+        assert out(src) == "0\n0\n1\n0\n1\n1\n"
+
+    def test_comparison_as_value(self):
+        assert out("int main() { int x = (3 < 5) + (2 == 2); print(x); return 0; }") == "2\n"
+
+    def test_float_int_conversions(self):
+        src = """
+int main() {
+    float f = 7.9;
+    int i = int(f);
+    print(i);
+    print(float(i) / 2.0);
+    return 0;
+}
+"""
+        assert out(src) == "7\n3.5\n"
+
+    def test_array_passing_and_mutation(self):
+        src = """
+void double_all(int a[], int n) {
+    for (int i = 0; i < n; i++) { a[i] *= 2; }
+}
+int data[3] = {1, 2, 3};
+int main() {
+    double_all(data, 3);
+    print(data[0] + data[1] + data[2]);
+    return 0;
+}
+"""
+        assert out(src) == "12\n"
+
+    def test_local_array_passed(self):
+        src = """
+int sum(int a[], int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) { s += a[i]; }
+    return s;
+}
+int main() {
+    int local[4] = {10, 20, 30, 40};
+    print(sum(local, 4));
+    return 0;
+}
+"""
+        assert out(src) == "100\n"
+
+    def test_float_arrays(self):
+        src = """
+float xs[3] = {0.5, 1.5, 2.5};
+int main() {
+    float s = 0.0;
+    for (int i = 0; i < 3; i++) { s += xs[i]; }
+    print(s);
+    return 0;
+}
+"""
+        assert out(src) == "4.5\n"
+
+    def test_early_return_and_dead_code(self):
+        src = """
+int f(int x) {
+    if (x > 0) { return 1; }
+    return -1;
+    print(999);
+}
+int main() { print(f(5)); print(f(-5)); return 0; }
+"""
+        assert out(src) == "1\n-1\n"
+
+    def test_implicit_return_value(self):
+        # falling off the end of an int function returns 0 (C-ish)
+        src = "int f() { } int main() { print(f()); return 0; }"
+        assert out(src) == "0\n"
+
+    def test_global_scalar_init(self):
+        src = """
+int g = 41;
+float h = 2.5;
+int main() { print(g + 1); print(h * 2.0); return 0; }
+"""
+        assert out(src) == "42\n5\n"
+
+    def test_unary_minus_floats(self):
+        assert out("int main() { float f = -2.5; print(-f); return 0; }") == "2.5\n"
+
+    def test_deeply_nested_scopes(self):
+        src = """
+int main() {
+    int x = 1;
+    { int y = 2; { int z = 3; print(x + y + z); } }
+    return 0;
+}
+"""
+        assert out(src) == "6\n"
+
+
+class TestCodegenStructure:
+    def test_modules_verify(self, sink_module):
+        verify_module(sink_module)
+
+    def test_allocas_live_in_entry(self, sink_module):
+        for fn in sink_module.functions.values():
+            for block in fn.blocks:
+                for inst in block.instructions:
+                    if isinstance(inst, Alloca):
+                        assert block is fn.entry
+
+    def test_icmp_feeds_condbr_adjacently(self):
+        # the -O0 property branch lowering depends on
+        src = "int main() { int x = 3; if (x < 5) { print(1); } return 0; }"
+        module = compile_source(src)
+        found = False
+        for fn in module.functions.values():
+            for block in fn.blocks:
+                term = block.terminator
+                if isinstance(term, CondBr) and isinstance(
+                    term.condition, ICmp
+                ):
+                    idx = block.index_of(term)
+                    if idx > 0 and block.instructions[idx - 1] is term.condition:
+                        found = True
+        assert found
+
+    def test_compilation_is_deterministic(self):
+        src = "int main() { int x = 1; print(x + 2); return 0; }"
+        a = compile_source(src)
+        b = compile_source(src)
+        ia = [(i.iid, i.opcode) for i in a.instructions()]
+        ib = [(i.iid, i.opcode) for i in b.instructions()]
+        assert ia == ib
+
+    def test_every_use_is_a_fresh_load(self):
+        # -O0 discipline: three uses of x produce three loads
+        src = "int main() { int x = 2; print(x + x + x); return 0; }"
+        module = compile_source(src)
+        loads = [i for i in module.instructions() if i.opcode == "load"]
+        assert len(loads) == 3

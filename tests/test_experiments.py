@@ -1,0 +1,131 @@
+"""Tests for the experiment drivers (quick configurations)."""
+
+import pytest
+
+from repro.analysis.rootcause import Penetration
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.figure2 import render_figure2, run_figure2
+from repro.experiments.figure3 import PAPER_SHARES, render_figure3, run_figure3
+from repro.experiments.figure17 import render_figure17, run_figure17
+from repro.experiments.overhead import (
+    average_extra_by_level,
+    render_overhead,
+    run_overhead,
+)
+from repro.experiments.compile_time import render_compile_time, run_compile_time
+
+
+QUICK = ExperimentConfig(
+    scale="tiny",
+    campaigns=60,
+    profile_campaigns=80,
+    seed=5,
+    benchmarks=("crc32", "pathfinder"),
+    levels=(50, 100),
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(QUICK)
+
+
+class TestConfig:
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        monkeypatch.setenv("REPRO_CAMPAIGNS", "42")
+        monkeypatch.setenv("REPRO_BENCHMARKS", "crc32, lud")
+        cfg = ExperimentConfig.from_env()
+        assert cfg.scale == "tiny"
+        assert cfg.campaigns == 42
+        assert cfg.benchmarks == ("crc32", "lud")
+
+    def test_all_keyword(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCHMARKS", "all")
+        cfg = ExperimentConfig.from_env()
+        assert len(cfg.benchmarks) == 16
+
+
+class TestContextCaching:
+    def test_profile_cached(self, ctx):
+        a = ctx.profile("crc32")
+        b = ctx.profile("crc32")
+        assert a is b
+
+    def test_raw_campaigns_cached(self, ctx):
+        a = ctx.raw_campaigns("crc32")
+        b = ctx.raw_campaigns("crc32")
+        assert a is b
+
+
+class TestTable1:
+    def test_rows_and_render(self):
+        rows = run_table1(QUICK)
+        assert [r.benchmark for r in rows] == ["crc32", "pathfinder"]
+        for r in rows:
+            assert r.asm_dyn > r.ir_dyn > 0
+        text = render_table1(rows)
+        assert "crc32" in text and "Paper DI" in text
+
+
+class TestFigure2(object):
+    def test_cells_and_summary(self, ctx):
+        result = run_figure2(context=ctx)
+        assert len(result.cells) == 4  # 2 benchmarks x 2 levels
+        for cell in result.cells:
+            assert 0.0 <= cell.ir_coverage <= 1.0
+            assert 0.0 <= cell.asm_coverage <= 1.0
+        text = render_figure2(result)
+        assert "average IR-vs-assembly coverage gap" in text
+
+    def test_full_protection_ir_coverage_high(self, ctx):
+        result = run_figure2(context=ctx)
+        full = [c for c in result.cells if c.level == 100]
+        for cell in full:
+            assert cell.ir_coverage >= 0.95
+
+
+class TestFigure3:
+    def test_classification_totals(self, ctx):
+        result = run_figure3(context=ctx)
+        shares = result.shares()
+        if result.total:
+            assert abs(sum(shares.values()) - 1.0) < 1e-9
+        text = render_figure3(result)
+        assert "Paper share" in text
+
+    def test_paper_share_constants(self):
+        assert abs(sum(PAPER_SHARES.values()) - 1.001) < 0.01
+
+
+class TestFigure17:
+    def test_flowery_beats_id_on_average(self, ctx):
+        result = run_figure17(context=ctx)
+        assert result.cells
+        id_asm, flowery = result.full_protection_averages()
+        assert flowery >= id_asm
+        text = render_figure17(result)
+        assert "Flowery" in text
+
+
+class TestOverhead:
+    def test_rows_and_averages(self, ctx):
+        rows = run_overhead(context=ctx)
+        for r in rows:
+            assert r.flowery_dyn >= r.id_dyn >= r.baseline_dyn
+        avgs = average_extra_by_level(rows)
+        assert set(avgs.keys()) == {50, 100}
+        text = render_overhead(rows)
+        assert "Flowery extra" in text
+
+
+class TestCompileTime:
+    def test_pass_timing(self):
+        rows = run_compile_time(QUICK)
+        for r in rows:
+            assert r.static_instructions > 0
+            assert r.duplication_seconds >= 0
+            assert r.flowery_seconds >= 0
+        assert "compile-time" in render_compile_time(rows)

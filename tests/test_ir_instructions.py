@@ -1,0 +1,227 @@
+"""Tests for IR instruction construction and typing rules."""
+
+import pytest
+
+from repro.errors import IRTypeError
+from repro.ir import types as T
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    Gep,
+    ICmp,
+    Load,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from repro.ir.module import BasicBlock, Module
+from repro.ir.types import function_type
+from repro.ir.values import const_bool, const_float, const_int
+
+
+def g64(module=None, name="g", init=0):
+    m = module or Module("t")
+    return m.global_var(name, T.I64, init)
+
+
+class TestMemoryOps:
+    def test_alloca_result_type(self):
+        a = Alloca(T.array(T.I64, 4))
+        assert a.type is T.ptr(T.array(T.I64, 4))
+        assert not a.is_ir_injection_site
+
+    def test_load_result_type(self):
+        ld = Load(g64())
+        assert ld.type is T.I64
+        assert ld.is_ir_injection_site
+
+    def test_load_from_non_pointer(self):
+        with pytest.raises(IRTypeError):
+            Load(const_int(5))
+
+    def test_load_of_array_rejected(self):
+        m = Module("t")
+        arr = m.global_var("a", T.array(T.I64, 2))
+        with pytest.raises(IRTypeError):
+            Load(arr)
+
+    def test_store_no_result_and_sync(self):
+        st = Store(const_int(1), g64())
+        assert not st.has_result
+        assert st.is_sync_point
+        assert not st.is_ir_injection_site
+
+    def test_store_type_mismatch(self):
+        with pytest.raises(IRTypeError):
+            Store(const_float(1.0), g64())
+
+
+class TestArithmetic:
+    def test_int_binop(self):
+        op = BinOp("add", const_int(1), const_int(2))
+        assert op.type is T.I64
+
+    def test_float_binop(self):
+        op = BinOp("fadd", const_float(1.0), const_float(2.0))
+        assert op.type is T.F64
+
+    def test_mixed_operands_rejected(self):
+        with pytest.raises(IRTypeError):
+            BinOp("add", const_int(1), const_float(2.0))
+        with pytest.raises(IRTypeError):
+            BinOp("fadd", const_int(1), const_int(2))
+
+    def test_unknown_op(self):
+        with pytest.raises(IRTypeError):
+            BinOp("bogus", const_int(1), const_int(2))
+
+    def test_width_mismatch(self):
+        with pytest.raises(IRTypeError):
+            BinOp("add", const_int(1, T.I32), const_int(2, T.I64))
+
+
+class TestCompares:
+    def test_icmp_yields_i1(self):
+        c = ICmp("slt", const_int(1), const_int(2))
+        assert c.type is T.I1
+        assert c.pred == "slt"
+
+    def test_icmp_bad_pred(self):
+        with pytest.raises(IRTypeError):
+            ICmp("lt", const_int(1), const_int(2))
+
+    def test_fcmp_ordered_only(self):
+        c = FCmp("olt", const_float(1.0), const_float(2.0))
+        assert c.type is T.I1
+        with pytest.raises(IRTypeError):
+            FCmp("ult", const_float(1.0), const_float(2.0))
+
+    def test_icmp_on_floats_rejected(self):
+        with pytest.raises(IRTypeError):
+            ICmp("eq", const_float(1.0), const_float(1.0))
+
+
+class TestGep:
+    def test_array_decay(self):
+        m = Module("t")
+        arr = m.global_var("a", T.array(T.I32, 8))
+        gep = Gep(arr, const_int(3))
+        assert gep.type is T.ptr(T.I32)
+        assert gep.element_size == 4
+
+    def test_scalar_pointer_arithmetic(self):
+        gep = Gep(g64(), const_int(1))
+        assert gep.type is T.ptr(T.I64)
+        assert gep.element_size == 8
+
+    def test_non_pointer_base(self):
+        with pytest.raises(IRTypeError):
+            Gep(const_int(0), const_int(0))
+
+    def test_float_index_rejected(self):
+        with pytest.raises(IRTypeError):
+            Gep(g64(), const_float(0.0))
+
+
+class TestCasts:
+    def test_valid_casts(self):
+        assert Cast("sext", const_int(1, T.I32), T.I64).type is T.I64
+        assert Cast("trunc", const_int(1, T.I64), T.I1).type is T.I1
+        assert Cast("sitofp", const_int(1), T.F64).type is T.F64
+        assert Cast("fptosi", const_float(1.0), T.I64).type is T.I64
+
+    def test_invalid_direction(self):
+        with pytest.raises(IRTypeError):
+            Cast("sext", const_int(1, T.I64), T.I32)
+        with pytest.raises(IRTypeError):
+            Cast("trunc", const_int(1, T.I32), T.I64)
+
+    def test_bitcast_pointers_only(self):
+        m = Module("t")
+        arr = m.global_var("a", T.array(T.I64, 2))
+        c = Cast("bitcast", arr, T.ptr(T.I64))
+        assert c.type is T.ptr(T.I64)
+        with pytest.raises(IRTypeError):
+            Cast("bitcast", const_int(0), T.ptr(T.I64))
+
+
+class TestSelectAndCalls:
+    def test_select(self):
+        s = Select(const_bool(True), const_int(1), const_int(2))
+        assert s.type is T.I64
+
+    def test_select_needs_i1(self):
+        with pytest.raises(IRTypeError):
+            Select(const_int(1), const_int(1), const_int(2))
+
+    def test_call_to_function(self):
+        m = Module("t")
+        f = m.add_function("f", function_type(T.I64, [T.I64]))
+        call = Call(f, [const_int(1)])
+        assert call.type is T.I64
+        assert call.has_result
+        assert call.is_sync_point
+        assert call.callee_name == "f"
+
+    def test_call_arity_checked(self):
+        m = Module("t")
+        f = m.add_function("f", function_type(T.I64, [T.I64]))
+        with pytest.raises(IRTypeError):
+            Call(f, [])
+
+    def test_call_arg_type_checked(self):
+        m = Module("t")
+        f = m.add_function("f", function_type(T.I64, [T.I64]))
+        with pytest.raises(IRTypeError):
+            Call(f, [const_float(1.0)])
+
+    def test_intrinsic_call_needs_ret_type(self):
+        with pytest.raises(IRTypeError):
+            Call("print_i64", [const_int(1)])
+        c = Call("print_i64", [const_int(1)], ret_type=T.VOID)
+        assert not c.has_result
+        assert not c.is_ir_injection_site
+
+
+class TestTerminators:
+    def test_br_successors(self):
+        bb = BasicBlock("x")
+        br = Br(bb)
+        assert br.is_terminator
+        assert br.successors() == [bb]
+
+    def test_condbr(self):
+        t, e = BasicBlock("t"), BasicBlock("e")
+        cb = CondBr(const_bool(True), t, e)
+        assert cb.successors() == [t, e]
+        assert cb.is_sync_point
+
+    def test_condbr_needs_i1(self):
+        with pytest.raises(IRTypeError):
+            CondBr(const_int(1), BasicBlock("t"), BasicBlock("e"))
+
+    def test_ret(self):
+        assert Ret().value is None
+        assert Ret(const_int(1)).value.value == 1
+        assert Ret().is_terminator
+
+    def test_unreachable(self):
+        u = Unreachable()
+        assert u.is_terminator
+        assert u.describe() == "unreachable"
+
+
+class TestMetadata:
+    def test_shadow_and_checker_flags(self):
+        inst = BinOp("add", const_int(1), const_int(2))
+        assert not inst.is_shadow and not inst.is_checker
+        inst.attrs["dup_of"] = 42
+        inst.attrs["checker"] = True
+        inst.attrs["protected"] = True
+        assert inst.is_shadow and inst.is_checker and inst.is_protected

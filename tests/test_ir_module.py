@@ -1,0 +1,167 @@
+"""Tests for Module/Function/BasicBlock containers and the builder."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import types as T
+from repro.ir.builder import IRBuilder
+from repro.ir.module import BasicBlock, Module
+from repro.ir.types import function_type
+from repro.ir.values import const_int
+
+
+@pytest.fixture
+def module():
+    return Module("m")
+
+
+def make_fn(module, name="f", ret=T.VOID, params=()):
+    return module.add_function(name, function_type(ret, params))
+
+
+class TestModule:
+    def test_duplicate_global_rejected(self, module):
+        module.global_var("g", T.I64)
+        with pytest.raises(IRError):
+            module.global_var("g", T.I64)
+
+    def test_duplicate_function_rejected(self, module):
+        make_fn(module)
+        with pytest.raises(IRError):
+            make_fn(module)
+
+    def test_missing_lookups(self, module):
+        with pytest.raises(IRError):
+            module.function("nope")
+        with pytest.raises(IRError):
+            module.get_global("nope")
+
+    def test_iids_unique_and_monotonic(self, module):
+        fn = make_fn(module)
+        b = IRBuilder(fn)
+        b.set_block(b.new_block("entry"))
+        i1 = b.add(b.i64(1), b.i64(2))
+        i2 = b.add(i1, b.i64(3))
+        b.ret()
+        assert 0 < i1.iid < i2.iid
+        assert module.static_instruction_count() == 3
+
+    def test_instruction_by_iid(self, module):
+        fn = make_fn(module)
+        b = IRBuilder(fn)
+        b.set_block(b.new_block("entry"))
+        inst = b.add(b.i64(1), b.i64(2))
+        b.ret()
+        assert module.instruction_by_iid(inst.iid) is inst
+        with pytest.raises(IRError):
+            module.instruction_by_iid(99999)
+
+
+class TestFunction:
+    def test_entry_is_first_block(self, module):
+        fn = make_fn(module)
+        first = fn.new_block("entry")
+        fn.new_block("other")
+        assert fn.entry is first
+
+    def test_declaration(self, module):
+        fn = make_fn(module)
+        assert fn.is_declaration
+        fn.new_block("entry")
+        assert not fn.is_declaration
+
+    def test_unique_labels(self, module):
+        fn = make_fn(module)
+        a = fn.new_block("body")
+        b = fn.new_block("body")
+        assert a.label != b.label
+
+    def test_args_match_signature(self, module):
+        fn = make_fn(module, name="g", ret=T.I64, params=[T.I64, T.F64])
+        assert len(fn.args) == 2
+        assert fn.args[0].type is T.I64
+        assert fn.args[1].type is T.F64
+        assert fn.args[1].index == 1
+        assert fn.return_type is T.I64
+
+    def test_predecessors(self, module):
+        fn = make_fn(module)
+        b = IRBuilder(fn)
+        entry = b.set_block(b.new_block("entry"))
+        then = b.new_block("then")
+        done = b.new_block("done")
+        cond = b.icmp("eq", b.i64(1), b.i64(1))
+        b.condbr(cond, then, done)
+        b.set_block(then)
+        b.br(done)
+        b.set_block(done)
+        b.ret()
+        preds = fn.predecessors()
+        assert preds[entry] == []
+        assert preds[then] == [entry]
+        assert set(preds[done]) == {entry, then}
+
+    def test_compute_uses(self, module):
+        fn = make_fn(module)
+        b = IRBuilder(fn)
+        b.set_block(b.new_block("entry"))
+        x = b.add(b.i64(1), b.i64(2))
+        y = b.mul(x, x)
+        b.ret()
+        uses = fn.compute_uses()
+        assert uses[x.iid] == [y, y]  # x appears twice in y's operands
+
+
+class TestBasicBlock:
+    def test_append_after_terminator_rejected(self, module):
+        fn = make_fn(module)
+        b = IRBuilder(fn)
+        b.set_block(b.new_block("entry"))
+        b.ret()
+        with pytest.raises(IRError):
+            b.ret()
+
+    def test_index_of(self, module):
+        fn = make_fn(module)
+        b = IRBuilder(fn)
+        blk = b.set_block(b.new_block("entry"))
+        x = b.add(b.i64(1), b.i64(1))
+        b.ret()
+        assert blk.index_of(x) == 0
+
+
+class TestBuilder:
+    def test_no_insertion_point(self, module):
+        fn = make_fn(module)
+        b = IRBuilder(fn)
+        with pytest.raises(IRError):
+            b.ret()
+
+    def test_is_terminated(self, module):
+        fn = make_fn(module)
+        b = IRBuilder(fn)
+        b.set_block(b.new_block("entry"))
+        assert not b.is_terminated
+        b.ret()
+        assert b.is_terminated
+
+    def test_constants_helpers(self):
+        assert IRBuilder.i64(5).type is T.I64
+        assert IRBuilder.i32(5).type is T.I32
+        assert IRBuilder.f64(5.0).type is T.F64
+        assert IRBuilder.true().value == 1
+        assert IRBuilder.false().value == 0
+
+    def test_all_binops_constructible(self, module):
+        fn = make_fn(module)
+        b = IRBuilder(fn)
+        b.set_block(b.new_block("entry"))
+        one, two = b.i64(1), b.i64(2)
+        for meth in ("add", "sub", "mul", "sdiv", "srem", "and_", "or_",
+                     "xor", "shl", "ashr", "lshr"):
+            inst = getattr(b, meth)(one, two)
+            assert inst.type is T.I64
+        f1, f2 = b.f64(1.0), b.f64(2.0)
+        for meth in ("fadd", "fsub", "fmul", "fdiv"):
+            assert getattr(b, meth)(f1, f2).type is T.F64
+        b.ret()

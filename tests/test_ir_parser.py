@@ -1,0 +1,151 @@
+"""Tests for the textual IR parser (printer round-trips)."""
+
+import pytest
+
+from repro.benchsuite.registry import load_source
+from repro.frontend.codegen import compile_source
+from repro.interp.interpreter import run_ir
+from repro.ir.parser import IRParseError, parse_ir
+from repro.ir.printer import print_module
+from repro.ir.verifier import verify_module
+from repro.protection.duplication import duplicate_module
+
+
+def roundtrip(module):
+    text = print_module(module)
+    parsed = parse_ir(text)
+    verify_module(parsed)
+    return parsed, text
+
+
+class TestHandWritten:
+    def test_minimal_module(self):
+        text = """
+; module hand
+@g = global i64 41
+
+define void @main() {
+entry:
+  %t1 = load i64, i64* @g
+  %t2 = add i64 %t1, i64 1
+  call void @print_i64(i64 %t2)
+  ret void
+}
+"""
+        module = parse_ir(text)
+        verify_module(module)
+        assert run_ir(module).output == "42\n"
+
+    def test_arrays_and_geps(self):
+        text = """
+@data = constant [3 x i64] [10, 20, 30]
+
+define void @main() {
+entry:
+  %t1 = gep [3 x i64]* @data, i64 2
+  %t2 = load i64, i64* %t1
+  call void @print_i64(i64 %t2)
+  ret void
+}
+"""
+        assert run_ir(parse_ir(text)).output == "30\n"
+
+    def test_control_flow(self):
+        text = """
+define void @main() {
+entry:
+  %t1 = icmp slt i64 3, 5
+  condbr i1 %t1, label %yes, label %no
+yes:
+  call void @print_i64(i64 1)
+  ret void
+no:
+  call void @print_i64(i64 0)
+  ret void
+}
+"""
+        assert run_ir(parse_ir(text)).output == "1\n"
+
+    def test_floats_and_casts(self):
+        text = """
+define void @main() {
+entry:
+  %t1 = sitofp i64 7 to f64
+  %t2 = fdiv f64 %t1, f64 2.0
+  call void @print_f64(f64 %t2)
+  %t3 = fptosi f64 %t2 to i64
+  call void @print_i64(i64 %t3)
+  ret void
+}
+"""
+        assert run_ir(parse_ir(text)).output == "3.5\n3\n"
+
+    def test_functions_and_calls(self):
+        text = """
+define i64 @double(i64 %x) {
+entry:
+  %t1 = add i64 %x, i64 %x
+  ret i64 %t1
+}
+
+define void @main() {
+entry:
+  %t2 = call i64 @double(i64 21)
+  call void @print_i64(i64 %t2)
+  ret void
+}
+"""
+        assert run_ir(parse_ir(text)).output == "42\n"
+
+    def test_volatile_global_roundtrip(self):
+        text = """
+@guard = volatile global i64 1
+
+define void @main() {
+entry:
+  %t1 = load volatile i64, i64* @guard
+  call void @print_i64(i64 %t1)
+  ret void
+}
+"""
+        module = parse_ir(text)
+        assert module.globals["guard"].volatile
+        inst = next(i for i in module.instructions() if i.opcode == "load")
+        assert inst.volatile
+
+    def test_errors(self):
+        with pytest.raises(IRParseError):
+            parse_ir("nonsense at top level")
+        with pytest.raises(IRParseError):
+            parse_ir("define void @f() {\nentry:\n  %t1 = bogus 1\n}")
+        with pytest.raises(IRParseError):
+            parse_ir(
+                "define void @f() {\nentry:\n  %t1 = add i64 %t9, i64 1\n}"
+            )
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("bench", ["crc32", "pathfinder", "knn", "ep"])
+    def test_benchmark_roundtrip_semantics(self, bench):
+        module = compile_source(load_source(bench, "tiny"), bench)
+        golden = run_ir(module)
+        parsed, text = roundtrip(module)
+        res = run_ir(parsed)
+        assert res.output == golden.output
+
+    def test_roundtrip_is_fixpoint(self):
+        module = compile_source(load_source("crc32", "tiny"))
+        parsed, text1 = roundtrip(module)
+        text2 = print_module(parsed)
+        assert text1 == text2
+
+    def test_protected_module_roundtrip(self):
+        module = compile_source(load_source("pathfinder", "tiny"))
+        duplicate_module(module)
+        golden = run_ir(module)
+        parsed, _ = roundtrip(module)
+        assert run_ir(parsed).output == golden.output
+        # protection metadata survives
+        shadows = [i for i in parsed.instructions() if i.is_shadow]
+        checkers = [i for i in parsed.instructions() if i.is_checker]
+        assert shadows and checkers

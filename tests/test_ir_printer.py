@@ -1,0 +1,75 @@
+"""Tests for the textual IR printer."""
+
+from repro.frontend.codegen import compile_source
+from repro.ir import types as T
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.ir.printer import format_instruction, print_function, print_module
+from repro.ir.types import function_type
+
+
+def test_print_module_structure():
+    src = """
+int g = 3;
+int main() { print(g); return 0; }
+"""
+    text = print_module(compile_source(src))
+    assert "; module" in text
+    assert "@g = global i64 3" in text
+    assert "define i64 @main()" in text
+    assert "ret" in text
+
+
+def test_print_zeroinit_and_arrays():
+    m = Module("t")
+    m.global_var("z", T.I64)
+    m.global_var("arr", T.array(T.I64, 3), [1, 2, 3], is_const=True)
+    text = print_module(m)
+    assert "@z = global i64 zeroinitializer" in text
+    assert "@arr = constant [3 x i64] [1, 2, 3]" in text
+
+
+def test_volatile_global_marker():
+    m = Module("t")
+    m.global_var("guard", T.I64, 1, volatile=True)
+    assert "@guard = volatile global i64 1" in print_module(m)
+
+
+def test_format_core_instructions():
+    m = Module("t")
+    fn = m.add_function("f", function_type(T.I64, [T.I64]))
+    b = IRBuilder(fn)
+    b.set_block(b.new_block("entry"))
+    g = m.global_var("g", T.array(T.I64, 4))
+    p = b.gep(g, b.i64(1))
+    v = b.load(p)
+    s = b.add(v, fn.args[0])
+    c = b.icmp("slt", s, b.i64(10))
+    z = b.zext(c, T.I64)
+    st = b.store(z, p)
+    r = b.ret(z)
+    assert format_instruction(p).startswith(f"%t{p.iid} = gep")
+    assert "load i64" in format_instruction(v)
+    assert "icmp slt" in format_instruction(c)
+    assert "zext" in format_instruction(z)
+    assert format_instruction(st).startswith("store")
+    assert format_instruction(r).startswith("ret i64")
+
+
+def test_attr_suffix_for_protection_metadata():
+    m = Module("t")
+    fn = m.add_function("f", function_type(T.VOID, []))
+    b = IRBuilder(fn)
+    b.set_block(b.new_block("entry"))
+    x = b.add(b.i64(1), b.i64(1))
+    x.attrs["dup_of"] = 7
+    x.attrs["checker"] = True
+    b.ret()
+    line = format_instruction(x)
+    assert "dup_of=%t7" in line and "checker" in line
+
+
+def test_print_function_declaration():
+    m = Module("t")
+    fn = m.add_function("ext", function_type(T.I64, [T.F64]))
+    assert print_function(fn).startswith("declare i64 @ext")

@@ -1,0 +1,79 @@
+"""Tests for the interned IR type system."""
+
+import pytest
+
+from repro.errors import IRTypeError
+from repro.ir import types as T
+
+
+class TestInterning:
+    def test_int_types_are_singletons(self):
+        assert T.int_type(32) is T.I32
+        assert T.int_type(64) is T.I64
+
+    def test_pointer_interning(self):
+        assert T.ptr(T.I64) is T.ptr(T.I64)
+        assert T.ptr(T.I64) is not T.ptr(T.I32)
+
+    def test_array_interning(self):
+        assert T.array(T.I64, 8) is T.array(T.I64, 8)
+        assert T.array(T.I64, 8) is not T.array(T.I64, 9)
+
+    def test_function_type_interning(self):
+        a = T.function_type(T.I64, [T.I64, T.F64])
+        b = T.function_type(T.I64, [T.I64, T.F64])
+        assert a is b
+
+
+class TestProperties:
+    def test_sizes(self):
+        assert T.I1.size == 1
+        assert T.I8.size == 1
+        assert T.I32.size == 4
+        assert T.I64.size == 8
+        assert T.F64.size == 8
+        assert T.ptr(T.I64).size == 8
+        assert T.array(T.I32, 10).size == 40
+
+    def test_bits(self):
+        assert T.I1.bits == 1
+        assert T.F64.bits == 64
+        assert T.ptr(T.F64).bits == 64
+
+    def test_void_has_no_bits(self):
+        with pytest.raises(IRTypeError):
+            T.VOID.bits
+
+    def test_predicates(self):
+        assert T.I64.is_integer and T.I64.is_scalar
+        assert T.F64.is_float and not T.F64.is_integer
+        assert T.ptr(T.I64).is_pointer and T.ptr(T.I64).is_scalar
+        assert T.VOID.is_void and not T.VOID.is_scalar
+        assert T.array(T.I64, 2).is_array
+
+    def test_nested_array_flattening(self):
+        nested = T.array(T.array(T.F64, 3), 4)
+        assert nested.size == 96
+        assert nested.flattened_element is T.F64
+
+    def test_str_forms(self):
+        assert str(T.I64) == "i64"
+        assert str(T.F64) == "f64"
+        assert str(T.ptr(T.I32)) == "i32*"
+        assert str(T.array(T.I64, 4)) == "[4 x i64]"
+
+
+class TestInvalid:
+    def test_bad_int_width(self):
+        with pytest.raises(IRTypeError):
+            T.IntType(7)
+        with pytest.raises(IRTypeError):
+            T.int_type(128)
+
+    def test_pointer_to_void(self):
+        with pytest.raises(IRTypeError):
+            T.PointerType(T.VOID)
+
+    def test_empty_array(self):
+        with pytest.raises(IRTypeError):
+            T.ArrayType(T.I64, 0)

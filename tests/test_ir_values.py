@@ -1,0 +1,78 @@
+"""Tests for IR value kinds."""
+
+import pytest
+
+from repro.errors import IRTypeError
+from repro.ir import types as T
+from repro.ir.values import (
+    Constant,
+    GlobalVariable,
+    const_bool,
+    const_float,
+    const_int,
+)
+
+
+class TestConstants:
+    def test_const_int_wraps(self):
+        assert const_int(1 << 63).value == -(1 << 63)
+        assert const_int(-1).value == -1
+
+    def test_const_int_width(self):
+        c = const_int(300, T.I8)
+        assert c.value == 44  # 300 mod 256, signed
+
+    def test_const_float(self):
+        assert const_float(2) .value == 2.0
+        assert isinstance(const_float(2).value, float)
+
+    def test_const_bool(self):
+        assert const_bool(True).value == 1
+        assert const_bool(False).value == 0
+        assert const_bool(True).type is T.I1
+
+    def test_type_mismatch(self):
+        with pytest.raises(IRTypeError):
+            Constant(T.I64, 1.5)
+        with pytest.raises(IRTypeError):
+            Constant(T.VOID, 0)
+
+    def test_short_forms(self):
+        assert const_int(5).short() == "5"
+        assert const_float(1.5).short() == "1.5"
+
+
+class TestGlobals:
+    def test_global_type_is_pointer(self):
+        g = GlobalVariable("g", T.I64, 42)
+        assert g.type is T.ptr(T.I64)
+        assert g.value_type is T.I64
+
+    def test_scalar_initializer(self):
+        assert GlobalVariable("g", T.I64, 42).flat_initializer() == [42]
+        assert GlobalVariable("g", T.I64).flat_initializer() == [0]
+        assert GlobalVariable("g", T.F64).flat_initializer() == [0.0]
+
+    def test_array_initializer_padded(self):
+        g = GlobalVariable("g", T.array(T.I64, 4), [1, 2])
+        assert g.flat_initializer() == [1, 2, 0, 0]
+
+    def test_array_initializer_overflow(self):
+        g = GlobalVariable("g", T.array(T.I64, 2), [1, 2, 3])
+        with pytest.raises(IRTypeError):
+            g.flat_initializer()
+
+    def test_nested_initializer_flattens(self):
+        g = GlobalVariable("g", T.array(T.I64, 4), [[1, 2], [3, 4]])
+        assert g.flat_initializer() == [1, 2, 3, 4]
+
+    def test_volatile_flag(self):
+        g = GlobalVariable("g", T.I64, 1, volatile=True)
+        assert g.volatile
+
+    def test_invalid_global_type(self):
+        with pytest.raises(IRTypeError):
+            GlobalVariable("g", T.VOID)
+
+    def test_short(self):
+        assert GlobalVariable("data", T.I64).short() == "@data"

@@ -1,0 +1,148 @@
+"""Tests for structural IR verification."""
+
+import pytest
+
+from repro.errors import VerifierError
+from repro.ir import types as T
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import BinOp, Br
+from repro.ir.module import Module
+from repro.ir.types import function_type
+from repro.ir.values import const_int
+from repro.ir.verifier import compute_dominators, verify_module
+
+
+def fresh():
+    m = Module("v")
+    fn = m.add_function("main", function_type(T.VOID, []))
+    b = IRBuilder(fn)
+    b.set_block(b.new_block("entry"))
+    return m, fn, b
+
+
+class TestStructure:
+    def test_valid_module_passes(self):
+        m, fn, b = fresh()
+        b.ret()
+        verify_module(m)
+
+    def test_missing_terminator(self):
+        m, fn, b = fresh()
+        b.add(b.i64(1), b.i64(2))
+        with pytest.raises(VerifierError, match="terminator"):
+            verify_module(m)
+
+    def test_empty_block(self):
+        m, fn, b = fresh()
+        b.ret()
+        fn.new_block("empty")
+        with pytest.raises(VerifierError, match="empty"):
+            verify_module(m)
+
+    def test_foreign_branch_target(self):
+        m, fn, b = fresh()
+        other_m = Module("other")
+        other_fn = other_m.add_function("f", function_type(T.VOID, []))
+        foreign = other_fn.new_block("x")
+        br = Br(foreign)
+        m.assign_iid(br)
+        b.block.append(br)
+        with pytest.raises(VerifierError, match="foreign"):
+            verify_module(m)
+
+    def test_entry_with_predecessor(self):
+        m, fn, b = fresh()
+        b.br(fn.entry)
+        with pytest.raises(VerifierError, match="entry"):
+            verify_module(m)
+
+
+class TestIds:
+    def test_missing_iid(self):
+        m, fn, b = fresh()
+        b.ret()
+        inst = BinOp("add", const_int(1), const_int(2))
+        fn.entry.instructions.insert(0, inst)  # bypass builder: no iid
+        with pytest.raises(VerifierError, match="iid"):
+            verify_module(m)
+
+    def test_duplicate_iid(self):
+        m, fn, b = fresh()
+        x = b.add(b.i64(1), b.i64(2))
+        y = b.add(b.i64(3), b.i64(4))
+        y.iid = x.iid
+        b.ret()
+        with pytest.raises(VerifierError, match="duplicate iid"):
+            verify_module(m)
+
+
+class TestDominance:
+    def test_use_before_def_same_block(self):
+        m, fn, b = fresh()
+        x = b.add(b.i64(1), b.i64(2))
+        y = b.add(x, b.i64(3))
+        b.ret()
+        # swap x and y: y now uses x before its definition
+        fn.entry.instructions[0], fn.entry.instructions[1] = y, x
+        with pytest.raises(VerifierError, match="before definition"):
+            verify_module(m)
+
+    def test_non_dominating_use(self):
+        m, fn, b = fresh()
+        then = b.new_block("then")
+        els = b.new_block("els")
+        done = b.new_block("done")
+        cond = b.icmp("eq", b.i64(1), b.i64(1))
+        b.condbr(cond, then, els)
+        b.set_block(then)
+        x = b.add(b.i64(1), b.i64(2))
+        b.br(done)
+        b.set_block(els)
+        b.br(done)
+        b.set_block(done)
+        b.add(x, b.i64(1))  # x does not dominate done
+        b.ret()
+        with pytest.raises(VerifierError, match="dominate"):
+            verify_module(m)
+
+    def test_dominating_use_across_blocks_ok(self):
+        m, fn, b = fresh()
+        nxt = b.new_block("next")
+        x = b.add(b.i64(1), b.i64(2))
+        b.br(nxt)
+        b.set_block(nxt)
+        b.add(x, b.i64(1))
+        b.ret()
+        verify_module(m)
+
+    def test_compute_dominators_diamond(self):
+        m, fn, b = fresh()
+        entry = fn.entry
+        then = b.new_block("then")
+        els = b.new_block("els")
+        done = b.new_block("done")
+        cond = b.icmp("eq", b.i64(1), b.i64(1))
+        b.condbr(cond, then, els)
+        for blk in (then, els):
+            b.set_block(blk)
+            b.br(done)
+        b.set_block(done)
+        b.ret()
+        dom = compute_dominators(fn)
+        assert dom[done] == {entry, done}
+        assert dom[then] == {entry, then}
+
+
+class TestCalls:
+    def test_unknown_intrinsic(self):
+        m, fn, b = fresh()
+        b.call("not_an_intrinsic", [], ret_type=T.VOID)
+        b.ret()
+        with pytest.raises(VerifierError, match="intrinsic"):
+            verify_module(m)
+
+    def test_known_intrinsic_ok(self):
+        m, fn, b = fresh()
+        b.call("print_i64", [b.i64(1)], ret_type=T.VOID)
+        b.ret()
+        verify_module(m)

@@ -1,0 +1,81 @@
+"""Tests for the MiniC lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend.lexer import Token, tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_empty_source(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind == "eof"
+
+    def test_keywords_vs_identifiers(self):
+        assert kinds("int x") == [("keyword", "int"), ("ident", "x")]
+        assert kinds("integer") == [("ident", "integer")]
+
+    def test_numbers(self):
+        assert kinds("42") == [("int_lit", "42")]
+        assert kinds("0x1F") == [("int_lit", "0x1F")]
+        assert kinds("3.5") == [("float_lit", "3.5")]
+        assert kinds("1e3") == [("float_lit", "1e3")]
+        assert kinds("2.5e-2") == [("float_lit", "2.5e-2")]
+        assert kinds("7.") == [("float_lit", "7.")]
+
+    def test_member_access_not_float(self):
+        # "1.x" lexes 1. as float then ident — MiniC has no members, the
+        # parser rejects it; the lexer just splits tokens
+        toks = kinds("1.5x")
+        assert toks[0] == ("float_lit", "1.5")
+
+    def test_operators_maximal_munch(self):
+        assert kinds("<<=") == [("op", "<<=")]
+        assert kinds("<<") == [("op", "<<")]
+        assert kinds("<= <") == [("op", "<="), ("op", "<")]
+        assert kinds("a+++b")[1] == ("op", "++")
+
+    def test_char_literal(self):
+        assert kinds("'a'") == [("int_lit", str(ord("a")))]
+        assert kinds(r"'\n'") == [("int_lit", "10")]
+
+    def test_string_literal(self):
+        toks = tokenize('"hi\\n"')
+        assert toks[0].kind == "string" and toks[0].text == "hi\n"
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("1 // comment\n2") == [("int_lit", "1"), ("int_lit", "2")]
+
+    def test_block_comment(self):
+        assert kinds("1 /* x\ny */ 2") == [("int_lit", "1"), ("int_lit", "2")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("/* never ends")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected"):
+            tokenize("a $ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize('"oops')
+
+    def test_bad_escape(self):
+        with pytest.raises(ParseError, match="escape"):
+            tokenize(r'"\q"')

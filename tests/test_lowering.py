@@ -1,0 +1,256 @@
+"""Tests for IR -> assembly lowering: structure, roles, penetrations."""
+
+import pytest
+
+from repro.backend.isa import Role
+from repro.backend.lower import LoweringOptions, lower_module
+from repro.frontend.codegen import compile_source
+from repro.interp.interpreter import run_ir
+from repro.interp.layout import GlobalLayout
+from repro.machine.machine import compile_program, run_asm
+from repro.protection.duplication import duplicate_module
+
+from tests.helpers import compile_and_build
+
+
+def roles_of(asm, fn="main"):
+    return [(i.opcode, i.role) for i in asm.functions[fn].insts]
+
+
+class TestFrameCode:
+    def test_prologue_epilogue(self, sink_built):
+        _, _, asm, _ = sink_built
+        insts = asm.functions["main"].insts
+        assert insts[0].opcode == "push" and insts[0].role == Role.FRAME
+        assert insts[1].opcode == "mov" and insts[1].role == Role.FRAME
+        assert insts[2].opcode == "sub"
+        assert insts[-1].opcode == "ret"
+        assert insts[-2].opcode == "pop"
+
+    def test_arg_spills_after_prologue(self):
+        src = ("int f(int a, int b) { return a + b; } "
+               "int main() { print(f(1, 2)); return 0; }")
+        _, _, asm, _ = compile_and_build(src)
+        spills = [i for i in asm.functions["f"].insts
+                  if i.role == Role.ARG_SPILL]
+        assert len(spills) == 2
+        # spills write memory -> not injection sites
+        assert all(not s.is_injectable for s in spills)
+
+
+class TestCallLowering:
+    def test_call_args_tagged(self):
+        src = ("int f(int a, int b) { return a + b; } "
+               "int main() { int x = 3; print(f(x, 4)); return 0; }")
+        _, _, asm, _ = compile_and_build(src)
+        call_args = [i for i in asm.functions["main"].insts
+                     if i.role == Role.CALL_ARG]
+        # f's two args plus print's argument
+        assert len(call_args) >= 3
+        assert all(i.is_injectable for i in call_args)
+
+    def test_arg_registers_in_order(self):
+        src = ("int f(int a, int b, int c) { return a + b + c; } "
+               "int main() { print(f(1, 2, 3)); return 0; }")
+        _, _, asm, _ = compile_and_build(src)
+        arg_movs = [i for i in asm.functions["main"].insts
+                    if i.role == Role.CALL_ARG][:3]
+        assert [i.operands[0].name for i in arg_movs] == ["rdi", "rsi", "rdx"]
+
+    def test_float_args_in_xmm(self):
+        src = ("float f(float a) { return a * 2.0; } "
+               "int main() { print(f(1.5)); return 0; }")
+        _, _, asm, _ = compile_and_build(src)
+        fp_args = [i for i in asm.functions["main"].insts
+                   if i.role == Role.CALL_ARG and i.opcode == "movsd"]
+        assert fp_args and fp_args[0].operands[0].name == "xmm0"
+
+
+class TestBranchLowering:
+    def test_adjacent_icmp_uses_flags_directly(self):
+        # unprotected: icmp feeds condbr in the same block -> no test
+        src = "int main() { int x = 3; if (x < 5) { print(1); } return 0; }"
+        _, _, asm, _ = compile_and_build(src)
+        br_tests = [i for i in asm.functions["main"].insts
+                    if i.role == Role.BR_TEST]
+        assert not br_tests
+
+    def test_checker_forces_branch_test(self):
+        # protected: checker between icmp and condbr -> test emitted
+        src = "int main() { int x = 3; if (x < 5) { print(1); } return 0; }"
+        module = compile_source(src)
+        duplicate_module(module)
+        asm = lower_module(module)
+        br_tests = [i for i in asm.functions["main"].insts
+                    if i.role == Role.BR_TEST]
+        assert br_tests, "branch penetration sites must appear"
+        assert all(i.dest_kind() == "flags" for i in br_tests)
+
+
+class TestStoreLowering:
+    def test_same_block_store_uses_cached_register(self):
+        # def and store in one block: no store-reload
+        src = "int g = 0; int main() { g = 1 + 2; return 0; }"
+        _, _, asm, _ = compile_and_build(src)
+        reloads = [i for i in asm.functions["main"].insts
+                   if i.role == Role.STORE_RELOAD]
+        assert not reloads
+
+    def test_checker_forces_store_reload(self):
+        src = "int g = 0; int main() { int x = 1; g = x + 2; return 0; }"
+        module = compile_source(src)
+        duplicate_module(module, store_mode="lazy")
+        asm = lower_module(module)
+        reloads = [i for i in asm.functions["main"].insts
+                   if i.role == Role.STORE_RELOAD]
+        assert reloads, "store penetration sites must appear under lazy mode"
+        assert all(i.is_injectable for i in reloads)
+
+    def test_eager_mode_removes_store_reload(self):
+        src = "int g = 0; int main() { int x = 1; g = x + 2; return 0; }"
+        module = compile_source(src)
+        duplicate_module(module, store_mode="eager")
+        asm = lower_module(module)
+        reloads = [i for i in asm.functions["main"].insts
+                   if i.role == Role.STORE_RELOAD]
+        assert not reloads, "eager store must keep the value in a register"
+
+    def test_constant_store_is_immediate(self):
+        src = "int g = 0; int main() { g = 7; return 0; }"
+        _, _, asm, _ = compile_and_build(src)
+        movs = [i for i in asm.functions["main"].insts
+                if i.opcode == "mov" and i.role == Role.MAIN]
+        assert any(
+            not i.is_injectable for i in movs
+        ), "store of a constant should be mov imm -> mem"
+
+
+class TestComparisonFolding:
+    def _protected_cmp_module(self):
+        # compare of two plain variables: duplicated icmps over unified
+        # loads -> checker folds (comparison penetration)
+        src = """
+int a = 1;
+int b = 2;
+int main() { if (a < b) { print(1); } else { print(2); } return 0; }
+"""
+        module = compile_source(src)
+        duplicate_module(module)
+        return module
+
+    def test_checker_folds_by_default(self):
+        module = self._protected_cmp_module()
+        asm = lower_module(module)
+        assert asm.folded_checkers, "the compare checker must fold"
+        jmps = [i for i in asm.functions["main"].insts
+                if i.role == Role.FOLDED_CHECKER_JMP]
+        assert jmps
+
+    def test_single_setcc_survives(self):
+        module = self._protected_cmp_module()
+        asm = lower_module(module)
+        setccs = [i for i in asm.functions["main"].insts
+                  if i.opcode == "setcc"]
+        # master + checker would be 2+; folding leaves exactly the master
+        assert len(setccs) == 1
+
+    def test_cse_disable_keeps_checker(self):
+        module = self._protected_cmp_module()
+        asm = lower_module(module, options=LoweringOptions(compare_cse=False))
+        assert not asm.folded_checkers
+
+    def test_arith_checkers_never_fold(self):
+        src = """
+int a = 1;
+int g = 0;
+int main() { int x = a + 2; g = x; return 0; }
+"""
+        module = compile_source(src)
+        duplicate_module(module)
+        asm = lower_module(module)
+        assert not asm.folded_checkers
+
+    def test_store_breaks_load_availability(self):
+        # a store between the compares invalidates the load value numbers
+        src = """
+int a = 1;
+int b = 2;
+int main() {
+    int c1 = a < b;
+    a = 5;
+    int c2 = a < b;
+    print(c1 + c2);
+    return 0;
+}
+"""
+        module = compile_source(src)
+        asm = lower_module(module)
+        setccs = [i for i in asm.functions["main"].insts
+                  if i.opcode == "setcc"]
+        assert len(setccs) == 2  # both compares emitted
+
+
+class TestCrossLayerEquivalence:
+    PROGRAMS = [
+        "int main() { print(1 + 2 * 3); return 0; }",
+        "int main() { int x = -5; print(x / 2); print(x % 2); return 0; }",
+        "int main() { int s = 0; for (int i = 0; i < 7; i++) { s += i; } print(s); return 0; }",
+        "int g[4] = {9, 8, 7, 6}; int main() { print(g[1] + g[2]); return 0; }",
+        "int main() { float f = 1.0; print(f / 3.0); print(sqrt(2.0)); return 0; }",
+        "int f(int n) { if (n <= 0) { return 1; } return n * f(n - 1); } int main() { print(f(6)); return 0; }",
+        "int main() { print(3 < 4 && 4 < 3); print(1 << 20); return 0; }",
+        "int main() { int x = 100; while (x > 1) { if (x % 2 == 0) { x /= 2; } else { x = 3 * x + 1; } print(x); } return 0; }",
+    ]
+
+    @pytest.mark.parametrize("src", PROGRAMS)
+    def test_outputs_identical(self, src):
+        module, layout, asm, compiled = compile_and_build(src)
+        ir = run_ir(module, layout=layout)
+        machine = run_asm(compiled, layout)
+        assert ir.status.value == "ok"
+        assert machine.status.value == "ok"
+        assert machine.output == ir.output
+
+    @pytest.mark.parametrize("src", PROGRAMS)
+    def test_protected_outputs_identical(self, src):
+        module = compile_source(src)
+        golden = run_ir(module)
+        duplicate_module(module)
+        layout = GlobalLayout(module)
+        asm = lower_module(module, layout)
+        compiled = compile_program(asm.flatten())
+        ir = run_ir(module, layout=layout)
+        machine = run_asm(compiled, layout)
+        assert ir.output == golden.output
+        assert machine.output == golden.output
+
+
+class TestProvenance:
+    def test_every_instruction_has_role(self, sink_built):
+        _, _, asm, _ = sink_built
+        for fn in asm.functions.values():
+            for inst in fn.insts:
+                assert inst.role
+
+    def test_computation_has_ir_provenance(self, sink_built):
+        _, _, asm, _ = sink_built
+        for fn in asm.functions.values():
+            for inst in fn.insts:
+                if inst.role in (Role.MAIN, Role.MAIN_COPY,
+                                 Role.OPERAND_RELOAD, Role.RESULT_SPILL):
+                    assert inst.prov_iid is not None
+
+    def test_asm_expansion_factor(self, sink_built):
+        module, _, asm, _ = sink_built
+        ir_static = module.static_instruction_count()
+        asm_static = asm.static_count()
+        assert asm_static > ir_static  # lowering always expands
+
+
+class TestText:
+    def test_listing_renders(self, sink_built):
+        _, _, asm, _ = sink_built
+        text = asm.text()
+        assert "main:" in text
+        assert "push" in text
+        assert "ir=%t" in text

@@ -1,0 +1,94 @@
+"""Unit + property tests for the shared simulated memory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimTrap
+from repro.memorymodel import GLOBAL_BASE, Memory
+
+
+@pytest.fixture
+def mem():
+    return Memory(global_size=256, heap_size=4096, stack_size=4096)
+
+
+class TestLayout:
+    def test_segments_are_ordered(self, mem):
+        assert GLOBAL_BASE == mem.global_base
+        assert mem.global_base < mem.global_end <= mem.heap_base
+        assert mem.heap_base < mem.heap_end == mem.stack_limit
+        assert mem.stack_limit < mem.stack_base == mem.size
+
+    def test_null_page_unmapped(self, mem):
+        with pytest.raises(SimTrap) as exc:
+            mem.read_int(0, 8)
+        assert exc.value.kind == "segfault"
+
+    def test_oob_high(self, mem):
+        with pytest.raises(SimTrap):
+            mem.read_int(mem.size - 4, 8)
+
+    def test_in_stack(self, mem):
+        assert mem.in_stack(mem.stack_base - 8)
+        assert not mem.in_stack(mem.heap_base)
+
+
+class TestScalarAccess:
+    def test_int_roundtrip_signed(self, mem):
+        mem.write_int(GLOBAL_BASE, -12345, 8)
+        assert mem.read_int(GLOBAL_BASE, 8) == -12345
+
+    def test_int_roundtrip_unsigned_view(self, mem):
+        mem.write_int(GLOBAL_BASE, -1, 8)
+        assert mem.read_int(GLOBAL_BASE, 8, signed=False) == (1 << 64) - 1
+
+    def test_byte_access(self, mem):
+        mem.write_int(GLOBAL_BASE, 0x7F, 1)
+        assert mem.read_int(GLOBAL_BASE, 1) == 0x7F
+        mem.write_int(GLOBAL_BASE, 0xFF, 1)
+        assert mem.read_int(GLOBAL_BASE, 1) == -1
+        assert mem.read_int(GLOBAL_BASE, 1, signed=False) == 255
+
+    def test_f64_roundtrip(self, mem):
+        mem.write_f64(GLOBAL_BASE + 8, 3.14159)
+        assert mem.read_f64(GLOBAL_BASE + 8) == 3.14159
+
+    def test_little_endian(self, mem):
+        mem.write_int(GLOBAL_BASE, 0x0102030405060708, 8)
+        assert mem.read_int(GLOBAL_BASE, 1, signed=False) == 0x08
+
+    @given(st.integers(-(1 << 63), (1 << 63) - 1))
+    def test_i64_roundtrip_property(self, value):
+        m = Memory(global_size=64)
+        m.write_int(GLOBAL_BASE, value, 8)
+        assert m.read_int(GLOBAL_BASE, 8) == value
+
+    @given(st.floats(allow_nan=False))
+    def test_f64_roundtrip_property(self, value):
+        m = Memory(global_size=64)
+        m.write_f64(GLOBAL_BASE, value)
+        assert m.read_f64(GLOBAL_BASE) == value
+
+
+class TestBulkAccess:
+    def test_bytes_roundtrip(self, mem):
+        mem.write_bytes(GLOBAL_BASE, b"hello world")
+        assert mem.read_bytes(GLOBAL_BASE, 11) == b"hello world"
+
+    def test_bulk_oob(self, mem):
+        with pytest.raises(SimTrap):
+            mem.write_bytes(mem.size - 4, b"too long")
+
+
+class TestSbrk:
+    def test_bump_allocation(self, mem):
+        a = mem.sbrk(100)
+        b = mem.sbrk(100)
+        assert a >= mem.heap_base
+        assert b >= a + 100
+        assert b % 16 == 0
+
+    def test_oom(self, mem):
+        with pytest.raises(SimTrap) as exc:
+            mem.sbrk(1 << 30)
+        assert exc.value.kind == "oom"

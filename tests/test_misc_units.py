@@ -1,0 +1,119 @@
+"""Unit tests for small shared modules: formatting, intrinsics,
+execution results, errors, id allocation."""
+
+import math
+
+import pytest
+
+from repro.errors import (
+    FaultDetected,
+    IRError,
+    ParseError,
+    ReproError,
+    SimTrap,
+)
+from repro.execresult import ExecResult, RunStatus
+from repro.ir.intrinsics import (
+    DETECT,
+    INTRINSICS,
+    intrinsic_signature,
+    is_intrinsic,
+    math_impl,
+)
+from repro.ir import types as T
+from repro.utils.fmt import format_char, format_f64, format_i64
+from repro.utils.ids import IdAllocator
+
+
+class TestFormatting:
+    def test_ints(self):
+        assert format_i64(0) == "0"
+        assert format_i64(-42) == "-42"
+
+    def test_floats_use_printf_g(self):
+        assert format_f64(1.0) == "1"
+        assert format_f64(0.5) == "0.5"
+        assert format_f64(1 / 3) == "0.333333"
+        assert format_f64(1e20) == "1e+20"
+        assert format_f64(-2.5e-7) == "-2.5e-07"
+
+    def test_float_specials(self):
+        assert format_f64(float("nan")) == "nan"
+        assert format_f64(float("inf")) == "inf"
+        assert format_f64(float("-inf")) == "-inf"
+
+    def test_small_perturbations_invisible(self):
+        # the SDC oracle property: sub-precision changes are benign
+        assert format_f64(1.0) == format_f64(1.0 + 1e-12)
+
+    def test_chars_masked_to_ascii(self):
+        assert format_char(65) == "A"
+        assert format_char(65 + 128) == "A"
+
+
+class TestIntrinsics:
+    def test_registry(self):
+        assert is_intrinsic("print_i64")
+        assert is_intrinsic(DETECT)
+        assert not is_intrinsic("nonsense")
+
+    def test_signatures(self):
+        params, ret = intrinsic_signature("pow_f64")
+        assert len(params) == 2
+        assert ret is T.F64
+
+    def test_math_impls_match_libm(self):
+        assert math_impl("sqrt_f64")(9.0) == 3.0
+        assert math_impl("pow_f64")(2.0, 8.0) == 256.0
+        assert math_impl("floor_f64")(2.9) == 2.0
+
+    def test_math_domain_errors_return_nan(self):
+        assert math.isnan(math_impl("sqrt_f64")(-1.0))
+        assert math.isnan(math_impl("log_f64")(-5.0))
+
+    def test_math_overflow_returns_nan_not_raise(self):
+        out = math_impl("exp_f64")(1e10)
+        assert math.isnan(out) or math.isinf(out)
+
+    def test_every_intrinsic_has_host_impl_or_runtime(self):
+        for name, (params, ret) in INTRINSICS.items():
+            if name.endswith("_f64") and not name.startswith("print"):
+                assert callable(math_impl(name))
+
+
+class TestExecResult:
+    def test_completed_flag(self):
+        ok = ExecResult(RunStatus.OK, "", 1, 1)
+        assert ok.completed
+        trap = ExecResult(RunStatus.TRAP, "", 1, 1, trap_kind="segfault")
+        assert not trap.completed
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(IRError, ReproError)
+        assert issubclass(ParseError, ReproError)
+        assert not issubclass(SimTrap, ReproError)  # program-side, not host
+        assert not issubclass(FaultDetected, ReproError)
+
+    def test_parse_error_position(self):
+        err = ParseError("bad", 3, 7)
+        assert "3:7" in str(err)
+        assert err.line == 3 and err.col == 7
+
+    def test_simtrap_kind(self):
+        t = SimTrap("segfault", "at 0x0")
+        assert t.kind == "segfault"
+        assert "segfault" in str(t)
+
+
+class TestIdAllocator:
+    def test_monotonic_unique(self):
+        alloc = IdAllocator()
+        ids = [alloc.next() for _ in range(100)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 100
+        assert ids[0] == 1
+
+    def test_custom_start(self):
+        assert IdAllocator(start=50).next() == 50

@@ -1,0 +1,191 @@
+"""Tests for the IR optimization passes."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.errors import IRError
+from repro.execresult import RunStatus
+from repro.frontend.codegen import compile_source
+from repro.interp.interpreter import run_ir
+from repro.ir.verifier import verify_module
+from repro.opt import (
+    constant_fold,
+    dead_code_elimination,
+    optimize_module,
+    simplify_cfg,
+)
+from repro.protection.duplication import duplicate_module
+
+
+def opt_and_check(src: str):
+    module = compile_source(src)
+    golden = run_ir(module)
+    stats = optimize_module(module)
+    verify_module(module)
+    res = run_ir(module)
+    assert res.status is RunStatus.OK
+    assert res.output == golden.output
+    return module, golden, res, stats
+
+
+class TestConstantFold:
+    def test_folds_constant_arithmetic(self):
+        module = compile_source(
+            "int main() { print(2 + 3 * 4); return 0; }"
+        )
+        n = constant_fold(module)
+        assert n >= 2
+        assert run_ir(module).output == "14\n"
+
+    def test_preserves_constant_division_by_zero(self):
+        module = compile_source("int main() { print(1 / 0); return 0; }")
+        constant_fold(module)
+        res = run_ir(module)
+        assert res.status is RunStatus.TRAP
+        assert res.trap_kind == "div-by-zero"
+
+    def test_folds_compares_and_casts(self):
+        module = compile_source(
+            "int main() { print((3 < 4) + int(2.5)); return 0; }"
+        )
+        constant_fold(module)
+        assert run_ir(module).output == "3\n"
+
+    def test_float_folding(self):
+        module = compile_source("int main() { print(1.5 * 4.0); return 0; }")
+        n = constant_fold(module)
+        assert n >= 1
+        assert run_ir(module).output == "6\n"
+
+
+class TestDce:
+    def test_removes_unused_computation(self):
+        src = "int main() { int unused = 5 * 7; print(1); return 0; }"
+        module = compile_source(src)
+        before = module.static_instruction_count()
+        dead_code_elimination(module)
+        # the unused load chain may leave the store; fold first for full
+        # cleanup — here at least the unused loads must not remain
+        assert module.static_instruction_count() <= before
+
+    def test_never_removes_stores_calls_or_volatile(self):
+        src = "int g = 0; int main() { g = 5; print(g); return 0; }"
+        module = compile_source(src)
+        stores = sum(1 for i in module.instructions() if i.opcode == "store")
+        calls = sum(1 for i in module.instructions() if i.opcode == "call")
+        dead_code_elimination(module)
+        assert sum(1 for i in module.instructions() if i.opcode == "store") == stores
+        assert sum(1 for i in module.instructions() if i.opcode == "call") == calls
+
+    def test_semantics_preserved(self):
+        opt_and_check("""
+int data[4] = {1, 2, 3, 4};
+int main() {
+    int s = 0;
+    for (int i = 0; i < 4; i++) { s += data[i]; }
+    print(s);
+    return 0;
+}
+""")
+
+
+class TestSimplifyCfg:
+    def test_folds_constant_branch(self):
+        src = "int main() { if (1 < 2) { print(1); } else { print(2); } return 0; }"
+        module = compile_source(src)
+        constant_fold(module)
+        n = simplify_cfg(module)
+        assert n > 0
+        verify_module(module)
+        assert run_ir(module).output == "1\n"
+
+    def test_removes_unreachable_code(self):
+        src = "int main() { return 1; print(999); }"
+        module = compile_source(src)
+        before = len(module.function("main").blocks)
+        simplify_cfg(module)
+        after = len(module.function("main").blocks)
+        assert after <= before
+        verify_module(module)
+
+    def test_merges_chains(self):
+        module = compile_source(
+            "int main() { int x = 1; { int y = 2; print(x + y); } return 0; }"
+        )
+        simplify_cfg(module)
+        verify_module(module)
+        assert run_ir(module).output == "3\n"
+        # entry + merged body should be a short block list
+        assert len(module.function("main").blocks) <= 2
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("bench", ["crc32", "pathfinder", "lud", "ep"])
+    def test_benchmarks_optimize_safely(self, bench):
+        from repro.benchsuite.registry import load_source
+
+        module = compile_source(load_source(bench, "tiny"), bench)
+        golden = run_ir(module)
+        stats = optimize_module(module)
+        verify_module(module)
+        res = run_ir(module)
+        assert res.output == golden.output
+        # optimization must not slow the program down
+        assert res.dyn_total <= golden.dyn_total
+
+    def test_stats_reported(self):
+        _, _, _, stats = opt_and_check(
+            "int main() { print(1 + 1); if (1) { print(2); } return 0; }"
+        )
+        assert stats.total > 0
+        assert "constant_fold" in stats
+
+    def test_refuses_protected_modules(self):
+        module = compile_source("int g = 1; int main() { print(g + 1); return 0; }")
+        duplicate_module(module)
+        with pytest.raises(IRError, match="protected"):
+            optimize_module(module)
+
+    def test_allow_protected_demonstrates_protection_deletion(self):
+        """Running DCE+folding after duplication deletes shadows — the
+        paper's §5.2 optimization-vs-protection conflict in one test."""
+        module = compile_source("int g = 1; int main() { print(g + 1); return 0; }")
+        duplicate_module(module)
+        shadows_before = sum(1 for i in module.instructions() if i.is_shadow)
+        golden = run_ir(module)
+        optimize_module(module, allow_protected=True)
+        verify_module(module)
+        assert run_ir(module).output == golden.output
+        shadows_after = sum(1 for i in module.instructions() if i.is_shadow)
+        assert shadows_after <= shadows_before
+
+    def test_protection_after_optimization_composes(self):
+        src = """
+int data[6] = {9, 4, 7, 1, 8, 2};
+int main() {
+    int best = data[0];
+    for (int i = 1; i < 6; i++) {
+        if (data[i] > best) { best = data[i]; }
+    }
+    print(best + (2 * 3));
+    return 0;
+}
+"""
+        module = compile_source(src)
+        golden = run_ir(module)
+        optimize_module(module)
+        duplicate_module(module)
+        verify_module(module)
+        assert run_ir(module).output == golden.output
+
+    def test_cross_layer_equivalence_after_opt(self):
+        from repro.backend.lower import lower_module
+        from repro.interp.layout import GlobalLayout
+        from repro.machine.machine import compile_program, run_asm
+
+        src = "int main() { int s = 0; for (int i = 0; i < 9; i++) { s += i * 2; } print(s + 1 * 3); return 0; }"
+        module = compile_source(src)
+        optimize_module(module)
+        layout = GlobalLayout(module)
+        compiled = compile_program(lower_module(module, layout).flatten())
+        assert run_asm(compiled, layout).output == run_ir(module, layout=layout).output

@@ -1,0 +1,48 @@
+"""Property-based tests for the optimizer: random MiniC programs must
+keep identical output, never get slower, and stay cross-layer
+equivalent after optimization."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.backend.lower import lower_module
+from repro.execresult import RunStatus
+from repro.frontend.codegen import compile_source
+from repro.interp.interpreter import run_ir
+from repro.interp.layout import GlobalLayout
+from repro.ir.verifier import verify_module
+from repro.machine.machine import compile_program, run_asm
+from repro.opt import optimize_module
+
+from tests.test_crosslayer_properties import programs
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@_SETTINGS
+@given(programs())
+def test_optimization_preserves_output_and_speed(src):
+    module = compile_source(src)
+    golden = run_ir(module, max_steps=2_000_000)
+    optimize_module(module)
+    verify_module(module)
+    res = run_ir(module, max_steps=2_000_000)
+    assert res.status is RunStatus.OK
+    assert res.output == golden.output
+    assert res.dyn_total <= golden.dyn_total
+
+
+@_SETTINGS
+@given(programs())
+def test_optimized_modules_stay_cross_layer_equivalent(src):
+    module = compile_source(src)
+    optimize_module(module)
+    layout = GlobalLayout(module)
+    compiled = compile_program(lower_module(module, layout).flatten())
+    ir = run_ir(module, layout=layout, max_steps=2_000_000)
+    asm = run_asm(compiled, layout, max_steps=8_000_000)
+    assert asm.status is RunStatus.OK
+    assert asm.output == ir.output

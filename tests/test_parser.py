@@ -1,0 +1,181 @@
+"""Tests for the MiniC parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import ast_nodes as A
+from repro.frontend.parser import parse_program
+
+
+def parse_main(body: str) -> A.FunctionDecl:
+    prog = parse_program(f"int main() {{ {body} }}")
+    return prog.functions[0]
+
+
+class TestTopLevel:
+    def test_globals_and_functions(self):
+        prog = parse_program("""
+int counter = 5;
+const float pi = 3.14;
+float table[4] = {1.0, 2.0, 3.0, 4.0};
+int zeroed[8];
+void helper() { }
+int main() { return 0; }
+""")
+        assert [g.name for g in prog.globals] == [
+            "counter", "pi", "table", "zeroed"
+        ]
+        assert prog.globals[1].is_const
+        assert prog.globals[2].array_size == 4
+        assert prog.globals[2].init_list == [1.0, 2.0, 3.0, 4.0]
+        assert prog.globals[3].init_list is None
+        assert [f.name for f in prog.functions] == ["helper", "main"]
+
+    def test_negative_initializers(self):
+        prog = parse_program("int x = -7;\nint a[2] = {-1, -2};\nint main(){return 0;}")
+        assert prog.globals[0].init_scalar == -7
+        assert prog.globals[1].init_list == [-1, -2]
+
+    def test_int_literals_promote_in_float_globals(self):
+        prog = parse_program("float f = 3;\nint main(){return 0;}")
+        assert prog.globals[0].init_scalar == 3.0
+
+    def test_params(self):
+        prog = parse_program("int f(int a, float b, int c[]) { return a; } int main(){return 0;}")
+        params = prog.functions[0].params
+        assert [(p.name, p.base_type, p.is_array) for p in params] == [
+            ("a", "int", False), ("b", "float", False), ("c", "int", True)
+        ]
+
+    def test_void_global_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("void g;")
+
+
+class TestStatements:
+    def test_vardecl_forms(self):
+        fn = parse_main("int x; int y = 2; float a[3]; int b[2] = {1, 2};")
+        decls = fn.body.statements
+        assert isinstance(decls[0], A.VarDecl) and decls[0].init is None
+        assert decls[1].init.value == 2
+        assert decls[2].array_size == 3
+        assert len(decls[3].array_init) == 2
+
+    def test_assignment_ops(self):
+        fn = parse_main("int x = 0; x = 1; x += 2; x <<= 3; x++; x--;")
+        ops = [s.op for s in fn.body.statements[1:]]
+        assert ops == ["=", "+=", "<<=", "+=", "-="]
+
+    def test_array_assignment_target(self):
+        fn = parse_main("int a[2]; a[1] = 5; a[0] += 1;")
+        assign = fn.body.statements[1]
+        assert isinstance(assign.target, A.Index)
+
+    def test_if_else_chain(self):
+        fn = parse_main(
+            "int x = 1; if (x) { x = 2; } else if (x > 1) { x = 3; } else { x = 4; }"
+        )
+        node = fn.body.statements[1]
+        assert isinstance(node, A.If)
+        inner = node.else_body.statements[0]
+        assert isinstance(inner, A.If)
+        assert inner.else_body is not None
+
+    def test_unbraced_bodies(self):
+        fn = parse_main("int x = 0; if (x) x = 1; while (x) x = 0;")
+        assert isinstance(fn.body.statements[1], A.If)
+        assert isinstance(fn.body.statements[2], A.While)
+
+    def test_for_variants(self):
+        fn = parse_main(
+            "for (int i = 0; i < 3; i++) { } "
+            "int j; for (j = 0; ; j++) { break; } "
+            "for (;;) { break; }"
+        )
+        fors = [s for s in fn.body.statements if isinstance(s, A.For)]
+        assert fors[0].init is not None and fors[0].cond is not None
+        assert fors[1].cond is None and fors[1].step is not None
+        assert fors[2].init is None and fors[2].step is None
+
+    def test_print_statements(self):
+        fn = parse_main('print(1); printc(65); prints("x");')
+        kinds = [s.kind for s in fn.body.statements]
+        assert kinds == ["print", "printc", "prints"]
+        assert fn.body.statements[2].arg == "x"
+
+    def test_return_break_continue(self):
+        fn = parse_main("while (1) { break; continue; } return 5;")
+        loop = fn.body.statements[0]
+        assert isinstance(loop.body.statements[0], A.Break)
+        assert isinstance(loop.body.statements[1], A.Continue)
+        assert fn.body.statements[1].value.value == 5
+
+
+class TestExpressions:
+    def get_expr(self, text):
+        fn = parse_main(f"int x = {text};")
+        return fn.body.statements[0].init
+
+    def test_precedence(self):
+        e = self.get_expr("1 + 2 * 3")
+        assert e.op == "+" and e.right.op == "*"
+
+    def test_left_associativity(self):
+        e = self.get_expr("10 - 4 - 3")
+        assert e.op == "-" and e.left.op == "-"
+
+    def test_comparison_binds_looser_than_arith(self):
+        e = self.get_expr("1 + 2 < 3 * 4")
+        assert e.op == "<"
+
+    def test_logical_lowest(self):
+        e = self.get_expr("1 < 2 && 3 < 4 || 0")
+        assert e.op == "||" and e.left.op == "&&"
+
+    def test_parens(self):
+        e = self.get_expr("(1 + 2) * 3")
+        assert e.op == "*" and e.left.op == "+"
+
+    def test_unary_chain(self):
+        e = self.get_expr("-(-5)")
+        assert isinstance(e, A.Unary) and isinstance(e.operand, A.Unary)
+
+    def test_double_minus_lexes_as_decrement(self):
+        # `--5` munches a `--` token, which is not a unary operator
+        with pytest.raises(ParseError):
+            self.get_expr("--5")
+
+    def test_casts(self):
+        e = self.get_expr("int(1.5) + float(2)")
+        assert isinstance(e.left, A.CastExpr) and e.left.target == "int"
+        assert isinstance(e.right, A.CastExpr) and e.right.target == "float"
+
+    def test_calls_and_indexing(self):
+        fn = parse_main("int a[2]; int x = f(a[0], 2) + a[1];")
+        expr = fn.body.statements[1].init
+        call = expr.left
+        assert isinstance(call, A.CallExpr) and call.name == "f"
+        assert isinstance(call.args[0], A.Index)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "int main() { return 0 }",          # missing semicolon
+            "int main() { if x { } }",          # missing parens
+            "int main() { int 3x; }",           # bad identifier
+            "int main() { x = ; }",             # missing rhs
+            "int main() { ",                    # unterminated block
+            "int main() { a[1 = 2; }",          # unbalanced bracket
+            "const int f() { return 0; }",      # const function
+        ],
+    )
+    def test_syntax_errors(self, src):
+        with pytest.raises(ParseError):
+            parse_program(src)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as exc:
+            parse_program("int main() {\n  return 0\n}")
+        assert exc.value.line >= 2

@@ -1,0 +1,63 @@
+"""Tests for the high-level build pipeline."""
+
+import pytest
+
+from repro.execresult import RunStatus
+from repro.pipeline import build, build_from_source
+
+
+class TestBuild:
+    def test_unprotected_build(self):
+        built = build("crc32", scale="tiny")
+        assert not built.is_protected
+        ir = built.run_ir()
+        asm = built.run_asm()
+        assert ir.status is RunStatus.OK
+        assert asm.output == ir.output
+
+    def test_protected_build_full(self):
+        built = build("crc32", scale="tiny", level=100)
+        assert built.is_protected
+        assert built.protection.level == 100
+        assert built.protection.plan is None  # full needs no planner
+        assert built.protection.dup_info.checker_count() > 0
+
+    def test_protected_build_partial_uses_planner(self):
+        built = build("crc32", scale="tiny", level=50,
+                      profile_campaigns=80)
+        assert built.protection.plan is not None
+        assert built.protection.plan.level == 50
+        assert built.protection.plan.spent <= built.protection.plan.budget
+
+    def test_flowery_build(self):
+        built = build("crc32", scale="tiny", level=100, flowery=True)
+        assert built.protection.flowery
+        assert built.protection.flowery_stats["postponed_branch"] > 0
+        assert built.run_asm().status is RunStatus.OK
+
+    def test_protection_preserves_output(self):
+        plain = build("pathfinder", scale="tiny")
+        protected = build("pathfinder", scale="tiny", level=100,
+                          flowery=True)
+        assert protected.run_asm().output == plain.run_asm().output
+
+    def test_compare_cse_knob(self):
+        with_cse = build("crc32", scale="tiny", level=100)
+        without = build("crc32", scale="tiny", level=100,
+                        compare_cse=False)
+        assert len(without.asm.folded_checkers) == 0
+        assert len(with_cse.asm.folded_checkers) >= 0
+
+    def test_build_from_source(self):
+        built = build_from_source(
+            "int main() { print(41 + 1); return 0; }", "answer"
+        )
+        assert built.run_ir().output == "42\n"
+        assert built.name == "answer"
+
+    def test_checker_sync_map(self):
+        built = build("crc32", scale="tiny", level=100)
+        sync_map = built.protection.checker_sync_map
+        assert sync_map
+        for sync, checkers in sync_map.items():
+            assert checkers

@@ -1,0 +1,161 @@
+"""Tests for SDC profiling and the knapsack protection planner."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlanError
+from repro.frontend.codegen import compile_source
+from repro.protection.duplication import duplicable_instructions
+from repro.protection.planner import (
+    SdcProfile,
+    knapsack_exact,
+    knapsack_greedy,
+    plan_protection,
+    profile_module,
+)
+
+SRC = """
+int data[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+int main() {
+    int s = 0;
+    for (int i = 0; i < 8; i++) { s += data[i] * (i + 1); }
+    print(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def profile():
+    module = compile_source(SRC)
+    return profile_module(module, n_campaigns=150, seed=1)
+
+
+class TestProfiler:
+    def test_profile_shape(self, profile):
+        assert profile.campaigns == 150
+        assert profile.golden_dyn_total > 0
+        assert profile.golden_dyn_injectable > 0
+        assert sum(profile.dyn_counts.values()) == profile.golden_dyn_total
+
+    def test_sdc_attribution_bounded(self, profile):
+        assert profile.sdc_total == sum(profile.sdc_counts.values())
+        assert 0 <= profile.sdc_probability <= 1
+
+    def test_profile_deterministic(self):
+        module = compile_source(SRC)
+        a = profile_module(module, n_campaigns=60, seed=7)
+        b = profile_module(compile_source(SRC), n_campaigns=60, seed=7)
+        assert a.sdc_counts == b.sdc_counts
+        assert a.sdc_total == b.sdc_total
+
+    def test_profile_finds_sdcs(self, profile):
+        assert profile.sdc_total > 0
+
+
+class TestKnapsackSolvers:
+    ITEMS = [(1, 10.0, 5), (2, 6.0, 4), (3, 3.0, 3), (4, 1.0, 10),
+             (5, 0.0, 0)]
+
+    def test_greedy_respects_budget(self):
+        chosen = knapsack_greedy(self.ITEMS, budget=9)
+        cost = sum(c for i, b, c in self.ITEMS if i in chosen and c > 0)
+        assert cost <= 9
+
+    def test_zero_cost_items_always_taken(self):
+        chosen = knapsack_greedy(self.ITEMS, budget=0)
+        assert 5 in chosen
+
+    def test_exact_respects_budget(self):
+        chosen = knapsack_exact(self.ITEMS, budget=9)
+        cost = sum(c for i, b, c in self.ITEMS if i in chosen and c > 0)
+        assert cost <= 9
+
+    def test_exact_at_least_as_good_as_greedy(self):
+        # adversarial instance where greedy is suboptimal
+        items = [(1, 6.0, 5), (2, 5.0, 4), (3, 5.0, 4)]
+        budget = 8
+        greedy = knapsack_greedy(items, budget)
+        exact = knapsack_exact(items, budget)
+        benefit = lambda s: sum(b for i, b, c in items if i in s)
+        assert benefit(exact) >= benefit(greedy)
+        assert benefit(exact) == 10.0
+
+    def test_exact_size_guard(self):
+        items = [(i, 1.0, 1) for i in range(1000)]
+        with pytest.raises(PlanError):
+            knapsack_exact(items, budget=100_000)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 100), st.integers(0, 20)
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        st.integers(0, 60),
+    )
+    def test_property_exact_dominates_greedy(self, raw_items, budget):
+        items = [(i, b, c) for i, (b, c) in enumerate(raw_items)]
+        greedy = knapsack_greedy(items, budget)
+        exact = knapsack_exact(items, budget)
+        benefit = lambda s: sum(b for i, b, c in items if i in s)
+        cost = lambda s: sum(c for i, b, c in items if i in s)
+        assert cost(greedy) <= budget + 0  # zero-cost items are free
+        assert cost(exact) <= budget
+        assert benefit(exact) >= benefit(greedy) - 1e-9
+
+
+class TestPlans:
+    def test_full_protection_selects_everything(self, profile):
+        module = compile_source(SRC)
+        plan = plan_protection(module, profile, 100)
+        assert plan.selected == {
+            i.iid for i in duplicable_instructions(module)
+        }
+        assert plan.dynamic_fraction == 1.0
+
+    @pytest.mark.parametrize("level", [30, 50, 70])
+    def test_partial_budgets_respected(self, profile, level):
+        module = compile_source(SRC)
+        plan = plan_protection(module, profile, level)
+        assert plan.spent <= plan.budget
+        assert plan.budget == plan.total_cost * level // 100
+
+    def test_levels_nest_monotonically_in_spend(self, profile):
+        module = compile_source(SRC)
+        spends = [
+            plan_protection(module, profile, lvl).spent
+            for lvl in (30, 50, 70, 100)
+        ]
+        assert spends == sorted(spends)
+
+    def test_bad_level_rejected(self, profile):
+        module = compile_source(SRC)
+        with pytest.raises(PlanError):
+            plan_protection(module, profile, 0)
+        with pytest.raises(PlanError):
+            plan_protection(module, profile, 101)
+
+    def test_bad_solver_rejected(self, profile):
+        module = compile_source(SRC)
+        with pytest.raises(PlanError):
+            plan_protection(module, profile, 50, solver="magic")
+
+    def test_exact_solver_usable(self, profile):
+        module = compile_source(SRC)
+        plan = plan_protection(module, profile, 50, solver="exact")
+        assert plan.spent <= plan.budget
+
+    def test_plan_prefers_high_sdc_instructions(self, profile):
+        module = compile_source(SRC)
+        plan = plan_protection(module, profile, 30)
+        if plan.selected and profile.sdc_counts:
+            top_sdc = max(profile.sdc_counts, key=profile.sdc_counts.get)
+            # the single most SDC-prone instruction should be selected
+            # whenever it fits the budget at all
+            cost = profile.dyn_counts.get(top_sdc, 0)
+            if cost <= plan.budget:
+                assert top_sdc in plan.selected

@@ -1,0 +1,155 @@
+"""Tests for MiniC semantic analysis."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.frontend.parser import parse_program
+from repro.frontend.sema import analyze
+
+
+def check(src: str):
+    return analyze(parse_program(src))
+
+
+def check_main(body: str):
+    return check(f"int main() {{ {body} return 0; }}")
+
+
+class TestPrograms:
+    def test_main_required(self):
+        with pytest.raises(SemanticError, match="main"):
+            check("int f() { return 0; }")
+
+    def test_main_without_params(self):
+        with pytest.raises(SemanticError, match="main"):
+            check("int main(int x) { return 0; }")
+
+    def test_signatures_collected(self):
+        sigs = check("""
+float avg(int a[], int n) { return 0.0; }
+int main() { return 0; }
+""")
+        assert sigs["avg"].return_type == "float"
+        assert sigs["avg"].params == [("int", True), ("int", False)]
+
+
+class TestDeclarations:
+    def test_duplicate_global(self):
+        with pytest.raises(SemanticError, match="redeclaration"):
+            check("int x; int x; int main() { return 0; }")
+
+    def test_duplicate_local_same_scope(self):
+        with pytest.raises(SemanticError, match="redeclaration"):
+            check_main("int x; int x;")
+
+    def test_shadowing_in_inner_scope_ok(self):
+        check_main("int x = 1; { int x = 2; print(x); } print(x);")
+
+    def test_duplicate_param(self):
+        with pytest.raises(SemanticError, match="duplicate"):
+            check("int f(int a, int a) { return a; } int main() { return 0; }")
+
+    def test_builtin_shadowing_rejected(self):
+        with pytest.raises(SemanticError, match="builtin"):
+            check("float sqrt(float x) { return x; } int main() { return 0; }")
+
+    def test_bad_array_sizes(self):
+        with pytest.raises(SemanticError):
+            check("int a[-3]; int main() { return 0; }")
+        with pytest.raises(SemanticError, match="too many"):
+            check("int a[2] = {1, 2, 3}; int main() { return 0; }")
+
+
+class TestNameResolution:
+    def test_undeclared_identifier(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check_main("print(nope);")
+
+    def test_undeclared_function(self):
+        with pytest.raises(SemanticError, match="undeclared function"):
+            check_main("print(mystery(1));")
+
+    def test_for_scope_is_local(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check_main("for (int i = 0; i < 3; i++) { } print(i);")
+
+
+class TestTypeRules:
+    def test_int_only_operators(self):
+        for op in ("%", "<<", ">>", "&", "|", "^", "&&", "||"):
+            with pytest.raises(SemanticError):
+                check_main(f"float f = 1.0; print(f {op} 2);")
+
+    def test_mixed_arith_promotes(self):
+        check_main("print(1 + 2.0); print(2.0 * 3);")
+
+    def test_array_not_a_value(self):
+        with pytest.raises(SemanticError):
+            check_main("int a[2]; print(a);")
+
+    def test_array_not_assignable(self):
+        with pytest.raises(SemanticError):
+            check_main("int a[2]; int b[2]; a = b;")
+
+    def test_index_non_array(self):
+        with pytest.raises(SemanticError, match="non-array"):
+            check_main("int x = 1; print(x[0]);")
+
+    def test_float_index_rejected(self):
+        with pytest.raises(SemanticError, match="index"):
+            check_main("int a[2]; print(a[1.5]);")
+
+    def test_bitnot_int_only(self):
+        with pytest.raises(SemanticError):
+            check_main("print(~1.5);")
+
+    def test_compound_assign_int_ops(self):
+        with pytest.raises(SemanticError):
+            check_main("float f = 1.0; f %= 2.0;")
+
+
+class TestCallChecking:
+    def test_arity(self):
+        with pytest.raises(SemanticError, match="argument"):
+            check("int f(int a) { return a; } int main() { print(f()); return 0; }")
+
+    def test_array_param_requires_array(self):
+        with pytest.raises(SemanticError):
+            check("int f(int a[]) { return a[0]; } "
+                  "int main() { print(f(3)); return 0; }")
+
+    def test_array_element_type_checked(self):
+        with pytest.raises(SemanticError):
+            check("int f(int a[]) { return a[0]; } float x[2]; "
+                  "int main() { print(f(x)); return 0; }")
+
+    def test_builtin_arity(self):
+        with pytest.raises(SemanticError):
+            check_main("print(pow(2.0));")
+
+    def test_scalar_args_convert(self):
+        check("float f(float x) { return x; } "
+              "int main() { print(f(3)); return 0; }")
+
+
+class TestReturnsAndLoops:
+    def test_return_type_mismatches(self):
+        with pytest.raises(SemanticError, match="void"):
+            check("void f() { return 1; } int main() { return 0; }")
+        with pytest.raises(SemanticError, match="return"):
+            check("int f() { return; } int main() { return 0; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError, match="break"):
+            check_main("break;")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(SemanticError, match="continue"):
+            check_main("continue;")
+
+    def test_annotations_set(self):
+        prog = parse_program("int main() { int x = 1 + 2.0; return 0; }")
+        analyze(prog)
+        init = prog.functions[0].body.statements[0].init
+        assert init.ty == "float"
+        assert init.left.ty == "int"
