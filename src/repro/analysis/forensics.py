@@ -62,6 +62,9 @@ class FaultStory:
     golden_line: Optional[str] = None
     faulty_line: Optional[str] = None
     trap_kind: Optional[str] = None
+    #: lockstep cross-layer divergence report (opt-in; see
+    #: :func:`explain_injection` ``lockstep=True``)
+    lockstep: Optional[object] = None
 
     def narrate(self) -> str:
         lines = [
@@ -87,6 +90,10 @@ class FaultStory:
             )
         if self.outcome is Outcome.DUE:
             lines.append(f"  trap: {self.trap_kind}")
+        if self.lockstep is not None:
+            lines.append("  lockstep divergence:")
+            lines.extend("    " + ln
+                         for ln in self.lockstep.narrate().split("\n"))
         return "\n".join(lines)
 
 
@@ -106,11 +113,16 @@ def explain_injection(
     dup_info: Optional[DuplicationInfo] = None,
     layer: str = "asm",
     max_steps_factor: int = 4,
+    lockstep: bool = False,
 ) -> FaultStory:
     """Replay ``record`` and build its :class:`FaultStory`.
 
     For the assembly layer, pass the ``compiled`` program and (for
     protection/penetration detail) the ``asm`` program and ``dup_info``.
+    With ``lockstep=True`` (needs ``compiled``) the story additionally
+    carries a cross-layer :class:`~repro.trace.DivergenceReport` that
+    pinpoints the first synchronization point where the faulted layer
+    departs from the other layer.
     """
     inst_by_iid = {i.iid: i for i in module.instructions()}
 
@@ -187,6 +199,18 @@ def explain_injection(
         if outcome is Outcome.SDC
         else None
     )
+    lockstep_report = None
+    if lockstep:
+        if compiled is None:
+            raise ValueError("lockstep forensics needs the compiled program")
+        from ..trace.diff import run_lockstep
+
+        lockstep_report = run_lockstep(
+            module, layout, compiled,
+            inject_layer=layer,
+            inject_index=record.dyn_index,
+            inject_bit=record.bit,
+        )
     return FaultStory(
         layer=layer,
         outcome=outcome,
@@ -202,4 +226,5 @@ def explain_injection(
         golden_line=_line(golden.output, diverged),
         faulty_line=_line(res.output, diverged),
         trap_kind=res.trap_kind,
+        lockstep=lockstep_report,
     )

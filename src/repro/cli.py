@@ -8,6 +8,9 @@
     repro ir crc32                           # IR listing
     repro protect crc32 --level 70 --flowery # protect + report structure
     repro inject crc32 --level 100 -n 300    # campaign + coverage + causes
+    repro trace crc32 --level 100 --inject 50 --layer asm
+                                             # lockstep divergence diff
+    repro stats crc32 --level 100 -n 100     # campaign observability
     repro experiment fig2|fig3|fig17|table1|overhead|compile-time
 
 Environment knobs (REPRO_SCALE, REPRO_CAMPAIGNS, REPRO_BENCHMARKS...)
@@ -87,6 +90,48 @@ def _build_parser() -> argparse.ArgumentParser:
     inj_p.add_argument("--flowery", action="store_true")
     inj_p.add_argument("-n", "--campaigns", type=int, default=300)
     inj_p.add_argument("--seed", type=int, default=2023)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="co-run IR and asm layers in lockstep and diff sync streams",
+    )
+    _add_common(trace_p)
+    trace_p.add_argument("--level", type=int, default=None)
+    trace_p.add_argument("--flowery", action="store_true")
+    trace_p.add_argument("--inject", type=int, default=None,
+                         help="injectable dynamic site index (omit for a "
+                              "golden co-run)")
+    trace_p.add_argument("--bit", type=int, default=0)
+    trace_p.add_argument("--layer", choices=("ir", "asm"), default="asm",
+                         help="layer receiving the injection")
+    trace_p.add_argument("--mode", default="sync",
+                         choices=("sync", "ring", "sample", "full"),
+                         help="step-record mode (sync events are always on)")
+    trace_p.add_argument("--limit", type=int, default=None,
+                         help="cap on recorded sync events per layer")
+    trace_p.add_argument("--tail", type=int, default=10,
+                         help="step records to print per layer "
+                              "(non-sync modes)")
+    trace_p.add_argument("--jsonl", default=None,
+                         help="write both traces as JSONL to this path")
+
+    stats_p = sub.add_parser(
+        "stats",
+        help="campaign with observability: phase timings, throughput, "
+             "outcomes",
+    )
+    _add_common(stats_p)
+    stats_p.add_argument("--level", type=int, default=None)
+    stats_p.add_argument("--flowery", action="store_true")
+    stats_p.add_argument("-n", "--campaigns", type=int, default=300)
+    stats_p.add_argument("--seed", type=int, default=2023)
+    stats_p.add_argument("--layer", choices=("ir", "asm"), default="asm")
+    stats_p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: REPRO_WORKERS or the CPU count)",
+    )
+    stats_p.add_argument("--jsonl", default=None,
+                         help="write the observer event stream to this path")
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper artifact")
     exp_p.add_argument(
@@ -180,6 +225,59 @@ def _cmd_inject(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from .trace import TraceConfig
+
+    built = build(args.benchmark, scale=args.scale, level=args.level,
+                  flowery=args.flowery)
+    cfg = TraceConfig(mode=args.mode, sync_limit=args.limit)
+    report = built.lockstep(
+        inject_layer=args.layer if args.inject is not None else None,
+        inject_index=args.inject,
+        inject_bit=args.bit,
+        config=cfg,
+    )
+    print(report.narrate())
+    if args.mode != "sync" and args.tail > 0:
+        for tr in (report.trace_a, report.trace_b):
+            recs = tr.step_records()[-args.tail:]
+            print(f"# last {len(recs)} {tr.layer} step records "
+                  f"({tr.steps_seen} steps total)")
+            for rec in recs:
+                print(f"  {rec.describe()}")
+    if args.jsonl:
+        with open(args.jsonl, "w") as fh:
+            fh.write(report.trace_a.to_jsonl())
+            fh.write(report.trace_b.to_jsonl())
+        print(f"# traces written to {args.jsonl}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .fi.parallel import WorkSpec, run_parallel_campaign
+    from .trace import CampaignObserver
+
+    observer = CampaignObserver()
+    spec = WorkSpec(
+        source=load_source(args.benchmark, args.scale),
+        name=args.benchmark,
+        level=args.level,
+        flowery=args.flowery,
+        layer=args.layer,
+    )
+    cfg = CampaignConfig(n_campaigns=args.campaigns, seed=args.seed)
+    result = run_parallel_campaign(spec, cfg, workers=args.workers,
+                                   observer=observer)
+    print(observer.summary(), end="")
+    s = result.summary()
+    print(f"sdc={s['sdc']:.3f} due={s['due']:.3f} "
+          f"detected={s['detected']:.3f} benign={s['benign']:.3f}")
+    if args.jsonl:
+        observer.write_jsonl(args.jsonl)
+        print(f"# events written to {args.jsonl}")
+    return 0
+
+
 def _cmd_experiment(which: str) -> int:
     cfg = ExperimentConfig.from_env()
     if which == "table1":
@@ -211,6 +309,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_protect(args)
     if args.command == "inject":
         return _cmd_inject(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     if args.command == "experiment":
         return _cmd_experiment(args.which)
     raise AssertionError("unreachable")

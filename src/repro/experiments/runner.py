@@ -17,6 +17,7 @@ from ..analysis.rootcause import PenetrationReport, classify_campaign
 from ..fi.campaign import (
     CampaignConfig,
     CampaignResult,
+    _phase,
     run_asm_campaign,
     run_ir_campaign,
 )
@@ -40,8 +41,15 @@ class ProtectedRun:
 
 
 class ExperimentContext:
-    def __init__(self, config: Optional[ExperimentConfig] = None):
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        observer=None,
+    ):
         self.config = config or ExperimentConfig.from_env()
+        #: optional repro.trace.CampaignObserver receiving phase
+        #: timings and outcome events for every build/profile/campaign
+        self.observer = observer
         self._profiles: Dict[str, SdcProfile] = {}
         self._raw: Dict[str, Tuple[CampaignResult, CampaignResult]] = {}
         self._raw_built: Dict[str, BuiltProgram] = {}
@@ -57,7 +65,8 @@ class ExperimentContext:
     def raw_build(self, name: str) -> BuiltProgram:
         built = self._raw_built.get(name)
         if built is None:
-            built = build(name, scale=self.config.scale)
+            with _phase(self.observer, "compile", benchmark=name):
+                built = build(name, scale=self.config.scale)
             self._raw_built[name] = built
         return built
 
@@ -65,12 +74,13 @@ class ExperimentContext:
         prof = self._profiles.get(name)
         if prof is None:
             built = self.raw_build(name)
-            prof = profile_module(
-                built.module,
-                n_campaigns=self.config.profile_campaigns,
-                seed=self.config.seed,
-                layout=built.layout,
-            )
+            with _phase(self.observer, "profile", benchmark=name):
+                prof = profile_module(
+                    built.module,
+                    n_campaigns=self.config.profile_campaigns,
+                    seed=self.config.seed,
+                    layout=built.layout,
+                )
             self._profiles[name] = prof
         return prof
 
@@ -80,8 +90,10 @@ class ExperimentContext:
         if cached is None:
             built = self.raw_build(name)
             cfg = self.campaign_config()
-            raw_ir = run_ir_campaign(built.module, cfg, built.layout)
-            raw_asm = run_asm_campaign(built.compiled, built.layout, cfg)
+            raw_ir = run_ir_campaign(built.module, cfg, built.layout,
+                                     observer=self.observer)
+            raw_asm = run_asm_campaign(built.compiled, built.layout, cfg,
+                                       observer=self.observer)
             cached = (raw_ir, raw_asm)
             self._raw[name] = cached
         return cached
@@ -100,17 +112,21 @@ class ExperimentContext:
         if cached is not None:
             return cached
         profile = self.profile(name) if level < 100 else None
-        built = build(
-            name,
-            scale=self.config.scale,
-            level=level,
-            flowery=flowery,
-            profile=profile,
-            compare_cse=compare_cse,
-        )
+        with _phase(self.observer, "compile", benchmark=name,
+                    level=level, flowery=flowery):
+            built = build(
+                name,
+                scale=self.config.scale,
+                level=level,
+                flowery=flowery,
+                profile=profile,
+                compare_cse=compare_cse,
+            )
         cfg = self.campaign_config()
-        prot_ir = run_ir_campaign(built.module, cfg, built.layout)
-        prot_asm = run_asm_campaign(built.compiled, built.layout, cfg)
+        prot_ir = run_ir_campaign(built.module, cfg, built.layout,
+                                  observer=self.observer)
+        prot_asm = run_asm_campaign(built.compiled, built.layout, cfg,
+                                    observer=self.observer)
         raw_ir, raw_asm = self.raw_campaigns(name)
         technique = "flowery" if flowery else "id"
         ir_point = CoveragePoint.from_campaigns(

@@ -16,6 +16,7 @@ interpreter (LLFI-style), :func:`run_asm_campaign` the machine
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -38,6 +39,21 @@ __all__ = [
 ]
 
 DEFAULT_CAMPAIGNS = 300
+
+
+def _phase(observer, name: str, **fields):
+    """Observer phase context, or a no-op when no observer is attached."""
+    if observer is None:
+        return nullcontext()
+    return observer.phase(name, **fields)
+
+
+def _record_outcomes(observer, layer: str,
+                     counts: Dict[Outcome, int]) -> None:
+    if observer is not None:
+        observer.outcomes(
+            {o.value: c for o, c in counts.items() if c}, layer=layer
+        )
 
 
 @dataclass(frozen=True)
@@ -118,10 +134,12 @@ def run_ir_campaign(
     module: Module,
     config: CampaignConfig = CampaignConfig(),
     layout: Optional[GlobalLayout] = None,
+    observer=None,
 ) -> CampaignResult:
     """LLFI-style campaign at the IR layer."""
     layout = layout or GlobalLayout(module)
-    golden = IRInterpreter(module, layout=layout).run()
+    with _phase(observer, "golden", layer="ir"):
+        golden = IRInterpreter(module, layout=layout).run()
     if golden.status is not RunStatus.OK:
         raise CampaignError(
             f"golden IR run failed: {golden.status.value}/{golden.trap_kind}"
@@ -134,21 +152,23 @@ def run_ir_campaign(
 
     counts: Dict[Outcome, int] = {o: 0 for o in Outcome}
     records: List[InjectionRecord] = []
-    for idx, bit in zip(indices.tolist(), bits.tolist()):
-        res = IRInterpreter(module, layout=layout, max_steps=max_steps).run(
-            inject_index=idx, inject_bit=bit
-        )
-        outcome = classify_outcome(res, golden.output)
-        counts[outcome] += 1
-        records.append(
-            InjectionRecord(
-                dyn_index=idx,
-                bit=bit,
-                outcome=outcome,
-                iid=res.injected_iid,
-                trap_kind=res.trap_kind,
+    with _phase(observer, "inject", layer="ir", n=config.n_campaigns):
+        for idx, bit in zip(indices.tolist(), bits.tolist()):
+            res = IRInterpreter(
+                module, layout=layout, max_steps=max_steps
+            ).run(inject_index=idx, inject_bit=bit)
+            outcome = classify_outcome(res, golden.output)
+            counts[outcome] += 1
+            records.append(
+                InjectionRecord(
+                    dyn_index=idx,
+                    bit=bit,
+                    outcome=outcome,
+                    iid=res.injected_iid,
+                    trap_kind=res.trap_kind,
+                )
             )
-        )
+    _record_outcomes(observer, "ir", counts)
     return CampaignResult(
         layer="ir",
         n=config.n_campaigns,
@@ -164,9 +184,11 @@ def run_asm_campaign(
     program: CompiledProgram,
     layout: GlobalLayout,
     config: CampaignConfig = CampaignConfig(),
+    observer=None,
 ) -> CampaignResult:
     """PINFI-style campaign at the assembly layer."""
-    golden = AsmMachine(program, layout).run()
+    with _phase(observer, "golden", layer="asm"):
+        golden = AsmMachine(program, layout).run()
     if golden.status is not RunStatus.OK:
         raise CampaignError(
             f"golden asm run failed: {golden.status.value}/{golden.trap_kind}"
@@ -179,24 +201,26 @@ def run_asm_campaign(
 
     counts: Dict[Outcome, int] = {o: 0 for o in Outcome}
     records: List[InjectionRecord] = []
-    for idx, bit in zip(indices.tolist(), bits.tolist()):
-        res = AsmMachine(program, layout, max_steps=max_steps).run(
-            inject_index=idx, inject_bit=bit
-        )
-        outcome = classify_outcome(res, golden.output)
-        counts[outcome] += 1
-        records.append(
-            InjectionRecord(
-                dyn_index=idx,
-                bit=bit,
-                outcome=outcome,
-                iid=res.injected_iid,
-                asm_index=res.extra.get("asm_index"),
-                asm_role=res.extra.get("asm_role"),
-                asm_opcode=res.extra.get("asm_opcode"),
-                trap_kind=res.trap_kind,
+    with _phase(observer, "inject", layer="asm", n=config.n_campaigns):
+        for idx, bit in zip(indices.tolist(), bits.tolist()):
+            res = AsmMachine(program, layout, max_steps=max_steps).run(
+                inject_index=idx, inject_bit=bit
             )
-        )
+            outcome = classify_outcome(res, golden.output)
+            counts[outcome] += 1
+            records.append(
+                InjectionRecord(
+                    dyn_index=idx,
+                    bit=bit,
+                    outcome=outcome,
+                    iid=res.injected_iid,
+                    asm_index=res.extra.get("asm_index"),
+                    asm_role=res.extra.get("asm_role"),
+                    asm_opcode=res.extra.get("asm_opcode"),
+                    trap_kind=res.trap_kind,
+                )
+            )
+    _record_outcomes(observer, "asm", counts)
     return CampaignResult(
         layer="asm",
         n=config.n_campaigns,

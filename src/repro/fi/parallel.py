@@ -15,6 +15,7 @@ and sliced across workers.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Dict, List, Optional, Tuple
@@ -29,6 +30,8 @@ from .campaign import (
     CampaignConfig,
     CampaignResult,
     InjectionRecord,
+    _phase,
+    _record_outcomes,
     run_asm_campaign,
     run_ir_campaign,
 )
@@ -52,10 +55,24 @@ class WorkSpec:
 
 
 def default_workers() -> int:
+    """Worker count: ``REPRO_WORKERS`` if set, else the CPU count.
+
+    The value is validated (a malformed ``REPRO_WORKERS`` raises
+    :class:`CampaignError`, not a bare ``ValueError``) and capped at
+    ``os.cpu_count()`` — more workers than cores only adds spawn
+    overhead for these CPU-bound campaigns.
+    """
+    ncpu = max(1, os.cpu_count() or 1)
     env = os.environ.get("REPRO_WORKERS")
     if env:
-        return max(1, int(env))
-    return max(1, (os.cpu_count() or 1))
+        try:
+            requested = int(env)
+        except ValueError:
+            raise CampaignError(
+                f"REPRO_WORKERS must be an integer, got {env!r}"
+            ) from None
+        return min(max(1, requested), ncpu)
+    return ncpu
 
 
 def _build_from_spec(spec: WorkSpec):
@@ -71,8 +88,12 @@ def _build_from_spec(spec: WorkSpec):
     )
 
 
-def _worker(args: Tuple[WorkSpec, List[Tuple[int, int]], int]) -> List[Tuple]:
+def _worker(
+    args: Tuple[WorkSpec, List[Tuple[int, int]], int]
+) -> Tuple[List[Tuple], float]:
+    """Run one chunk; returns (rows, wall seconds incl. rebuild)."""
     spec, samples, max_steps = args
+    t0 = time.perf_counter()
     built = _build_from_spec(spec)
     rows: List[Tuple] = []
     for idx, bit in samples:
@@ -93,24 +114,29 @@ def _worker(args: Tuple[WorkSpec, List[Tuple[int, int]], int]) -> List[Tuple]:
                          res.extra.get("asm_role"),
                          res.extra.get("asm_opcode"),
                          res.trap_kind))
-    return rows
+    return rows, time.perf_counter() - t0
 
 
 def run_parallel_campaign(
     spec: WorkSpec,
     config: CampaignConfig = CampaignConfig(),
     workers: Optional[int] = None,
+    observer=None,
 ) -> CampaignResult:
     """Run a campaign for ``spec``, fanned out over processes.
 
     Deterministic for a given (spec, config) regardless of worker count.
+    An optional :class:`repro.trace.CampaignObserver` receives phase
+    timings, per-worker throughput, and the outcome histogram.
     """
     workers = workers or default_workers()
-    built = _build_from_spec(spec)
-    if spec.layer == "ir":
-        golden = built.run_ir()
-    else:
-        golden = built.run_asm()
+    with _phase(observer, "build", layer=spec.layer):
+        built = _build_from_spec(spec)
+    with _phase(observer, "golden", layer=spec.layer):
+        if spec.layer == "ir":
+            golden = built.run_ir()
+        else:
+            golden = built.run_asm()
     if golden.status is not RunStatus.OK:
         raise CampaignError(f"golden run failed: {golden.trap_kind}")
     max_steps = max(
@@ -119,8 +145,10 @@ def run_parallel_campaign(
 
     if workers <= 1:
         if spec.layer == "ir":
-            return run_ir_campaign(built.module, config, built.layout)
-        return run_asm_campaign(built.compiled, built.layout, config)
+            return run_ir_campaign(built.module, config, built.layout,
+                                   observer=observer)
+        return run_asm_campaign(built.compiled, built.layout, config,
+                                observer=observer)
 
     rng = np.random.default_rng(config.seed)
     indices = rng.integers(0, golden.dyn_injectable,
@@ -131,12 +159,16 @@ def run_parallel_campaign(
     jobs = [(spec, chunk, max_steps) for chunk in chunks if chunk]
 
     ctx = get_context("spawn")
-    with ctx.Pool(processes=len(jobs)) as pool:
-        chunk_rows = pool.map(_worker, jobs)
+    with _phase(observer, "inject", layer=spec.layer,
+                n=config.n_campaigns, workers=len(jobs)):
+        with ctx.Pool(processes=len(jobs)) as pool:
+            results = pool.map(_worker, jobs)
 
     # stitch back in the original sample order for determinism
     by_sample: Dict[Tuple[int, int, int], Tuple] = {}
-    for wi, rows in enumerate(chunk_rows):
+    for wi, (rows, secs) in enumerate(results):
+        if observer is not None:
+            observer.worker(wi, len(rows), secs, layer=spec.layer)
         for pos, row in enumerate(rows):
             original_index = wi + pos * workers
             by_sample[original_index] = row
@@ -162,6 +194,7 @@ def run_parallel_campaign(
                 asm_opcode=asm_opcode, trap_kind=trap_kind,
             )
         )
+    _record_outcomes(observer, spec.layer, counts)
     return CampaignResult(
         layer=spec.layer,
         n=config.n_campaigns,

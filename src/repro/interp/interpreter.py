@@ -112,6 +112,7 @@ class IRInterpreter:
         max_steps: int = DEFAULT_MAX_STEPS,
         heap_size: int = 1 << 20,
         stack_size: int = 1 << 19,
+        trace=None,
     ):
         self.module = module
         self.layout = layout or GlobalLayout(module)
@@ -128,6 +129,15 @@ class IRInterpreter:
         self.injected_iid: Optional[int] = None
         # profiling state
         self.per_inst_counts: Optional[Dict[int, int]] = None
+        # trace tap (off by default; see repro.trace) — accepts a
+        # TraceConfig or a ready IRTracer
+        self.tracer = None
+        if trace is not None:
+            from ..trace.tap import IRTracer
+
+            tracer = trace if isinstance(trace, IRTracer) else IRTracer(trace)
+            tracer.attach(self)
+            self.tracer = tracer
 
     # -- public API ------------------------------------------------------
 
@@ -158,6 +168,8 @@ class IRInterpreter:
             ret, status, trap = None, RunStatus.DETECTED, None
         except SimTrap as t:
             ret, status, trap = None, RunStatus.TRAP, t.kind
+        if self.tracer is not None:
+            self.tracer.finish()
         return ExecResult(
             status=status,
             output="".join(self.outputs),
@@ -168,6 +180,11 @@ class IRInterpreter:
             injected=self.injected,
             injected_iid=self.injected_iid,
             per_inst_counts=self.per_inst_counts,
+            extra=(
+                {"trace": self.tracer.trace}
+                if self.tracer is not None
+                else {}
+            ),
         )
 
     # -- execution core -----------------------------------------------------
@@ -179,6 +196,11 @@ class IRInterpreter:
         frame = self._push_frame(entry_fn, args, None)
         mem = self.memory
         counts = self.per_inst_counts
+        tracer = self.tracer
+        hook = tracer.hook if tracer is not None else None
+        # single per-step test whether profiling or tracing: keeps the
+        # disabled path as cheap as the profiling-only loop always was
+        track = counts is not None or hook is not None
 
         while True:
             block = frame.block
@@ -193,8 +215,11 @@ class IRInterpreter:
             self.dyn_total += 1
             if self.dyn_total > self.max_steps:
                 raise SimTrap("timeout", f"exceeded {self.max_steps} steps")
-            if counts is not None:
-                counts[inst.iid] = counts.get(inst.iid, 0) + 1
+            if track:
+                if counts is not None:
+                    counts[inst.iid] = counts.get(inst.iid, 0) + 1
+                if hook is not None:
+                    hook(inst, frame)
 
             op = inst.opcode
 
@@ -526,9 +551,11 @@ def run_ir(
     inject_bit: int = 0,
     profile: bool = False,
     max_steps: int = DEFAULT_MAX_STEPS,
+    trace=None,
 ) -> ExecResult:
     """Convenience wrapper: build an interpreter and run once."""
-    interp = IRInterpreter(module, layout=layout, max_steps=max_steps)
+    interp = IRInterpreter(module, layout=layout, max_steps=max_steps,
+                           trace=trace)
     return interp.run(
         entry=entry,
         args=args,

@@ -308,6 +308,7 @@ class AsmMachine:
         max_steps: int = DEFAULT_MAX_STEPS,
         heap_size: int = 1 << 20,
         stack_size: int = 1 << 19,
+        trace=None,
     ):
         self.program = program
         self.layout = layout
@@ -319,6 +320,18 @@ class AsmMachine:
         self.injected = False
         self.injected_index: Optional[int] = None  # static asm index
         self.per_inst_counts: Optional[Dict[int, int]] = None
+        # trace tap (off by default; see repro.trace) — accepts a
+        # TraceConfig or a ready MachineTracer
+        self.tracer = None
+        if trace is not None:
+            from ..trace.tap import MachineTracer
+
+            tracer = (
+                trace if isinstance(trace, MachineTracer)
+                else MachineTracer(trace)
+            )
+            tracer.attach(self)
+            self.tracer = tracer
 
     def run(
         self,
@@ -340,6 +353,15 @@ class AsmMachine:
             if self.injected_index is not None
             else None
         )
+        extra: Dict[str, object] = {}
+        if inst is not None:
+            extra.update(
+                asm_index=self.injected_index,
+                asm_role=inst.role,
+                asm_opcode=inst.opcode,
+            )
+        if self.tracer is not None:
+            extra["trace"] = self.tracer.trace
         return ExecResult(
             status=status,
             output="".join(self.outputs),
@@ -349,15 +371,7 @@ class AsmMachine:
             injected=self.injected,
             injected_iid=inst.prov_iid if inst is not None else None,
             per_inst_counts=self.per_inst_counts,
-            extra=(
-                {
-                    "asm_index": self.injected_index,
-                    "asm_role": inst.role,
-                    "asm_opcode": inst.opcode,
-                }
-                if inst is not None
-                else {}
-            ),
+            extra=extra,
         )
 
     # -- the hot loop -------------------------------------------------------
@@ -389,6 +403,11 @@ class AsmMachine:
         injectable = 0
         max_steps = self.max_steps
         counts = self.per_inst_counts
+        tracer = self.tracer
+        hook = tracer.hook if tracer is not None else None
+        # single per-step test whether profiling or tracing: keeps the
+        # disabled path as cheap as the profiling-only loop always was
+        track = counts is not None or hook is not None
 
         target = inject_index if inject_index is not None else -1
         injected = False
@@ -403,8 +422,11 @@ class AsmMachine:
                     self.dyn_total = steps
                     self.dyn_injectable = injectable
                     raise SimTrap("timeout", f"exceeded {max_steps} steps")
-                if counts is not None:
-                    counts[pc] = counts.get(pc, 0) + 1
+                if track:
+                    if counts is not None:
+                        counts[pc] = counts.get(pc, 0) + 1
+                    if hook is not None:
+                        hook(pc, regs, xmm)
 
                 code = u[0]
                 cur = pc
@@ -662,6 +684,8 @@ class AsmMachine:
             self.dyn_total = steps
             self.dyn_injectable = injectable
             self.injected = injected
+            if tracer is not None:
+                tracer.finish(regs, xmm)
 
     def _gpr_dest(self, index: int) -> int:
         inst = self.program.inst_at(index)
@@ -736,9 +760,10 @@ def run_asm(
     inject_bit: int = 0,
     profile: bool = False,
     max_steps: int = DEFAULT_MAX_STEPS,
+    trace=None,
 ) -> ExecResult:
     """Convenience wrapper: fresh machine, one execution."""
-    machine = AsmMachine(program, layout, max_steps=max_steps)
+    machine = AsmMachine(program, layout, max_steps=max_steps, trace=trace)
     return machine.run(
         inject_index=inject_index, inject_bit=inject_bit, profile=profile
     )

@@ -50,16 +50,31 @@ class BuiltProgram:
             self.module,
             layout=self.layout,
             max_steps=kwargs.pop("max_steps", 50_000_000),
+            trace=kwargs.pop("trace", None),
         )
         return interp.run(**kwargs)
 
     def run_asm(self, **kwargs) -> ExecResult:
+        trace = kwargs.pop("trace", None)
+        if trace is not None:
+            from .trace.tap import MachineTracer
+
+            if not isinstance(trace, MachineTracer):
+                trace = MachineTracer(trace, module=self.module)
         machine = AsmMachine(
             self.compiled,
             self.layout,
             max_steps=kwargs.pop("max_steps", 100_000_000),
+            trace=trace,
         )
         return machine.run(**kwargs)
+
+    def lockstep(self, **kwargs):
+        """Co-run both layers and diff them (see :mod:`repro.trace.diff`)."""
+        from .trace.diff import run_lockstep
+
+        return run_lockstep(self.module, self.layout, self.compiled,
+                            **kwargs)
 
     @property
     def is_protected(self) -> bool:

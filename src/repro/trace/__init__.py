@@ -1,0 +1,37 @@
+"""Execution tracing, lockstep divergence diffing and campaign
+observability.
+
+The subsystem has three parts:
+
+* :mod:`repro.trace.events` / :mod:`repro.trace.tap` — low-overhead
+  trace taps for the IR interpreter and the assembly machine.  Off by
+  default; when enabled they record sync-point events (stores, control
+  transfers, calls, returns, program output) and, optionally, per-step
+  records in ring-buffer / sampled / full modes.
+* :mod:`repro.trace.diff` — the lockstep divergence differ: co-runs
+  the IR and assembly layers of one program (optionally with a fault
+  injected into either layer) and pinpoints the first synchronization
+  point where their state diverges.
+* :mod:`repro.trace.observe` — campaign observability: per-phase
+  timings, per-worker throughput and outcome counters, emitted as
+  JSONL events and a summary table.
+"""
+
+from .events import StepRecord, SyncEvent, Trace, TraceConfig
+from .tap import IRTracer, MachineTracer
+from .diff import DivergenceReport, diff_sync_streams, lockstep_built, run_lockstep
+from .observe import CampaignObserver
+
+__all__ = [
+    "TraceConfig",
+    "Trace",
+    "SyncEvent",
+    "StepRecord",
+    "IRTracer",
+    "MachineTracer",
+    "DivergenceReport",
+    "diff_sync_streams",
+    "run_lockstep",
+    "lockstep_built",
+    "CampaignObserver",
+]

@@ -1,0 +1,250 @@
+"""Lockstep cross-layer divergence diffing.
+
+Co-runs the IR interpreter and the assembly machine on the same
+program — optionally with a single bit-flip injected into either layer
+— and pinpoints the first synchronization point where the two
+executions diverge.  This turns the manual escape forensics of the
+paper (§5.2) into a single replayable report: instead of guessing
+which store/branch/call let a fault through, the differ names it, with
+the operand values both layers observed.
+
+Typical use::
+
+    from repro.pipeline import build
+    from repro.trace import lockstep_built
+
+    built = build("crc32", scale="tiny", level=100)
+    report = lockstep_built(built, inject_layer="asm",
+                            inject_index=123, inject_bit=5)
+    print(report.narrate())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..execresult import ExecResult
+from .events import SyncEvent, Trace, TraceConfig
+from .tap import IRTracer, MachineTracer
+
+__all__ = ["Divergence", "DivergenceReport", "diff_sync_streams",
+           "run_lockstep", "lockstep_built"]
+
+#: matched sync pairs shown before the divergence in narrate()
+_CONTEXT = 3
+
+
+def diff_sync_streams(
+    a: List[SyncEvent], b: List[SyncEvent]
+) -> Tuple[int, Optional[Tuple[Optional[SyncEvent], Optional[SyncEvent]]]]:
+    """First index where two sync streams disagree.
+
+    Returns ``(matched_prefix_length, None)`` when the streams are
+    identical, else ``(index, (event_a, event_b))`` where either event
+    is None if that stream ended early.
+    """
+    n = min(len(a), len(b))
+    for i in range(n):
+        if a[i].key != b[i].key:
+            return i, (a[i], b[i])
+    if len(a) != len(b):
+        return n, (a[n] if len(a) > n else None,
+                   b[n] if len(b) > n else None)
+    return n, None
+
+
+@dataclass
+class Divergence:
+    """The first divergent synchronization point."""
+
+    index: int
+    event_a: Optional[SyncEvent]
+    event_b: Optional[SyncEvent]
+    #: source-level rendering of the divergent site in each layer
+    site_a: Optional[str] = None
+    site_b: Optional[str] = None
+
+
+@dataclass
+class DivergenceReport:
+    """Outcome of one lockstep co-run."""
+
+    layer_a: str
+    layer_b: str
+    status_a: str
+    status_b: str
+    matched: int
+    events_a: int
+    events_b: int
+    divergence: Optional[Divergence] = None
+    #: last matched sync pairs before the divergence
+    context: List[SyncEvent] = field(default_factory=list)
+    #: True when a sync_limit truncated either stream
+    truncated: bool = False
+    inject_layer: Optional[str] = None
+    inject_index: Optional[int] = None
+    inject_bit: int = 0
+
+    @property
+    def diverged(self) -> bool:
+        return self.divergence is not None
+
+    def narrate(self) -> str:
+        head = (f"lockstep {self.layer_a} vs {self.layer_b}: "
+                f"{self.matched} sync points matched "
+                f"({self.layer_a}: {self.events_a} events/"
+                f"{self.status_a}, "
+                f"{self.layer_b}: {self.events_b} events/"
+                f"{self.status_b})")
+        if self.inject_layer is not None:
+            head += (f"\ninjection: {self.inject_layer} dynamic site "
+                     f"#{self.inject_index}, bit {self.inject_bit}")
+        if not self.diverged:
+            note = " [sync stream truncated]" if self.truncated else ""
+            return head + f"\nno divergence: layers agree{note}"
+        d = self.divergence
+        lines = [head]
+        for ev in self.context:
+            lines.append(f"  = {ev.describe()}")
+        lines.append(f"DIVERGENCE at sync point #{d.index}")
+        for tag, ev, site in ((self.layer_a, d.event_a, d.site_a),
+                              (self.layer_b, d.event_b, d.site_b)):
+            if ev is None:
+                lines.append(f"  {tag:3s}: <stream ended — detected, "
+                             "trapped, or shorter run>")
+            else:
+                lines.append(f"  {tag:3s}: {ev.describe()}")
+                if site:
+                    lines.append(f"       at {site}")
+        return "\n".join(lines)
+
+
+def _ir_site(module, ev: Optional[SyncEvent]) -> Optional[str]:
+    if ev is None or not isinstance(ev.ref, int):
+        return None
+    from ..ir.printer import format_instruction
+
+    for inst in module.instructions():
+        if inst.iid == ev.ref:
+            return format_instruction(inst).strip()
+    return None
+
+
+def _asm_site(compiled, ev: Optional[SyncEvent]) -> Optional[str]:
+    if ev is None or ev.loc is None:
+        return None
+    inst = compiled.inst_at(ev.loc)
+    return f"{str(inst).strip()}  [role={inst.role}, pc={ev.loc}]"
+
+
+def _budget(golden_total: int, factor: int = 4, floor: int = 20_000) -> int:
+    return max(floor, golden_total * factor)
+
+
+def run_lockstep(
+    module,
+    layout,
+    compiled,
+    inject_layer: Optional[str] = None,
+    inject_index: Optional[int] = None,
+    inject_bit: int = 0,
+    config: Optional[TraceConfig] = None,
+) -> DivergenceReport:
+    """Co-run both layers with sync tracing and diff the streams.
+
+    ``inject_layer`` ('ir' | 'asm' | None) selects which layer, if
+    any, receives the single bit-flip at injectable dynamic site
+    ``inject_index``.  The report also exposes the two traces as
+    ``report.trace_a`` / ``report.trace_b``.
+    """
+    from ..interp.interpreter import IRInterpreter
+    from ..machine.machine import AsmMachine
+
+    if inject_layer not in (None, "ir", "asm"):
+        raise ValueError(f"inject_layer must be 'ir' or 'asm', "
+                         f"got {inject_layer!r}")
+    cfg = config or TraceConfig()
+
+    ir_kwargs = {}
+    asm_kwargs = {}
+    if inject_layer == "ir" and inject_index is not None:
+        ir_kwargs = {"inject_index": inject_index,
+                     "inject_bit": inject_bit}
+    elif inject_layer == "asm" and inject_index is not None:
+        asm_kwargs = {"inject_index": inject_index,
+                      "inject_bit": inject_bit}
+
+    ir_tracer = IRTracer(cfg)
+    if ir_kwargs:
+        golden = IRInterpreter(module, layout=layout).run()
+        ir_res = IRInterpreter(
+            module, layout=layout, max_steps=_budget(golden.dyn_total),
+            trace=ir_tracer,
+        ).run(**ir_kwargs)
+    else:
+        ir_res = IRInterpreter(module, layout=layout,
+                               trace=ir_tracer).run()
+
+    asm_tracer = MachineTracer(cfg, module=module)
+    if asm_kwargs:
+        golden = AsmMachine(compiled, layout).run()
+        asm_res = AsmMachine(
+            compiled, layout, max_steps=_budget(golden.dyn_total),
+            trace=asm_tracer,
+        ).run(**asm_kwargs)
+    else:
+        asm_res = AsmMachine(compiled, layout,
+                             trace=asm_tracer).run()
+
+    report = diff_traces(ir_tracer.trace, asm_tracer.trace,
+                         ir_res, asm_res, module=module,
+                         compiled=compiled)
+    report.inject_layer = inject_layer
+    report.inject_index = inject_index if inject_layer else None
+    report.inject_bit = inject_bit if inject_layer else 0
+    return report
+
+
+def diff_traces(
+    trace_a: Trace,
+    trace_b: Trace,
+    res_a: ExecResult,
+    res_b: ExecResult,
+    module=None,
+    compiled=None,
+) -> DivergenceReport:
+    """Diff two collected traces into a :class:`DivergenceReport`."""
+    matched, pair = diff_sync_streams(trace_a.sync, trace_b.sync)
+    report = DivergenceReport(
+        layer_a=trace_a.layer,
+        layer_b=trace_b.layer,
+        status_a=res_a.status.value,
+        status_b=res_b.status.value,
+        matched=matched,
+        events_a=len(trace_a.sync),
+        events_b=len(trace_b.sync),
+        truncated=trace_a.truncated or trace_b.truncated,
+    )
+    report.trace_a = trace_a
+    report.trace_b = trace_b
+    if pair is not None:
+        ev_a, ev_b = pair
+        div = Divergence(index=matched, event_a=ev_a, event_b=ev_b)
+        if module is not None:
+            div.site_a = _ir_site(module, ev_a if trace_a.layer == "ir"
+                                  else None)
+        if compiled is not None:
+            div.site_b = _asm_site(compiled,
+                                   ev_b if trace_b.layer == "asm"
+                                   else None)
+        report.divergence = div
+        lo = max(0, matched - _CONTEXT)
+        report.context = trace_a.sync[lo:matched]
+    return report
+
+
+def lockstep_built(built, **kwargs) -> DivergenceReport:
+    """:func:`run_lockstep` on a :class:`repro.pipeline.BuiltProgram`."""
+    return run_lockstep(built.module, built.layout, built.compiled,
+                        **kwargs)

@@ -1,0 +1,186 @@
+"""Trace record types shared by both execution layers.
+
+A trace has two granularities:
+
+* **sync events** — full records at synchronization points (stores,
+  resolved control transfers, calls, returns, program output).  Sync
+  events are designed to be *comparable across layers*: the IR
+  interpreter and the assembly machine emit identical event keys for a
+  fault-free run of the same program, which is what makes the lockstep
+  differ (:mod:`repro.trace.diff`) possible.
+* **step records** — cheap per-instruction records (step counter,
+  location, opcode, destination, post-execution value), kept in a ring
+  buffer, sampled, or in full depending on :class:`TraceConfig`.
+
+Event-key vocabulary (``SyncEvent.key`` = ``(kind, ref, value)``):
+
+========  =========================  ======================================
+kind      ref                        value
+========  =========================  ======================================
+store     iid of the IR store        ``(address, size, bits)``
+jump      iid of the br/condbr       label of the *resolved* successor
+call      iid of the call            tuple of normalised argument bits
+ret       iid of the ret             return-value bits (None for void)
+output    None                       the emitted text chunk
+========  =========================  ======================================
+
+Integer/pointer payloads are normalised to unsigned 64-bit (or the
+store's byte width); float payloads are raw IEEE-754 bit patterns, so
+comparison is always bit-exact.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple, Union
+
+__all__ = ["TraceConfig", "SyncEvent", "StepRecord", "Trace", "f64_bits"]
+
+_MASK64 = (1 << 64) - 1
+
+#: valid trace modes: ``sync`` records sync events only; the other
+#: three additionally keep per-step records (last ``capacity`` steps,
+#: every ``sample_every``-th step, or all of them).
+TRACE_MODES = ("sync", "ring", "sample", "full")
+
+
+def f64_bits(value: float) -> int:
+    """IEEE-754 bit pattern of a double (for bit-exact comparison)."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Knobs for a trace tap.  Immutable; shareable across runs."""
+
+    mode: str = "sync"
+    #: ring-buffer size for ``ring``/``sample`` step records
+    capacity: int = 4096
+    #: period for ``sample`` mode (record every k-th step)
+    sample_every: int = 64
+    #: stop recording sync events past this count (None = unbounded)
+    sync_limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in TRACE_MODES:
+            raise ValueError(
+                f"trace mode must be one of {TRACE_MODES}, got {self.mode!r}"
+            )
+        if self.capacity <= 0:
+            raise ValueError("trace capacity must be positive")
+        if self.sample_every <= 0:
+            raise ValueError("sample_every must be positive")
+
+
+@dataclass(frozen=True)
+class SyncEvent:
+    """One synchronization-point record.
+
+    ``ref`` identifies the *static* site (an IR iid for both layers —
+    assembly events are mapped through instruction provenance).
+    ``loc`` is layer-local: the iid again at the IR layer, the static
+    assembly instruction index at the machine layer.
+    """
+
+    kind: str
+    ref: Union[int, str, None]
+    value: object
+    step: int = 0
+    loc: Optional[int] = None
+
+    @property
+    def key(self) -> Tuple[str, Union[int, str, None], object]:
+        """Cross-layer comparison key (excludes step/loc metadata)."""
+        return (self.kind, self.ref, self.value)
+
+    def describe(self) -> str:
+        if self.kind == "store":
+            addr, size, bits = self.value  # type: ignore[misc]
+            at = addr if isinstance(addr, str) else f"{addr:#x}"
+            return f"store @{self.ref}: [{at}] <- {bits:#x} ({size}B)"
+        if self.kind == "jump":
+            return f"jump @{self.ref} -> {self.value}"
+        if self.kind == "call":
+            args = ", ".join(f"{a:#x}" for a in self.value)  # type: ignore[union-attr]
+            return f"call @{self.ref}({args})"
+        if self.kind == "ret":
+            v = "void" if self.value is None else f"{self.value:#x}"
+            return f"ret @{self.ref} = {v}"
+        if self.kind == "output":
+            return f"output {self.value!r}"
+        return f"{self.kind} @{self.ref} = {self.value!r}"
+
+    def to_json(self) -> dict:
+        value = self.value
+        if isinstance(value, tuple):
+            value = list(value)
+        return {
+            "ev": "sync",
+            "kind": self.kind,
+            "ref": self.ref,
+            "value": value,
+            "step": self.step,
+            "loc": self.loc,
+        }
+
+
+@dataclass
+class StepRecord:
+    """One per-step record: ``value`` is filled in *after* the
+    instruction executes (None when it produces no observable value or
+    the run ended first)."""
+
+    step: int
+    #: IR iid or assembly static index
+    loc: int
+    opcode: str
+    dest: Optional[str] = None
+    value: Optional[Union[int, float]] = None
+
+    def describe(self) -> str:
+        dest = f" {self.dest}" if self.dest else ""
+        if self.value is None:
+            val = ""
+        elif isinstance(self.value, float):
+            val = f" = {self.value!r}"
+        else:
+            val = f" = {self.value:#x}"
+        return f"#{self.step:<8d} {self.opcode:10s}{dest}{val}"
+
+
+class Trace:
+    """Mutable trace container filled by a tracer during one run."""
+
+    def __init__(self, layer: str, config: TraceConfig):
+        self.layer = layer
+        self.config = config
+        self.sync: List[SyncEvent] = []
+        self.steps_seen = 0
+        #: True when sync_limit cut the sync stream short
+        self.truncated = False
+        self._steps: Union[Deque[StepRecord], List[StepRecord], None]
+        if config.mode == "full":
+            self._steps = []
+        elif config.mode in ("ring", "sample"):
+            self._steps = deque(maxlen=config.capacity)
+        else:
+            self._steps = None
+
+    def step_records(self) -> List[StepRecord]:
+        """Recorded step records in chronological order."""
+        return list(self._steps) if self._steps is not None else []
+
+    def sync_keys(self) -> List[Tuple]:
+        return [e.key for e in self.sync]
+
+    def to_jsonl(self) -> str:
+        import json
+
+        lines = [json.dumps({"ev": "trace", "layer": self.layer,
+                             "steps": self.steps_seen,
+                             "syncs": len(self.sync),
+                             "truncated": self.truncated})]
+        lines.extend(json.dumps(e.to_json()) for e in self.sync)
+        return "\n".join(lines) + "\n"

@@ -1,5 +1,10 @@
 """Smoke tests for the command-line interface."""
 
+import json
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.cli import main
@@ -52,3 +57,90 @@ class TestCli:
         monkeypatch.setenv("REPRO_SCALE", "tiny")
         assert main(["experiment", "compile-time"]) == 0
         assert "compile-time" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_golden_corun_agrees(self, capsys):
+        assert main(["trace", "crc32", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "no divergence" in out
+
+    def test_injected_fault_reports_divergence(self, capsys):
+        assert main(["trace", "crc32", "--scale", "tiny", "--level", "100",
+                     "--inject", "40", "--bit", "2", "--layer", "ir"]) == 0
+        out = capsys.readouterr().out
+        assert "injection: ir dynamic site #40" in out
+        assert "DIVERGENCE" in out or "no divergence" in out
+
+    def test_step_tail_and_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        assert main(["trace", "crc32", "--scale", "tiny",
+                     "--mode", "ring", "--tail", "3",
+                     "--jsonl", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "step records" in out
+        lines = path.read_text().strip().split("\n")
+        headers = [json.loads(ln) for ln in lines
+                   if json.loads(ln)["ev"] == "trace"]
+        assert {h["layer"] for h in headers} == {"ir", "asm"}
+
+
+class TestStatsCommand:
+    def test_serial_stats(self, capsys):
+        assert main(["stats", "crc32", "--scale", "tiny", "-n", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "phase timings" in out
+        assert "golden" in out and "inject" in out
+        assert "outcomes" in out and "sdc=" in out
+
+    def test_stats_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "events.jsonl"
+        assert main(["stats", "crc32", "--scale", "tiny", "-n", "10",
+                     "--layer", "ir", "--jsonl", str(path)]) == 0
+        rows = [json.loads(ln) for ln in
+                path.read_text().strip().split("\n")]
+        kinds = {r["ev"] for r in rows}
+        assert {"phase", "outcome"} <= kinds
+        outcome = [r for r in rows if r["ev"] == "outcome"][0]
+        assert outcome["total"] == 10
+
+
+def _run_cli(*argv):
+    env = dict(os.environ)
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src = os.path.join(root, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        capture_output=True, text=True, env=env, cwd=root, timeout=300,
+    )
+
+
+@pytest.mark.slow
+class TestCliEntryPoint:
+    """The installed surface: ``python -m repro.cli`` in a subprocess."""
+
+    def test_list(self):
+        proc = _run_cli("list")
+        assert proc.returncode == 0
+        assert "crc32" in proc.stdout
+
+    def test_run(self):
+        proc = _run_cli("run", "crc32", "--scale", "tiny")
+        assert proc.returncode == 0
+        assert "cross-layer outputs match: True" in proc.stdout
+
+    def test_trace(self):
+        proc = _run_cli("trace", "crc32", "--scale", "tiny")
+        assert proc.returncode == 0
+        assert "no divergence" in proc.stdout
+
+    def test_stats(self):
+        proc = _run_cli("stats", "crc32", "--scale", "tiny", "-n", "10")
+        assert proc.returncode == 0
+        assert "phase timings" in proc.stdout
+
+    def test_usage_error_is_nonzero(self):
+        proc = _run_cli("trace")
+        assert proc.returncode != 0
+        assert "usage" in proc.stderr.lower()

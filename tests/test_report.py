@@ -111,3 +111,40 @@ class TestParallelRunner:
         assert par.counts == ser.counts
         assert [(r.dyn_index, r.bit, r.outcome) for r in par.records] == \
                [(r.dyn_index, r.bit, r.outcome) for r in ser.records]
+
+    @pytest.mark.slow
+    def test_four_workers_bit_identical_result(self):
+        # the docstring promises bit-identical CampaignResults for any
+        # worker count; check every field, not just the histogram
+        spec = WorkSpec(source=SRC, layer="asm")
+        cfg = CampaignConfig(n_campaigns=20, seed=9)
+        par = run_parallel_campaign(spec, cfg, workers=4)
+        ser = run_parallel_campaign(spec, cfg, workers=1)
+        assert par.layer == ser.layer and par.n == ser.n
+        assert par.counts == ser.counts
+        assert par.golden_output == ser.golden_output
+        assert par.golden_dyn_total == ser.golden_dyn_total
+        assert par.golden_dyn_injectable == ser.golden_dyn_injectable
+        assert [
+            (r.dyn_index, r.bit, r.outcome, r.iid, r.asm_index,
+             r.asm_role, r.asm_opcode, r.trap_kind)
+            for r in par.records
+        ] == [
+            (r.dyn_index, r.bit, r.outcome, r.iid, r.asm_index,
+             r.asm_role, r.asm_opcode, r.trap_kind)
+            for r in ser.records
+        ]
+
+    @pytest.mark.slow
+    def test_parallel_observer_sees_workers(self):
+        from repro.trace import CampaignObserver
+
+        spec = WorkSpec(source=SRC, layer="ir")
+        cfg = CampaignConfig(n_campaigns=8, seed=6)
+        obs = CampaignObserver()
+        run_parallel_campaign(spec, cfg, workers=2, observer=obs)
+        assert {"build", "golden", "inject"} <= set(obs.phase_seconds())
+        workers = obs.worker_events()
+        assert len(workers) == 2
+        assert sum(w["injections"] for w in workers) == 8
+        assert sum(obs.outcome_counts().values()) == 8

@@ -1,0 +1,364 @@
+"""Tests for the tracing subsystem: taps, lockstep differ, observer."""
+
+import json
+
+import pytest
+
+from repro.backend.isa import Role
+from repro.errors import CampaignError
+from repro.fi.campaign import CampaignConfig, run_asm_campaign, run_ir_campaign
+from repro.interp.interpreter import IRInterpreter
+from repro.machine.machine import AsmMachine
+from repro.pipeline import build_from_source
+from repro.trace import (
+    CampaignObserver,
+    IRTracer,
+    MachineTracer,
+    SyncEvent,
+    TraceConfig,
+    diff_sync_streams,
+    run_lockstep,
+)
+from tests.conftest import KITCHEN_SINK, KITCHEN_SINK_OUTPUT
+
+#: stored value's register must survive a call, forcing a reload
+#: (role STORE_RELOAD) that an asm-layer fault can corrupt just
+#: before the memory write
+STORE_FAULT_SRC = """
+int g = 0;
+
+int bump(int x) {
+    return x + 1;
+}
+
+int main() {
+    int v = bump(2) + 3;
+    print(v);
+    g = v;
+    print(g);
+    return 0;
+}
+"""
+
+
+def _traced_pair(source, **build_kwargs):
+    built = build_from_source(source, "traced", **build_kwargs)
+    cfg = TraceConfig()
+    ir_t = IRTracer(cfg)
+    ir_res = IRInterpreter(built.module, layout=built.layout,
+                           trace=ir_t).run()
+    asm_t = MachineTracer(cfg, module=built.module)
+    asm_res = AsmMachine(built.compiled, built.layout, trace=asm_t).run()
+    return built, (ir_t, ir_res), (asm_t, asm_res)
+
+
+class TestTraceConfig:
+    def test_defaults(self):
+        cfg = TraceConfig()
+        assert cfg.mode == "sync"
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            TraceConfig(mode="everything")
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceConfig(mode="ring", capacity=0)
+
+    def test_bad_sample_rejected(self):
+        with pytest.raises(ValueError):
+            TraceConfig(mode="sample", sample_every=0)
+
+
+class TestGoldenTraces:
+    def test_cross_layer_sync_streams_agree(self):
+        _, (ir_t, ir_res), (asm_t, asm_res) = _traced_pair(KITCHEN_SINK)
+        assert ir_res.output == asm_res.output == KITCHEN_SINK_OUTPUT
+        assert ir_t.trace.sync_keys() == asm_t.trace.sync_keys()
+        assert len(ir_t.trace.sync) > 50
+
+    def test_cross_layer_agreement_protected_flowery(self):
+        _, (ir_t, _), (asm_t, _) = _traced_pair(
+            KITCHEN_SINK, level=100, flowery=True
+        )
+        assert ir_t.trace.sync_keys() == asm_t.trace.sync_keys()
+
+    def test_golden_trace_is_stable(self):
+        built = build_from_source(KITCHEN_SINK, "t")
+        keys = []
+        for _ in range(2):
+            tap = IRTracer(TraceConfig())
+            IRInterpreter(built.module, layout=built.layout,
+                          trace=tap).run()
+            keys.append(tap.trace.sync_keys())
+        assert keys[0] == keys[1]
+
+    def test_tracing_disabled_leaves_results_unchanged(self):
+        built = build_from_source(KITCHEN_SINK, "t")
+        plain_ir = built.run_ir()
+        plain_asm = built.run_asm()
+        traced_ir = built.run_ir(trace=TraceConfig())
+        traced_asm = built.run_asm(trace=TraceConfig())
+        for plain, traced in ((plain_ir, traced_ir),
+                              (plain_asm, traced_asm)):
+            assert "trace" not in plain.extra
+            assert plain.status is traced.status
+            assert plain.output == traced.output
+            assert plain.dyn_total == traced.dyn_total
+            assert plain.dyn_injectable == traced.dyn_injectable
+
+    def test_trace_lands_in_exec_result_extra(self):
+        built = build_from_source(KITCHEN_SINK, "t")
+        res = built.run_ir(trace=TraceConfig())
+        trace = res.extra["trace"]
+        assert trace.layer == "ir"
+        assert trace.steps_seen == res.dyn_total
+        res = built.run_asm(trace=TraceConfig())
+        trace = res.extra["trace"]
+        assert trace.layer == "asm"
+        assert trace.steps_seen == res.dyn_total
+
+    def test_output_events_reassemble_program_output(self):
+        _, (ir_t, ir_res), _ = _traced_pair(KITCHEN_SINK)
+        chunks = [e.value for e in ir_t.trace.sync if e.kind == "output"]
+        assert "".join(chunks) == ir_res.output
+
+
+class TestStepModes:
+    def test_full_mode_records_every_step(self):
+        built = build_from_source(STORE_FAULT_SRC, "t")
+        res = built.run_ir(trace=TraceConfig(mode="full"))
+        trace = res.extra["trace"]
+        recs = trace.step_records()
+        assert len(recs) == res.dyn_total
+        assert [r.step for r in recs] == list(range(1, res.dyn_total + 1))
+
+    def test_ring_mode_keeps_last_capacity(self):
+        built = build_from_source(KITCHEN_SINK, "t")
+        res = built.run_ir(trace=TraceConfig(mode="ring", capacity=32))
+        trace = res.extra["trace"]
+        recs = trace.step_records()
+        assert len(recs) == 32
+        assert recs[-1].step == res.dyn_total
+
+    def test_sample_mode_period(self):
+        built = build_from_source(KITCHEN_SINK, "t")
+        res = built.run_ir(
+            trace=TraceConfig(mode="sample", sample_every=10)
+        )
+        recs = res.extra["trace"].step_records()
+        assert recs and all(r.step % 10 == 0 for r in recs)
+
+    def test_sync_mode_keeps_no_step_records(self):
+        built = build_from_source(KITCHEN_SINK, "t")
+        res = built.run_ir(trace=TraceConfig())
+        assert res.extra["trace"].step_records() == []
+
+    def test_step_records_capture_values_on_machine(self):
+        built = build_from_source(STORE_FAULT_SRC, "t")
+        res = built.run_asm(trace=TraceConfig(mode="full"))
+        recs = res.extra["trace"].step_records()
+        valued = [r for r in recs if r.value is not None]
+        assert valued, "expected destination values on machine step records"
+
+    def test_sync_limit_truncates(self):
+        built = build_from_source(KITCHEN_SINK, "t")
+        res = built.run_ir(trace=TraceConfig(sync_limit=5))
+        trace = res.extra["trace"]
+        assert len(trace.sync) == 5
+        assert trace.truncated
+
+    def test_tracer_is_single_use(self):
+        built = build_from_source(STORE_FAULT_SRC, "t")
+        tap = IRTracer(TraceConfig())
+        IRInterpreter(built.module, layout=built.layout, trace=tap).run()
+        with pytest.raises(RuntimeError):
+            IRInterpreter(built.module, layout=built.layout, trace=tap)
+
+    def test_jsonl_round_trips(self):
+        built = build_from_source(STORE_FAULT_SRC, "t")
+        res = built.run_ir(trace=TraceConfig())
+        lines = res.extra["trace"].to_jsonl().strip().split("\n")
+        head = json.loads(lines[0])
+        assert head["ev"] == "trace" and head["layer"] == "ir"
+        kinds = {json.loads(ln)["kind"] for ln in lines[1:]}
+        assert {"store", "jump", "call", "ret", "output"} <= kinds
+
+
+class TestDiffSyncStreams:
+    def test_identical_streams(self):
+        a = [SyncEvent("jump", 1, "body"), SyncEvent("ret", 2, 7)]
+        assert diff_sync_streams(a, list(a)) == (2, None)
+
+    def test_mismatched_value(self):
+        a = [SyncEvent("jump", 1, "body"), SyncEvent("ret", 2, 7)]
+        b = [SyncEvent("jump", 1, "body"), SyncEvent("ret", 2, 8)]
+        idx, pair = diff_sync_streams(a, b)
+        assert idx == 1
+        assert pair == (a[1], b[1])
+
+    def test_shorter_stream(self):
+        a = [SyncEvent("jump", 1, "body")]
+        b = [SyncEvent("jump", 1, "body"), SyncEvent("ret", 2, 7)]
+        idx, pair = diff_sync_streams(a, b)
+        assert idx == 1
+        assert pair == (None, b[1])
+
+
+class TestLockstep:
+    def test_golden_lockstep_agrees(self):
+        built = build_from_source(KITCHEN_SINK, "t", level=70)
+        report = built.lockstep()
+        assert not report.diverged
+        assert report.matched == report.events_a == report.events_b
+        assert "no divergence" in report.narrate()
+
+    def test_store_fault_names_the_store_sync_point(self):
+        built = build_from_source(STORE_FAULT_SRC, "t")
+        golden = built.run_asm()
+        reload_sites = []
+        for idx in range(golden.dyn_injectable):
+            res = AsmMachine(built.compiled, built.layout).run(
+                inject_index=idx, inject_bit=0
+            )
+            if res.extra.get("asm_role") == Role.STORE_RELOAD:
+                reload_sites.append((idx, res.extra["asm_index"]))
+        assert reload_sites, "expected a STORE_RELOAD injection site"
+        dyn_idx, asm_idx = reload_sites[0]
+        store_iid = built.compiled.inst_at(asm_idx).prov_iid
+
+        report = built.lockstep(
+            inject_layer="asm", inject_index=dyn_idx, inject_bit=4
+        )
+        assert report.diverged
+        div = report.divergence
+        assert div.event_a.kind == div.event_b.kind == "store"
+        assert div.event_a.ref == div.event_b.ref == store_iid
+        _, _, ir_bits = div.event_a.value
+        _, _, asm_bits = div.event_b.value
+        assert asm_bits == ir_bits ^ (1 << 4)
+        text = report.narrate()
+        assert "DIVERGENCE" in text and f"@{store_iid}" in text
+
+    def test_ir_fault_caught_by_checker_shows_jump_divergence(self):
+        built = build_from_source(KITCHEN_SINK, "t", level=100)
+        # scan a few sites for one the checkers catch
+        for idx in range(0, 60, 3):
+            report = built.lockstep(
+                inject_layer="ir", inject_index=idx, inject_bit=7
+            )
+            if report.status_a == "detected":
+                assert report.diverged or report.events_a < report.events_b
+                return
+        pytest.skip("no detected site in the scanned range")
+
+    def test_bad_layer_rejected(self):
+        built = build_from_source(STORE_FAULT_SRC, "t")
+        with pytest.raises(ValueError):
+            run_lockstep(built.module, built.layout, built.compiled,
+                         inject_layer="uarch", inject_index=0)
+
+
+class TestCampaignObserver:
+    def test_phases_workers_outcomes(self):
+        obs = CampaignObserver()
+        with obs.phase("compile"):
+            pass
+        obs.worker(0, 10, 2.0)
+        obs.outcomes({"sdc": 3, "benign": 7})
+        assert set(obs.phase_seconds()) == {"compile"}
+        assert obs.worker_events()[0]["rate"] == 5.0
+        assert obs.outcome_counts() == {"sdc": 3, "benign": 7}
+        table = obs.summary()
+        assert "compile" in table and "sdc" in table and "inj/s" in table
+
+    def test_jsonl_stream(self, tmp_path):
+        obs = CampaignObserver()
+        obs.emit("note", detail="x")
+        path = tmp_path / "events.jsonl"
+        obs.write_jsonl(str(path))
+        rows = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert rows[0]["ev"] == "note" and rows[0]["detail"] == "x"
+
+    def test_serial_campaigns_report_phases_and_outcomes(self):
+        built = build_from_source(STORE_FAULT_SRC, "t")
+        cfg = CampaignConfig(n_campaigns=12, seed=3)
+        obs = CampaignObserver()
+        res = run_ir_campaign(built.module, cfg, built.layout,
+                              observer=obs)
+        run_asm_campaign(built.compiled, built.layout, cfg, observer=obs)
+        phases = obs.phase_seconds()
+        assert set(phases) == {"golden", "inject"}
+        total = sum(obs.outcome_counts().values())
+        assert total == 24
+        assert sum(res.counts.values()) == 12
+
+    def test_empty_summary(self):
+        assert "no events" in CampaignObserver().summary()
+
+
+class TestForensicsLockstep:
+    def test_story_carries_divergence_report(self):
+        from repro.analysis.forensics import explain_injection
+        from repro.fi.outcomes import Outcome
+
+        built = build_from_source(STORE_FAULT_SRC, "t")
+        golden = built.run_asm()
+        record = None
+        for idx in range(golden.dyn_injectable):
+            res = AsmMachine(built.compiled, built.layout).run(
+                inject_index=idx, inject_bit=4
+            )
+            if res.output != golden.output and res.status.value == "ok":
+                from repro.fi.campaign import InjectionRecord
+
+                record = InjectionRecord(
+                    dyn_index=idx, bit=4, outcome=Outcome.SDC,
+                    iid=res.injected_iid,
+                )
+                break
+        assert record is not None
+        story = explain_injection(
+            record, built.module, built.layout,
+            compiled=built.compiled, layer="asm", lockstep=True,
+        )
+        assert story.lockstep is not None
+        assert story.lockstep.diverged
+        assert "lockstep divergence" in story.narrate()
+
+
+class TestDefaultWorkers:
+    def test_invalid_env_raises_campaign_error(self, monkeypatch):
+        from repro.fi.parallel import default_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(CampaignError):
+            default_workers()
+
+    def test_env_capped_at_cpu_count(self, monkeypatch):
+        import os
+
+        from repro.fi.parallel import default_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "100000")
+        assert default_workers() == max(1, os.cpu_count() or 1)
+
+    def test_env_floor_of_one(self, monkeypatch):
+        from repro.fi.parallel import default_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "-3")
+        assert default_workers() == 1
+
+    def test_env_normal_value(self, monkeypatch):
+        from repro.fi.parallel import default_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        assert default_workers() == 1
+
+    def test_unset_uses_cpu_count(self, monkeypatch):
+        import os
+
+        from repro.fi.parallel import default_workers
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_workers() == max(1, os.cpu_count() or 1)
