@@ -3,6 +3,15 @@
 
 Honours the REPRO_* environment variables (scale, campaigns, benchmark
 list); by default runs all 16 benchmarks at small scale.
+
+Runs are crash-safe: every campaign checkpoints each classified
+injection to a journal under ``results/journals/`` (override with
+``REPRO_JOURNAL_DIR``; set it to the empty string to disable).  If the
+run is killed — machine reboot, OOM, Ctrl-C — simply rerun this script
+and already-classified injections are replayed from the journals
+instead of re-executed.  Journals are keyed by a content hash of each
+campaign's exact inputs, so changing scale, seed, campaign count, or a
+benchmark's source starts those campaigns afresh.
 """
 
 from __future__ import annotations
@@ -12,10 +21,13 @@ import pathlib
 import sys
 import time
 
+OUT = pathlib.Path(__file__).resolve().parent.parent / "results"
+
 os.environ.setdefault("REPRO_BENCHMARKS", "all")
 os.environ.setdefault("REPRO_SCALE", "small")
 os.environ.setdefault("REPRO_CAMPAIGNS", "200")
 os.environ.setdefault("REPRO_PROFILE_CAMPAIGNS", "400")
+os.environ.setdefault("REPRO_JOURNAL_DIR", str(OUT / "journals"))
 
 from repro.experiments import (  # noqa: E402
     ExperimentConfig,
@@ -34,7 +46,6 @@ from repro.experiments import (  # noqa: E402
     run_table1,
 )
 
-OUT = pathlib.Path(__file__).resolve().parent.parent / "results"
 OUT.mkdir(exist_ok=True)
 
 

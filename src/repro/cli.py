@@ -11,6 +11,8 @@
     repro trace crc32 --level 100 --inject 50 --layer asm
                                              # lockstep divergence diff
     repro stats crc32 --level 100 -n 100     # campaign observability
+    repro stats crc32 -n 300 --journal c.jsonl   # crash-safe campaign
+    repro resume c.jsonl                     # finish an interrupted one
     repro experiment fig2|fig3|fig17|table1|overhead|compile-time
 
 Environment knobs (REPRO_SCALE, REPRO_CAMPAIGNS, REPRO_BENCHMARKS...)
@@ -132,6 +134,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     stats_p.add_argument("--jsonl", default=None,
                          help="write the observer event stream to this path")
+    stats_p.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="checkpoint every classified injection to this JSONL "
+             "journal; rerunning (or `repro resume`) skips journaled "
+             "samples",
+    )
+
+    res_p = sub.add_parser(
+        "resume",
+        help="resume an interrupted campaign from its injection journal",
+    )
+    res_p.add_argument("journal", help="journal written by --journal")
+    res_p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: REPRO_WORKERS or the CPU count)",
+    )
+    res_p.add_argument("--jsonl", default=None,
+                       help="write the observer event stream to this path")
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper artifact")
     exp_p.add_argument(
@@ -267,7 +287,30 @@ def _cmd_stats(args) -> int:
     )
     cfg = CampaignConfig(n_campaigns=args.campaigns, seed=args.seed)
     result = run_parallel_campaign(spec, cfg, workers=args.workers,
-                                   observer=observer)
+                                   observer=observer,
+                                   journal_path=args.journal)
+    print(observer.summary(), end="")
+    s = result.summary()
+    print(f"sdc={s['sdc']:.3f} due={s['due']:.3f} "
+          f"detected={s['detected']:.3f} benign={s['benign']:.3f}")
+    if args.jsonl:
+        observer.write_jsonl(args.jsonl)
+        print(f"# events written to {args.jsonl}")
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    from .fi.parallel import run_parallel_campaign
+    from .fi.resilience import InjectionJournal
+    from .trace import CampaignObserver
+
+    spec, config, completed = InjectionJournal.peek(args.journal)
+    print(f"# resuming {args.journal}: {spec.name} layer={spec.layer} "
+          f"{len(completed)}/{config.n_campaigns} samples journaled")
+    observer = CampaignObserver()
+    result = run_parallel_campaign(spec, config, workers=args.workers,
+                                   observer=observer,
+                                   journal_path=args.journal)
     print(observer.summary(), end="")
     s = result.summary()
     print(f"sdc={s['sdc']:.3f} due={s['due']:.3f} "
@@ -313,6 +356,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "resume":
+        return _cmd_resume(args)
     if args.command == "experiment":
         return _cmd_experiment(args.which)
     raise AssertionError("unreachable")

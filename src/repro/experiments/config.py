@@ -10,13 +10,17 @@ hours).  Environment variables raise them toward the paper's setup:
 * ``REPRO_BENCHMARKS``  — comma list or ``all`` (default: a 6-benchmark
   representative subset for quick runs)
 * ``REPRO_SEED``        — campaign RNG seed
+* ``REPRO_JOURNAL_DIR`` — directory for per-campaign injection
+  journals; when set, every campaign checkpoints each classified
+  injection so an interrupted experiment run resumes instead of
+  restarting from zero (empty value disables journaling)
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..benchsuite.registry import benchmark_names
 
@@ -35,6 +39,9 @@ class ExperimentConfig:
     seed: int = 2023
     benchmarks: Tuple[str, ...] = tuple(QUICK_BENCHMARKS)
     levels: Tuple[int, ...] = (30, 50, 70, 100)
+    #: when set, campaigns journal each injection here and resume from
+    #: the journal after an interruption (see repro.fi.resilience)
+    journal_dir: Optional[str] = None
 
     @classmethod
     def from_env(cls, **overrides) -> "ExperimentConfig":
@@ -60,11 +67,15 @@ class ExperimentConfig:
             benchmarks = tuple(
                 overrides.pop("benchmarks", QUICK_BENCHMARKS)
             )
+        journal_dir = os.environ.get(
+            "REPRO_JOURNAL_DIR", overrides.pop("journal_dir", None)
+        ) or None
         return cls(
             scale=scale,
             campaigns=campaigns,
             profile_campaigns=profile_campaigns,
             seed=seed,
             benchmarks=benchmarks,
+            journal_dir=journal_dir,
             **overrides,
         )

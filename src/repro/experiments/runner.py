@@ -5,10 +5,17 @@ reused across protection levels and techniques, so the context memoises
 them.  Compilation is deterministic (same source -> same instruction
 ids), which is what lets one profile drive plans for many separately
 compiled module instances.
+
+With a ``journal_dir`` (or ``REPRO_JOURNAL_DIR``) every campaign also
+checkpoints each classified injection to an on-disk journal keyed by
+the campaign's content hash, so a killed experiment run resumes from
+where it stopped instead of restarting from zero — see
+:mod:`repro.fi.resilience`.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -21,6 +28,8 @@ from ..fi.campaign import (
     run_asm_campaign,
     run_ir_campaign,
 )
+from ..fi.parallel import run_parallel_campaign
+from ..fi.resilience import WorkSpec, campaign_key
 from ..pipeline import BuiltProgram, build
 from ..protection.planner import SdcProfile, profile_module
 from .config import ExperimentConfig
@@ -45,11 +54,16 @@ class ExperimentContext:
         self,
         config: Optional[ExperimentConfig] = None,
         observer=None,
+        journal_dir: Optional[str] = None,
     ):
         self.config = config or ExperimentConfig.from_env()
         #: optional repro.trace.CampaignObserver receiving phase
         #: timings and outcome events for every build/profile/campaign
         self.observer = observer
+        #: campaigns checkpoint to per-campaign journals here (resume
+        #: support); explicit argument wins over the config/env value
+        self.journal_dir = (journal_dir if journal_dir is not None
+                            else self.config.journal_dir)
         self._profiles: Dict[str, SdcProfile] = {}
         self._raw: Dict[str, Tuple[CampaignResult, CampaignResult]] = {}
         self._raw_built: Dict[str, BuiltProgram] = {}
@@ -60,6 +74,46 @@ class ExperimentContext:
     def campaign_config(self) -> CampaignConfig:
         return CampaignConfig(
             n_campaigns=self.config.campaigns, seed=self.config.seed
+        )
+
+    def _campaign(
+        self,
+        built: BuiltProgram,
+        layer: str,
+        name: str,
+        level: Optional[int] = None,
+        flowery: bool = False,
+        compare_cse: bool = True,
+    ) -> CampaignResult:
+        """One campaign, journaled when a ``journal_dir`` is set.
+
+        The journal is keyed (file name and content hash) by the
+        rebuilt program's exact inputs, so a resumed experiment run
+        replays only campaigns whose inputs are unchanged.
+        """
+        cfg = self.campaign_config()
+        if not self.journal_dir:
+            if layer == "ir":
+                return run_ir_campaign(built.module, cfg, built.layout,
+                                       observer=self.observer)
+            return run_asm_campaign(built.compiled, built.layout, cfg,
+                                    observer=self.observer)
+        selected = (frozenset(built.protection.dup_info.protected)
+                    if built.protection is not None else None)
+        spec = WorkSpec(
+            source=built.source, name=name, level=level, flowery=flowery,
+            compare_cse=compare_cse, selected=selected, layer=layer,
+        )
+        tag = "raw" if level is None else f"l{level}"
+        if flowery:
+            tag += "-flowery"
+        path = os.path.join(
+            self.journal_dir,
+            f"{name}-{layer}-{tag}-{campaign_key(spec, cfg)[:12]}.jsonl",
+        )
+        return run_parallel_campaign(
+            spec, cfg, workers=1, observer=self.observer,
+            journal_path=path, built=built,
         )
 
     def raw_build(self, name: str) -> BuiltProgram:
@@ -89,11 +143,8 @@ class ExperimentContext:
         cached = self._raw.get(name)
         if cached is None:
             built = self.raw_build(name)
-            cfg = self.campaign_config()
-            raw_ir = run_ir_campaign(built.module, cfg, built.layout,
-                                     observer=self.observer)
-            raw_asm = run_asm_campaign(built.compiled, built.layout, cfg,
-                                       observer=self.observer)
+            raw_ir = self._campaign(built, "ir", name)
+            raw_asm = self._campaign(built, "asm", name)
             cached = (raw_ir, raw_asm)
             self._raw[name] = cached
         return cached
@@ -122,11 +173,10 @@ class ExperimentContext:
                 profile=profile,
                 compare_cse=compare_cse,
             )
-        cfg = self.campaign_config()
-        prot_ir = run_ir_campaign(built.module, cfg, built.layout,
-                                  observer=self.observer)
-        prot_asm = run_asm_campaign(built.compiled, built.layout, cfg,
-                                    observer=self.observer)
+        prot_ir = self._campaign(built, "ir", name, level=level,
+                                 flowery=flowery, compare_cse=compare_cse)
+        prot_asm = self._campaign(built, "asm", name, level=level,
+                                  flowery=flowery, compare_cse=compare_cse)
         raw_ir, raw_asm = self.raw_campaigns(name)
         technique = "flowery" if flowery else "id"
         ir_point = CoveragePoint.from_campaigns(

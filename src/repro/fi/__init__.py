@@ -1,4 +1,5 @@
-"""Fault injection: outcome taxonomy and campaign orchestration."""
+"""Fault injection: outcome taxonomy, campaign orchestration, and
+resilient (journaled, crash-tolerant) execution."""
 
 from .campaign import (  # noqa: F401
     CampaignConfig,
@@ -10,9 +11,16 @@ from .campaign import (  # noqa: F401
 )
 from .outcomes import Outcome, classify_outcome  # noqa: F401
 from .parallel import WorkSpec, default_workers, run_parallel_campaign  # noqa: F401
+from .resilience import (  # noqa: F401
+    InjectionJournal,
+    ResiliencePolicy,
+    campaign_key,
+)
 
 __all__ = [
     "CampaignConfig", "CampaignResult", "InjectionRecord",
     "run_ir_campaign", "run_asm_campaign", "Outcome", "classify_outcome",
-    "DEFAULT_CAMPAIGNS", "WorkSpec", "run_parallel_campaign", "default_workers",
+    "DEFAULT_CAMPAIGNS", "WorkSpec", "run_parallel_campaign",
+    "default_workers", "InjectionJournal", "ResiliencePolicy",
+    "campaign_key",
 ]

@@ -58,13 +58,34 @@ def _record_outcomes(observer, layer: str,
 
 @dataclass(frozen=True)
 class CampaignConfig:
-    """Shared knobs for a fault-injection campaign."""
+    """Shared knobs for a fault-injection campaign.
+
+    Validated at construction: a nonsensical configuration raises
+    :class:`CampaignError` immediately rather than failing deep inside
+    ``np.random`` or silently producing an empty campaign.
+    """
 
     n_campaigns: int = DEFAULT_CAMPAIGNS
     seed: int = 0
     #: timeout = factor x golden dynamic count (hangs become DUEs)
     max_steps_factor: int = 4
     min_max_steps: int = 20_000
+
+    def __post_init__(self) -> None:
+        if self.n_campaigns <= 0:
+            raise CampaignError(
+                f"n_campaigns must be positive, got {self.n_campaigns}")
+        if self.seed < 0:
+            raise CampaignError(
+                f"seed must be non-negative, got {self.seed}")
+        if self.max_steps_factor < 1:
+            raise CampaignError(
+                f"max_steps_factor must be >= 1, got "
+                f"{self.max_steps_factor}")
+        if self.min_max_steps <= 0:
+            raise CampaignError(
+                f"min_max_steps must be positive, got "
+                f"{self.min_max_steps}")
 
 
 @dataclass

@@ -6,26 +6,25 @@ campaign out over worker processes; each worker rebuilds the pipeline
 from a compact :class:`WorkSpec` (source + protection parameters)
 because compiled program graphs are cheaper to rebuild than to pickle.
 
-On a single-core host (or with ``workers=1``) it falls back to the
-serial runners — results are bit-identical either way because the
-(index, bit) sample list is drawn once up front from the campaign seed
-and sliced across workers.
+Execution goes through the resilience layer
+(:mod:`repro.fi.resilience`): bounded-size chunks with per-chunk
+watchdogs, crash retry, and an optional on-disk injection journal that
+lets a killed campaign resume bit-identically.  On a single-core host
+(or with ``workers=1``) it falls back to the serial runners — results
+are bit-identical either way because the (index, bit) sample list is
+drawn once up front from the campaign seed and each sample carries its
+original position through the work units.
 """
 
 from __future__ import annotations
 
 import os
-import time
-from dataclasses import dataclass
-from multiprocessing import get_context
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import CampaignError
 from ..execresult import RunStatus
-from ..interp.interpreter import IRInterpreter
-from ..machine.machine import AsmMachine
 from .campaign import (
     CampaignConfig,
     CampaignResult,
@@ -35,23 +34,17 @@ from .campaign import (
     run_asm_campaign,
     run_ir_campaign,
 )
-from .outcomes import Outcome, classify_outcome
+from .outcomes import Outcome
+from .resilience import (
+    InjectionJournal,
+    ResiliencePolicy,
+    WorkSpec,
+    _build_from_spec,
+    record_from_row,
+    run_supervised,
+)
 
 __all__ = ["WorkSpec", "run_parallel_campaign", "default_workers"]
-
-
-@dataclass(frozen=True)
-class WorkSpec:
-    """Everything a worker needs to rebuild the program under test."""
-
-    source: str
-    name: str = "program"
-    level: Optional[int] = None
-    flowery: bool = False
-    compare_cse: bool = True
-    #: explicit protected set (avoids re-profiling inside workers)
-    selected: Optional[frozenset] = None
-    layer: str = "asm"          # 'ir' | 'asm'
 
 
 def default_workers() -> int:
@@ -75,75 +68,47 @@ def default_workers() -> int:
     return ncpu
 
 
-def _build_from_spec(spec: WorkSpec):
-    from ..pipeline import build_from_source
-
-    return build_from_source(
-        spec.source,
-        name=spec.name,
-        level=spec.level,
-        flowery=spec.flowery,
-        compare_cse=spec.compare_cse,
-        selected=set(spec.selected) if spec.selected is not None else None,
-    )
-
-
-def _worker(
-    args: Tuple[WorkSpec, List[Tuple[int, int]], int]
-) -> Tuple[List[Tuple], float]:
-    """Run one chunk; returns (rows, wall seconds incl. rebuild)."""
-    spec, samples, max_steps = args
-    t0 = time.perf_counter()
-    built = _build_from_spec(spec)
-    rows: List[Tuple] = []
-    for idx, bit in samples:
-        if spec.layer == "ir":
-            res = IRInterpreter(
-                built.module, layout=built.layout, max_steps=max_steps
-            ).run(inject_index=idx, inject_bit=bit)
-            rows.append((idx, bit, res.status.value,
-                         res.output, res.injected_iid, None, None, None,
-                         res.trap_kind))
-        else:
-            res = AsmMachine(
-                built.compiled, built.layout, max_steps=max_steps
-            ).run(inject_index=idx, inject_bit=bit)
-            rows.append((idx, bit, res.status.value,
-                         res.output, res.injected_iid,
-                         res.extra.get("asm_index"),
-                         res.extra.get("asm_role"),
-                         res.extra.get("asm_opcode"),
-                         res.trap_kind))
-    return rows, time.perf_counter() - t0
-
-
 def run_parallel_campaign(
     spec: WorkSpec,
     config: CampaignConfig = CampaignConfig(),
     workers: Optional[int] = None,
     observer=None,
+    journal_path: Optional[str] = None,
+    policy: Optional[ResiliencePolicy] = None,
+    built=None,
 ) -> CampaignResult:
-    """Run a campaign for ``spec``, fanned out over processes.
+    """Run a campaign for ``spec``, fanned out over supervised processes.
 
-    Deterministic for a given (spec, config) regardless of worker count.
-    An optional :class:`repro.trace.CampaignObserver` receives phase
-    timings, per-worker throughput, and the outcome histogram.
+    Deterministic for a given (spec, config) regardless of worker
+    count, chunking, retries, or interruptions.  With ``journal_path``
+    every classified injection is checkpointed to an append-only JSONL
+    journal; re-running with the same (spec, config) skips journaled
+    samples, so a killed campaign resumes where it left off and returns
+    a result bit-identical to an uninterrupted run.  An optional
+    :class:`repro.trace.CampaignObserver` receives phase timings,
+    per-chunk throughput, retry/timeout/resume events, and the outcome
+    histogram.  ``built`` short-circuits the build phase when the
+    caller already compiled the spec'd program.
     """
     workers = workers or default_workers()
-    with _phase(observer, "build", layer=spec.layer):
-        built = _build_from_spec(spec)
+    if built is None:
+        with _phase(observer, "build", layer=spec.layer):
+            built = _build_from_spec(spec)
     with _phase(observer, "golden", layer=spec.layer):
         if spec.layer == "ir":
             golden = built.run_ir()
         else:
             golden = built.run_asm()
     if golden.status is not RunStatus.OK:
-        raise CampaignError(f"golden run failed: {golden.trap_kind}")
+        raise CampaignError(
+            f"golden {spec.layer} run failed: "
+            f"{golden.status.value}/{golden.trap_kind}"
+        )
     max_steps = max(
         config.min_max_steps, golden.dyn_total * config.max_steps_factor
     )
 
-    if workers <= 1:
+    if workers <= 1 and journal_path is None:
         if spec.layer == "ir":
             return run_ir_campaign(built.module, config, built.layout,
                                    observer=observer)
@@ -154,46 +119,43 @@ def run_parallel_campaign(
     indices = rng.integers(0, golden.dyn_injectable,
                            size=config.n_campaigns).tolist()
     bits = rng.integers(0, 64, size=config.n_campaigns).tolist()
-    samples = list(zip(indices, bits))
-    chunks = [samples[i::workers] for i in range(workers)]
-    jobs = [(spec, chunk, max_steps) for chunk in chunks if chunk]
 
-    ctx = get_context("spawn")
-    with _phase(observer, "inject", layer=spec.layer,
-                n=config.n_campaigns, workers=len(jobs)):
-        with ctx.Pool(processes=len(jobs)) as pool:
-            results = pool.map(_worker, jobs)
+    journal = (InjectionJournal.open(journal_path, spec, config)
+               if journal_path else None)
+    try:
+        completed: Dict[int, Tuple] = \
+            dict(journal.completed) if journal else {}
+        if journal is not None and completed and observer is not None:
+            observer.resume(skipped=len(completed), path=journal.path,
+                            layer=spec.layer)
+        # every sample carries its original position, so stitching back
+        # is exact for any worker count (including n_campaigns < workers)
+        todo: List[Tuple[int, int, int]] = [
+            (i, idx, bit)
+            for i, (idx, bit) in enumerate(zip(indices, bits))
+            if i not in completed
+        ]
+        with _phase(observer, "inject", layer=spec.layer,
+                    n=config.n_campaigns, workers=workers):
+            fresh = run_supervised(
+                spec, todo, max_steps, workers=workers, policy=policy,
+                observer=observer, journal=journal, built=built,
+            )
+    finally:
+        if journal is not None:
+            journal.close()
 
-    # stitch back in the original sample order for determinism
-    by_sample: Dict[Tuple[int, int, int], Tuple] = {}
-    for wi, (rows, secs) in enumerate(results):
-        if observer is not None:
-            observer.worker(wi, len(rows), secs, layer=spec.layer)
-        for pos, row in enumerate(rows):
-            original_index = wi + pos * workers
-            by_sample[original_index] = row
-
+    by_sample = {**completed, **fresh}
     counts: Dict[Outcome, int] = {o: 0 for o in Outcome}
     records: List[InjectionRecord] = []
     for i in range(config.n_campaigns):
-        (idx, bit, status, output, iid, asm_index, asm_role, asm_opcode,
-         trap_kind) = by_sample[i]
-        if status == "detected":
-            outcome = Outcome.DETECTED
-        elif status == "trap":
-            outcome = Outcome.DUE
-        elif output == golden.output:
-            outcome = Outcome.BENIGN
-        else:
-            outcome = Outcome.SDC
+        row = by_sample.get(i)
+        if row is None:
+            raise CampaignError(
+                f"campaign incomplete: sample {i} was never classified")
+        outcome, record = record_from_row(row, golden.output)
         counts[outcome] += 1
-        records.append(
-            InjectionRecord(
-                dyn_index=idx, bit=bit, outcome=outcome, iid=iid,
-                asm_index=asm_index, asm_role=asm_role,
-                asm_opcode=asm_opcode, trap_kind=trap_kind,
-            )
-        )
+        records.append(record)
     _record_outcomes(observer, spec.layer, counts)
     return CampaignResult(
         layer=spec.layer,

@@ -72,6 +72,26 @@ class CampaignObserver:
         self.emit("outcome", counts=dict(counts),
                   total=sum(counts.values()), **fields)
 
+    # -- resilience events (see repro.fi.resilience) -------------------
+
+    def retry(self, chunk: int, reason: str, attempt: int,
+              remaining: int, **fields: object) -> None:
+        """Record a chunk re-dispatch after a worker crash or timeout."""
+        self.emit("retry", chunk=chunk, reason=reason, attempt=attempt,
+                  remaining=remaining, **fields)
+
+    def timeout(self, chunk: int, seconds: float, **fields: object) -> None:
+        """Record a per-chunk watchdog expiry."""
+        self.emit("timeout", chunk=chunk, seconds=seconds, **fields)
+
+    def resume(self, skipped: int, path: str, **fields: object) -> None:
+        """Record samples replayed from an injection journal."""
+        self.emit("resume", skipped=skipped, path=path, **fields)
+
+    def degrade(self, reason: str, **fields: object) -> None:
+        """Record a fall-back from process workers to serial execution."""
+        self.emit("degrade", reason=reason, **fields)
+
     def _now(self) -> float:
         return time.perf_counter() - self._t0
 
@@ -97,6 +117,11 @@ class CampaignObserver:
                 for k, v in ev["counts"].items():
                     out[k] = out.get(k, 0) + v
         return out
+
+    def resilience_events(self) -> List[dict]:
+        """Retry / timeout / resume / degrade events, in order."""
+        return [e for e in self.events
+                if e["ev"] in ("retry", "timeout", "resume", "degrade")]
 
     # ------------------------------------------------------------------
     # output
@@ -139,6 +164,20 @@ class CampaignObserver:
                 lines.append(f"  {name:<16s} {counts[name]:>8d} "
                              f"{share:>6.1f}%")
             lines.append(f"  {'total':<16s} {total:>8d}")
+        resil = self.resilience_events()
+        if resil:
+            lines.append("resilience")
+            skipped = sum(e["skipped"] for e in resil
+                          if e["ev"] == "resume")
+            if skipped:
+                lines.append(f"  resumed from journal: {skipped} "
+                             f"samples skipped")
+            for kind, label in (("retry", "retries"),
+                                ("timeout", "timeouts"),
+                                ("degrade", "degrades")):
+                n = sum(1 for e in resil if e["ev"] == kind)
+                if n:
+                    lines.append(f"  {label:<16s} {n:>8d}")
         if not lines:
             return "(no events recorded)\n"
         return "\n".join(lines) + "\n"

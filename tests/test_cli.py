@@ -104,6 +104,26 @@ class TestStatsCommand:
         outcome = [r for r in rows if r["ev"] == "outcome"][0]
         assert outcome["total"] == 10
 
+    def test_stats_journal_then_resume(self, capsys, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        assert main(["stats", "crc32", "--scale", "tiny", "-n", "10",
+                     "--workers", "1", "--journal", str(journal)]) == 0
+        first = capsys.readouterr().out
+        assert "sdc=" in first
+        assert len(journal.read_text().splitlines()) == 11  # header+rows
+        assert main(["resume", str(journal), "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "resuming" in out and "10/10 samples journaled" in out
+        assert "resumed from journal: 10 samples skipped" in out
+        # both runs report the same outcome line
+        assert first.splitlines()[-1] == out.splitlines()[-1]
+
+    def test_resume_missing_journal_raises(self, tmp_path):
+        from repro.errors import CampaignError
+
+        with pytest.raises(CampaignError):
+            main(["resume", str(tmp_path / "absent.jsonl")])
+
 
 def _run_cli(*argv):
     env = dict(os.environ)

@@ -46,6 +46,33 @@ class TestOutcomeClassification:
         assert classify_outcome(_result(RunStatus.DETECTED), "g") is Outcome.DETECTED
 
 
+class TestCampaignConfigValidation:
+    def test_zero_campaigns_rejected(self):
+        with pytest.raises(CampaignError, match="n_campaigns"):
+            CampaignConfig(n_campaigns=0)
+
+    def test_negative_campaigns_rejected(self):
+        with pytest.raises(CampaignError, match="n_campaigns"):
+            CampaignConfig(n_campaigns=-5)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(CampaignError, match="seed"):
+            CampaignConfig(seed=-1)
+
+    def test_bad_max_steps_factor_rejected(self):
+        with pytest.raises(CampaignError, match="max_steps_factor"):
+            CampaignConfig(max_steps_factor=0)
+
+    def test_bad_min_max_steps_rejected(self):
+        with pytest.raises(CampaignError, match="min_max_steps"):
+            CampaignConfig(min_max_steps=0)
+
+    def test_valid_config_accepted(self):
+        cfg = CampaignConfig(n_campaigns=1, seed=0, max_steps_factor=1,
+                             min_max_steps=1)
+        assert cfg.n_campaigns == 1
+
+
 class TestIrCampaign:
     def test_counts_sum_to_n(self):
         module = compile_source(SRC)
