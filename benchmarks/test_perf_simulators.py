@@ -17,24 +17,48 @@ def crc32_built():
     return build("crc32", scale="small")
 
 
-def test_ir_interpreter_throughput(benchmark, crc32_built):
+@pytest.mark.parametrize("dispatch", ["naive", "decoded"])
+def test_ir_interpreter_throughput(benchmark, crc32_built, dispatch):
     built = crc32_built
 
     def run():
-        return IRInterpreter(built.module, layout=built.layout).run()
+        return IRInterpreter(built.module, layout=built.layout,
+                             dispatch=dispatch).run()
 
     result = benchmark(run)
     assert result.status.value == "ok"
 
 
-def test_asm_machine_throughput(benchmark, crc32_built):
+@pytest.mark.parametrize("dispatch", ["naive", "decoded"])
+def test_asm_machine_throughput(benchmark, crc32_built, dispatch):
     built = crc32_built
 
     def run():
-        return AsmMachine(built.compiled, built.layout).run()
+        return AsmMachine(built.compiled, built.layout,
+                          dispatch=dispatch).run()
 
     result = benchmark(run)
     assert result.status.value == "ok"
+
+
+def test_campaign_engine_speedup_floor():
+    """The checkpoint-replay engine must beat naive re-execution by at
+    least 3x end-to-end on the CI smoke workload (both layers summed),
+    while producing bit-identical campaign results.  This is the PR's
+    acceptance floor; the measured artifact lives in
+    ``BENCH_campaign.json``.
+    """
+    from repro.fi.bench import run_campaign_bench
+
+    doc = run_campaign_bench()          # pathfinder/medium n=40 seed=2023
+    for layer, d in doc["layers"].items():
+        assert d["results_identical"], \
+            f"{layer} engine results diverge from naive"
+    overall = doc["overall"]["speedup"]
+    assert overall >= 3.0, (
+        f"campaign engine speedup {overall:.2f}x below the 3x floor "
+        f"(ir {doc['layers']['ir']['speedup']:.2f}x, "
+        f"asm {doc['layers']['asm']['speedup']:.2f}x)")
 
 
 def test_lowering_throughput(benchmark):

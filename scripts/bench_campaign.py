@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Benchmark campaign throughput (naive vs checkpoint-replay engine).
+
+Thin wrapper over ``repro bench`` for use outside an installed package:
+
+    PYTHONPATH=src python scripts/bench_campaign.py [args...]
+
+Writes ``BENCH_campaign.json`` (override with ``--out``) and prints the
+comparison table.  Defaults to the CI smoke workload
+(pathfinder/medium, n=40, seed=2023).
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

@@ -13,6 +13,7 @@
     repro stats crc32 --level 100 -n 100     # campaign observability
     repro stats crc32 -n 300 --journal c.jsonl   # crash-safe campaign
     repro resume c.jsonl                     # finish an interrupted one
+    repro bench pathfinder --scale medium    # naive vs engine throughput
     repro experiment fig2|fig3|fig17|table1|overhead|compile-time
 
 Environment knobs (REPRO_SCALE, REPRO_CAMPAIGNS, REPRO_BENCHMARKS...)
@@ -152,6 +153,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     res_p.add_argument("--jsonl", default=None,
                        help="write the observer event stream to this path")
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="benchmark campaign throughput: naive vs checkpoint-replay "
+             "engine",
+    )
+    bench_p.add_argument("benchmark", nargs="?", default="pathfinder",
+                         choices=benchmark_names())
+    bench_p.add_argument("--scale", default="medium",
+                         choices=("tiny", "small", "medium"))
+    bench_p.add_argument("-n", "--campaigns", type=int, default=40)
+    bench_p.add_argument("--seed", type=int, default=2023)
+    bench_p.add_argument("--level", type=int, default=None)
+    bench_p.add_argument("--flowery", action="store_true")
+    bench_p.add_argument("--out", default="BENCH_campaign.json",
+                         metavar="PATH",
+                         help="write the JSON bench document here "
+                              "('-' to skip)")
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper artifact")
     exp_p.add_argument(
@@ -321,6 +340,24 @@ def _cmd_resume(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from .fi.bench import render_bench, run_campaign_bench
+
+    doc = run_campaign_bench(
+        benchmark=args.benchmark, scale=args.scale, n=args.campaigns,
+        seed=args.seed, level=args.level, flowery=args.flowery,
+    )
+    print(render_bench(doc), end="")
+    if args.out != "-":
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"# bench document written to {args.out}")
+    return 0 if doc["overall"]["results_identical"] else 1
+
+
 def _cmd_experiment(which: str) -> int:
     cfg = ExperimentConfig.from_env()
     if which == "table1":
@@ -358,6 +395,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_stats(args)
     if args.command == "resume":
         return _cmd_resume(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "experiment":
         return _cmd_experiment(args.which)
     raise AssertionError("unreachable")

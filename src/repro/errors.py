@@ -74,3 +74,13 @@ class FaultDetected(Exception):
     def __init__(self, where: str = ""):
         self.where = where
         super().__init__(where)
+
+
+class CheckpointsDone(Exception):
+    """Internal control-flow signal, not an error: a checkpointing run
+    has delivered its last requested snapshot and may stop early.
+
+    Raised by the decoded simulator drivers and caught by their
+    ``run()`` wrappers, which report the partial run as an OK result
+    flagged with ``extra["early_stop"]``.
+    """

@@ -1,0 +1,153 @@
+"""Campaign throughput benchmark: naive re-execution vs the engine.
+
+Measures end-to-end fault-injection campaign time at both layers for
+one benchmark/scale, twice each: once on the pre-engine path (naive
+dispatch, full golden-prefix re-execution per injection) and once
+through the checkpoint-replay engine with pre-decoded dispatch.  The
+two runs must produce bit-identical :class:`CampaignResult`s — the
+speedup is only meaningful if the engine changes nothing but time — so
+the harness asserts record-level equality before reporting.
+
+The emitted document (``BENCH_campaign.json``) is the PR's performance
+artifact; ``repro bench`` and ``scripts/bench_campaign.py`` are thin
+wrappers, and ``benchmarks/test_perf_simulators.py`` enforces the
+speedup floor on the CI smoke workload.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..fi.campaign import CampaignConfig, CampaignResult
+from ..pipeline import build
+
+__all__ = ["run_campaign_bench", "render_bench", "campaign_signature"]
+
+BENCH_SCHEMA = "bench_campaign/1"
+
+#: CI smoke workload: long enough traces (golden IR ~54k / asm ~121k
+#: dynamic steps at medium scale) that checkpoint-replay amortization
+#: dominates the fixed snapshot/restore cost per injection
+DEFAULT_BENCHMARK = "pathfinder"
+DEFAULT_SCALE = "medium"
+DEFAULT_N = 40
+DEFAULT_SEED = 2023
+
+
+def campaign_signature(result: CampaignResult) -> Tuple:
+    """Everything observable about a campaign, as a comparable value."""
+    return (
+        result.layer,
+        result.n,
+        tuple(sorted((o.value, c) for o, c in result.counts.items())),
+        tuple(
+            (r.dyn_index, r.bit, r.outcome.value, r.iid, r.asm_index,
+             r.asm_role, r.asm_opcode, r.trap_kind)
+            for r in result.records
+        ),
+        result.golden_output,
+        result.golden_dyn_total,
+        result.golden_dyn_injectable,
+    )
+
+
+def _time_campaign(run, *args, engine: bool) -> Tuple[float, CampaignResult]:
+    t0 = time.perf_counter()
+    result = run(*args, engine=engine)
+    return time.perf_counter() - t0, result
+
+
+def run_campaign_bench(
+    benchmark: str = DEFAULT_BENCHMARK,
+    scale: str = DEFAULT_SCALE,
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+    level: Optional[int] = None,
+    flowery: bool = False,
+) -> Dict:
+    """Benchmark naive vs engine campaign execution at both layers.
+
+    Returns a JSON-safe document; see :data:`BENCH_SCHEMA`.  The
+    ``steps_per_sec`` figures are *nominal*: golden dynamic steps × n
+    divided by wall time, i.e. the rate at which naive-equivalent work
+    is retired — the engine's value exceeds its real executed-step rate
+    exactly because it skips redundant golden prefixes.
+    """
+    from .campaign import run_asm_campaign, run_ir_campaign
+
+    built = build(benchmark, scale=scale, level=level, flowery=flowery)
+    cfg = CampaignConfig(n_campaigns=n, seed=seed)
+
+    layers: Dict[str, Dict] = {}
+    for layer in ("ir", "asm"):
+        if layer == "ir":
+            args = (built.module, cfg, built.layout)
+            run = run_ir_campaign
+        else:
+            args = (built.compiled, built.layout, cfg)
+            run = run_asm_campaign
+        naive_s, naive_res = _time_campaign(run, *args, engine=False)
+        engine_s, engine_res = _time_campaign(run, *args, engine=True)
+        identical = campaign_signature(naive_res) == \
+            campaign_signature(engine_res)
+        work = naive_res.golden_dyn_total * n
+        layers[layer] = {
+            "naive_seconds": naive_s,
+            "engine_seconds": engine_s,
+            "speedup": naive_s / engine_s if engine_s > 0 else float("inf"),
+            "naive_campaigns_per_sec": n / naive_s,
+            "engine_campaigns_per_sec": n / engine_s,
+            "naive_steps_per_sec": work / naive_s,
+            "engine_steps_per_sec": work / engine_s,
+            "golden_dyn_total": naive_res.golden_dyn_total,
+            "golden_dyn_injectable": naive_res.golden_dyn_injectable,
+            "results_identical": identical,
+        }
+
+    naive_total = sum(d["naive_seconds"] for d in layers.values())
+    engine_total = sum(d["engine_seconds"] for d in layers.values())
+    return {
+        "schema": BENCH_SCHEMA,
+        "params": {
+            "benchmark": benchmark,
+            "scale": scale,
+            "n_campaigns": n,
+            "seed": seed,
+            "level": level,
+            "flowery": flowery,
+        },
+        "layers": layers,
+        "overall": {
+            "naive_seconds": naive_total,
+            "engine_seconds": engine_total,
+            "speedup": naive_total / engine_total
+            if engine_total > 0 else float("inf"),
+            "results_identical": all(
+                d["results_identical"] for d in layers.values()),
+        },
+    }
+
+
+def render_bench(doc: Dict) -> str:
+    """Human-readable table for one bench document."""
+    p = doc["params"]
+    lines: List[str] = [
+        f"campaign bench: {p['benchmark']}/{p['scale']} "
+        f"n={p['n_campaigns']} seed={p['seed']} "
+        f"level={p['level']} flowery={p['flowery']}",
+        f"{'layer':6s} {'naive':>9s} {'engine':>9s} {'speedup':>8s} "
+        f"{'camp/s':>8s} {'identical':>9s}",
+    ]
+    for layer, d in doc["layers"].items():
+        lines.append(
+            f"{layer:6s} {d['naive_seconds']:8.3f}s {d['engine_seconds']:8.3f}s "
+            f"{d['speedup']:7.2f}x {d['engine_campaigns_per_sec']:8.1f} "
+            f"{str(d['results_identical']):>9s}"
+        )
+    o = doc["overall"]
+    lines.append(
+        f"{'all':6s} {o['naive_seconds']:8.3f}s {o['engine_seconds']:8.3f}s "
+        f"{o['speedup']:7.2f}x {'':8s} {str(o['results_identical']):>9s}"
+    )
+    return "\n".join(lines) + "\n"

@@ -28,6 +28,7 @@ from ..interp.interpreter import IRInterpreter
 from ..interp.layout import GlobalLayout
 from ..ir.module import Module
 from ..machine.machine import AsmMachine, CompiledProgram
+from .engine import engine_enabled, run_injection_suite
 from .outcomes import Outcome, classify_outcome
 
 __all__ = [
@@ -156,11 +157,21 @@ def run_ir_campaign(
     config: CampaignConfig = CampaignConfig(),
     layout: Optional[GlobalLayout] = None,
     observer=None,
+    engine: Optional[bool] = None,
 ) -> CampaignResult:
-    """LLFI-style campaign at the IR layer."""
+    """LLFI-style campaign at the IR layer.
+
+    ``engine`` selects the checkpoint-replay engine (see
+    :mod:`repro.fi.engine`): ``None`` defers to ``REPRO_ENGINE``
+    (default on).  Results are bit-identical either way; the engine only
+    changes how much golden prefix is re-executed per injection.
+    """
+    use_engine = engine_enabled(engine)
+    dispatch = "decoded" if use_engine else "naive"
     layout = layout or GlobalLayout(module)
     with _phase(observer, "golden", layer="ir"):
-        golden = IRInterpreter(module, layout=layout).run()
+        golden = IRInterpreter(module, layout=layout,
+                               dispatch=dispatch).run()
     if golden.status is not RunStatus.OK:
         raise CampaignError(
             f"golden IR run failed: {golden.status.value}/{golden.trap_kind}"
@@ -170,25 +181,40 @@ def run_ir_campaign(
     )
     rng = np.random.default_rng(config.seed)
     indices, bits = _draw(rng, config.n_campaigns, golden.dyn_injectable)
+    pairs = list(zip(indices.tolist(), bits.tolist()))
 
     counts: Dict[Outcome, int] = {o: 0 for o in Outcome}
-    records: List[InjectionRecord] = []
+    by_tag: Dict[int, InjectionRecord] = {}
+
+    def emit(tag, res):
+        outcome = classify_outcome(res, golden.output)
+        counts[outcome] += 1
+        idx, bit = pairs[tag]
+        by_tag[tag] = InjectionRecord(
+            dyn_index=idx,
+            bit=bit,
+            outcome=outcome,
+            iid=res.injected_iid,
+            trap_kind=res.trap_kind,
+        )
+
     with _phase(observer, "inject", layer="ir", n=config.n_campaigns):
-        for idx, bit in zip(indices.tolist(), bits.tolist()):
-            res = IRInterpreter(
-                module, layout=layout, max_steps=max_steps
-            ).run(inject_index=idx, inject_bit=bit)
-            outcome = classify_outcome(res, golden.output)
-            counts[outcome] += 1
-            records.append(
-                InjectionRecord(
-                    dyn_index=idx,
-                    bit=bit,
-                    outcome=outcome,
-                    iid=res.injected_iid,
-                    trap_kind=res.trap_kind,
-                )
+        if use_engine:
+            run_injection_suite(
+                "ir",
+                [(i, idx, bit) for i, (idx, bit) in enumerate(pairs)],
+                max_steps,
+                module=module,
+                layout=layout,
+                emit=emit,
             )
+        else:
+            for i, (idx, bit) in enumerate(pairs):
+                emit(i, IRInterpreter(
+                    module, layout=layout, max_steps=max_steps,
+                    dispatch="naive",
+                ).run(inject_index=idx, inject_bit=bit))
+    records = [by_tag[i] for i in range(len(pairs))]
     _record_outcomes(observer, "ir", counts)
     return CampaignResult(
         layer="ir",
@@ -206,10 +232,17 @@ def run_asm_campaign(
     layout: GlobalLayout,
     config: CampaignConfig = CampaignConfig(),
     observer=None,
+    engine: Optional[bool] = None,
 ) -> CampaignResult:
-    """PINFI-style campaign at the assembly layer."""
+    """PINFI-style campaign at the assembly layer.
+
+    ``engine`` selects the checkpoint-replay engine exactly as in
+    :func:`run_ir_campaign`.
+    """
+    use_engine = engine_enabled(engine)
+    dispatch = "decoded" if use_engine else "naive"
     with _phase(observer, "golden", layer="asm"):
-        golden = AsmMachine(program, layout).run()
+        golden = AsmMachine(program, layout, dispatch=dispatch).run()
     if golden.status is not RunStatus.OK:
         raise CampaignError(
             f"golden asm run failed: {golden.status.value}/{golden.trap_kind}"
@@ -219,28 +252,42 @@ def run_asm_campaign(
     )
     rng = np.random.default_rng(config.seed)
     indices, bits = _draw(rng, config.n_campaigns, golden.dyn_injectable)
+    pairs = list(zip(indices.tolist(), bits.tolist()))
 
     counts: Dict[Outcome, int] = {o: 0 for o in Outcome}
-    records: List[InjectionRecord] = []
+    by_tag: Dict[int, InjectionRecord] = {}
+
+    def emit(tag, res):
+        outcome = classify_outcome(res, golden.output)
+        counts[outcome] += 1
+        idx, bit = pairs[tag]
+        by_tag[tag] = InjectionRecord(
+            dyn_index=idx,
+            bit=bit,
+            outcome=outcome,
+            iid=res.injected_iid,
+            asm_index=res.extra.get("asm_index"),
+            asm_role=res.extra.get("asm_role"),
+            asm_opcode=res.extra.get("asm_opcode"),
+            trap_kind=res.trap_kind,
+        )
+
     with _phase(observer, "inject", layer="asm", n=config.n_campaigns):
-        for idx, bit in zip(indices.tolist(), bits.tolist()):
-            res = AsmMachine(program, layout, max_steps=max_steps).run(
-                inject_index=idx, inject_bit=bit
+        if use_engine:
+            run_injection_suite(
+                "asm",
+                [(i, idx, bit) for i, (idx, bit) in enumerate(pairs)],
+                max_steps,
+                program=program,
+                layout=layout,
+                emit=emit,
             )
-            outcome = classify_outcome(res, golden.output)
-            counts[outcome] += 1
-            records.append(
-                InjectionRecord(
-                    dyn_index=idx,
-                    bit=bit,
-                    outcome=outcome,
-                    iid=res.injected_iid,
-                    asm_index=res.extra.get("asm_index"),
-                    asm_role=res.extra.get("asm_role"),
-                    asm_opcode=res.extra.get("asm_opcode"),
-                    trap_kind=res.trap_kind,
-                )
-            )
+        else:
+            for i, (idx, bit) in enumerate(pairs):
+                emit(i, AsmMachine(
+                    program, layout, max_steps=max_steps, dispatch="naive",
+                ).run(inject_index=idx, inject_bit=bit))
+    records = [by_tag[i] for i in range(len(pairs))]
     _record_outcomes(observer, "asm", counts)
     return CampaignResult(
         layer="asm",

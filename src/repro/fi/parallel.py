@@ -135,6 +135,12 @@ def run_parallel_campaign(
             for i, (idx, bit) in enumerate(zip(indices, bits))
             if i not in completed
         ]
+        # sort by injection index so each chunk covers a narrow window of
+        # the golden trace: the checkpoint-replay engine stops the
+        # chunk's golden pass at its last checkpoint, so low-index chunks
+        # get cheap.  Ties keep original order; stitching is unaffected
+        # because rows are keyed by original position.
+        todo.sort(key=lambda s: (s[1], s[0]))
         with _phase(observer, "inject", layer=spec.layer,
                     n=config.n_campaigns, workers=workers):
             fresh = run_supervised(

@@ -35,16 +35,17 @@ import hashlib
 import json
 import os
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field, fields as dc_fields
 from multiprocessing import get_context
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import CampaignError
 from ..execresult import ExecResult, RunStatus
 from ..interp.interpreter import IRInterpreter
 from ..machine.machine import AsmMachine
 from .campaign import CampaignConfig, InjectionRecord
+from .engine import engine_enabled, run_injection_suite
 from .outcomes import Outcome, classify_outcome
 
 __all__ = [
@@ -156,10 +157,31 @@ def campaign_key(spec: WorkSpec, config: CampaignConfig) -> str:
 # row helpers shared by workers, serial fallback, and journal replay
 # ---------------------------------------------------------------------------
 
+#: process-global memo of built pipelines, keyed by the layer-independent
+#: part of the spec (the build is identical for 'ir' and 'asm' work).  A
+#: worker process that executes several chunks — or interleaved IR/asm
+#: sweeps over the same program — pays the compile cost once.  Bounded
+#: LRU so a long multi-benchmark experiment cannot accumulate program
+#: graphs without limit.
+_BUILD_CACHE: "OrderedDict[str, object]" = OrderedDict()
+_BUILD_CACHE_MAX = 8
+
+
+def _build_cache_key(spec: WorkSpec) -> str:
+    doc = _spec_doc(spec)
+    doc.pop("layer", None)          # build does not depend on the layer
+    return json.dumps(doc, sort_keys=True)
+
+
 def _build_from_spec(spec: WorkSpec):
     from ..pipeline import build_from_source
 
-    return build_from_source(
+    key = _build_cache_key(spec)
+    built = _BUILD_CACHE.get(key)
+    if built is not None:
+        _BUILD_CACHE.move_to_end(key)
+        return built
+    built = build_from_source(
         spec.source,
         name=spec.name,
         level=spec.level,
@@ -167,6 +189,52 @@ def _build_from_spec(spec: WorkSpec):
         compare_cse=spec.compare_cse,
         selected=set(spec.selected) if spec.selected is not None else None,
     )
+    _BUILD_CACHE[key] = built
+    while len(_BUILD_CACHE) > _BUILD_CACHE_MAX:
+        _BUILD_CACHE.popitem(last=False)
+    return built
+
+
+def _row_from_result(layer: str, idx: int, bit: int, res: ExecResult
+                     ) -> Tuple:
+    """Flatten one execution result into a JSON/pickle-safe row."""
+    if layer == "ir":
+        return (idx, bit, res.status.value, res.output, res.injected_iid,
+                None, None, None, res.trap_kind)
+    return (idx, bit, res.status.value, res.output, res.injected_iid,
+            res.extra.get("asm_index"), res.extra.get("asm_role"),
+            res.extra.get("asm_opcode"), res.trap_kind)
+
+
+def _execute_chunk(built, layer: str,
+                   samples: List[Tuple[int, int, int]], max_steps: int,
+                   emit: Callable[[int, Tuple], None]) -> None:
+    """Run one chunk of ``(original_index, idx, bit)`` samples.
+
+    Routes through the checkpoint-replay engine when enabled (the
+    chunk's golden prefix is shared across its samples), falling back to
+    naive per-sample re-execution otherwise.  ``emit(orig, row)`` fires
+    once per sample as soon as its row is classified, so callers can
+    stream partial progress (journal writes, pipe sends) even if the
+    process dies mid-chunk.
+    """
+    if engine_enabled():
+        def engine_emit(tag, res):
+            orig, idx, bit = tag
+            emit(orig, _row_from_result(layer, idx, bit, res))
+
+        run_injection_suite(
+            layer,
+            [((orig, idx, bit), idx, bit) for orig, idx, bit in samples],
+            max_steps,
+            module=getattr(built, "module", None),
+            layout=built.layout,
+            program=getattr(built, "compiled", None),
+            emit=engine_emit,
+        )
+        return
+    for orig, idx, bit in samples:
+        emit(orig, _execute_sample(built, layer, idx, bit, max_steps))
 
 
 def _execute_sample(built, layer: str, idx: int, bit: int,
@@ -174,16 +242,15 @@ def _execute_sample(built, layer: str, idx: int, bit: int,
     """Run one injection; the returned row is JSON- and pickle-safe."""
     if layer == "ir":
         res = IRInterpreter(
-            built.module, layout=built.layout, max_steps=max_steps
+            built.module, layout=built.layout, max_steps=max_steps,
+            dispatch="naive",
         ).run(inject_index=idx, inject_bit=bit)
-        return (idx, bit, res.status.value, res.output, res.injected_iid,
-                None, None, None, res.trap_kind)
-    res = AsmMachine(
-        built.compiled, built.layout, max_steps=max_steps
-    ).run(inject_index=idx, inject_bit=bit)
-    return (idx, bit, res.status.value, res.output, res.injected_iid,
-            res.extra.get("asm_index"), res.extra.get("asm_role"),
-            res.extra.get("asm_opcode"), res.trap_kind)
+    else:
+        res = AsmMachine(
+            built.compiled, built.layout, max_steps=max_steps,
+            dispatch="naive",
+        ).run(inject_index=idx, inject_bit=bit)
+    return _row_from_result(layer, idx, bit, res)
 
 
 def record_from_row(row: Tuple, golden_output: str
@@ -392,9 +459,8 @@ def _chunk_worker(conn, spec: WorkSpec,
         _test_fault_hook()
         t0 = time.perf_counter()
         built = _build_from_spec(spec)
-        for orig, idx, bit in samples:
-            row = _execute_sample(built, spec.layer, idx, bit, max_steps)
-            conn.send(("row", orig, row))
+        _execute_chunk(built, spec.layer, samples, max_steps,
+                       lambda orig, row: conn.send(("row", orig, row)))
         conn.send(("done", time.perf_counter() - t0))
     except Exception as exc:                      # noqa: BLE001
         # surface the failure to the supervisor; it decides on retries
@@ -455,11 +521,8 @@ def run_supervised(
         if built is None:
             built = _build_from_spec(spec)
         t0 = time.perf_counter()
-        for orig, idx, bit in todo:
-            if orig in results:
-                continue
-            commit(orig, _execute_sample(built, spec.layer, idx, bit,
-                                         max_steps))
+        remaining = [s for s in todo if s[0] not in results]
+        _execute_chunk(built, spec.layer, remaining, max_steps, commit)
         if observer is not None:
             observer.worker(0, len(todo), time.perf_counter() - t0,
                             layer=spec.layer, mode="serial")

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from ..errors import FaultDetected, IRError, SimTrap
+from ..errors import CheckpointsDone, FaultDetected, IRError, SimTrap
 from ..execresult import ExecResult, RunStatus
 from ..ir import types as T
 from ..ir.instructions import (
@@ -56,7 +56,7 @@ from ..utils import bits
 from ..utils.fmt import format_char, format_f64, format_i64
 from .layout import GlobalLayout
 
-__all__ = ["IRInterpreter", "run_ir", "DEFAULT_MAX_STEPS"]
+__all__ = ["IRInterpreter", "IRSnapshot", "run_ir", "DEFAULT_MAX_STEPS"]
 
 DEFAULT_MAX_STEPS = 50_000_000
 
@@ -84,6 +84,33 @@ class _Frame:
     arg_values: List[Union[int, float]] = None  # type: ignore[assignment]
     #: bit to flip in our return value when it lands in the caller
     ret_flip_bit: Optional[int] = None
+    #: decoded code list of ``block`` (pre-decoded dispatch only)
+    code: Optional[list] = None
+
+
+class IRSnapshot:
+    """Complete mid-run interpreter state, as captured right before the
+    step that allocates one injectable dynamic index.
+
+    Replaying from a snapshot with ``inject_index`` equal to that index
+    executes only the post-injection suffix and is bit-identical to a
+    full run — the basis of the checkpoint-replay campaign engine.
+    """
+
+    __slots__ = ("mem", "heap_break", "sp", "outputs", "dyn_total",
+                 "dyn_injectable", "frames")
+
+    def __init__(self, mem, heap_break, sp, outputs, dyn_total,
+                 dyn_injectable, frames):
+        self.mem = mem                      # bytes copy of memory image
+        self.heap_break = heap_break
+        self.sp = sp
+        self.outputs = outputs              # tuple of emitted strings
+        self.dyn_total = dyn_total
+        self.dyn_injectable = dyn_injectable
+        #: tuple of (fn, block, code, index, temps, sp_save, ret_target,
+        #: ret_flip_bit, arg_values) per frame, innermost last
+        self.frames = frames
 
 
 def _flip_value(value: Union[int, float], ty: T.Type, bit: int) -> Union[int, float]:
@@ -113,10 +140,14 @@ class IRInterpreter:
         heap_size: int = 1 << 20,
         stack_size: int = 1 << 19,
         trace=None,
+        dispatch: str = "decoded",
     ):
+        if dispatch not in ("decoded", "naive"):
+            raise IRError(f"unknown dispatch mode {dispatch!r}")
         self.module = module
         self.layout = layout or GlobalLayout(module)
         self.max_steps = max_steps
+        self.dispatch = dispatch
         self.memory: Memory = self.layout.make_memory(heap_size, stack_size)
         self.sp = self.memory.stack_base
         self.outputs: List[str] = []
@@ -127,8 +158,10 @@ class IRInterpreter:
         self.inject_bit: int = 0
         self.injected = False
         self.injected_iid: Optional[int] = None
-        # profiling state
+        # profiling state: preallocated per-iid array while running,
+        # converted to the public dict form at run end
         self.per_inst_counts: Optional[Dict[int, int]] = None
+        self._counts: Optional[List[int]] = None
         # trace tap (off by default; see repro.trace) — accepts a
         # TraceConfig or a ready IRTracer
         self.tracer = None
@@ -148,6 +181,9 @@ class IRInterpreter:
         inject_index: Optional[int] = None,
         inject_bit: int = 0,
         profile: bool = False,
+        resume_from: Optional[IRSnapshot] = None,
+        checkpoints: Optional[Sequence[int]] = None,
+        checkpoint_cb=None,
     ) -> ExecResult:
         """Execute ``entry`` and classify the run.
 
@@ -155,21 +191,50 @@ class IRInterpreter:
         (0-based) whose destination value gets ``inject_bit`` flipped.
         ``profile=True`` additionally records per-static-instruction
         dynamic execution counts.
+
+        Checkpoint-replay (pre-decoded dispatch only): ``checkpoints``
+        is a sorted list of distinct injectable indices; right before
+        the step that allocates each one, ``checkpoint_cb(index,
+        snapshot)`` receives an :class:`IRSnapshot`.  After the last
+        snapshot the run stops early (status OK,
+        ``extra["early_stop"]``).  ``resume_from`` restores a snapshot
+        and executes only the suffix.
         """
         self.inject_index = inject_index
         self.inject_bit = inject_bit
         if profile:
-            self.per_inst_counts = {}
+            self._counts = [0] * (self._iid_bound() + 1)
         fn = self.module.function(entry)
+        early = False
         try:
-            ret = self._execute(fn, list(args))
+            if self.dispatch == "decoded":
+                ret = self._execute_decoded(
+                    fn, list(args), resume_from, checkpoints, checkpoint_cb
+                )
+            else:
+                if resume_from is not None or checkpoints is not None:
+                    raise IRError(
+                        "checkpoint-replay requires dispatch='decoded'")
+                ret = self._execute(fn, list(args))
             status, trap = RunStatus.OK, None
+        except CheckpointsDone:
+            ret, status, trap = None, RunStatus.OK, None
+            early = True
         except FaultDetected:
             ret, status, trap = None, RunStatus.DETECTED, None
         except SimTrap as t:
             ret, status, trap = None, RunStatus.TRAP, t.kind
         if self.tracer is not None:
             self.tracer.finish()
+        if self._counts is not None:
+            self.per_inst_counts = {
+                i: c for i, c in enumerate(self._counts) if c
+            }
+        extra: Dict[str, object] = {}
+        if self.tracer is not None:
+            extra["trace"] = self.tracer.trace
+        if early:
+            extra["early_stop"] = True
         return ExecResult(
             status=status,
             output="".join(self.outputs),
@@ -180,11 +245,12 @@ class IRInterpreter:
             injected=self.injected,
             injected_iid=self.injected_iid,
             per_inst_counts=self.per_inst_counts,
-            extra=(
-                {"trace": self.tracer.trace}
-                if self.tracer is not None
-                else {}
-            ),
+            extra=extra,
+        )
+
+    def _iid_bound(self) -> int:
+        return max(
+            (inst.iid for inst in self.module.instructions()), default=0
         )
 
     # -- execution core -----------------------------------------------------
@@ -195,7 +261,7 @@ class IRInterpreter:
         stack: List[_Frame] = []
         frame = self._push_frame(entry_fn, args, None)
         mem = self.memory
-        counts = self.per_inst_counts
+        counts = self._counts
         tracer = self.tracer
         hook = tracer.hook if tracer is not None else None
         # single per-step test whether profiling or tracing: keeps the
@@ -217,7 +283,7 @@ class IRInterpreter:
                 raise SimTrap("timeout", f"exceeded {self.max_steps} steps")
             if track:
                 if counts is not None:
-                    counts[inst.iid] = counts.get(inst.iid, 0) + 1
+                    counts[inst.iid] += 1
                 if hook is not None:
                     hook(inst, frame)
 
@@ -278,6 +344,202 @@ class IRInterpreter:
                 self.injected = True
                 self.injected_iid = inst.iid
             frame.temps[inst.iid] = result
+
+    # -- pre-decoded execution core ---------------------------------------
+
+    def _execute_decoded(self, entry_fn: Function,
+                         args: List[Union[int, float]],
+                         resume_from: Optional[IRSnapshot] = None,
+                         checkpoints: Optional[Sequence[int]] = None,
+                         checkpoint_cb=None):
+        from .decode import decode_module
+
+        dm = decode_module(self.module, self.layout)
+        if resume_from is None:
+            if entry_fn.is_declaration:
+                raise IRError(f"cannot execute declaration @{entry_fn.name}")
+            stack: List[_Frame] = []
+            frame = self._push_frame(entry_fn, args, None)
+            dfn = dm.functions[entry_fn]
+            frame.block, frame.code = dfn.entry_pair
+        else:
+            snap = resume_from
+            mem = self.memory
+            if len(snap.mem) != len(mem.data):
+                raise IRError("snapshot does not match interpreter memory "
+                              "geometry")
+            mem.data[:] = snap.mem
+            mem.heap_break = snap.heap_break
+            self.sp = snap.sp
+            self.outputs[:] = snap.outputs
+            self.dyn_total = snap.dyn_total
+            self.dyn_injectable = snap.dyn_injectable
+            # full reset: one interpreter may serve many replays
+            self.injected = False
+            self.injected_iid = None
+            frames = [
+                _Frame(fn=f, block=b, index=i, temps=dict(t), sp_save=s,
+                       ret_target=rt, arg_values=list(av), ret_flip_bit=rf,
+                       code=c)
+                for (f, b, c, i, t, s, rt, rf, av) in snap.frames
+            ]
+            frame = frames.pop()
+            stack = frames
+        return self._run_decoded(frame, stack, checkpoints, checkpoint_cb)
+
+    def _run_decoded(self, frame: _Frame, stack: List[_Frame],
+                     watch: Optional[Sequence[int]] = None,
+                     watch_cb=None):
+        """The pre-decoded dispatch loop.
+
+        Entries are ``(kind, payload, iid, inst)`` tuples (see
+        :mod:`repro.interp.decode`); kinds 0 and 1 allocate injectable
+        dynamic indices exactly as the naive loop does.
+        """
+        stack_limit = self.memory.stack_limit
+        counts = self._counts
+        tracer = self.tracer
+        hook = tracer.hook if tracer is not None else None
+        track = counts is not None or hook is not None
+
+        dt = self.dyn_total
+        inj = self.dyn_injectable
+        max_steps = self.max_steps
+        target = self.inject_index if self.inject_index is not None else -1
+        inject_bit = self.inject_bit
+
+        watch_iter = iter(watch) if watch is not None else None
+        next_watch = (next(watch_iter, None)
+                      if watch_iter is not None else None)
+
+        code = frame.code
+        i = frame.index
+        try:
+            while True:
+                e = code[i]
+                kind = e[0]
+
+                if (next_watch is not None and kind <= 1
+                        and inj == next_watch):
+                    frame.index = i
+                    self.dyn_total = dt
+                    self.dyn_injectable = inj
+                    watch_cb(next_watch, self._snapshot(stack, frame))
+                    next_watch = next(watch_iter, None)
+                    if next_watch is None:
+                        raise CheckpointsDone()
+
+                i += 1
+                dt += 1
+                if dt > max_steps:
+                    raise SimTrap("timeout",
+                                  f"exceeded {max_steps} steps")
+                if track:
+                    if counts is not None:
+                        counts[e[2]] += 1
+                    if hook is not None:
+                        frame.index = i
+                        self.dyn_total = dt
+                        self.dyn_injectable = inj
+                        hook(e[3], frame)
+
+                if kind == 0:       # value producer (injection site)
+                    r = e[1](self, frame)
+                    if inj == target:
+                        r = _flip_value(r, e[3].type, inject_bit)
+                        self.injected = True
+                        self.injected_iid = e[2]
+                    inj += 1
+                    frame.temps[e[2]] = r
+                elif kind == 5:     # br
+                    frame.block, code = e[1]
+                    frame.code = code
+                    i = 0
+                elif kind == 6:     # condbr
+                    p = e[1]
+                    frame.block, code = p[1] if p[0](self, frame) else p[2]
+                    frame.code = code
+                    i = 0
+                elif kind == 2:     # store / void intrinsic / raiser
+                    e[1](self, frame)
+                elif kind == 4:     # ret
+                    p = e[1]
+                    rv = p(self, frame) if p is not None else None
+                    self.sp = frame.sp_save
+                    if not stack:
+                        return rv
+                    tgt = frame.ret_target
+                    fb = frame.ret_flip_bit
+                    callee_ret = frame.fn.return_type
+                    frame = stack.pop()
+                    code = frame.code
+                    i = frame.index
+                    if tgt is not None:
+                        if fb is not None:
+                            rv = _flip_value(rv, callee_ret, fb)
+                            self.injected = True
+                        frame.temps[tgt] = rv
+                elif kind == 7:     # alloca
+                    sp = (self.sp - e[1]) & ~7
+                    self.sp = sp
+                    if sp < stack_limit:
+                        raise SimTrap("stack-overflow",
+                                      f"@{frame.fn.name}")
+                    frame.temps[e[2]] = sp
+                else:               # call (kind 1 with result, 3 void)
+                    p = e[1]
+                    call_args = p[0](self, frame)
+                    flip_bit = None
+                    if kind == 1:
+                        if inj == target:
+                            flip_bit = inject_bit
+                            self.injected_iid = e[2]
+                        inj += 1
+                    dfn = p[1]
+                    sp_save = self.sp
+                    sp = sp_save - 16
+                    self.sp = sp
+                    if sp < stack_limit:
+                        raise SimTrap("stack-overflow",
+                                      f"calling @{dfn.fn.name}")
+                    frame.index = i
+                    stack.append(frame)
+                    block, code = dfn.entry_pair
+                    frame = _Frame(
+                        fn=dfn.fn, block=block, index=0, temps={},
+                        sp_save=sp_save,
+                        ret_target=e[2] if kind == 1 else None,
+                        arg_values=call_args, ret_flip_bit=flip_bit,
+                        code=code,
+                    )
+                    i = 0
+        except IndexError:
+            raise IRError(
+                f"fell off block {frame.block.label} in @{frame.fn.name}"
+            ) from None
+        except KeyError as k:
+            raise IRError(
+                f"use of unevaluated %t{k.args[0]} in @{frame.fn.name}"
+            ) from None
+        finally:
+            self.dyn_total = dt
+            self.dyn_injectable = inj
+
+    def _snapshot(self, stack: List[_Frame], frame: _Frame) -> IRSnapshot:
+        frames = tuple(
+            (f.fn, f.block, f.code, f.index, dict(f.temps), f.sp_save,
+             f.ret_target, f.ret_flip_bit, list(f.arg_values))
+            for f in (*stack, frame)
+        )
+        return IRSnapshot(
+            mem=bytes(self.memory.data),
+            heap_break=self.memory.heap_break,
+            sp=self.sp,
+            outputs=tuple(self.outputs),
+            dyn_total=self.dyn_total,
+            dyn_injectable=self.dyn_injectable,
+            frames=frames,
+        )
 
     # -- helpers -----------------------------------------------------------
 

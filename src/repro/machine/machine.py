@@ -22,7 +22,9 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import FaultDetected, LoweringError, SimTrap
+from ..errors import (
+    CheckpointsDone, FaultDetected, LoweringError, ReproError, SimTrap,
+)
 from ..execresult import ExecResult, RunStatus
 from ..interp.layout import GlobalLayout
 from ..ir.intrinsics import INTRINSICS, math_impl
@@ -31,8 +33,8 @@ from ..utils.fmt import format_char, format_f64, format_i64
 from ..backend.isa import AsmInst, GPRS, Imm, Label, Mem, Reg
 from ..backend.program import FlatProgram
 
-__all__ = ["AsmMachine", "CompiledProgram", "compile_program", "run_asm",
-           "DEFAULT_MAX_STEPS"]
+__all__ = ["AsmMachine", "AsmSnapshot", "CompiledProgram",
+           "compile_program", "run_asm", "DEFAULT_MAX_STEPS"]
 
 DEFAULT_MAX_STEPS = 100_000_000
 _MASK64 = (1 << 64) - 1
@@ -298,6 +300,33 @@ def _b2f(bits: int) -> float:
     return struct.unpack("<d", struct.pack("<Q", bits & _MASK64))[0]
 
 
+class AsmSnapshot:
+    """Frozen machine state captured at an injection-site boundary.
+
+    Snapshots are taken *before* the watched instruction executes (the
+    fault model flips the destination *after* execution, so a replay
+    resumed from the snapshot re-executes the instruction and then
+    applies the flip).  All fields are immutable so one snapshot can
+    seed any number of replays.
+    """
+
+    __slots__ = ("mem", "heap_break", "regs", "xmm", "fl", "pc",
+                 "steps", "injectable", "outputs")
+
+    def __init__(self, mem: bytes, heap_break: int, regs: tuple,
+                 xmm: tuple, fl: int, pc: int, steps: int,
+                 injectable: int, outputs: tuple):
+        self.mem = mem
+        self.heap_break = heap_break
+        self.regs = regs
+        self.xmm = xmm
+        self.fl = fl
+        self.pc = pc
+        self.steps = steps
+        self.injectable = injectable
+        self.outputs = outputs
+
+
 class AsmMachine:
     """One machine instance per execution (mutable run state)."""
 
@@ -309,7 +338,11 @@ class AsmMachine:
         heap_size: int = 1 << 20,
         stack_size: int = 1 << 19,
         trace=None,
+        dispatch: str = "decoded",
     ):
+        if dispatch not in ("decoded", "naive"):
+            raise ReproError(f"unknown dispatch mode {dispatch!r}")
+        self.dispatch = dispatch
         self.program = program
         self.layout = layout
         self.max_steps = max_steps
@@ -320,6 +353,7 @@ class AsmMachine:
         self.injected = False
         self.injected_index: Optional[int] = None  # static asm index
         self.per_inst_counts: Optional[Dict[int, int]] = None
+        self._counts: Optional[List[int]] = None
         # trace tap (off by default; see repro.trace) — accepts a
         # TraceConfig or a ready MachineTracer
         self.tracer = None
@@ -338,16 +372,34 @@ class AsmMachine:
         inject_index: Optional[int] = None,
         inject_bit: int = 0,
         profile: bool = False,
+        resume_from: Optional[AsmSnapshot] = None,
+        checkpoints: Optional[Sequence[int]] = None,
+        checkpoint_cb=None,
     ) -> ExecResult:
         if profile:
-            self.per_inst_counts = {}
+            self._counts = [0] * len(self.program.uops)
+        early = False
         try:
-            self._loop(inject_index, inject_bit)
+            if self.dispatch == "decoded":
+                self._loop_decoded(inject_index, inject_bit,
+                                   resume_from, checkpoints, checkpoint_cb)
+            else:
+                if resume_from is not None or checkpoints is not None:
+                    raise ReproError(
+                        "checkpoint-replay requires dispatch='decoded'")
+                self._loop(inject_index, inject_bit)
             status, trap = RunStatus.OK, None
+        except CheckpointsDone:
+            status, trap = RunStatus.OK, None
+            early = True
         except FaultDetected:
             status, trap = RunStatus.DETECTED, None
         except SimTrap as t:
             status, trap = RunStatus.TRAP, t.kind
+        if self._counts is not None:
+            self.per_inst_counts = {
+                i: c for i, c in enumerate(self._counts) if c
+            }
         inst = (
             self.program.inst_at(self.injected_index)
             if self.injected_index is not None
@@ -362,6 +414,8 @@ class AsmMachine:
             )
         if self.tracer is not None:
             extra["trace"] = self.tracer.trace
+        if early:
+            extra["early_stop"] = True
         return ExecResult(
             status=status,
             output="".join(self.outputs),
@@ -402,7 +456,7 @@ class AsmMachine:
         steps = 0
         injectable = 0
         max_steps = self.max_steps
-        counts = self.per_inst_counts
+        counts = self._counts
         tracer = self.tracer
         hook = tracer.hook if tracer is not None else None
         # single per-step test whether profiling or tracing: keeps the
@@ -424,7 +478,7 @@ class AsmMachine:
                     raise SimTrap("timeout", f"exceeded {max_steps} steps")
                 if track:
                     if counts is not None:
-                        counts[pc] = counts.get(pc, 0) + 1
+                        counts[pc] += 1
                     if hook is not None:
                         hook(pc, regs, xmm)
 
@@ -687,6 +741,136 @@ class AsmMachine:
             if tracer is not None:
                 tracer.finish(regs, xmm)
 
+    # -- the decoded hot loop -----------------------------------------------
+
+    def _loop_decoded(
+        self,
+        inject_index: Optional[int],
+        inject_bit: int,
+        resume_from: Optional[AsmSnapshot] = None,
+        watch: Optional[Sequence[int]] = None,
+        watch_cb=None,
+    ) -> None:
+        """Closure-dispatch twin of :meth:`_loop`.
+
+        Identical observable behaviour; additionally supports resuming
+        from an :class:`AsmSnapshot` and streaming snapshots out at the
+        requested ``watch`` injection indices (ascending order).
+        """
+        from .decode import AsmState, _Halt, decode_program
+
+        prog = self.program
+        mem = self.memory
+        dp = decode_program(prog, mem)
+        fns = dp.fns
+        inj_kind = prog.inj_kind
+        gpr_dest = dp.gpr_dest
+        xmm_dest = dp.xmm_dest
+        data = mem.data
+
+        st = AsmState()
+        st.data = data
+        st.outputs = self.outputs
+        st.machine = self
+
+        if resume_from is None:
+            regs = [0] * 16
+            xmm = [0.0] * 16
+            st.fl = 0
+            sp = mem.stack_base - 8
+            data[sp:sp + 8] = _SENTINEL_RET.to_bytes(8, "little")
+            regs[_RSP] = sp
+            regs[_RBP] = sp
+            pc = prog.entry_index
+            steps = 0
+            injectable = 0
+        else:
+            snap = resume_from
+            if len(snap.mem) != len(data):
+                raise ReproError(
+                    "snapshot does not match machine memory geometry")
+            data[:] = snap.mem
+            mem.heap_break = snap.heap_break
+            regs = list(snap.regs)
+            xmm = list(snap.xmm)
+            st.fl = snap.fl
+            pc = snap.pc
+            steps = snap.steps
+            injectable = snap.injectable
+            self.outputs[:] = snap.outputs
+            # full reset: one machine may serve many replays
+            self.injected_index = None
+        st.regs = regs
+        st.xmm = xmm
+
+        watch_iter = iter(watch) if watch is not None else None
+        next_watch = (next(watch_iter, None)
+                      if watch_iter is not None else None)
+
+        max_steps = self.max_steps
+        counts = self._counts
+        tracer = self.tracer
+        hook = tracer.hook if tracer is not None else None
+        track = counts is not None or hook is not None
+
+        target = inject_index if inject_index is not None else -1
+        injected = False
+
+        try:
+            while True:
+                try:
+                    f = fns[pc]
+                except IndexError:
+                    raise SimTrap("bad-jump", f"pc={pc}") from None
+                kind = inj_kind[pc]
+                if (next_watch is not None and kind
+                        and injectable == next_watch):
+                    self.dyn_total = steps
+                    self.dyn_injectable = injectable
+                    watch_cb(next_watch, AsmSnapshot(
+                        bytes(data), mem.heap_break, tuple(regs),
+                        tuple(xmm), st.fl, pc, steps, injectable,
+                        tuple(self.outputs)))
+                    next_watch = next(watch_iter, None)
+                    if next_watch is None:
+                        raise CheckpointsDone()
+                steps += 1
+                if steps > max_steps:
+                    self.dyn_total = steps
+                    self.dyn_injectable = injectable
+                    raise SimTrap("timeout", f"exceeded {max_steps} steps")
+                if track:
+                    if counts is not None:
+                        counts[pc] += 1
+                    if hook is not None:
+                        hook(pc, regs, xmm)
+                cur = pc
+                try:
+                    pc = f(st)
+                except _Halt:
+                    break
+                except OverflowError:
+                    raise SimTrap("overflow", f"pc={cur}") from None
+                if kind:
+                    if injectable == target:
+                        injected = True
+                        self.injected_index = cur
+                        if kind == 1:
+                            regs[gpr_dest[cur]] ^= 1 << (inject_bit & 63)
+                        elif kind == 2:
+                            d = xmm_dest[cur]
+                            xmm[d] = _b2f(
+                                _f2b(xmm[d]) ^ (1 << (inject_bit & 63)))
+                        else:  # flags
+                            st.fl ^= (1, 2, 4, 8, 16)[inject_bit % 5]
+                    injectable += 1
+        finally:
+            self.dyn_total = steps
+            self.dyn_injectable = injectable
+            self.injected = injected
+            if tracer is not None:
+                tracer.finish(regs, xmm)
+
     def _gpr_dest(self, index: int) -> int:
         inst = self.program.inst_at(index)
         reg = inst.dest_reg()
@@ -761,9 +945,11 @@ def run_asm(
     profile: bool = False,
     max_steps: int = DEFAULT_MAX_STEPS,
     trace=None,
+    dispatch: str = "decoded",
 ) -> ExecResult:
     """Convenience wrapper: fresh machine, one execution."""
-    machine = AsmMachine(program, layout, max_steps=max_steps, trace=trace)
+    machine = AsmMachine(program, layout, max_steps=max_steps, trace=trace,
+                         dispatch=dispatch)
     return machine.run(
         inject_index=inject_index, inject_bit=inject_bit, profile=profile
     )

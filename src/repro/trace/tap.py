@@ -4,6 +4,10 @@ Both tracers are *observers*: they piggyback on the per-step tracking
 hook the simulators already expose for profiling, so a disabled tap
 adds zero per-instruction work to the hot loops (the simulators test a
 single pre-hoisted local, exactly as they already did for profiling).
+This holds for both dispatch modes — the naive opcode ladders and the
+pre-decoded closure loops hoist the same ``track``/``hook`` locals, so
+attaching a tracer never changes which decoded code runs, only whether
+the per-step callback fires.
 
 Both tracers emit the cross-layer-comparable sync events documented in
 :mod:`repro.trace.events`:

@@ -1,0 +1,251 @@
+"""Equivalence proofs for the perf work: pre-decoded dispatch and the
+checkpoint-replay campaign engine must be bit-identical to the naive
+paths they replace — same statuses, outputs, counters, traps, records,
+and profile counts, for golden runs and injections alike, serial or
+parallel, interrupted or not."""
+
+import pytest
+
+from repro.fi.bench import campaign_signature, run_campaign_bench
+from repro.fi.campaign import (
+    CampaignConfig,
+    run_asm_campaign,
+    run_ir_campaign,
+)
+from repro.fi.parallel import WorkSpec, run_parallel_campaign
+from repro.interp.interpreter import IRInterpreter
+from repro.machine.machine import AsmMachine
+from repro.pipeline import build, build_from_source
+from repro.protection.duplication import duplicate_module
+
+SRC = """
+int data[8] = {4, 2, 7, 1, 9, 3, 8, 6};
+int acc[1] = {0};
+int main() {
+    for (int i = 0; i < 8; i++) {
+        if (data[i] > 4) { acc[0] = acc[0] + data[i]; }
+        else { acc[0] = acc[0] - data[i]; }
+    }
+    print(acc[0]);
+    return 0;
+}
+"""
+
+
+def _res_sig(res):
+    extra = {k: v for k, v in res.extra.items() if k != "trace"}
+    return (res.status.value, res.output, res.dyn_total,
+            res.dyn_injectable, res.trap_kind, res.injected,
+            res.injected_iid, res.per_inst_counts, extra)
+
+
+def _ir(built, dispatch, **kw):
+    return IRInterpreter(built.module, layout=built.layout,
+                         dispatch=dispatch).run(**kw)
+
+
+def _asm(built, dispatch, **kw):
+    return AsmMachine(built.compiled, built.layout,
+                      dispatch=dispatch).run(**kw)
+
+
+@pytest.fixture(scope="module")
+def built():
+    return build_from_source(SRC, name="equiv")
+
+
+@pytest.fixture(scope="module")
+def built_protected():
+    return build_from_source(SRC, name="equiv_prot", level=100)
+
+
+class TestDispatchEquivalence:
+    """Decoded dispatch is a pure compilation of the naive ladders."""
+
+    @pytest.mark.parametrize("runner", [_ir, _asm], ids=["ir", "asm"])
+    def test_golden_run_identical(self, built, runner):
+        naive = runner(built, "naive", profile=True)
+        decoded = runner(built, "decoded", profile=True)
+        assert _res_sig(naive) == _res_sig(decoded)
+        assert naive.per_inst_counts  # profiling actually ran
+
+    @pytest.mark.parametrize("runner", [_ir, _asm], ids=["ir", "asm"])
+    def test_injections_identical(self, built, runner):
+        golden = runner(built, "naive")
+        n_inj = golden.dyn_injectable
+        # sweep a spread of sites x bits, including high bits that tend
+        # to produce traps (segfault/bad-jump) rather than silent SDCs
+        sites = sorted({0, 1, n_inj // 3, n_inj // 2, n_inj - 1})
+        for idx in sites:
+            for bit in (0, 17, 62, 63):
+                naive = runner(built, "naive",
+                               inject_index=idx, inject_bit=bit)
+                decoded = runner(built, "decoded",
+                                 inject_index=idx, inject_bit=bit)
+                assert _res_sig(naive) == _res_sig(decoded), \
+                    f"mismatch at idx={idx} bit={bit}"
+
+    @pytest.mark.parametrize("runner", [_ir, _asm], ids=["ir", "asm"])
+    def test_protected_program_identical(self, built_protected, runner):
+        naive = runner(built_protected, "naive")
+        decoded = runner(built_protected, "decoded")
+        assert _res_sig(naive) == _res_sig(decoded)
+
+    def test_decode_cache_invalidated_by_module_mutation(self):
+        # the decode pass memoizes per-module; passes mutate modules in
+        # place, so the cache must notice and recompile
+        built = build_from_source(SRC, name="equiv_mut")
+        before = _ir(built, "decoded")
+        duplicate_module(built.module)
+        after_decoded = _ir(built, "decoded")
+        after_naive = _ir(built, "naive")
+        assert after_decoded.dyn_total > before.dyn_total
+        assert _res_sig(after_decoded) == _res_sig(after_naive)
+
+
+class TestCheckpointReplay:
+    """Resuming from a checkpoint snapshot replays the exact suffix."""
+
+    @pytest.mark.parametrize("runner", [_ir, _asm], ids=["ir", "asm"])
+    def test_resume_matches_full_run(self, built, runner):
+        golden = runner(built, "decoded")
+        n_inj = golden.dyn_injectable
+        targets = sorted({1, n_inj // 2, n_inj - 1})
+        snaps = {}
+
+        def grab(idx, snap):
+            snaps[idx] = snap
+
+        res = runner(built, "decoded", checkpoints=targets,
+                     checkpoint_cb=grab)
+        assert sorted(snaps) == targets
+        assert res.extra.get("early_stop") is True
+        for idx in targets:
+            for bit in (0, 40, 63):
+                full = runner(built, "decoded",
+                              inject_index=idx, inject_bit=bit)
+                replay = runner(built, "decoded", inject_index=idx,
+                                inject_bit=bit, resume_from=snaps[idx])
+                assert _res_sig(full) == _res_sig(replay), \
+                    f"replay mismatch at idx={idx} bit={bit}"
+
+    @pytest.mark.parametrize("runner", [_ir, _asm], ids=["ir", "asm"])
+    def test_one_simulator_serves_many_replays(self, built, runner):
+        # the engine reuses one simulator across all replays; state from
+        # a previous (possibly trapped) replay must never leak
+        golden = runner(built, "decoded")
+        idx = golden.dyn_injectable // 2
+        snaps = {}
+        runner(built, "decoded", checkpoints=[idx],
+               checkpoint_cb=lambda i, s: snaps.update({i: s}))
+        expected = [
+            _res_sig(runner(built, "decoded",
+                            inject_index=idx, inject_bit=bit))
+            for bit in (63, 0, 63, 17)
+        ]
+        if runner is _ir:
+            sim = IRInterpreter(built.module, layout=built.layout)
+        else:
+            sim = AsmMachine(built.compiled, built.layout)
+        got = [
+            _res_sig(sim.run(inject_index=idx, inject_bit=bit,
+                             resume_from=snaps[idx]))
+            for bit in (63, 0, 63, 17)
+        ]
+        assert got == expected
+
+    def test_naive_dispatch_rejects_checkpointing(self, built):
+        with pytest.raises(Exception, match="decoded"):
+            _asm(built, "naive", checkpoints=[1], checkpoint_cb=print)
+
+
+class TestCampaignEquivalence:
+    """Engine campaigns are bit-identical to naive re-execution."""
+
+    @pytest.mark.parametrize("seed", [0, 7, 2023])
+    def test_ir_campaign(self, built, seed):
+        cfg = CampaignConfig(n_campaigns=40, seed=seed)
+        naive = run_ir_campaign(built.module, cfg, built.layout,
+                                engine=False)
+        fast = run_ir_campaign(built.module, cfg, built.layout,
+                               engine=True)
+        assert campaign_signature(naive) == campaign_signature(fast)
+
+    @pytest.mark.parametrize("seed", [0, 7, 2023])
+    def test_asm_campaign(self, built, seed):
+        cfg = CampaignConfig(n_campaigns=40, seed=seed)
+        naive = run_asm_campaign(built.compiled, built.layout, cfg,
+                                 engine=False)
+        fast = run_asm_campaign(built.compiled, built.layout, cfg,
+                                engine=True)
+        assert campaign_signature(naive) == campaign_signature(fast)
+
+    def test_protected_campaign(self, built_protected):
+        cfg = CampaignConfig(n_campaigns=40, seed=11)
+        naive = run_asm_campaign(built_protected.compiled,
+                                 built_protected.layout, cfg,
+                                 engine=False)
+        fast = run_asm_campaign(built_protected.compiled,
+                                built_protected.layout, cfg, engine=True)
+        assert campaign_signature(naive) == campaign_signature(fast)
+
+    def test_benchmark_campaign(self):
+        built = build("crc32", scale="tiny")
+        cfg = CampaignConfig(n_campaigns=30, seed=5)
+        for layer, run, args in (
+            ("ir", run_ir_campaign, (built.module, cfg, built.layout)),
+            ("asm", run_asm_campaign,
+             (built.compiled, built.layout, cfg)),
+        ):
+            naive = run(*args, engine=False)
+            fast = run(*args, engine=True)
+            assert campaign_signature(naive) == \
+                campaign_signature(fast), layer
+
+
+class TestRunnersAndResume:
+    """The engine composes with the supervisor and the journal."""
+
+    @pytest.mark.parametrize("layer", ["ir", "asm"])
+    def test_parallel_matches_naive_serial(self, layer, monkeypatch):
+        spec = WorkSpec(source=SRC, layer=layer)
+        cfg = CampaignConfig(n_campaigns=16, seed=3)
+        parallel = run_parallel_campaign(spec, cfg, workers=2)
+        monkeypatch.setenv("REPRO_ENGINE", "0")
+        serial = run_parallel_campaign(spec, cfg, workers=1)
+        assert campaign_signature(parallel) == campaign_signature(serial)
+
+    def test_kill_and_resume_matches_naive(self, tmp_path, monkeypatch):
+        spec = WorkSpec(source=SRC, layer="asm")
+        cfg = CampaignConfig(n_campaigns=16, seed=9)
+        full = tmp_path / "full.jsonl"
+        run_parallel_campaign(spec, cfg, workers=1,
+                              journal_path=str(full))
+        lines = full.read_text().splitlines(keepends=True)
+        # truncate mid-row: the on-disk state after SIGKILL
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text("".join(lines[:7]) + lines[7][:10])
+        resumed = run_parallel_campaign(spec, cfg, workers=1,
+                                        journal_path=str(torn))
+        monkeypatch.setenv("REPRO_ENGINE", "0")
+        clean = run_parallel_campaign(spec, cfg, workers=1)
+        assert campaign_signature(resumed) == campaign_signature(clean)
+
+
+class TestBenchHarness:
+    def test_bench_document_shape(self):
+        doc = run_campaign_bench("crc32", scale="tiny", n=6, seed=1)
+        assert doc["schema"] == "bench_campaign/1"
+        assert set(doc["layers"]) == {"ir", "asm"}
+        for d in doc["layers"].values():
+            assert d["results_identical"] is True
+            assert d["naive_seconds"] > 0 and d["engine_seconds"] > 0
+        assert doc["overall"]["results_identical"] is True
+
+    def test_engine_env_toggle(self, built, monkeypatch):
+        cfg = CampaignConfig(n_campaigns=10, seed=4)
+        monkeypatch.setenv("REPRO_ENGINE", "0")
+        off = run_ir_campaign(built.module, cfg, built.layout)
+        monkeypatch.delenv("REPRO_ENGINE")
+        on = run_ir_campaign(built.module, cfg, built.layout)
+        assert campaign_signature(off) == campaign_signature(on)
