@@ -14,6 +14,7 @@
     repro stats crc32 -n 300 --journal c.jsonl   # crash-safe campaign
     repro resume c.jsonl                     # finish an interrupted one
     repro bench pathfinder --scale medium    # naive vs engine throughput
+    repro chaos --smoke                      # fuzz the containment contract
     repro experiment fig2|fig3|fig17|table1|overhead|compile-time
 
 Environment knobs (REPRO_SCALE, REPRO_CAMPAIGNS, REPRO_BENCHMARKS...)
@@ -171,6 +172,30 @@ def _build_parser() -> argparse.ArgumentParser:
                          metavar="PATH",
                          help="write the JSON bench document here "
                               "('-' to skip)")
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="fuzz the fault containment contract: seeded bit-flips "
+             "across all benchmarks, layers, and dispatch modes",
+    )
+    chaos_p.add_argument(
+        "--benchmark", action="append", default=None,
+        choices=benchmark_names(), metavar="NAME",
+        help="restrict the sweep to this benchmark (repeatable; "
+             "default: all)",
+    )
+    chaos_p.add_argument("--scale", default="tiny",
+                         choices=("tiny", "small", "medium"))
+    chaos_p.add_argument("-n", "--injections", type=int, default=200,
+                         help="injections per benchmark/layer "
+                              "(each runs under every dispatch mode)")
+    chaos_p.add_argument("--seed", type=int, default=2023)
+    chaos_p.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized sweep: 8 injections per target at tiny scale",
+    )
+    chaos_p.add_argument("--json", default=None, metavar="PATH",
+                         help="write the JSON report here")
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper artifact")
     exp_p.add_argument(
@@ -358,6 +383,25 @@ def _cmd_bench(args) -> int:
     return 0 if doc["overall"]["results_identical"] else 1
 
 
+def _cmd_chaos(args) -> int:
+    import json
+
+    from .fi.chaos import chaos_sweep, render_chaos
+
+    n = 8 if args.smoke else args.injections
+    report = chaos_sweep(
+        benchmarks=args.benchmark, scale=args.scale, n=n, seed=args.seed,
+        progress=lambda line: print(f"# {line}"),
+    )
+    print(render_chaos(report), end="")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_doc(), fh, indent=2)
+            fh.write("\n")
+        print(f"# chaos report written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def _cmd_experiment(which: str) -> int:
     cfg = ExperimentConfig.from_env()
     if which == "table1":
@@ -397,6 +441,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_resume(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "experiment":
         return _cmd_experiment(args.which)
     raise AssertionError("unreachable")

@@ -57,9 +57,12 @@ class CampaignError(ReproError):
 class SimTrap(Exception):
     """A simulated program trapped (the DUE class of outcomes).
 
-    ``kind`` is a short machine-readable string such as ``"segfault"``,
-    ``"div-by-zero"``, ``"bad-jump"``, ``"stack-overflow"`` or
-    ``"timeout"``.
+    ``kind`` is a short machine-readable string; the taxonomy (see
+    DESIGN §11) is ``"segfault"``, ``"div-by-zero"``, ``"bad-jump"``,
+    ``"stack-overflow"``, ``"unreachable"``, ``"overflow"``, ``"oom"``,
+    the resource budgets ``"step-budget"`` (formerly ``"timeout"``),
+    ``"mem-budget"``, ``"output-budget"``, and ``"host-escape"`` (a
+    host exception converted at the containment boundary).
     """
 
     def __init__(self, kind: str, detail: str = ""):

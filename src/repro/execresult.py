@@ -36,7 +36,7 @@ class ExecResult:
     dyn_total: int
     #: dynamic instructions that are fault-injection sites
     dyn_injectable: int
-    #: trap kind when status is TRAP ("segfault", "timeout", ...)
+    #: trap kind when status is TRAP ("segfault", "step-budget", ...)
     trap_kind: Optional[str] = None
     #: return value of the entry function (None for void)
     return_value: Optional[object] = None

@@ -12,11 +12,19 @@ The emitted document (``BENCH_campaign.json``) is the PR's performance
 artifact; ``repro bench`` and ``scripts/bench_campaign.py`` are thin
 wrappers, and ``benchmarks/test_perf_simulators.py`` enforces the
 speedup floor on the CI smoke workload.
+
+Since bench_campaign/2 the document also carries a ``containment``
+section: the same engine campaign timed with the fault containment
+sandbox (DESIGN §11) disabled (``REPRO_CONTAIN=0``) and enabled,
+proving the budgets-and-boundary machinery costs a few percent at most
+and changes no result.
 """
 
 from __future__ import annotations
 
+import os
 import time
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
 from ..fi.campaign import CampaignConfig, CampaignResult
@@ -24,7 +32,7 @@ from ..pipeline import build
 
 __all__ = ["run_campaign_bench", "render_bench", "campaign_signature"]
 
-BENCH_SCHEMA = "bench_campaign/1"
+BENCH_SCHEMA = "bench_campaign/2"
 
 #: CI smoke workload: long enough traces (golden IR ~54k / asm ~121k
 #: dynamic steps at medium scale) that checkpoint-replay amortization
@@ -58,6 +66,20 @@ def _time_campaign(run, *args, engine: bool) -> Tuple[float, CampaignResult]:
     return time.perf_counter() - t0, result
 
 
+@contextmanager
+def _contain_env(value: str):
+    """Temporarily pin ``REPRO_CONTAIN`` (the sandbox on/off switch)."""
+    prev = os.environ.get("REPRO_CONTAIN")
+    os.environ["REPRO_CONTAIN"] = value
+    try:
+        yield
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_CONTAIN", None)
+        else:
+            os.environ["REPRO_CONTAIN"] = prev
+
+
 def run_campaign_bench(
     benchmark: str = DEFAULT_BENCHMARK,
     scale: str = DEFAULT_SCALE,
@@ -89,8 +111,17 @@ def run_campaign_bench(
             run = run_asm_campaign
         naive_s, naive_res = _time_campaign(run, *args, engine=False)
         engine_s, engine_res = _time_campaign(run, *args, engine=True)
+        # containment overhead: the same engine campaign with the fault
+        # containment sandbox off vs on (both warm — the run above
+        # already primed decode caches and allocator pools)
+        with _contain_env("0"):
+            off_s, off_res = _time_campaign(run, *args, engine=True)
+        with _contain_env("1"):
+            on_s, on_res = _time_campaign(run, *args, engine=True)
         identical = campaign_signature(naive_res) == \
             campaign_signature(engine_res)
+        contain_identical = campaign_signature(off_res) == \
+            campaign_signature(on_res)
         work = naive_res.golden_dyn_total * n
         layers[layer] = {
             "naive_seconds": naive_s,
@@ -103,10 +134,21 @@ def run_campaign_bench(
             "golden_dyn_total": naive_res.golden_dyn_total,
             "golden_dyn_injectable": naive_res.golden_dyn_injectable,
             "results_identical": identical,
+            "containment": {
+                "off_seconds": off_s,
+                "on_seconds": on_s,
+                "overhead_pct": (on_s - off_s) / off_s * 100.0
+                if off_s > 0 else 0.0,
+                "results_identical": contain_identical,
+            },
         }
 
     naive_total = sum(d["naive_seconds"] for d in layers.values())
     engine_total = sum(d["engine_seconds"] for d in layers.values())
+    contain_off_total = sum(
+        d["containment"]["off_seconds"] for d in layers.values())
+    contain_on_total = sum(
+        d["containment"]["on_seconds"] for d in layers.values())
     return {
         "schema": BENCH_SCHEMA,
         "params": {
@@ -125,6 +167,16 @@ def run_campaign_bench(
             if engine_total > 0 else float("inf"),
             "results_identical": all(
                 d["results_identical"] for d in layers.values()),
+            "containment": {
+                "off_seconds": contain_off_total,
+                "on_seconds": contain_on_total,
+                "overhead_pct": (contain_on_total - contain_off_total)
+                / contain_off_total * 100.0
+                if contain_off_total > 0 else 0.0,
+                "results_identical": all(
+                    d["containment"]["results_identical"]
+                    for d in layers.values()),
+            },
         },
     }
 
@@ -149,5 +201,20 @@ def render_bench(doc: Dict) -> str:
     lines.append(
         f"{'all':6s} {o['naive_seconds']:8.3f}s {o['engine_seconds']:8.3f}s "
         f"{o['speedup']:7.2f}x {'':8s} {str(o['results_identical']):>9s}"
+    )
+    lines.append("containment sandbox (engine campaigns, off vs on):")
+    lines.append(
+        f"{'layer':6s} {'off':>9s} {'on':>9s} {'overhead':>9s} "
+        f"{'identical':>9s}")
+    for layer, d in doc["layers"].items():
+        c = d["containment"]
+        lines.append(
+            f"{layer:6s} {c['off_seconds']:8.3f}s {c['on_seconds']:8.3f}s "
+            f"{c['overhead_pct']:+8.2f}% {str(c['results_identical']):>9s}"
+        )
+    oc = o["containment"]
+    lines.append(
+        f"{'all':6s} {oc['off_seconds']:8.3f}s {oc['on_seconds']:8.3f}s "
+        f"{oc['overhead_pct']:+8.2f}% {str(oc['results_identical']):>9s}"
     )
     return "\n".join(lines) + "\n"

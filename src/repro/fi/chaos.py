@@ -1,0 +1,300 @@
+"""Chaos fuzz harness for the fault containment contract (DESIGN §11).
+
+The containment invariant the simulators promise is: **no injected
+fault can crash, hang, or OOM the harness** — every injection, however
+hostile its downstream behaviour, terminates as a classified
+:class:`~repro.execresult.ExecResult` (a step/memory/output/call-depth
+budget trap, a simulated machine trap, or a ``host-escape`` trap when a
+host exception crossed the containment boundary).
+
+This module *attacks* that invariant instead of assuming it: it sweeps
+seeded random bit-flips across every benchmark, both layers (IR
+interpreter and asm machine), and both dispatch modes (naive ladders
+and pre-decoded closures), then reports
+
+* **escapes** — a host exception reached the harness despite the
+  boundary, with a minimized reproducer ``(benchmark, layer, dispatch,
+  index, bit)``;
+* **divergences** — the same injection produced different results under
+  the two dispatch modes, breaking the bit-identity contract the
+  equivalence suite relies on;
+* an outcome/trap-kind census proving every injection was classified.
+
+``contain=False`` runs the sweep against the *unguarded* simulators,
+which is how the regression suite proves the fuzzer actually detects a
+missing boundary (rather than passing vacuously).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..benchsuite.registry import benchmark_names
+from ..errors import CampaignError
+from ..execresult import ExecResult, RunStatus
+from ..interp.interpreter import IRInterpreter
+from ..machine.machine import AsmMachine
+from .outcomes import canonical_trap_kind, classify_outcome
+
+__all__ = [
+    "ChaosEscape",
+    "ChaosDivergence",
+    "ChaosReport",
+    "chaos_sweep",
+    "render_chaos",
+    "CHAOS_SCHEMA",
+]
+
+CHAOS_SCHEMA = "chaos/1"
+
+#: mirror of the campaign layer's step-budget policy (hangs become DUEs)
+_MIN_MAX_STEPS = 20_000
+_MAX_STEPS_FACTOR = 4
+
+#: result fields that must be bit-identical across dispatch modes
+_SIG_FIELDS = ("status", "output", "dyn_total", "dyn_injectable",
+               "trap_kind", "injected_iid")
+
+
+@dataclass(frozen=True)
+class ChaosEscape:
+    """A host exception that reached the harness: the invariant broke.
+
+    The tuple ``(benchmark, layer, dispatch, index, bit)`` is already
+    the minimized reproducer — one deterministic injection replays it::
+
+        build(benchmark, scale=...) -> sim(dispatch).run(index, bit)
+    """
+
+    benchmark: str
+    layer: str                  # 'ir' | 'asm'
+    dispatch: str               # 'naive' | 'decoded'
+    index: int                  # injectable dynamic-instruction index
+    bit: int
+    exc_type: str
+    detail: str
+
+    def reproducer(self) -> str:
+        return (f"repro chaos --benchmark {self.benchmark}: "
+                f"layer={self.layer} dispatch={self.dispatch} "
+                f"inject_index={self.index} inject_bit={self.bit} "
+                f"-> {self.exc_type}: {self.detail}")
+
+
+@dataclass(frozen=True)
+class ChaosDivergence:
+    """One injection whose result differs between dispatch modes."""
+
+    benchmark: str
+    layer: str
+    index: int
+    bit: int
+    field: str                  # first differing result field
+    naive: str
+    decoded: str
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate of one chaos sweep."""
+
+    scale: str
+    seed: int
+    n_per_target: int
+    benchmarks: List[str]
+    layers: Tuple[str, ...]
+    dispatches: Tuple[str, ...]
+    contain: bool
+    injections: int = 0
+    classified: int = 0
+    escapes: List[ChaosEscape] = field(default_factory=list)
+    divergences: List[ChaosDivergence] = field(default_factory=list)
+    outcome_counts: Dict[str, int] = field(default_factory=dict)
+    trap_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """The invariant held: everything classified, nothing diverged."""
+        return (not self.escapes and not self.divergences
+                and self.classified == self.injections)
+
+    def to_doc(self) -> dict:
+        return {
+            "schema": CHAOS_SCHEMA,
+            "scale": self.scale,
+            "seed": self.seed,
+            "n_per_target": self.n_per_target,
+            "benchmarks": list(self.benchmarks),
+            "layers": list(self.layers),
+            "dispatches": list(self.dispatches),
+            "contain": self.contain,
+            "injections": self.injections,
+            "classified": self.classified,
+            "ok": self.ok,
+            "outcome_counts": dict(sorted(self.outcome_counts.items())),
+            "trap_counts": dict(sorted(self.trap_counts.items())),
+            "escapes": [vars(e).copy() for e in self.escapes],
+            "divergences": [vars(d).copy() for d in self.divergences],
+        }
+
+
+def _target_rng(seed: int, benchmark: str, layer: str) -> np.random.Generator:
+    """Deterministic per-(benchmark, layer) stream, stable across runs."""
+    return np.random.default_rng(
+        [seed, zlib.crc32(f"{benchmark}:{layer}".encode())])
+
+
+def _sig(res: ExecResult) -> Dict[str, str]:
+    return {
+        "status": res.status.value,
+        "output": res.output,
+        "dyn_total": str(res.dyn_total),
+        "dyn_injectable": str(res.dyn_injectable),
+        "trap_kind": str(canonical_trap_kind(res.trap_kind)),
+        "injected_iid": str(res.injected_iid),
+    }
+
+
+def chaos_sweep(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: str = "tiny",
+    n: int = 200,
+    seed: int = 2023,
+    layers: Sequence[str] = ("ir", "asm"),
+    dispatches: Sequence[str] = ("naive", "decoded"),
+    contain: Optional[bool] = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ChaosReport:
+    """Fuzz the containment boundary of every simulator configuration.
+
+    For each ``benchmark x layer``, draws ``n`` seeded ``(index, bit)``
+    injections over the golden injectable range and executes each under
+    every dispatch mode.  Host exceptions become :class:`ChaosEscape`
+    records (the harness itself never crashes); cross-dispatch result
+    mismatches become :class:`ChaosDivergence` records; every result is
+    classified against the golden output.
+
+    ``contain`` is forwarded to the simulators (``False`` disables the
+    boundary — used by the regression suite to prove the fuzzer detects
+    unguarded paths; ``None`` defers to ``REPRO_CONTAIN``).
+    """
+    from ..pipeline import build
+
+    names = list(benchmarks) if benchmarks else benchmark_names()
+    report = ChaosReport(
+        scale=scale, seed=seed, n_per_target=n, benchmarks=names,
+        layers=tuple(layers), dispatches=tuple(dispatches),
+        contain=bool(contain) if contain is not None else True,
+    )
+
+    for name in names:
+        built = build(name, scale=scale)
+        for layer in layers:
+            if layer == "ir":
+                def sim(dispatch):
+                    return IRInterpreter(
+                        built.module, layout=built.layout,
+                        max_steps=max_steps, dispatch=dispatch,
+                        contain=contain)
+            elif layer == "asm":
+                def sim(dispatch):
+                    return AsmMachine(
+                        built.compiled, built.layout,
+                        max_steps=max_steps, dispatch=dispatch,
+                        contain=contain)
+            else:
+                raise CampaignError(f"unknown layer {layer!r}")
+
+            max_steps = _MIN_MAX_STEPS
+            golden = sim("decoded").run()
+            if golden.status is not RunStatus.OK:
+                raise CampaignError(
+                    f"golden {layer} run of {name!r} failed: "
+                    f"{golden.status.value}/{golden.trap_kind}")
+            max_steps = max(_MIN_MAX_STEPS,
+                            golden.dyn_total * _MAX_STEPS_FACTOR)
+
+            rng = _target_rng(seed, name, layer)
+            indices = rng.integers(0, golden.dyn_injectable, size=n)
+            bits = rng.integers(0, 64, size=n)
+
+            for idx, bit in zip(indices.tolist(), bits.tolist()):
+                by_dispatch: Dict[str, ExecResult] = {}
+                for dispatch in dispatches:
+                    report.injections += 1
+                    try:
+                        res = sim(dispatch).run(
+                            inject_index=idx, inject_bit=bit)
+                    except Exception as exc:      # noqa: BLE001
+                        report.escapes.append(ChaosEscape(
+                            benchmark=name, layer=layer, dispatch=dispatch,
+                            index=idx, bit=bit,
+                            exc_type=type(exc).__name__, detail=str(exc)))
+                        continue
+                    by_dispatch[dispatch] = res
+                    outcome = classify_outcome(res, golden.output)
+                    report.classified += 1
+                    key = outcome.value
+                    report.outcome_counts[key] = \
+                        report.outcome_counts.get(key, 0) + 1
+                    if res.trap_kind is not None:
+                        report.trap_counts[res.trap_kind] = \
+                            report.trap_counts.get(res.trap_kind, 0) + 1
+
+                if "naive" in by_dispatch and "decoded" in by_dispatch:
+                    a = _sig(by_dispatch["naive"])
+                    b = _sig(by_dispatch["decoded"])
+                    for fld in _SIG_FIELDS:
+                        if a[fld] != b[fld]:
+                            report.divergences.append(ChaosDivergence(
+                                benchmark=name, layer=layer,
+                                index=idx, bit=bit, field=fld,
+                                naive=a[fld][:120], decoded=b[fld][:120]))
+                            break
+            if progress is not None:
+                progress(f"{name:14s} {layer:3s}  "
+                         f"{n * len(tuple(dispatches))} injections  "
+                         f"escapes={len(report.escapes)} "
+                         f"divergences={len(report.divergences)}")
+    return report
+
+
+def render_chaos(report: ChaosReport) -> str:
+    """Human-readable sweep summary (the ``repro chaos`` output)."""
+    lines = [
+        f"chaos sweep: {len(report.benchmarks)} benchmarks x "
+        f"{len(report.layers)} layers x {len(report.dispatches)} "
+        f"dispatch modes x {report.n_per_target} injections "
+        f"(scale={report.scale}, seed={report.seed}, "
+        f"contain={'on' if report.contain else 'off'})",
+        f"  injections executed:  {report.injections}",
+        f"  injections classified: {report.classified}",
+        f"  outcomes:  " + ", ".join(
+            f"{k}={v}" for k, v in sorted(report.outcome_counts.items())),
+        f"  trap kinds: " + (", ".join(
+            f"{k}={v}" for k, v in sorted(report.trap_counts.items()))
+            or "(none)"),
+    ]
+    if report.escapes:
+        lines.append(f"  HOST ESCAPES: {len(report.escapes)}")
+        for esc in report.escapes[:20]:
+            lines.append(f"    {esc.reproducer()}")
+        if len(report.escapes) > 20:
+            lines.append(f"    ... {len(report.escapes) - 20} more")
+    if report.divergences:
+        lines.append(f"  DISPATCH DIVERGENCES: {len(report.divergences)}")
+        for div in report.divergences[:20]:
+            lines.append(
+                f"    {div.benchmark} {div.layer} idx={div.index} "
+                f"bit={div.bit}: {div.field} naive={div.naive!r} "
+                f"decoded={div.decoded!r}")
+        if len(report.divergences) > 20:
+            lines.append(f"    ... {len(report.divergences) - 20} more")
+    lines.append("  invariant: " + ("HELD — no injected fault crashed, "
+                                    "hung, or OOMed the harness"
+                                    if report.ok else "VIOLATED"))
+    return "\n".join(lines) + "\n"

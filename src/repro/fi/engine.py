@@ -39,6 +39,7 @@ from __future__ import annotations
 import os
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..contain import host_escape_result
 from ..execresult import ExecResult
 from ..interp.interpreter import IRInterpreter
 from ..interp.layout import GlobalLayout
@@ -103,9 +104,16 @@ def run_injection_suite(
 
     def replay(idx: int, snap) -> None:
         for tag, bit in by_idx[idx]:
-            res = replay_sim.run(
-                inject_index=idx, inject_bit=bit, resume_from=snap
-            )
+            try:
+                res = replay_sim.run(
+                    inject_index=idx, inject_bit=bit, resume_from=snap
+                )
+            except (MemoryError, RecursionError) as exc:
+                # resource exhaustion outside the simulator's own
+                # containment boundary (e.g. during snapshot restore):
+                # classify this one injection as a trap instead of
+                # letting the worker die and burn split-retry budget
+                res = host_escape_result(exc, layer=layer)
             emit(tag, res)
         done.add(idx)
 
@@ -113,4 +121,8 @@ def run_injection_suite(
     for idx in targets:
         if idx not in done:  # pragma: no cover - defensive
             for tag, bit in by_idx[idx]:
-                emit(tag, fresh().run(inject_index=idx, inject_bit=bit))
+                try:
+                    res = fresh().run(inject_index=idx, inject_bit=bit)
+                except (MemoryError, RecursionError) as exc:
+                    res = host_escape_result(exc, layer=layer)
+                emit(tag, res)

@@ -2,19 +2,41 @@
 
 * **Benign**   — run completed, output identical to golden
 * **SDC**      — run completed, output differs (silent data corruption)
-* **DUE**      — run trapped (segfault/div-by-zero/bad jump/timeout)
+* **DUE**      — run trapped (segfault/div-by-zero/bad jump/budget/...)
 * **Detected** — a duplication/Flowery checker fired
 
 The paper studies SDCs; DUEs are tracked but not optimised for (§2.2).
+
+Trap kinds are canonicalised here: the step budget was historically
+reported as ``"timeout"``, which conflated it with the resilience
+layer's *wall-clock* watchdog timeout.  The simulators now raise
+``"step-budget"``; :data:`TRAP_KIND_ALIASES` keeps old journals and
+rows replayable bit-for-bit under the new name.
 """
 
 from __future__ import annotations
 
 import enum
+from typing import Optional
 
 from ..execresult import ExecResult, RunStatus
 
-__all__ = ["Outcome", "classify_outcome"]
+__all__ = [
+    "Outcome",
+    "classify_outcome",
+    "TRAP_KIND_ALIASES",
+    "canonical_trap_kind",
+]
+
+#: legacy -> canonical trap kinds (see DESIGN §11)
+TRAP_KIND_ALIASES = {"timeout": "step-budget"}
+
+
+def canonical_trap_kind(kind: Optional[str]) -> Optional[str]:
+    """Map a (possibly legacy) trap kind to its canonical name."""
+    if kind is None:
+        return None
+    return TRAP_KIND_ALIASES.get(kind, kind)
 
 
 class Outcome(enum.Enum):
@@ -25,7 +47,14 @@ class Outcome(enum.Enum):
 
 
 def classify_outcome(result: ExecResult, golden_output: str) -> Outcome:
-    """Map an execution result to the paper's outcome taxonomy."""
+    """Map an execution result to the paper's outcome taxonomy.
+
+    Also canonicalises ``result.trap_kind`` in place (the back-compat
+    alias for the ``timeout`` -> ``step-budget`` rename), so journal
+    replay and live execution report one vocabulary.
+    """
+    if result.trap_kind in TRAP_KIND_ALIASES:
+        result.trap_kind = TRAP_KIND_ALIASES[result.trap_kind]
     if result.status is RunStatus.DETECTED:
         return Outcome.DETECTED
     if result.status is RunStatus.TRAP:

@@ -40,13 +40,14 @@ from dataclasses import dataclass, field, fields as dc_fields
 from multiprocessing import get_context
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..contain import host_escape_result
 from ..errors import CampaignError
 from ..execresult import ExecResult, RunStatus
 from ..interp.interpreter import IRInterpreter
 from ..machine.machine import AsmMachine
 from .campaign import CampaignConfig, InjectionRecord
 from .engine import engine_enabled, run_injection_suite
-from .outcomes import Outcome, classify_outcome
+from .outcomes import Outcome, canonical_trap_kind, classify_outcome
 
 __all__ = [
     "WorkSpec",
@@ -239,17 +240,27 @@ def _execute_chunk(built, layer: str,
 
 def _execute_sample(built, layer: str, idx: int, bit: int,
                     max_steps: int) -> Tuple:
-    """Run one injection; the returned row is JSON- and pickle-safe."""
-    if layer == "ir":
-        res = IRInterpreter(
-            built.module, layout=built.layout, max_steps=max_steps,
-            dispatch="naive",
-        ).run(inject_index=idx, inject_bit=bit)
-    else:
-        res = AsmMachine(
-            built.compiled, built.layout, max_steps=max_steps,
-            dispatch="naive",
-        ).run(inject_index=idx, inject_bit=bit)
+    """Run one injection; the returned row is JSON- and pickle-safe.
+
+    A ``MemoryError``/``RecursionError`` that slips past the simulator's
+    own containment boundary is a property of this *one* injection, not
+    of the worker: classify it as a ``host-escape`` trap row instead of
+    letting the process die and burn the supervisor's split-retry
+    budget re-executing the same poisoned sample (DESIGN §11).
+    """
+    try:
+        if layer == "ir":
+            res = IRInterpreter(
+                built.module, layout=built.layout, max_steps=max_steps,
+                dispatch="naive",
+            ).run(inject_index=idx, inject_bit=bit)
+        else:
+            res = AsmMachine(
+                built.compiled, built.layout, max_steps=max_steps,
+                dispatch="naive",
+            ).run(inject_index=idx, inject_bit=bit)
+    except (MemoryError, RecursionError) as exc:
+        res = host_escape_result(exc, layer=layer)
     return _row_from_result(layer, idx, bit, res)
 
 
@@ -268,7 +279,7 @@ def record_from_row(row: Tuple, golden_output: str
     return outcome, InjectionRecord(
         dyn_index=idx, bit=bit, outcome=outcome, iid=iid,
         asm_index=asm_index, asm_role=asm_role, asm_opcode=asm_opcode,
-        trap_kind=trap_kind,
+        trap_kind=canonical_trap_kind(trap_kind),
     )
 
 

@@ -21,6 +21,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from ..contain import (
+    DEFAULT_MAX_CALL_DEPTH,
+    DEFAULT_MEM_BUDGET,
+    DEFAULT_OUTPUT_BUDGET,
+    HOST_ESCAPE,
+    OutputBuffer,
+    containment_enabled,
+)
 from ..errors import CheckpointsDone, FaultDetected, IRError, SimTrap
 from ..execresult import ExecResult, RunStatus
 from ..ir import types as T
@@ -141,6 +149,10 @@ class IRInterpreter:
         stack_size: int = 1 << 19,
         trace=None,
         dispatch: str = "decoded",
+        contain: Optional[bool] = None,
+        max_call_depth: Optional[int] = None,
+        output_budget: Optional[int] = None,
+        mem_budget: Optional[int] = None,
     ):
         if dispatch not in ("decoded", "naive"):
             raise IRError(f"unknown dispatch mode {dispatch!r}")
@@ -148,9 +160,26 @@ class IRInterpreter:
         self.layout = layout or GlobalLayout(module)
         self.max_steps = max_steps
         self.dispatch = dispatch
-        self.memory: Memory = self.layout.make_memory(heap_size, stack_size)
+        # fault containment (DESIGN §11): resource budgets + host-escape
+        # boundary, identical in both dispatch modes
+        self.contain = containment_enabled(contain)
+        if self.contain:
+            self.max_call_depth = (max_call_depth if max_call_depth
+                                   is not None else DEFAULT_MAX_CALL_DEPTH)
+            if mem_budget is None:
+                mem_budget = DEFAULT_MEM_BUDGET
+            outputs: List[str] = OutputBuffer(
+                output_budget if output_budget is not None
+                else DEFAULT_OUTPUT_BUDGET)
+        else:
+            self.max_call_depth = 1 << 62
+            mem_budget = None
+            outputs = []
+        self._armed = False
+        self.memory: Memory = self.layout.make_memory(
+            heap_size, stack_size, mem_budget=mem_budget)
         self.sp = self.memory.stack_base
-        self.outputs: List[str] = []
+        self.outputs = outputs
         self.dyn_total = 0
         self.dyn_injectable = 0
         # fault injection state
@@ -206,6 +235,8 @@ class IRInterpreter:
             self._counts = [0] * (self._iid_bound() + 1)
         fn = self.module.function(entry)
         early = False
+        escape = None
+        self._armed = False
         try:
             if self.dispatch == "decoded":
                 ret = self._execute_decoded(
@@ -224,6 +255,18 @@ class IRInterpreter:
             ret, status, trap = None, RunStatus.DETECTED, None
         except SimTrap as t:
             ret, status, trap = None, RunStatus.TRAP, t.kind
+        except Exception as exc:
+            # the containment boundary (DESIGN §11): under an injection,
+            # any host exception escaping a faulty step is a DUE, not a
+            # harness crash.  Golden/uninjected runs re-raise — a host
+            # exception there is a real toolchain bug and must surface.
+            if not (self.contain and self._armed
+                    and inject_index is not None):
+                raise
+            ret, status, trap = None, RunStatus.TRAP, HOST_ESCAPE
+            escape = {"exc_type": type(exc).__name__, "detail": str(exc),
+                      "layer": "ir", "step": self.dyn_total,
+                      "index": self.dyn_injectable}
         if self.tracer is not None:
             self.tracer.finish()
         if self._counts is not None:
@@ -235,6 +278,8 @@ class IRInterpreter:
             extra["trace"] = self.tracer.trace
         if early:
             extra["early_stop"] = True
+        if escape is not None:
+            extra["host_escape"] = escape
         return ExecResult(
             status=status,
             output="".join(self.outputs),
@@ -267,6 +312,7 @@ class IRInterpreter:
         # single per-step test whether profiling or tracing: keeps the
         # disabled path as cheap as the profiling-only loop always was
         track = counts is not None or hook is not None
+        self._armed = True
 
         while True:
             block = frame.block
@@ -280,7 +326,8 @@ class IRInterpreter:
 
             self.dyn_total += 1
             if self.dyn_total > self.max_steps:
-                raise SimTrap("timeout", f"exceeded {self.max_steps} steps")
+                raise SimTrap("step-budget",
+                              f"exceeded {self.max_steps} steps")
             if track:
                 if counts is not None:
                     counts[inst.iid] += 1
@@ -336,13 +383,16 @@ class IRInterpreter:
                 continue
 
             # ---- value-producing instructions (injection sites) --------
+            # flip before allocating the index (same order as the
+            # decoded loop) so a host exception inside the flip leaves
+            # both dispatch modes with identical counters
             result = self._compute(frame, inst, op)
             idx = self.dyn_injectable
-            self.dyn_injectable += 1
             if idx == self.inject_index:
                 result = _flip_value(result, inst.type, self.inject_bit)
                 self.injected = True
                 self.injected_iid = inst.iid
+            self.dyn_injectable = idx + 1
             frame.temps[inst.iid] = result
 
     # -- pre-decoded execution core ---------------------------------------
@@ -385,6 +435,7 @@ class IRInterpreter:
             ]
             frame = frames.pop()
             stack = frames
+        self._armed = True
         return self._run_decoded(frame, stack, checkpoints, checkpoint_cb)
 
     def _run_decoded(self, frame: _Frame, stack: List[_Frame],
@@ -397,6 +448,7 @@ class IRInterpreter:
         dynamic indices exactly as the naive loop does.
         """
         stack_limit = self.memory.stack_limit
+        max_call_depth = self.max_call_depth
         counts = self._counts
         tracer = self.tracer
         hook = tracer.hook if tracer is not None else None
@@ -432,7 +484,7 @@ class IRInterpreter:
                 i += 1
                 dt += 1
                 if dt > max_steps:
-                    raise SimTrap("timeout",
+                    raise SimTrap("step-budget",
                                   f"exceeded {max_steps} steps")
                 if track:
                     if counts is not None:
@@ -496,6 +548,11 @@ class IRInterpreter:
                             self.injected_iid = e[2]
                         inj += 1
                     dfn = p[1]
+                    if len(stack) >= max_call_depth:
+                        raise SimTrap(
+                            "stack-overflow",
+                            f"call depth {max_call_depth} exceeded "
+                            f"calling @{dfn.fn.name}")
                     sp_save = self.sp
                     sp = sp_save - 16
                     self.sp = sp
@@ -624,6 +681,11 @@ class IRInterpreter:
         callee: Function = inst.callee
         if callee.is_declaration:
             raise IRError(f"call to declaration @{callee.name}")
+        if len(stack) >= self.max_call_depth:
+            raise SimTrap(
+                "stack-overflow",
+                f"call depth {self.max_call_depth} exceeded "
+                f"calling @{callee.name}")
         stack.append(frame)
         new = self._push_frame(
             callee, args, inst.iid if has_result else None

@@ -7,7 +7,7 @@ across layers (see :mod:`repro.memorymodel`).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..ir import types as T
 from ..ir.module import Module
@@ -40,10 +40,12 @@ class GlobalLayout:
         return self.addresses[gv.name]
 
     def make_memory(
-        self, heap_size: int = 1 << 20, stack_size: int = 1 << 19
+        self, heap_size: int = 1 << 20, stack_size: int = 1 << 19,
+        mem_budget: Optional[int] = None,
     ) -> Memory:
         """Fresh memory image with all globals initialised."""
-        mem = Memory(self.total_size, heap_size=heap_size, stack_size=stack_size)
+        mem = Memory(self.total_size, heap_size=heap_size,
+                     stack_size=stack_size, mem_budget=mem_budget)
         for name, gv in self.module.globals.items():
             self._init_global(mem, self.addresses[name], gv)
         return mem

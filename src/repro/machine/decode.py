@@ -54,9 +54,16 @@ class _Halt(Exception):
 
 
 class AsmState:
-    """Mutable run state shared between driver loop and closures."""
+    """Mutable run state shared between driver loop and closures.
 
-    __slots__ = ("regs", "xmm", "fl", "data", "outputs", "machine")
+    ``depth``/``max_depth`` carry the call-depth budget (DESIGN §11):
+    the decode cache is keyed by memory geometry and shared across
+    machines, so per-run budgets must travel in the state, not in the
+    closures.
+    """
+
+    __slots__ = ("regs", "xmm", "fl", "data", "outputs", "machine",
+                 "depth", "max_depth")
 
 
 class DecodedProgram:
@@ -517,6 +524,12 @@ def _decode(program: CompiledProgram, lo: int, hi: int,
                 sp = (regs[_RSP] - 8) & _M64
                 if sp < stack_limit or sp + 8 > hi:
                     raise SimTrap("stack-overflow", f"call at pc={cur}")
+                depth = st.depth + 1
+                st.depth = depth
+                if depth > st.max_depth:
+                    raise SimTrap(
+                        "stack-overflow",
+                        f"call depth {st.max_depth} exceeded at pc={cur}")
                 _PACK_Q.pack_into(st.data, sp, nxt)
                 regs[_RSP] = sp
                 return t
@@ -558,6 +571,7 @@ def _decode(program: CompiledProgram, lo: int, hi: int,
                     raise _Halt()
                 if addr >= n_insts:
                     raise SimTrap("bad-jump", f"ret to {addr:#x}")
+                st.depth -= 1
                 return addr
         elif code == PUSH:
             s = u[1]

@@ -22,6 +22,14 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..contain import (
+    DEFAULT_MAX_CALL_DEPTH,
+    DEFAULT_MEM_BUDGET,
+    DEFAULT_OUTPUT_BUDGET,
+    HOST_ESCAPE,
+    OutputBuffer,
+    containment_enabled,
+)
 from ..errors import (
     CheckpointsDone, FaultDetected, LoweringError, ReproError, SimTrap,
 )
@@ -311,11 +319,11 @@ class AsmSnapshot:
     """
 
     __slots__ = ("mem", "heap_break", "regs", "xmm", "fl", "pc",
-                 "steps", "injectable", "outputs")
+                 "steps", "injectable", "outputs", "depth")
 
     def __init__(self, mem: bytes, heap_break: int, regs: tuple,
                  xmm: tuple, fl: int, pc: int, steps: int,
-                 injectable: int, outputs: tuple):
+                 injectable: int, outputs: tuple, depth: int = 0):
         self.mem = mem
         self.heap_break = heap_break
         self.regs = regs
@@ -325,6 +333,7 @@ class AsmSnapshot:
         self.steps = steps
         self.injectable = injectable
         self.outputs = outputs
+        self.depth = depth
 
 
 class AsmMachine:
@@ -339,6 +348,10 @@ class AsmMachine:
         stack_size: int = 1 << 19,
         trace=None,
         dispatch: str = "decoded",
+        contain: Optional[bool] = None,
+        max_call_depth: Optional[int] = None,
+        output_budget: Optional[int] = None,
+        mem_budget: Optional[int] = None,
     ):
         if dispatch not in ("decoded", "naive"):
             raise ReproError(f"unknown dispatch mode {dispatch!r}")
@@ -346,8 +359,25 @@ class AsmMachine:
         self.program = program
         self.layout = layout
         self.max_steps = max_steps
-        self.memory: Memory = layout.make_memory(heap_size, stack_size)
-        self.outputs: List[str] = []
+        # fault containment (DESIGN §11): resource budgets + host-escape
+        # boundary, identical in both dispatch modes
+        self.contain = containment_enabled(contain)
+        if self.contain:
+            self.max_call_depth = (max_call_depth if max_call_depth
+                                   is not None else DEFAULT_MAX_CALL_DEPTH)
+            if mem_budget is None:
+                mem_budget = DEFAULT_MEM_BUDGET
+            outputs: List[str] = OutputBuffer(
+                output_budget if output_budget is not None
+                else DEFAULT_OUTPUT_BUDGET)
+        else:
+            self.max_call_depth = 1 << 62
+            mem_budget = None
+            outputs = []
+        self._armed = False
+        self.memory: Memory = layout.make_memory(
+            heap_size, stack_size, mem_budget=mem_budget)
+        self.outputs = outputs
         self.dyn_total = 0
         self.dyn_injectable = 0
         self.injected = False
@@ -379,6 +409,8 @@ class AsmMachine:
         if profile:
             self._counts = [0] * len(self.program.uops)
         early = False
+        escape = None
+        self._armed = False
         try:
             if self.dispatch == "decoded":
                 self._loop_decoded(inject_index, inject_bit,
@@ -396,6 +428,18 @@ class AsmMachine:
             status, trap = RunStatus.DETECTED, None
         except SimTrap as t:
             status, trap = RunStatus.TRAP, t.kind
+        except Exception as exc:
+            # the containment boundary (DESIGN §11): under an injection,
+            # any host exception escaping a faulty step is a DUE, not a
+            # harness crash.  Golden/uninjected runs re-raise — a host
+            # exception there is a real toolchain bug and must surface.
+            if not (self.contain and self._armed
+                    and inject_index is not None):
+                raise
+            status, trap = RunStatus.TRAP, HOST_ESCAPE
+            escape = {"exc_type": type(exc).__name__, "detail": str(exc),
+                      "layer": "asm", "step": self.dyn_total,
+                      "index": self.dyn_injectable}
         if self._counts is not None:
             self.per_inst_counts = {
                 i: c for i, c in enumerate(self._counts) if c
@@ -416,6 +460,8 @@ class AsmMachine:
             extra["trace"] = self.tracer.trace
         if early:
             extra["early_stop"] = True
+        if escape is not None:
+            extra["host_escape"] = escape
         return ExecResult(
             status=status,
             output="".join(self.outputs),
@@ -455,6 +501,8 @@ class AsmMachine:
         pc = prog.entry_index
         steps = 0
         injectable = 0
+        depth = 0
+        max_call_depth = self.max_call_depth
         max_steps = self.max_steps
         counts = self._counts
         tracer = self.tracer
@@ -465,6 +513,7 @@ class AsmMachine:
 
         target = inject_index if inject_index is not None else -1
         injected = False
+        self._armed = True
 
         try:
             while True:
@@ -475,7 +524,8 @@ class AsmMachine:
                 if steps > max_steps:
                     self.dyn_total = steps
                     self.dyn_injectable = injectable
-                    raise SimTrap("timeout", f"exceeded {max_steps} steps")
+                    raise SimTrap("step-budget",
+                                  f"exceeded {max_steps} steps")
                 if track:
                     if counts is not None:
                         counts[pc] += 1
@@ -638,6 +688,12 @@ class AsmMachine:
                         sp = (regs[_RSP] - 8) & _MASK64
                         if sp < stack_limit or sp + 8 > hi:
                             raise SimTrap("stack-overflow", f"call at pc={cur}")
+                        depth += 1
+                        if depth > max_call_depth:
+                            raise SimTrap(
+                                "stack-overflow",
+                                f"call depth {max_call_depth} exceeded "
+                                f"at pc={cur}")
                         data[sp : sp + 8] = pc.to_bytes(8, "little")
                         regs[_RSP] = sp
                         pc = u[1]
@@ -653,6 +709,7 @@ class AsmMachine:
                             break  # main returned
                         if addr >= n_insts:
                             raise SimTrap("bad-jump", f"ret to {addr:#x}")
+                        depth -= 1
                         pc = addr
                     elif code == PUSH:
                         sp = (regs[_RSP] - 8) & _MASK64
@@ -777,6 +834,7 @@ class AsmMachine:
             regs = [0] * 16
             xmm = [0.0] * 16
             st.fl = 0
+            st.depth = 0
             sp = mem.stack_base - 8
             data[sp:sp + 8] = _SENTINEL_RET.to_bytes(8, "little")
             regs[_RSP] = sp
@@ -794,6 +852,7 @@ class AsmMachine:
             regs = list(snap.regs)
             xmm = list(snap.xmm)
             st.fl = snap.fl
+            st.depth = snap.depth
             pc = snap.pc
             steps = snap.steps
             injectable = snap.injectable
@@ -802,6 +861,7 @@ class AsmMachine:
             self.injected_index = None
         st.regs = regs
         st.xmm = xmm
+        st.max_depth = self.max_call_depth
 
         watch_iter = iter(watch) if watch is not None else None
         next_watch = (next(watch_iter, None)
@@ -815,6 +875,7 @@ class AsmMachine:
 
         target = inject_index if inject_index is not None else -1
         injected = False
+        self._armed = True
 
         try:
             while True:
@@ -830,7 +891,7 @@ class AsmMachine:
                     watch_cb(next_watch, AsmSnapshot(
                         bytes(data), mem.heap_break, tuple(regs),
                         tuple(xmm), st.fl, pc, steps, injectable,
-                        tuple(self.outputs)))
+                        tuple(self.outputs), st.depth))
                     next_watch = next(watch_iter, None)
                     if next_watch is None:
                         raise CheckpointsDone()
@@ -838,7 +899,8 @@ class AsmMachine:
                 if steps > max_steps:
                     self.dyn_total = steps
                     self.dyn_injectable = injectable
-                    raise SimTrap("timeout", f"exceeded {max_steps} steps")
+                    raise SimTrap("step-budget",
+                                  f"exceeded {max_steps} steps")
                 if track:
                     if counts is not None:
                         counts[pc] += 1

@@ -17,12 +17,17 @@ the paper's fault model (§2.2).
 
 Accesses outside the mapped ranges raise :class:`~repro.errors.SimTrap`
 with kind ``"segfault"``; this is how injected faults become DUEs.
+
+``mem_budget`` caps the total size of the backing ``bytearray``
+(``SimTrap("mem-budget")``): a corrupted layout or an absurd
+heap/stack request cannot allocate an unbounded host image (part of
+the fault containment contract, DESIGN §11).
 """
 
 from __future__ import annotations
 
 import struct
-from typing import List, Union
+from typing import List, Optional, Union
 
 from .errors import SimTrap
 from .utils.bits import to_signed, to_unsigned
@@ -52,6 +57,7 @@ class Memory:
         "stack_limit",
         "stack_base",
         "size",
+        "mem_budget",
     )
 
     def __init__(
@@ -59,6 +65,7 @@ class Memory:
         global_size: int,
         heap_size: int = 1 << 20,
         stack_size: int = 1 << 19,
+        mem_budget: Optional[int] = None,
     ):
         self.global_base = GLOBAL_BASE
         self.global_end = GLOBAL_BASE + _align(global_size, 16)
@@ -68,6 +75,13 @@ class Memory:
         self.stack_limit = self.heap_end
         self.stack_base = self.stack_limit + stack_size  # grows downward
         self.size = self.stack_base
+        self.mem_budget = mem_budget
+        if mem_budget is not None and self.size > mem_budget:
+            raise SimTrap(
+                "mem-budget",
+                f"memory image of {self.size} bytes exceeds budget of "
+                f"{mem_budget}",
+            )
         self.data = bytearray(self.size)
 
     # -- mapping checks ---------------------------------------------------

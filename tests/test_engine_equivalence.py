@@ -232,15 +232,103 @@ class TestRunnersAndResume:
         assert campaign_signature(resumed) == campaign_signature(clean)
 
 
+#: calls + loops + memory: rich enough that single flips reach every
+#: interesting trap (bad pointers, corrupted branch targets, runaway
+#: loops) — the (idx, bit) pairs below were found by exhaustive scan
+#: and are pinned; the tests re-assert the expected trap kind, so a
+#: codegen change that moves them fails loudly instead of silently
+#: testing nothing
+TRAP_SRC = """
+int vals[4] = {3, 1, 4, 1};
+int agg(int a, int b) { return a * 2 + b; }
+int main() {
+    int s = 0;
+    for (int i = 0; i < 4; i++) { s = agg(s, vals[i]); }
+    print(s);
+    return 0;
+}
+"""
+
+#: (layer, expected trap kind, inject_index, inject_bit)
+TRAP_CASES = [
+    ("ir", "segfault", 3, 18),          # bad pointer
+    ("ir", "step-budget", 11, 63),      # runaway loop hits the budget
+    ("asm", "segfault", 0, 0),          # bad pointer
+    ("asm", "bad-jump", 0, 4),          # corrupted branch/return target
+    ("asm", "stack-overflow", 0, 19),   # corrupted stack pointer
+    ("asm", "step-budget", 0, 12),      # runaway loop hits the budget
+]
+
+
+@pytest.fixture(scope="module")
+def trap_built():
+    return build_from_source(TRAP_SRC, name="equiv_trap")
+
+
+class TestTrapEquivalence:
+    """Trapping injections are bit-identical across dispatch modes and
+    the checkpoint-replay engine: same outcome, same trap kind, same
+    dynamic counters."""
+
+    @staticmethod
+    def _sim(built, layer, dispatch, max_steps):
+        if layer == "ir":
+            return IRInterpreter(built.module, layout=built.layout,
+                                 max_steps=max_steps, dispatch=dispatch)
+        return AsmMachine(built.compiled, built.layout,
+                          max_steps=max_steps, dispatch=dispatch)
+
+    @classmethod
+    def _max_steps(cls, built, layer):
+        golden = cls._sim(built, layer, "decoded", 1_000_000).run()
+        return max(1000, golden.dyn_total * 4)
+
+    @pytest.mark.parametrize("layer,kind,idx,bit", TRAP_CASES)
+    def test_trap_identical_across_dispatch(self, trap_built, layer,
+                                            kind, idx, bit):
+        from repro.execresult import RunStatus
+
+        ms = self._max_steps(trap_built, layer)
+        naive = self._sim(trap_built, layer, "naive", ms).run(
+            inject_index=idx, inject_bit=bit)
+        decoded = self._sim(trap_built, layer, "decoded", ms).run(
+            inject_index=idx, inject_bit=bit)
+        assert naive.status is RunStatus.TRAP
+        assert naive.trap_kind == kind
+        assert _res_sig(naive) == _res_sig(decoded)
+
+    @pytest.mark.parametrize("layer,kind,idx,bit", TRAP_CASES)
+    def test_trap_identical_through_engine(self, trap_built, layer,
+                                           kind, idx, bit):
+        from repro.fi.engine import run_injection_suite
+
+        ms = self._max_steps(trap_built, layer)
+        full = self._sim(trap_built, layer, "decoded", ms).run(
+            inject_index=idx, inject_bit=bit)
+        assert full.trap_kind == kind
+        got = {}
+        run_injection_suite(
+            layer, [(0, idx, bit)], ms,
+            module=trap_built.module, layout=trap_built.layout,
+            program=trap_built.compiled,
+            emit=lambda tag, res: got.__setitem__(tag, res),
+        )
+        assert _res_sig(got[0]) == _res_sig(full)
+
+
 class TestBenchHarness:
     def test_bench_document_shape(self):
         doc = run_campaign_bench("crc32", scale="tiny", n=6, seed=1)
-        assert doc["schema"] == "bench_campaign/1"
+        assert doc["schema"] == "bench_campaign/2"
         assert set(doc["layers"]) == {"ir", "asm"}
         for d in doc["layers"].values():
             assert d["results_identical"] is True
             assert d["naive_seconds"] > 0 and d["engine_seconds"] > 0
+            c = d["containment"]
+            assert c["results_identical"] is True
+            assert c["off_seconds"] > 0 and c["on_seconds"] > 0
         assert doc["overall"]["results_identical"] is True
+        assert doc["overall"]["containment"]["results_identical"] is True
 
     def test_engine_env_toggle(self, built, monkeypatch):
         cfg = CampaignConfig(n_campaigns=10, seed=4)

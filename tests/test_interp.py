@@ -139,13 +139,13 @@ int main() { print(down(0)); return 0; }
 """
         res = run_minic(src)
         assert res.status is RunStatus.TRAP
-        assert res.trap_kind in ("stack-overflow", "timeout")
+        assert res.trap_kind in ("stack-overflow", "step-budget")
 
     def test_timeout(self):
         src = "int main() { while (1) { } return 0; }"
         res = run_minic(src, max_steps=1000)
         assert res.status is RunStatus.TRAP
-        assert res.trap_kind == "timeout"
+        assert res.trap_kind == "step-budget"
 
     def test_break_continue(self):
         src = """

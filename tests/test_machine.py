@@ -84,13 +84,13 @@ int main() { int i = -90000000; a[i] = 1; return 0; }
         src = "int f(int n) { return f(n); } int main() { return f(1); }"
         res = asm_out(src, max_steps=2_000_000)
         assert res.status is RunStatus.TRAP
-        assert res.trap_kind in ("stack-overflow", "timeout")
+        assert res.trap_kind in ("stack-overflow", "step-budget")
 
     def test_timeout(self):
         res = asm_out("int main() { while (1) { } return 0; }",
                       max_steps=500)
         assert res.status is RunStatus.TRAP
-        assert res.trap_kind == "timeout"
+        assert res.trap_kind == "step-budget"
         assert res.dyn_total > 0
 
 
