@@ -15,6 +15,8 @@
     repro resume c.jsonl                     # finish an interrupted one
     repro bench pathfinder --scale medium    # naive vs engine throughput
     repro chaos --smoke                      # fuzz the containment contract
+    repro testgen --seed 7 --oracle          # generate + differential oracle
+    repro mutate --smoke                     # mutation-test the protection
     repro experiment fig2|fig3|fig17|table1|overhead|compile-time
 
 Environment knobs (REPRO_SCALE, REPRO_CAMPAIGNS, REPRO_BENCHMARKS...)
@@ -196,6 +198,44 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos_p.add_argument("--json", default=None, metavar="PATH",
                          help="write the JSON report here")
+
+    tg_p = sub.add_parser(
+        "testgen",
+        help="generate seed-deterministic programs and (optionally) run "
+             "each through the differential protection/layer/dispatch "
+             "oracle matrix",
+    )
+    tg_p.add_argument("--kind", choices=("minic", "ir"), default="minic",
+                      help="MiniC source generation or direct-IR modules")
+    tg_p.add_argument("--seed", type=int, default=0, help="first seed")
+    tg_p.add_argument("--count", type=int, default=1,
+                      help="number of consecutive seeds")
+    tg_p.add_argument("--oracle", action="store_true",
+                      help="run every generated program through the full "
+                           "differential oracle matrix instead of "
+                           "printing it")
+    tg_p.add_argument("--json", default=None, metavar="PATH",
+                      help="write the oracle reports as JSON here")
+
+    mut_p = sub.add_parser(
+        "mutate",
+        help="mutation-test the protection passes: every catalogued "
+             "weakening must be killed by the golden, coverage, or "
+             "plan-invariant oracle",
+    )
+    mut_p.add_argument(
+        "--mutant", action="append", default=None, metavar="NAME",
+        help="run only this mutant (repeatable; default: full catalog)",
+    )
+    mut_p.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized subset: one mutant per oracle family plus an "
+             "identity row",
+    )
+    mut_p.add_argument("--list", action="store_true", dest="list_mutants",
+                       help="list the catalog and exit")
+    mut_p.add_argument("--json", default=None, metavar="PATH",
+                       help="write the kill-matrix JSON here")
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper artifact")
     exp_p.add_argument(
@@ -402,6 +442,70 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_testgen(args) -> int:
+    import json
+
+    from .frontend.codegen import compile_source
+    from .ir.printer import print_module
+    from .testgen import generate_ir, generate_minic, run_differential_oracle
+
+    docs = []
+    failed = False
+    for seed in range(args.seed, args.seed + args.count):
+        if args.kind == "minic":
+            prog = generate_minic(seed)
+            name = f"minic-{seed}"
+            make = lambda: compile_source(prog.source, name)  # noqa: E731
+            listing = prog.source
+        else:
+            name = f"ir-{seed}"
+            make = lambda: generate_ir(seed)  # noqa: E731
+            listing = print_module(generate_ir(seed))
+        if not args.oracle:
+            print(f"// {name}")
+            print(listing)
+            continue
+        report = run_differential_oracle(make, name=name)
+        docs.append(report.to_doc())
+        status = "ok" if report.ok else "FAILED"
+        print(f"{name:12s} {report.runs:3d} matrix runs  {status}")
+        for failure in report.failures:
+            failed = True
+            print(f"  {failure.describe()}")
+    if args.json and args.oracle:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump({"schema": "testgen-oracle/1", "reports": docs},
+                      fh, indent=2)
+            fh.write("\n")
+        print(f"# oracle reports written to {args.json}")
+    return 1 if failed else 0
+
+
+def _cmd_mutate(args) -> int:
+    import json
+
+    from .testgen.mutants import MUTANTS, SMOKE_MUTANTS, run_mutation_suite
+
+    if args.list_mutants:
+        for m in MUTANTS:
+            mark = "" if m.expect_killed else " (identity: must survive)"
+            print(f"{m.name:30s} {m.kind:9s} {m.oracle:9s} "
+                  f"{m.description}{mark}")
+        return 0
+    names = args.mutant
+    if args.smoke:
+        names = list(SMOKE_MUTANTS) + list(args.mutant or [])
+    report = run_mutation_suite(
+        names=names, progress=lambda line: print(f"# {line}"))
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_doc(), fh, indent=2)
+            fh.write("\n")
+        print(f"# kill matrix written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def _cmd_experiment(which: str) -> int:
     cfg = ExperimentConfig.from_env()
     if which == "table1":
@@ -443,6 +547,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "testgen":
+        return _cmd_testgen(args)
+    if args.command == "mutate":
+        return _cmd_mutate(args)
     if args.command == "experiment":
         return _cmd_experiment(args.which)
     raise AssertionError("unreachable")

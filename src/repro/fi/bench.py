@@ -18,11 +18,20 @@ section: the same engine campaign timed with the fault containment
 sandbox (DESIGN §11) disabled (``REPRO_CONTAIN=0``) and enabled,
 proving the budgets-and-boundary machinery costs a few percent at most
 and changes no result.
+
+Since bench_campaign/3 it additionally carries a ``testgen`` section
+(DESIGN §12): a differential-oracle smoke over a handful of generated
+programs timed against a 60 s budget, plus the
+``campaign_imports_testgen`` flag — recorded *before* the smoke pulls
+the package in — proving the campaigns above executed without ever
+importing :mod:`repro.testgen` (its runtime cost to campaigns is
+exactly zero, not merely small).
 """
 
 from __future__ import annotations
 
 import os
+import sys
 import time
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
@@ -32,7 +41,12 @@ from ..pipeline import build
 
 __all__ = ["run_campaign_bench", "render_bench", "campaign_signature"]
 
-BENCH_SCHEMA = "bench_campaign/2"
+BENCH_SCHEMA = "bench_campaign/3"
+
+#: wall-clock budget for the testgen oracle-matrix smoke
+TESTGEN_BUDGET_SECONDS = 60.0
+#: seeds the smoke sweeps (each runs one MiniC and one direct-IR matrix)
+TESTGEN_SMOKE_SEEDS = (0, 1, 2)
 
 #: CI smoke workload: long enough traces (golden IR ~54k / asm ~121k
 #: dynamic steps at medium scale) that checkpoint-replay amortization
@@ -143,6 +157,41 @@ def run_campaign_bench(
             },
         }
 
+    # zero-runtime-cost proof: nothing the campaigns above executed may
+    # have imported the validation tooling.  Snapshot the flag *before*
+    # the oracle smoke imports it.
+    campaign_imports_testgen = any(
+        name == "repro.testgen" or name.startswith("repro.testgen.")
+        for name in sys.modules
+    )
+    from ..frontend.codegen import compile_source
+    from ..testgen import generate_ir, generate_minic, run_differential_oracle
+
+    t0 = time.perf_counter()
+    oracle_runs = 0
+    oracle_ok = True
+    for s in TESTGEN_SMOKE_SEEDS:
+        prog = generate_minic(s)
+        for name, make in (
+            (f"minic-{s}", lambda p=prog, s=s: compile_source(
+                p.source, f"bench-minic{s}")),
+            (f"ir-{s}", lambda s=s: generate_ir(s)),
+        ):
+            report = run_differential_oracle(make, name=name)
+            oracle_runs += report.runs
+            oracle_ok = oracle_ok and report.ok
+    oracle_s = time.perf_counter() - t0
+    testgen = {
+        "oracle_seeds": list(TESTGEN_SMOKE_SEEDS),
+        "oracle_programs": 2 * len(TESTGEN_SMOKE_SEEDS),
+        "oracle_matrix_runs": oracle_runs,
+        "oracle_seconds": oracle_s,
+        "budget_seconds": TESTGEN_BUDGET_SECONDS,
+        "within_budget": oracle_s < TESTGEN_BUDGET_SECONDS,
+        "oracle_ok": oracle_ok,
+        "campaign_imports_testgen": campaign_imports_testgen,
+    }
+
     naive_total = sum(d["naive_seconds"] for d in layers.values())
     engine_total = sum(d["engine_seconds"] for d in layers.values())
     contain_off_total = sum(
@@ -160,6 +209,7 @@ def run_campaign_bench(
             "flowery": flowery,
         },
         "layers": layers,
+        "testgen": testgen,
         "overall": {
             "naive_seconds": naive_total,
             "engine_seconds": engine_total,
@@ -217,4 +267,13 @@ def render_bench(doc: Dict) -> str:
         f"{'all':6s} {oc['off_seconds']:8.3f}s {oc['on_seconds']:8.3f}s "
         f"{oc['overhead_pct']:+8.2f}% {str(oc['results_identical']):>9s}"
     )
+    tg = doc.get("testgen")
+    if tg:
+        lines.append(
+            f"testgen oracle smoke: {tg['oracle_programs']} programs / "
+            f"{tg['oracle_matrix_runs']} matrix runs in "
+            f"{tg['oracle_seconds']:.2f}s (budget {tg['budget_seconds']:.0f}s, "
+            f"ok={tg['oracle_ok']}); campaigns imported repro.testgen: "
+            f"{tg['campaign_imports_testgen']}"
+        )
     return "\n".join(lines) + "\n"

@@ -46,6 +46,7 @@ __all__ = [
     "ChaosReport",
     "chaos_sweep",
     "render_chaos",
+    "shrink_case",
     "CHAOS_SCHEMA",
 ]
 
@@ -140,6 +141,40 @@ class ChaosReport:
             "escapes": [vars(e).copy() for e in self.escapes],
             "divergences": [vars(d).copy() for d in self.divergences],
         }
+
+
+def shrink_case(items: Sequence, still_fails: Callable[[List], bool]) -> List:
+    """Delta-debugging (ddmin-style) list minimization.
+
+    Given a failing ``items`` list and a deterministic ``still_fails``
+    predicate, returns a 1-minimal sublist (original order preserved)
+    that still satisfies the predicate: removing any single remaining
+    element makes the failure disappear.  The predicate must treat an
+    un-runnable candidate (e.g. a program subset that no longer
+    compiles) as *not failing*.
+
+    Used to shrink chaos-fuzz reproducers and generated MiniC programs
+    (:func:`repro.testgen.minic.minimize_minic`) to minimal witnesses.
+    """
+    items = list(items)
+    if not still_fails(items):
+        raise CampaignError("shrink_case: initial case does not fail")
+    n = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // n)
+        reduced = False
+        for start in range(0, len(items), chunk):
+            candidate = items[:start] + items[start + chunk:]
+            if candidate and still_fails(candidate):
+                items = candidate
+                n = max(2, n - 1)
+                reduced = True
+                break
+        if not reduced:
+            if chunk == 1:
+                break
+            n = min(len(items), n * 2)
+    return items
 
 
 def _target_rng(seed: int, benchmark: str, layer: str) -> np.random.Generator:

@@ -49,7 +49,7 @@ from ..ir.module import BasicBlock, Function, Module
 from ..ir.values import Value
 
 __all__ = ["duplicate_module", "DuplicationInfo", "CheckerInfo",
-           "duplicable_instructions", "is_duplicable"]
+           "duplicable_instructions", "is_duplicable", "sync_kind"]
 
 #: opcodes the pass can duplicate (pure computations + loads)
 _DUPLICABLE_OPS = frozenset(
@@ -74,6 +74,24 @@ def is_duplicable(inst: Instruction) -> bool:
 def duplicable_instructions(module: Module) -> List[Instruction]:
     """All instructions a protection plan may select."""
     return [i for i in module.instructions() if is_duplicable(i)]
+
+
+def sync_kind(inst: Instruction) -> Optional[str]:
+    """Classify a synchronisation point: ``store``/``branch``/``call``/
+    ``ret`` (``None`` for non-sync instructions).
+
+    Used by the analysis and mutation-testing layers to group checkers
+    by the kind of sync point they guard.
+    """
+    if isinstance(inst, Store):
+        return "store"
+    if isinstance(inst, CondBr):
+        return "branch"
+    if isinstance(inst, Call):
+        return "call"
+    if isinstance(inst, Ret):
+        return "ret"
+    return None
 
 
 @dataclass

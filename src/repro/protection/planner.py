@@ -31,7 +31,7 @@ from ..ir.module import Module
 from .duplication import duplicable_instructions
 
 __all__ = ["SdcProfile", "ProtectionPlan", "profile_module", "plan_protection",
-           "knapsack_greedy", "knapsack_exact"]
+           "knapsack_greedy", "knapsack_exact", "validate_plan"]
 
 PROTECTION_LEVELS = (30, 50, 70, 100)
 
@@ -179,6 +179,44 @@ def knapsack_exact(
             chosen.add(iid)
             b -= cost
     return chosen
+
+
+def validate_plan(
+    plan: ProtectionPlan,
+    module: Module,
+    profile: SdcProfile,
+) -> List[str]:
+    """Check the structural invariants every protection plan must hold.
+
+    Returns a list of human-readable violations (empty = valid):
+
+    * the selected set only names duplicable instructions of ``module``;
+    * ``spent`` equals the recomputed dynamic cost of the selection;
+    * below level 100, the budget is respected (``spent <= budget``).
+
+    The mutation-testing harness (:mod:`repro.testgen.mutants`) uses
+    this as its plan-invariant oracle; a corrupted knapsack must fail
+    here even when the resulting program still runs correctly.
+    """
+    violations: List[str] = []
+    duplicable = {i.iid for i in duplicable_instructions(module)}
+    stray = plan.selected - duplicable
+    if stray:
+        violations.append(
+            f"selection names {len(stray)} non-duplicable iids "
+            f"(e.g. {sorted(stray)[:3]})")
+    spent = sum(
+        profile.dyn_counts.get(iid, 0) for iid in plan.selected & duplicable
+    )
+    if spent != plan.spent:
+        violations.append(
+            f"spent mismatch: plan claims {plan.spent}, "
+            f"selection costs {spent}")
+    if plan.level < 100 and spent > plan.budget:
+        violations.append(
+            f"budget exceeded: {spent} > {plan.budget} "
+            f"at level {plan.level}")
+    return violations
 
 
 def plan_protection(

@@ -1,0 +1,81 @@
+"""Structured program generation + protection-pass validation (DESIGN §12).
+
+The reproduction rests on two claims that are otherwise only
+spot-checked:
+
+1. both execution layers agree bit-for-bit on any legal program, and
+2. the duplication/checker/Flowery passes provide the coverage the
+   campaigns measure.
+
+This package turns both into executable, regression-guarded claims:
+
+* :mod:`repro.testgen.minic` — a seed-deterministic Csmith-style MiniC
+  program generator (loops, functions, calls, arrays, globals);
+* :mod:`repro.testgen.irgen` — seed-deterministic direct-IR generation
+  exercising operand shapes the frontend never emits;
+* :mod:`repro.testgen.strategies` — hypothesis strategies that are thin
+  wrappers over the two generators (one generator, no drift; import
+  requires ``hypothesis``, so it lives in its own module);
+* :mod:`repro.testgen.oracle` — a differential oracle that executes a
+  generated program across the full {IR, asm} x {unprotected,
+  dup30/50/70/100, Flowery} x {naive, decoded} matrix and asserts
+  bit-identical output everywhere;
+* :mod:`repro.testgen.mutants` — a mutation-testing harness
+  (``repro mutate``) that applies systematic weakenings to the
+  protection passes and asserts every mutant is *killed* by the golden
+  oracle, a coverage drop in an exhaustive fault-injection sweep, or a
+  plan-invariant check.
+
+Everything here is test/validation tooling: nothing in this package is
+imported by the campaign hot paths, so generator overhead is strictly
+zero at campaign runtime.
+"""
+
+from .minic import (
+    GenConfig,
+    GeneratedMiniC,
+    generate_minic,
+    minimize_minic,
+    render_minic,
+)
+from .irgen import IRGenConfig, generate_ir
+from .oracle import (
+    OracleConfig,
+    OracleFailure,
+    OracleReport,
+    partial_selection,
+    run_differential_oracle,
+)
+from .mutants import (
+    MUTANTS,
+    SMOKE_MUTANTS,
+    WITNESS_SOURCE,
+    Mutant,
+    MutantResult,
+    MutationConfig,
+    MutationReport,
+    run_mutation_suite,
+)
+
+__all__ = [
+    "GenConfig",
+    "GeneratedMiniC",
+    "generate_minic",
+    "minimize_minic",
+    "render_minic",
+    "IRGenConfig",
+    "generate_ir",
+    "OracleConfig",
+    "OracleFailure",
+    "OracleReport",
+    "partial_selection",
+    "run_differential_oracle",
+    "MUTANTS",
+    "SMOKE_MUTANTS",
+    "WITNESS_SOURCE",
+    "Mutant",
+    "MutantResult",
+    "MutationConfig",
+    "MutationReport",
+    "run_mutation_suite",
+]

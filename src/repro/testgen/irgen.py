@@ -1,0 +1,114 @@
+"""Seed-deterministic direct-IR program generation.
+
+Builds modules straight through :class:`~repro.ir.builder.IRBuilder`,
+bypassing the MiniC frontend, to exercise operand and addressing shapes
+the frontend never emits: constant left operands, computed (masked)
+gep indices, stores through computed pointers, i1 arithmetic via
+``zext``, deep expression reuse, ``select`` chains and int/float casts.
+
+The program shape is a dataflow soup over a global array plus a global
+scalar, ending with every live value printed — always terminating
+(straight-line), always in-bounds (indices are ``and``-masked onto a
+power-of-two array), and deterministic in ``(seed, config)``.  Each
+call to :func:`generate_ir` returns a *fresh* module, so callers can
+hand it to in-place transformation passes freely.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..ir import types as T
+from ..ir.builder import IRBuilder
+from ..ir.module import Module
+from ..ir.types import function_type
+
+__all__ = ["IRGenConfig", "generate_ir"]
+
+_INT_OPS = ["add", "sub", "mul", "and", "or", "xor", "shl", "ashr", "lshr"]
+_FP_OPS = ["fadd", "fsub", "fmul"]
+_ICMP = ["eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ugt"]
+
+
+@dataclass(frozen=True)
+class IRGenConfig:
+    """Knobs of the direct-IR generator."""
+
+    n_ops: Tuple[int, int] = (4, 16)
+    #: global array length (power of two — indices are masked onto it)
+    array_len: int = 4
+    #: probability a step stores a value back through a computed pointer
+    p_store: float = 0.15
+
+
+def generate_ir(seed: int, config: IRGenConfig = IRGenConfig()) -> Module:
+    """Build one random straight-line module; deterministic in
+    ``(seed, config)``; fresh module on every call."""
+    assert config.array_len & (config.array_len - 1) == 0
+    # string seeds hash deterministically in random.Random (sha512),
+    # unlike tuples, whose hash() varies per process
+    rng = random.Random(f"irgen:{seed}")
+    module = Module(f"irgen{seed}")
+    gvals = [rng.randint(-100, 100) for _ in range(config.array_len)]
+    garr = module.global_var("data", T.array(T.I64, config.array_len), gvals)
+    gscal = module.global_var("acc", T.I64, rng.randint(-9, 9))
+    fn = module.add_function("main", function_type(T.VOID, []))
+    b = IRBuilder(fn)
+    b.set_block(b.new_block("entry"))
+
+    int_vals: List = [b.i64(rng.randint(-50, 50)) for _ in range(2)]
+    fp_vals: List = [b.f64(round(rng.uniform(-8.0, 8.0), 4))]
+    mask = b.i64(config.array_len - 1)
+
+    # seed with loads: constant geps plus the global scalar
+    for i in range(config.array_len):
+        int_vals.append(b.load(b.gep(garr, b.i64(i))))
+    int_vals.append(b.load(gscal))
+
+    def pick_int():
+        return rng.choice(int_vals)
+
+    n_ops = rng.randint(*config.n_ops)
+    for _ in range(n_ops):
+        kind = rng.choice(
+            ["int", "int", "fp", "cmp", "sel", "cast", "gep-load"]
+        )
+        if kind == "int":
+            # constant left operands included — the frontend always
+            # canonicalises variables leftward, the backend must not rely
+            # on that
+            a = b.i64(rng.randint(-9, 9)) if rng.random() < 0.2 else pick_int()
+            int_vals.append(b.binop(rng.choice(_INT_OPS), a, pick_int()))
+        elif kind == "fp":
+            a, c = rng.choice(fp_vals), rng.choice(fp_vals)
+            fp_vals.append(b.binop(rng.choice(_FP_OPS), a, c))
+        elif kind == "cmp":
+            cmp_ = b.icmp(rng.choice(_ICMP), pick_int(), pick_int())
+            if rng.random() < 0.3:
+                # i1 arithmetic before widening
+                cmp2 = b.icmp(rng.choice(_ICMP), pick_int(), pick_int())
+                cmp_ = b.binop(rng.choice(["and", "or", "xor"]), cmp_, cmp2)
+            int_vals.append(b.zext(cmp_, T.I64))
+        elif kind == "sel":
+            a, c = pick_int(), pick_int()
+            int_vals.append(b.select(b.icmp("slt", a, c), a, c))
+        elif kind == "cast":
+            fp_vals.append(b.sitofp(pick_int()))
+        else:
+            # computed-pointer traffic: mask an arbitrary value onto the
+            # array, optionally store through it, always load it back
+            idx = b.and_(pick_int(), mask)
+            ptr = b.gep(garr, idx)
+            if rng.random() < config.p_store:
+                b.store(pick_int(), ptr)
+            int_vals.append(b.load(ptr))
+
+    b.store(pick_int(), gscal)
+    for v in int_vals:
+        b.call("print_i64", [v], ret_type=T.VOID)
+    for v in fp_vals:
+        b.call("print_f64", [v], ret_type=T.VOID)
+    b.ret()
+    return module

@@ -1,0 +1,377 @@
+"""Seed-deterministic structured MiniC program generator (Csmith-style).
+
+``generate_minic(seed)`` produces a random — but always legal and
+always terminating — MiniC program far beyond straight-line expression
+soup: global scalars and arrays, helper functions with parameters and
+bounded control flow, calls (the call graph is a DAG by construction,
+so no recursion), nested counted loops, ``while`` loops with explicit
+down-counters, compound assignments, guarded division, and masked
+array indexing.
+
+Legality invariants the generator maintains (and
+``tests/test_testgen.py`` asserts):
+
+* **termination** — every loop has a static trip bound; ``while`` loops
+  run on a dedicated down-counter; functions only call
+  previously-generated functions (call DAG);
+* **no traps** — every ``/`` and ``%`` denominator is ``(expr | 1)``
+  (never zero), every array index is masked with ``& (size-1)`` on
+  power-of-two arrays (never out of bounds), shift amounts are masked
+  to 6 bits;
+* **determinism** — the only entropy source is ``random.Random(seed)``;
+  the same ``(seed, config)`` always yields the identical program text.
+
+The structured form (:class:`GeneratedMiniC`) keeps the top-level
+statement list of ``main`` addressable so a failing program can be
+shrunk statement-by-statement with
+:func:`repro.fi.chaos.shrink_case` (see :func:`minimize_minic`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "GenConfig",
+    "GeneratedMiniC",
+    "generate_minic",
+    "render_minic",
+    "minimize_minic",
+]
+
+_INT_BINOPS = ["+", "-", "*", "&", "|", "^"]
+_SHIFT_OPS = ["<<", ">>"]
+_CMP_OPS = ["<", "<=", ">", ">=", "==", "!="]
+_FLOAT_BINOPS = ["+", "-", "*"]
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Knobs of the structured generator (all bounds inclusive)."""
+
+    n_global_scalars: Tuple[int, int] = (1, 3)
+    n_global_arrays: Tuple[int, int] = (1, 2)
+    #: array length is 2**k with k drawn from this range (masked indexing)
+    array_pow2: Tuple[int, int] = (1, 3)
+    n_functions: Tuple[int, int] = (0, 2)
+    n_main_stmts: Tuple[int, int] = (3, 9)
+    n_func_stmts: Tuple[int, int] = (1, 4)
+    max_block_depth: int = 2
+    max_trip: int = 5
+    max_expr_depth: int = 3
+    #: probability of float locals / float arithmetic statements
+    p_float: float = 0.15
+    allow_div: bool = True
+    allow_shifts: bool = True
+    allow_while: bool = True
+
+
+@dataclass(frozen=True)
+class GeneratedMiniC:
+    """A generated program in structured (shrinkable) form."""
+
+    seed: int
+    config: GenConfig
+    globals_src: Tuple[str, ...]
+    functions_src: Tuple[str, ...]
+    decls: Tuple[str, ...]          # main-local declarations (kept on shrink)
+    main_stmts: Tuple[str, ...]     # shrinkable statement list
+    tail: Tuple[str, ...]           # final prints (kept on shrink)
+    features: frozenset
+
+    @property
+    def source(self) -> str:
+        return render_minic(self)
+
+
+def render_minic(
+    prog: GeneratedMiniC, main_stmts: Optional[Sequence[str]] = None
+) -> str:
+    """Render a generated program, optionally with a statement subset
+    (the shrinker re-renders candidate subsets through this)."""
+    stmts = prog.main_stmts if main_stmts is None else tuple(main_stmts)
+    parts: List[str] = []
+    parts.extend(prog.globals_src)
+    parts.append("")
+    parts.extend(prog.functions_src)
+    parts.append("int main() {")
+    parts.extend("    " + d for d in prog.decls)
+    parts.extend("    " + s for s in stmts)
+    parts.extend("    " + t for t in prog.tail)
+    parts.append("    return 0;")
+    parts.append("}")
+    return "\n".join(parts) + "\n"
+
+
+class _Scope:
+    """Names visible to the expression generator at one point."""
+
+    def __init__(self):
+        self.ints: List[str] = []
+        self.floats: List[str] = []
+        self.arrays: List[Tuple[str, int]] = []   # (name, power-of-two len)
+
+
+class _MiniCGen:
+    def __init__(self, seed: int, config: GenConfig):
+        self.rng = random.Random(seed)
+        self.cfg = config
+        self.features: Set[str] = set()
+        self._label = 0
+
+    def _fresh(self, prefix: str) -> str:
+        self._label += 1
+        return f"{prefix}{self._label}"
+
+    def _randint(self, lo_hi: Tuple[int, int]) -> int:
+        return self.rng.randint(*lo_hi)
+
+    # -- expressions -------------------------------------------------------
+
+    def int_expr(self, scope: _Scope, depth: int = 0) -> str:
+        r = self.rng
+        if depth >= self.cfg.max_expr_depth or r.random() < 0.35:
+            leaves = ["lit"]
+            if scope.ints:
+                leaves += ["var", "var"]
+            if scope.arrays:
+                leaves.append("arr")
+            kind = r.choice(leaves)
+            if kind == "lit":
+                return str(r.randint(-99, 99))
+            if kind == "var":
+                return r.choice(scope.ints)
+            name, size = r.choice(scope.arrays)
+            self.features.add("array-read")
+            return f"{name}[{self.index_expr(scope, size, depth + 1)}]"
+        kind = r.random()
+        a = self.int_expr(scope, depth + 1)
+        b = self.int_expr(scope, depth + 1)
+        if kind < 0.55:
+            op = r.choice(_INT_BINOPS)
+            return f"({a} {op} {b})"
+        if kind < 0.70 and self.cfg.allow_shifts:
+            op = r.choice(_SHIFT_OPS)
+            self.features.add("shift")
+            return f"({a} {op} ({b} & 7))"
+        if kind < 0.80 and self.cfg.allow_div:
+            op = r.choice(["/", "%"])
+            self.features.add("div")
+            return f"({a} {op} (({b}) | 1))"
+        if kind < 0.93:
+            op = r.choice(_CMP_OPS)
+            self.features.add("compare")
+            return f"({a} {op} {b})"
+        op = r.choice(["&&", "||"])
+        self.features.add("logical")
+        return f"({a} {op} {b})"
+
+    def index_expr(self, scope: _Scope, size: int, depth: int) -> str:
+        """In-bounds index: mask onto a power-of-two length."""
+        if self.rng.random() < 0.5:
+            return str(self.rng.randrange(size))
+        inner = self.int_expr(scope, max(depth, self.cfg.max_expr_depth - 1))
+        return f"(({inner}) & {size - 1})"
+
+    def float_expr(self, scope: _Scope, depth: int = 0) -> str:
+        r = self.rng
+        if depth >= 2 or not scope.floats or r.random() < 0.4:
+            if scope.floats and r.random() < 0.6:
+                return r.choice(scope.floats)
+            if scope.ints and r.random() < 0.4:
+                self.features.add("float-cast")
+                return f"float({r.choice(scope.ints)})"
+            return f"{r.uniform(-8.0, 8.0):.4f}"
+        op = r.choice(_FLOAT_BINOPS)
+        a = self.float_expr(scope, depth + 1)
+        b = self.float_expr(scope, depth + 1)
+        return f"({a} {op} {b})"
+
+    # -- statements --------------------------------------------------------
+
+    def statement(self, scope: _Scope, funcs: List[Tuple[str, int]],
+                  depth: int) -> str:
+        r = self.rng
+        kinds = ["assign", "assign", "compound", "print"]
+        if scope.arrays:
+            kinds += ["array-write", "array-write"]
+        if funcs:
+            kinds += ["call", "call"]
+        if depth < self.cfg.max_block_depth:
+            kinds += ["if", "for"]
+            if self.cfg.allow_while:
+                kinds.append("while")
+        if scope.floats and r.random() < self.cfg.p_float:
+            kinds.append("float-assign")
+        kind = r.choice(kinds)
+
+        if kind == "assign":
+            return f"{r.choice(scope.ints)} = {self.int_expr(scope)};"
+        if kind == "compound":
+            op = r.choice(["+=", "-=", "*="])
+            self.features.add("compound-assign")
+            return f"{r.choice(scope.ints)} {op} {self.int_expr(scope)};"
+        if kind == "float-assign":
+            self.features.add("float")
+            return f"{r.choice(scope.floats)} = {self.float_expr(scope)};"
+        if kind == "array-write":
+            name, size = r.choice(scope.arrays)
+            self.features.add("array-write")
+            idx = self.index_expr(scope, size, 1)
+            return f"{name}[{idx}] = {self.int_expr(scope)};"
+        if kind == "call":
+            fname, arity = r.choice(funcs)
+            args = ", ".join(self.int_expr(scope, 1) for _ in range(arity))
+            self.features.add("call")
+            return f"{r.choice(scope.ints)} = {fname}({args});"
+        if kind == "print":
+            if r.random() < 0.15:
+                self.features.add("printc")
+                return f"printc((({self.int_expr(scope, 1)}) & 63) + 32);"
+            return f"print({self.int_expr(scope, 1)});"
+        if kind == "if":
+            self.features.add("if")
+            cond = self.int_expr(scope)
+            then = self.statement(scope, funcs, depth + 1)
+            if r.random() < 0.5:
+                alt = self.statement(scope, funcs, depth + 1)
+                return f"if ({cond}) {{ {then} }} else {{ {alt} }}"
+            return f"if ({cond}) {{ {then} }}"
+        if kind == "for":
+            self.features.add("loop")
+            if depth > 0:
+                self.features.add("nested-loop")
+            it = self._fresh("i")
+            trip = r.randint(1, self.cfg.max_trip)
+            body = self.statement(scope, funcs, depth + 1)
+            extra = f" {r.choice(scope.ints)} += {it};" if scope.ints else ""
+            return (f"for (int {it} = 0; {it} < {trip}; {it}++) "
+                    f"{{ {body}{extra} }}")
+        # counted while loop: dedicated down-counter guarantees termination
+        self.features.add("while")
+        w = self._fresh("w")
+        trip = r.randint(1, self.cfg.max_trip)
+        body = self.statement(scope, funcs, depth + 1)
+        return (f"int {w} = {trip}; while ({w} > 0) "
+                f"{{ {w} = {w} - 1; {body} }}")
+
+    # -- functions ---------------------------------------------------------
+
+    def function(
+        self, name: str, funcs: List[Tuple[str, int]]
+    ) -> Tuple[str, int]:
+        r = self.rng
+        arity = r.randint(1, 2)
+        params = [f"a{k}" for k in range(arity)]
+        scope = _Scope()
+        scope.ints = list(params)
+        lines = [f"int {name}({', '.join('int ' + p for p in params)}) {{"]
+        n_locals = r.randint(0, 1)
+        for _ in range(n_locals):
+            v = self._fresh("t")
+            lines.append(f"    int {v} = {self.int_expr(scope, 1)};")
+            scope.ints.append(v)
+        for _ in range(self._randint(self.cfg.n_func_stmts)):
+            # function bodies reuse the statement generator one level deep
+            lines.append("    " + self.statement(
+                scope, funcs, self.cfg.max_block_depth - 1))
+        lines.append(f"    return {self.int_expr(scope)};")
+        lines.append("}")
+        self.features.add("function")
+        return "\n".join(lines) + "\n", arity
+
+    # -- program -----------------------------------------------------------
+
+    def program(self, seed: int) -> GeneratedMiniC:
+        r = self.rng
+        scope = _Scope()
+        globals_src: List[str] = []
+
+        for _ in range(self._randint(self.cfg.n_global_scalars)):
+            g = self._fresh("g")
+            globals_src.append(f"int {g} = {r.randint(-9, 9)};")
+            scope.ints.append(g)
+            self.features.add("global")
+        for _ in range(self._randint(self.cfg.n_global_arrays)):
+            name = self._fresh("arr")
+            size = 1 << r.randint(*self.cfg.array_pow2)
+            init = ", ".join(str(r.randint(-50, 50)) for _ in range(size))
+            globals_src.append(f"int {name}[{size}] = {{{init}}};")
+            scope.arrays.append((name, size))
+            self.features.add("global-array")
+
+        funcs: List[Tuple[str, int]] = []
+        functions_src: List[str] = []
+        for _ in range(self._randint(self.cfg.n_functions)):
+            name = self._fresh("f")
+            src, arity = self.function(name, list(funcs))
+            functions_src.append(src)
+            funcs.append((name, arity))
+
+        decls: List[str] = []
+        for _ in range(r.randint(1, 3)):
+            v = self._fresh("v")
+            decls.append(f"int {v} = {r.randint(-9, 9)};")
+            scope.ints.append(v)
+        if r.random() < self.cfg.p_float * 2:
+            fv = self._fresh("x")
+            decls.append(f"float {fv} = {r.uniform(-4.0, 4.0):.4f};")
+            scope.floats.append(fv)
+            self.features.add("float")
+
+        main_stmts = [
+            self.statement(scope, funcs, 0)
+            for _ in range(self._randint(self.cfg.n_main_stmts))
+        ]
+
+        tail: List[str] = [f"print({v});" for v in scope.ints]
+        tail += [f"print({v});" for v in scope.floats]
+        for name, size in scope.arrays:
+            it = self._fresh("p")
+            tail.append(f"for (int {it} = 0; {it} < {size}; {it}++) "
+                        f"{{ print({name}[{it}]); }}")
+
+        return GeneratedMiniC(
+            seed=seed,
+            config=self.cfg,
+            globals_src=tuple(globals_src),
+            functions_src=tuple(functions_src),
+            decls=tuple(decls),
+            main_stmts=tuple(main_stmts),
+            tail=tuple(tail),
+            features=frozenset(self.features),
+        )
+
+
+def generate_minic(
+    seed: int, config: GenConfig = GenConfig()
+) -> GeneratedMiniC:
+    """Generate one structured MiniC program; deterministic in
+    ``(seed, config)``."""
+    return _MiniCGen(seed, config).program(seed)
+
+
+def minimize_minic(
+    prog: GeneratedMiniC, still_fails: Callable[[str], bool]
+) -> GeneratedMiniC:
+    """Shrink ``prog.main_stmts`` to a minimal subset whose rendering
+    still satisfies ``still_fails`` (which must treat any error —
+    compile failure included — as "does not fail").
+
+    Delegates the subset search to the reusable
+    :func:`repro.fi.chaos.shrink_case` delta debugger.
+    """
+    from ..fi.chaos import shrink_case
+
+    def predicate(stmts: Sequence[str]) -> bool:
+        try:
+            return still_fails(render_minic(prog, stmts))
+        except Exception:   # noqa: BLE001 — broken subsets don't reproduce
+            return False
+
+    if not still_fails(prog.source):
+        return prog
+    kept = shrink_case(list(prog.main_stmts), predicate)
+    return replace(prog, main_stmts=tuple(kept))

@@ -1,0 +1,750 @@
+"""Mutation testing of the protection passes: do the validators validate?
+
+A differential oracle and an FI campaign are only trustworthy if they
+*fail* when the protection they exercise is broken.  This harness
+applies a catalog of systematic weakenings — **mutants** — to the
+duplication pass, the Flowery patches and the knapsack planner, and
+asserts that every one of them is *killed* by at least one oracle:
+
+* **golden oracle** — the mutated pipeline mis-executes a fault-free
+  run (a checker fires spuriously, or output diverges from the
+  unprotected reference);
+* **coverage oracle** — an exhaustive deterministic fault-injection
+  sweep (one bit per dynamic index, via :mod:`repro.fi.engine`) shows
+  a detection-rate drop or an SDC-rate rise beyond thresholds against
+  the un-mutated baseline;
+* **invariant oracle** — :func:`repro.protection.planner.validate_plan`
+  rejects a corrupted protection plan.
+
+*Identity* pseudo-mutants rebuild each baseline from scratch and demand
+bit-exact agreement of the sweep outcome counts — proving both that the
+whole pipeline is deterministic and that the kill criteria have **zero
+false positives** (an un-mutated pipeline always survives).
+
+All sweeps are exhaustive over the dynamic injectable indices with a
+fixed bit schedule, so every reported rate is an exact number, not a
+sample: the kill thresholds below are calibrated against measured
+mutant effect sizes (smallest real effect ~= +0.007 SDC for the
+Flowery branch-patch mutant), not against sampling noise.
+
+The default witness program was chosen so that every mutant family has
+measurable effect: a loop over a global array, a helper function with
+non-commutative arithmetic (shift/sub/rem), data-dependent branches,
+and stores through computed addresses.  ``MutationConfig.source`` may
+point at any MiniC program (e.g. from :mod:`repro.testgen.minic`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..backend.lower import lower_module
+from ..execresult import RunStatus
+from ..fi.engine import run_injection_suite
+from ..fi.outcomes import Outcome, classify_outcome
+from ..frontend.codegen import compile_source
+from ..interp.interpreter import IRInterpreter
+from ..interp.layout import GlobalLayout
+from ..ir.instructions import Br, CondBr, Instruction, Store
+from ..ir.module import Module
+from ..ir.verifier import verify_module
+from ..machine.machine import AsmMachine, compile_program
+from ..protection.duplication import (
+    DuplicationInfo,
+    duplicable_instructions,
+    duplicate_module,
+    sync_kind,
+)
+from ..protection.flowery import apply_flowery
+from ..protection.planner import (
+    ProtectionPlan,
+    plan_protection,
+    profile_module,
+    validate_plan,
+)
+
+__all__ = [
+    "WITNESS_SOURCE",
+    "MUTANTS",
+    "SMOKE_MUTANTS",
+    "Mutant",
+    "MutantResult",
+    "MutationConfig",
+    "MutationReport",
+    "run_mutation_suite",
+]
+
+#: default witness program for the mutation suite (see module docstring)
+WITNESS_SOURCE = """\
+const int N = 8;
+int acc = 0;
+int data[8] = {12, -7, 33, 5, -21, 14, 9, -2};
+
+int mix(int a, int b) {
+    int t = (a ^ (b << 3)) + (b >> 1);
+    if (t < 0) { t = 0 - t; }
+    return ((t * 3) ^ (t >> 2)) % 8191;
+}
+
+int main() {
+    int s = 1;
+    for (int i = 0; i < N; i++) {
+        int v = data[i & 7];
+        s = mix(s, v + i);
+        if ((s & 1) == 0) { s = s + (v * 3); } else { s = s - (v >> 2); }
+        data[i & 7] = s & 255;
+        acc += s;
+        print(s);
+    }
+    print(acc);
+    for (int j = 0; j < N; j++) { print(data[j & 7]); }
+    return 0;
+}
+"""
+
+
+@dataclass(frozen=True)
+class MutationConfig:
+    """Shape of one mutation-suite run."""
+
+    source: str = WITNESS_SOURCE
+    #: coverage kill: baseline detected-rate minus mutant detected-rate
+    det_drop_threshold: float = 0.015
+    #: coverage kill: mutant sdc-rate minus baseline sdc-rate
+    sdc_rise_threshold: float = 0.005
+    #: profiling campaign feeding the knapsack planner baselines
+    profile_campaigns: int = 150
+    profile_seed: int = 1
+    #: step budget = max(floor, golden dyn_total x factor)
+    max_steps_floor: int = 20_000
+    max_steps_factor: int = 4
+    #: how many of the hottest instructions the skip-chain mutant drops
+    hot_chain_len: int = 5
+
+    def thresholds_doc(self) -> dict:
+        return {
+            "det_drop": self.det_drop_threshold,
+            "sdc_rise": self.sdc_rise_threshold,
+        }
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One catalogued weakening of the protection pipeline."""
+
+    name: str
+    kind: str           # checker | shadow | selection | flowery | plan | identity
+    oracle: str         # golden | coverage | invariant | identity
+    baseline: str       # dup-ir | flowery-asm | plan-ir | none
+    description: str
+    build: Callable[["_Context"], object]
+    #: identity pseudo-mutants must *survive*; everything else must die
+    expect_killed: bool = True
+
+
+@dataclass
+class MutantResult:
+    """Verdict for one mutant."""
+
+    name: str
+    kind: str
+    oracle: str
+    baseline: str
+    expect_killed: bool
+    killed: bool
+    killed_by: str      # which oracle actually fired ('' if survived)
+    detail: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.killed == self.expect_killed
+
+    def to_doc(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "oracle": self.oracle,
+            "baseline": self.baseline,
+            "expect_killed": self.expect_killed,
+            "killed": self.killed,
+            "killed_by": self.killed_by,
+            "ok": self.ok,
+            "detail": self.detail,
+            "metrics": {k: round(v, 6) for k, v in self.metrics.items()},
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+
+@dataclass
+class MutationReport:
+    """Aggregate kill matrix for one suite run."""
+
+    results: List[MutantResult]
+    witness_sha256: str
+    config: MutationConfig
+    elapsed_s: float = 0.0
+
+    @property
+    def survivors(self) -> List[str]:
+        return [r.name for r in self.results if r.expect_killed and not r.killed]
+
+    @property
+    def false_kills(self) -> List[str]:
+        return [r.name for r in self.results if not r.expect_killed and r.killed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.survivors and not self.false_kills
+
+    def to_doc(self) -> dict:
+        return {
+            "schema": "mutate/1",
+            "witness_sha256": self.witness_sha256,
+            "thresholds": self.config.thresholds_doc(),
+            "mutants": [r.to_doc() for r in self.results],
+            "summary": {
+                "total": len(self.results),
+                "expected_killed": sum(r.expect_killed for r in self.results),
+                "killed": sum(r.killed for r in self.results),
+                "survivors": self.survivors,
+                "false_kills": self.false_kills,
+                "ok": self.ok,
+                "elapsed_s": round(self.elapsed_s, 2),
+            },
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"{'mutant':30s} {'oracle':9s} {'verdict':9s} detail",
+            "-" * 100,
+        ]
+        for r in self.results:
+            verdict = ("killed" if r.killed else "SURVIVED") if r.expect_killed \
+                else ("FALSE-KILL" if r.killed else "survived")
+            lines.append(
+                f"{r.name:30s} {r.killed_by or r.oracle:9s} {verdict:9s} {r.detail}"
+            )
+        lines.append("-" * 100)
+        lines.append(
+            f"{len(self.results)} mutants: "
+            f"{sum(r.expect_killed and r.killed for r in self.results)} killed, "
+            f"{len(self.survivors)} survivors, "
+            f"{len(self.false_kills)} false kills "
+            f"({self.elapsed_s:.1f}s)"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# build helpers
+
+
+class _Context:
+    """Caches the expensive shared state of one suite run: the reference
+    execution, the profiling campaign, the plan-70 selection and the
+    per-baseline exhaustive sweeps."""
+
+    def __init__(self, config: MutationConfig):
+        self.config = config
+        self.ref_module = compile_source(config.source, "witness")
+        self.ref_layout = GlobalLayout(self.ref_module)
+        golden = IRInterpreter(self.ref_module, layout=self.ref_layout).run(
+            profile=True
+        )
+        if golden.status is not RunStatus.OK:
+            raise ValueError(
+                f"witness program does not run clean: {golden.status}"
+            )
+        self.reference_output = golden.output
+        self.dyn_counts: Dict[int, int] = dict(golden.per_inst_counts or {})
+        self.full: Set[int] = {
+            i.iid for i in duplicable_instructions(self.ref_module)
+        }
+        self._profile = None
+        self._plan70: Optional[ProtectionPlan] = None
+        self._baselines: Dict[str, Tuple[Dict[str, int], object]] = {}
+
+    def fresh_module(self) -> Module:
+        return compile_source(self.config.source, "witness")
+
+    @property
+    def profile(self):
+        if self._profile is None:
+            self._profile = profile_module(
+                self.ref_module,
+                n_campaigns=self.config.profile_campaigns,
+                seed=self.config.profile_seed,
+                layout=self.ref_layout,
+            )
+        return self._profile
+
+    @property
+    def plan70(self) -> ProtectionPlan:
+        if self._plan70 is None:
+            self._plan70 = plan_protection(self.ref_module, self.profile, 70)
+        return self._plan70
+
+    def hottest(self, n: int) -> Set[int]:
+        ranked = sorted(self.full, key=lambda i: (-self.dyn_counts.get(i, 0), i))
+        return set(ranked[:n])
+
+    def baseline(self, name: str):
+        if name not in self._baselines:
+            built = _BASELINE_BUILDERS[name](self)
+            layer = name.rsplit("-", 1)[1]
+            counts, golden = _sweep(self, built, layer)
+            if counts is None:
+                raise ValueError(
+                    f"baseline {name} failed its own golden run: "
+                    f"{golden.status}"
+                )
+            self._baselines[name] = (counts, golden)
+        return self._baselines[name]
+
+
+def _build(
+    ctx: _Context,
+    *,
+    selected: Optional[Set[int]] = None,
+    store_mode: str = "lazy",
+    flowery: bool = False,
+    branch_patch: bool = True,
+    cmp_patch: bool = True,
+    surgery: Optional[Callable[[Module, DuplicationInfo], None]] = None,
+):
+    """One protected pipeline build: duplicate (+Flowery) (+surgery),
+    verify, lay out, lower, assemble."""
+    module = ctx.fresh_module()
+    info = duplicate_module(module, protected=selected, store_mode=store_mode)
+    if flowery:
+        apply_flowery(module, info, branch_patch=branch_patch,
+                      cmp_patch=cmp_patch)
+    if surgery is not None:
+        surgery(module, info)
+    verify_module(module)
+    layout = GlobalLayout(module)
+    compiled = compile_program(lower_module(module, layout).flatten())
+    return module, layout, compiled
+
+
+_BASELINE_BUILDERS: Dict[str, Callable[[_Context], object]] = {
+    "dup-ir": lambda ctx: _build(ctx),
+    "flowery-asm": lambda ctx: _build(ctx, flowery=True, store_mode="eager"),
+    "plan-ir": lambda ctx: _build(ctx, selected=set(ctx.plan70.selected)),
+}
+
+
+def _sweep(ctx: _Context, built, layer: str):
+    """Exhaustive deterministic sweep: one injection per dynamic index,
+    bit schedule ``(idx*13 + 7) % 64``.  Returns ``(outcome counts,
+    golden)`` — counts is None when the golden run itself fails."""
+    module, layout, compiled = built
+    if layer == "ir":
+        golden = IRInterpreter(module, layout=layout).run()
+        kwargs = dict(module=module, layout=layout)
+    else:
+        golden = AsmMachine(compiled, layout).run()
+        kwargs = dict(program=compiled, layout=layout)
+    if golden.status is not RunStatus.OK or golden.output != ctx.reference_output:
+        return None, golden
+    max_steps = max(
+        ctx.config.max_steps_floor,
+        golden.dyn_total * ctx.config.max_steps_factor,
+    )
+    counts = {o.value: 0 for o in Outcome}
+
+    def emit(tag, res):
+        counts[classify_outcome(res, golden.output).value] += 1
+
+    samples = [
+        (k, idx, (idx * 13 + 7) % 64)
+        for k, idx in enumerate(range(golden.dyn_injectable))
+    ]
+    run_injection_suite(layer, samples, max_steps, emit=emit, **kwargs)
+    return counts, golden
+
+
+def _rates(counts: Dict[str, int]) -> Dict[str, float]:
+    n = sum(counts.values()) or 1
+    return {k: v / n for k, v in counts.items()}
+
+
+# ---------------------------------------------------------------------------
+# surgeries (mutations applied after duplication)
+
+
+def _drop_checkers(module: Module, info: DuplicationInfo, pred) -> int:
+    """Remove every checker (comparison + conditional branch) whose
+    ``(CheckerInfo, sync instruction)`` satisfies ``pred``; control falls
+    straight through to the continuation block."""
+    dropped = 0
+    for cid, cinfo in info.checkers.items():
+        sync = module.instruction_by_iid(cinfo.sync_iid)
+        if not pred(cinfo, sync):
+            continue
+        checker = module.instruction_by_iid(cid)
+        block = checker.parent
+        term = block.terminator
+        if not (isinstance(term, CondBr) and term.condition is checker):
+            continue
+        cont = term.then_block
+        del block.instructions[block.index_of(checker):]
+        br = Br(cont)
+        br.attrs["checker"] = True
+        module.assign_iid(br)
+        block.append(br)
+        dropped += 1
+    if not dropped:
+        raise ValueError("surgery matched no checkers — mutant is vacuous")
+    return dropped
+
+
+def _drop_sync_kind(kind: str):
+    return lambda m, i: _drop_checkers(
+        m, i, lambda ci, sync: sync_kind(sync) == kind
+    )
+
+
+def _drop_store_address_checkers(module: Module, info: DuplicationInfo):
+    _drop_checkers(
+        module, info,
+        lambda ci, sync: isinstance(sync, Store)
+        and isinstance(sync.pointer, Instruction)
+        and sync.pointer.iid == ci.value_iid,
+    )
+
+
+def _unwire_checker_branches(module: Module, info: DuplicationInfo):
+    """Keep every checker comparison but replace its conditional branch
+    with a plain fall-through: detection computed, never acted on."""
+    for cid in info.checkers:
+        checker = module.instruction_by_iid(cid)
+        block = checker.parent
+        term = block.terminator
+        if not (isinstance(term, CondBr) and term.condition is checker):
+            continue
+        block.instructions.pop()
+        br = Br(term.then_block)
+        br.attrs["checker"] = True
+        module.assign_iid(br)
+        block.append(br)
+
+
+def _checker_compares_master(module: Module, info: DuplicationInfo):
+    """Compare the master value against *itself* instead of its shadow —
+    the checker is tautologically true."""
+    for cid in info.checkers:
+        checker = module.instruction_by_iid(cid)
+        checker.operands[1] = checker.operands[0]
+
+
+def _invert_checkers(module: Module, info: DuplicationInfo):
+    """Swap each checker's branch targets: equality now jumps to the
+    detect handler, so a fault-free run dies on the first checker."""
+    for cid in info.checkers:
+        checker = module.instruction_by_iid(cid)
+        term = checker.parent.terminator
+        if isinstance(term, CondBr) and term.condition is checker:
+            term.then_block, term.else_block = term.else_block, term.then_block
+
+
+_NONCOMMUTATIVE = frozenset(
+    ["sub", "sdiv", "srem", "shl", "ashr", "lshr", "fsub", "fdiv"]
+)
+
+
+def _swap_shadow_operands(module: Module, info: DuplicationInfo):
+    """Swap the operands of every non-commutative shadow: the shadow
+    computes a different value, so checkers fire on fault-free runs."""
+    swapped = 0
+    for siid in info.shadow_of:
+        shadow = module.instruction_by_iid(siid)
+        if shadow.opcode in _NONCOMMUTATIVE and len(shadow.operands) == 2:
+            shadow.operands[0], shadow.operands[1] = (
+                shadow.operands[1], shadow.operands[0])
+            swapped += 1
+    if not swapped:
+        raise ValueError("witness has no non-commutative shadows")
+
+
+def _silence_detect_blocks(module: Module, info: DuplicationInfo):
+    """Strip the DETECT intrinsic call out of every detect handler —
+    detections degrade to hangs/DUEs instead of clean reports."""
+    for fname, label in info.detect_blocks.items():
+        block = module.functions[fname].block_by_label(label)
+        block.instructions = [
+            i for i in block.instructions if i.opcode != "call"
+        ]
+
+
+# ---------------------------------------------------------------------------
+# plan mutants
+
+
+def _anti_greedy_selection(ctx: _Context) -> Set[int]:
+    """Fill the plan-70 budget with the *worst* benefit/cost items."""
+    profile, plan = ctx.profile, ctx.plan70
+    items = [
+        (iid, float(profile.sdc_counts.get(iid, 0)),
+         profile.dyn_counts.get(iid, 0))
+        for iid in sorted(ctx.full)
+    ]
+    ranked = sorted(
+        items,
+        key=lambda it: ((it[1] / it[2]) if it[2] else float("inf"),
+                        -it[2], it[0]),
+    )
+    chosen: Set[int] = set()
+    remaining = plan.budget
+    for iid, _benefit, cost in ranked:
+        if 0 < cost <= remaining:
+            chosen.add(iid)
+            remaining -= cost
+    return chosen
+
+
+def _busted_budget_plan(ctx: _Context) -> ProtectionPlan:
+    """A fabricated plan whose bookkeeping lies: claims less spend than
+    its selection costs and smuggles in a non-duplicable iid."""
+    plan = ctx.plan70
+    bogus_iid = max(
+        (i.iid for f in ctx.ref_module.functions.values()
+         if not f.is_declaration for b in f.blocks for i in b.instructions),
+        default=0,
+    ) + 1000
+    return ProtectionPlan(
+        level=plan.level,
+        selected=set(plan.selected) | {bogus_iid},
+        budget=plan.budget,
+        spent=max(0, plan.spent - 1),
+        total_cost=plan.total_cost,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the catalog
+
+MUTANTS: Tuple[Mutant, ...] = (
+    # -- checker placement ---------------------------------------------------
+    Mutant("dup-drop-store-checkers", "checker", "coverage", "dup-ir",
+           "remove every checker guarding a store",
+           lambda ctx: _build(ctx, surgery=_drop_sync_kind("store"))),
+    Mutant("dup-drop-branch-checkers", "checker", "coverage", "dup-ir",
+           "remove every checker guarding a conditional branch",
+           lambda ctx: _build(ctx, surgery=_drop_sync_kind("branch"))),
+    Mutant("dup-drop-call-checkers", "checker", "coverage", "dup-ir",
+           "remove every checker guarding a call argument",
+           lambda ctx: _build(ctx, surgery=_drop_sync_kind("call"))),
+    Mutant("dup-drop-ret-checkers", "checker", "coverage", "dup-ir",
+           "remove every checker guarding a return value",
+           lambda ctx: _build(ctx, surgery=_drop_sync_kind("ret"))),
+    Mutant("dup-drop-store-addr-checkers", "checker", "coverage", "dup-ir",
+           "remove checkers on store *addresses* (keep value checkers)",
+           lambda ctx: _build(ctx, surgery=_drop_store_address_checkers)),
+    # -- checker semantics ---------------------------------------------------
+    Mutant("dup-checker-branch-unwired", "checker", "coverage", "dup-ir",
+           "compute every checker comparison but never branch on it",
+           lambda ctx: _build(ctx, surgery=_unwire_checker_branches)),
+    Mutant("dup-checker-compares-master", "checker", "coverage", "dup-ir",
+           "compare each checked value against itself, not its shadow",
+           lambda ctx: _build(ctx, surgery=_checker_compares_master)),
+    Mutant("dup-checker-inverted", "checker", "golden", "none",
+           "swap checker branch targets (equal goes to detect)",
+           lambda ctx: _build(ctx, surgery=_invert_checkers)),
+    Mutant("dup-detect-silent", "checker", "coverage", "dup-ir",
+           "strip the DETECT call out of every detect handler",
+           lambda ctx: _build(ctx, surgery=_silence_detect_blocks)),
+    # -- shadow computation --------------------------------------------------
+    Mutant("dup-shadow-operands-swapped", "shadow", "golden", "none",
+           "swap operands of every non-commutative shadow instruction",
+           lambda ctx: _build(ctx, surgery=_swap_shadow_operands)),
+    # -- protection selection ------------------------------------------------
+    Mutant("dup-skip-hot-chain", "selection", "coverage", "dup-ir",
+           "leave the hottest instruction chain unprotected",
+           lambda ctx: _build(
+               ctx,
+               selected=ctx.full - ctx.hottest(ctx.config.hot_chain_len))),
+    Mutant("dup-shadow-skips-loads", "selection", "coverage", "dup-ir",
+           "never shadow loads (memory traffic unprotected)",
+           lambda ctx: _build(
+               ctx,
+               selected={iid for iid in ctx.full
+                         if ctx.ref_module.instruction_by_iid(iid).opcode
+                         != "load"})),
+    # -- Flowery patches -----------------------------------------------------
+    Mutant("flowery-no-branch-patch", "flowery", "coverage", "flowery-asm",
+           "disable the postponed-branch-check patch (§6.2)",
+           lambda ctx: _build(ctx, flowery=True, store_mode="eager",
+                              branch_patch=False)),
+    Mutant("flowery-no-anticmp", "flowery", "coverage", "flowery-asm",
+           "disable the anti-comparison-duplication patch (§6.3)",
+           lambda ctx: _build(ctx, flowery=True, store_mode="eager",
+                              cmp_patch=False)),
+    Mutant("flowery-lazy-store", "flowery", "coverage", "flowery-asm",
+           "revert eager stores to lazy check-then-store (§6.1)",
+           lambda ctx: _build(ctx, flowery=True, store_mode="lazy")),
+    # -- knapsack planner ----------------------------------------------------
+    Mutant("plan-empty-selection", "plan", "coverage", "plan-ir",
+           "planner returns the empty selection",
+           lambda ctx: _build(ctx, selected=set())),
+    Mutant("plan-anti-greedy", "plan", "coverage", "plan-ir",
+           "fill the budget with the worst benefit/cost items",
+           lambda ctx: _build(ctx, selected=_anti_greedy_selection(ctx))),
+    Mutant("plan-busted-budget", "plan", "invariant", "none",
+           "plan bookkeeping lies about spend and selects a bogus iid",
+           _busted_budget_plan),
+    # -- identity pseudo-mutants (must survive) ------------------------------
+    Mutant("identity-dup", "identity", "identity", "dup-ir",
+           "rebuild the dup-100 baseline unchanged (zero-false-kill proof)",
+           lambda ctx: _build(ctx), expect_killed=False),
+    Mutant("identity-flowery", "identity", "identity", "flowery-asm",
+           "rebuild the Flowery baseline unchanged (zero-false-kill proof)",
+           lambda ctx: _build(ctx, flowery=True, store_mode="eager"),
+           expect_killed=False),
+    Mutant("identity-plan70", "identity", "identity", "plan-ir",
+           "rebuild the plan-70 baseline unchanged (zero-false-kill proof)",
+           lambda ctx: _build(ctx, selected=set(ctx.plan70.selected)),
+           expect_killed=False),
+)
+
+#: fast subset for CI smoke runs: one golden kill, one structural kill,
+#: one coverage kill, one invariant kill, one identity row
+SMOKE_MUTANTS: Tuple[str, ...] = (
+    "dup-checker-inverted",
+    "dup-shadow-operands-swapped",
+    "dup-drop-store-checkers",
+    "dup-checker-branch-unwired",
+    "plan-busted-budget",
+    "identity-dup",
+)
+
+
+# ---------------------------------------------------------------------------
+# evaluation
+
+
+def _eval_golden(ctx: _Context, mutant: Mutant) -> Tuple[bool, str, Dict]:
+    module, layout, compiled = mutant.build(ctx)
+    res = IRInterpreter(module, layout=layout).run()
+    if res.status is not RunStatus.OK:
+        return True, (f"fault-free run died: {res.status.value}"
+                      f"/{res.trap_kind}"), {}
+    if res.output != ctx.reference_output:
+        return True, "fault-free output diverged from reference", {}
+    return False, "fault-free run survived the golden oracle", {}
+
+
+def _eval_coverage(ctx: _Context, mutant: Mutant):
+    base_counts, _ = ctx.baseline(mutant.baseline)
+    layer = mutant.baseline.rsplit("-", 1)[1]
+    built = mutant.build(ctx)
+    counts, golden = _sweep(ctx, built, layer)
+    if counts is None:
+        # the weakening broke fault-free semantics outright — that is a
+        # kill too, credited to the golden oracle
+        return True, "golden", (
+            f"mutant build failed its golden run: {golden.status.value}"
+        ), {}
+    base, mut = _rates(base_counts), _rates(counts)
+    det_drop = base["detected"] - mut["detected"]
+    sdc_rise = mut["sdc"] - base["sdc"]
+    metrics = {
+        "detected_base": base["detected"], "detected_mut": mut["detected"],
+        "sdc_base": base["sdc"], "sdc_mut": mut["sdc"],
+        "det_drop": det_drop, "sdc_rise": sdc_rise,
+        "samples": float(sum(counts.values())),
+    }
+    killed = (det_drop > ctx.config.det_drop_threshold
+              or sdc_rise > ctx.config.sdc_rise_threshold)
+    detail = (f"detected {base['detected']:.3f}->{mut['detected']:.3f} "
+              f"({-det_drop:+.3f}), sdc {base['sdc']:.3f}->{mut['sdc']:.3f} "
+              f"({sdc_rise:+.3f})")
+    return killed, "coverage", detail, metrics
+
+
+def _eval_invariant(ctx: _Context, mutant: Mutant):
+    plan = mutant.build(ctx)
+    violations = validate_plan(plan, ctx.ref_module, ctx.profile)
+    if violations:
+        return True, "; ".join(violations), {
+            "violations": float(len(violations))}
+    return False, "validate_plan reported no violations", {}
+
+
+def _eval_identity(ctx: _Context, mutant: Mutant):
+    """Exact-equality re-run of a baseline: any difference at all — one
+    flipped outcome, a golden mismatch, a plan violation — is a (false)
+    kill."""
+    base_counts, _ = ctx.baseline(mutant.baseline)
+    layer = mutant.baseline.rsplit("-", 1)[1]
+    built = mutant.build(ctx)
+    counts, golden = _sweep(ctx, built, layer)
+    if counts is None:
+        return True, "golden", (
+            f"identity rebuild failed golden: {golden.status.value}"), {}
+    if mutant.baseline == "plan-ir":
+        violations = validate_plan(ctx.plan70, ctx.ref_module, ctx.profile)
+        if violations:
+            return True, "invariant", "; ".join(violations), {}
+    if counts != base_counts:
+        diff = {k: counts[k] - base_counts.get(k, 0)
+                for k in counts if counts[k] != base_counts.get(k, 0)}
+        return True, "coverage", f"outcome counts drifted: {diff}", {}
+    return False, "identity", (
+        f"bit-exact: {sum(counts.values())} outcomes identical to baseline"
+    ), {"samples": float(sum(counts.values()))}
+
+
+def run_mutation_suite(
+    config: MutationConfig = MutationConfig(),
+    names: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> MutationReport:
+    """Run the catalog (or the ``names`` subset) and build the kill
+    matrix.  Deterministic end to end: same config -> same report."""
+    known = {m.name for m in MUTANTS}
+    if names is not None:
+        unknown = set(names) - known
+        if unknown:
+            raise ValueError(f"unknown mutants: {sorted(unknown)}")
+    chosen = [m for m in MUTANTS if names is None or m.name in set(names)]
+    ctx = _Context(config)
+    t_suite = time.monotonic()
+    results: List[MutantResult] = []
+    for mutant in chosen:
+        t0 = time.monotonic()
+        if mutant.oracle == "golden":
+            killed, detail, metrics = _eval_golden(ctx, mutant)
+            killed_by = "golden" if killed else ""
+        elif mutant.oracle == "coverage":
+            killed, killed_by, detail, metrics = _eval_coverage(ctx, mutant)
+            killed_by = killed_by if killed else ""
+        elif mutant.oracle == "invariant":
+            killed, detail, metrics = _eval_invariant(ctx, mutant)
+            killed_by = "invariant" if killed else ""
+        elif mutant.oracle == "identity":
+            killed, killed_by, detail, metrics = _eval_identity(ctx, mutant)
+            killed_by = killed_by if killed else ""
+        else:  # pragma: no cover - catalog is static
+            raise ValueError(f"unknown oracle {mutant.oracle!r}")
+        result = MutantResult(
+            name=mutant.name, kind=mutant.kind, oracle=mutant.oracle,
+            baseline=mutant.baseline, expect_killed=mutant.expect_killed,
+            killed=killed, killed_by=killed_by, detail=detail,
+            metrics=metrics, elapsed_s=time.monotonic() - t0,
+        )
+        results.append(result)
+        if progress is not None:
+            verdict = "killed" if killed else "survived"
+            progress(f"{mutant.name}: {verdict} ({result.detail})")
+    return MutationReport(
+        results=results,
+        witness_sha256=hashlib.sha256(config.source.encode()).hexdigest(),
+        config=config,
+        elapsed_s=time.monotonic() - t_suite,
+    )

@@ -1,0 +1,47 @@
+"""Hypothesis strategies over the deterministic generators.
+
+The property-based suites (``tests/test_crosslayer_properties.py``,
+``tests/test_differential_layers.py``) used to carry their own inlined
+grammars, which drifted apart from each other and from anything the
+oracle/mutation harness could reuse.  These strategies are thin
+wrappers over :func:`repro.testgen.minic.generate_minic` and
+:func:`repro.testgen.irgen.generate_ir` — hypothesis draws only the
+*seed*, the single program generator does the rest.  One generator, no
+drift: any grammar extension lands in the property suites, the
+differential oracle, and the mutation harness at once.
+
+Importing this module requires ``hypothesis`` (a test dependency), so
+it is deliberately **not** imported from ``repro.testgen.__init__`` —
+runtime code never pays for it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from .irgen import IRGenConfig, generate_ir
+from .minic import GenConfig, generate_minic
+
+__all__ = ["minic_programs", "minic_sources", "ir_modules", "SEED_RANGE"]
+
+#: seed space the strategies draw from (shrinks toward small seeds)
+SEED_RANGE = (0, 2**24 - 1)
+
+
+def minic_programs(config: GenConfig = GenConfig()):
+    """Strategy of :class:`~repro.testgen.minic.GeneratedMiniC`."""
+    return st.integers(*SEED_RANGE).map(
+        lambda seed: generate_minic(seed, config)
+    )
+
+
+def minic_sources(config: GenConfig = GenConfig()):
+    """Strategy of MiniC source text."""
+    return minic_programs(config).map(lambda p: p.source)
+
+
+def ir_modules(config: IRGenConfig = IRGenConfig()):
+    """Strategy of fresh direct-IR modules (safe to mutate in place)."""
+    return st.integers(*SEED_RANGE).map(
+        lambda seed: generate_ir(seed, config)
+    )

@@ -1,15 +1,18 @@
 """Property-based cross-layer equivalence testing.
 
-Generates random (but always-terminating) MiniC programs and checks the
-load-bearing invariant of the whole reproduction: a program produces
-bit-identical output at the IR layer and the assembly layer, before and
-after protection.
+Random (always-terminating) MiniC programs come from the shared
+seed-deterministic generator in :mod:`repro.testgen.minic` via the
+:mod:`repro.testgen.strategies` wrappers — the same grammar the
+differential oracle and the mutation harness exercise, so the property
+suite can never drift from the validation tooling.  The load-bearing
+invariant: a program produces bit-identical output at the IR layer and
+the assembly layer, before and after protection.
 """
 
 from __future__ import annotations
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, given, settings
 
 from repro.execresult import RunStatus
 from repro.frontend.codegen import compile_source
@@ -19,67 +22,7 @@ from repro.backend.lower import lower_module
 from repro.machine.machine import compile_program, run_asm
 from repro.protection.duplication import duplicate_module
 from repro.protection.flowery import apply_flowery
-
-# -- random program generation -------------------------------------------
-
-_VARS = ["v0", "v1", "v2"]
-
-_int_leaf = st.one_of(
-    st.integers(-50, 50).map(str),
-    st.sampled_from(_VARS),
-)
-
-
-def _binop(children):
-    ops = st.sampled_from(["+", "-", "*", "&", "|", "^"])
-    return st.tuples(ops, children, children).map(
-        lambda t: f"({t[1]} {t[0]} {t[2]})"
-    )
-
-
-def _cmp(children):
-    ops = st.sampled_from(["<", "<=", ">", ">=", "==", "!="])
-    return st.tuples(ops, children, children).map(
-        lambda t: f"({t[1]} {t[0]} {t[2]})"
-    )
-
-
-int_exprs = st.recursive(_int_leaf, lambda ch: _binop(ch) | _cmp(ch),
-                         max_leaves=8)
-
-
-@st.composite
-def statements(draw, depth=0):
-    kind = draw(st.sampled_from(
-        ["assign", "assign", "print", "if"] + (["loop"] if depth < 1 else [])
-    ))
-    if kind == "assign":
-        var = draw(st.sampled_from(_VARS))
-        expr = draw(int_exprs)
-        return f"{var} = {expr};"
-    if kind == "print":
-        return f"print({draw(int_exprs)});"
-    if kind == "if":
-        cond = draw(int_exprs)
-        body = draw(statements(depth=depth + 1))
-        alt = draw(statements(depth=depth + 1))
-        return f"if ({cond}) {{ {body} }} else {{ {alt} }}"
-    # bounded loop
-    n = draw(st.integers(1, 5))
-    body = draw(statements(depth=depth + 1))
-    var = draw(st.sampled_from(_VARS))
-    return (f"for (int it{depth} = 0; it{depth} < {n}; it{depth}++) "
-            f"{{ {body} {var} = {var} + it{depth}; }}")
-
-
-@st.composite
-def programs(draw):
-    n = draw(st.integers(1, 5))
-    body = " ".join(draw(statements()) for _ in range(n))
-    decls = " ".join(f"int {v} = {draw(st.integers(-9, 9))};" for v in _VARS)
-    tail = " ".join(f"print({v});" for v in _VARS)
-    return f"int main() {{ {decls} {body} {tail} return 0; }}"
-
+from repro.testgen.strategies import minic_sources
 
 _SETTINGS = settings(
     max_examples=25,
@@ -89,7 +32,7 @@ _SETTINGS = settings(
 
 
 @_SETTINGS
-@given(programs())
+@given(minic_sources())
 def test_property_cross_layer_equivalence(src):
     module = compile_source(src)
     layout = GlobalLayout(module)
@@ -102,7 +45,7 @@ def test_property_cross_layer_equivalence(src):
 
 
 @_SETTINGS
-@given(programs())
+@given(minic_sources())
 def test_property_protection_preserves_semantics(src):
     golden = run_ir(compile_source(src), max_steps=2_000_000)
     module = compile_source(src)
@@ -117,12 +60,12 @@ def test_property_protection_preserves_semantics(src):
 
 
 @_SETTINGS
-@given(programs())
+@given(minic_sources())
 def test_property_injection_never_crashes_host(src):
     """Whatever a single bit flip does to the simulated program, the
     host-side harness must classify it into exactly one outcome."""
     module = compile_source(src)
-    golden = run_ir(module)
+    golden = run_ir(module, max_steps=2_000_000)
     import numpy as np
 
     rng = np.random.default_rng(0)

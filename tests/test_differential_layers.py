@@ -1,85 +1,27 @@
 """Differential testing of the two execution layers at IR granularity.
 
-Random straight-line IR built directly through the builder (bypassing
-MiniC) — every value printed at the end.  The interpreter and the
-machine must agree bit-for-bit on every program, which exercises
-operand/addressing combinations the frontend never emits (constant
-left operands, chained geps, i1 arithmetic, deep expression reuse).
+Random straight-line IR comes from the shared seed-deterministic
+generator in :mod:`repro.testgen.irgen` via the
+:mod:`repro.testgen.strategies` wrappers (one generator, no drift with
+the differential oracle).  It bypasses the MiniC frontend to exercise
+operand/addressing combinations the frontend never emits — constant
+left operands, computed masked gep indices, stores through computed
+pointers, i1 arithmetic, deep expression reuse.  The interpreter and
+the machine must agree bit-for-bit on every program.
 """
 
 from __future__ import annotations
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, given, settings
 
 from repro.backend.lower import lower_module
 from repro.execresult import RunStatus
 from repro.interp.interpreter import run_ir
 from repro.interp.layout import GlobalLayout
-from repro.ir import types as T
-from repro.ir.builder import IRBuilder
-from repro.ir.module import Module
-from repro.ir.types import function_type
 from repro.ir.verifier import verify_module
 from repro.machine.machine import compile_program, run_asm
-
-_INT_OPS = ["add", "sub", "mul", "and", "or", "xor", "shl", "ashr", "lshr"]
-_FP_OPS = ["fadd", "fsub", "fmul"]
-_ICMP = ["eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ugt"]
-
-
-@st.composite
-def straightline_program(draw):
-    """(ops descriptor list) -> a module printing every computed value."""
-    module = Module("diff")
-    gvals = draw(st.lists(st.integers(-100, 100), min_size=2, max_size=4))
-    garr = module.global_var("data", T.array(T.I64, len(gvals)), gvals)
-    fn = module.add_function("main", function_type(T.VOID, []))
-    b = IRBuilder(fn)
-    b.set_block(b.new_block("entry"))
-
-    int_vals = [b.i64(draw(st.integers(-50, 50))) for _ in range(2)]
-    fp_vals = [b.f64(draw(st.floats(-8, 8, allow_nan=False)))]
-
-    # seed with loads from the global array
-    for i in range(len(gvals)):
-        p = b.gep(garr, b.i64(i))
-        int_vals.append(b.load(p))
-
-    n_ops = draw(st.integers(3, 14))
-    for _ in range(n_ops):
-        kind = draw(st.sampled_from(["int", "fp", "cmp", "sel", "cast"]))
-        if kind == "int":
-            op = draw(st.sampled_from(_INT_OPS))
-            a = draw(st.sampled_from(int_vals))
-            c = draw(st.sampled_from(int_vals))
-            int_vals.append(b.binop(op, a, c))
-        elif kind == "fp":
-            op = draw(st.sampled_from(_FP_OPS))
-            a = draw(st.sampled_from(fp_vals))
-            c = draw(st.sampled_from(fp_vals))
-            fp_vals.append(b.binop(op, a, c))
-        elif kind == "cmp":
-            pred = draw(st.sampled_from(_ICMP))
-            a = draw(st.sampled_from(int_vals))
-            c = draw(st.sampled_from(int_vals))
-            int_vals.append(b.zext(b.icmp(pred, a, c), T.I64))
-        elif kind == "sel":
-            a = draw(st.sampled_from(int_vals))
-            c = draw(st.sampled_from(int_vals))
-            cond = b.icmp("slt", a, c)
-            int_vals.append(b.select(cond, a, c))
-        else:
-            a = draw(st.sampled_from(int_vals))
-            fp_vals.append(b.sitofp(a))
-
-    for v in int_vals:
-        b.call("print_i64", [v], ret_type=T.VOID)
-    for v in fp_vals:
-        b.call("print_f64", [v], ret_type=T.VOID)
-    b.ret()
-    return module
-
+from repro.testgen.strategies import ir_modules
 
 _SETTINGS = settings(
     max_examples=40,
@@ -89,7 +31,7 @@ _SETTINGS = settings(
 
 
 @_SETTINGS
-@given(straightline_program())
+@given(ir_modules())
 def test_layers_agree_on_random_straightline_ir(module):
     verify_module(module)
     layout = GlobalLayout(module)
@@ -102,7 +44,7 @@ def test_layers_agree_on_random_straightline_ir(module):
 
 
 @_SETTINGS
-@given(straightline_program())
+@given(ir_modules())
 def test_layers_agree_under_full_duplication(module):
     from repro.protection.duplication import duplicate_module
 

@@ -319,7 +319,7 @@ class TestTrapEquivalence:
 class TestBenchHarness:
     def test_bench_document_shape(self):
         doc = run_campaign_bench("crc32", scale="tiny", n=6, seed=1)
-        assert doc["schema"] == "bench_campaign/2"
+        assert doc["schema"] == "bench_campaign/3"
         assert set(doc["layers"]) == {"ir", "asm"}
         for d in doc["layers"].values():
             assert d["results_identical"] is True
@@ -329,6 +329,14 @@ class TestBenchHarness:
             assert c["off_seconds"] > 0 and c["on_seconds"] > 0
         assert doc["overall"]["results_identical"] is True
         assert doc["overall"]["containment"]["results_identical"] is True
+        tg = doc["testgen"]
+        assert tg["oracle_ok"] is True
+        assert tg["within_budget"] is True
+        assert tg["oracle_matrix_runs"] == 24 * tg["oracle_programs"]
+        # under pytest other suites may have imported repro.testgen
+        # already, so only the flag's presence is asserted here; the CI
+        # artifact is produced by a fresh process where it must be False
+        assert "campaign_imports_testgen" in tg
 
     def test_engine_env_toggle(self, built, monkeypatch):
         cfg = CampaignConfig(n_campaigns=10, seed=4)

@@ -1,6 +1,11 @@
 """Property-based tests for the optimizer: random MiniC programs must
 keep identical output, never get slower, and stay cross-layer
-equivalent after optimization."""
+equivalent after optimization.
+
+Programs come from the shared generator in :mod:`repro.testgen`
+(via its hypothesis strategy wrappers), like every other property
+suite.
+"""
 
 from hypothesis import HealthCheck, given, settings
 
@@ -12,8 +17,7 @@ from repro.interp.layout import GlobalLayout
 from repro.ir.verifier import verify_module
 from repro.machine.machine import compile_program, run_asm
 from repro.opt import optimize_module
-
-from tests.test_crosslayer_properties import programs
+from repro.testgen.strategies import minic_sources as programs
 
 _SETTINGS = settings(
     max_examples=20,
