@@ -8,16 +8,30 @@ Thin wrapper over ``repro bench`` for use outside an installed package:
 Writes ``BENCH_campaign.json`` (override with ``--out``) and prints the
 comparison table.  Defaults to the CI smoke workload
 (pathfinder/medium, n=40, seed=2023).
+
+The bench exercises the codegen dispatch tier, so this wrapper enables
+the on-disk codegen cache (``REPRO_CODEGEN_CACHE``, defaulting to
+``.cache/codegen`` next to the repo's results) and validates it up
+front: an unwritable cache directory is a hard
+:class:`~repro.errors.CodegenCacheError`, never a silent fallback — a
+bench that silently measured the decoded tier would report a fictitious
+codegen speedup.
 """
 
 import os
 import sys
 
-sys.path.insert(
-    0, os.path.join(os.path.dirname(os.path.dirname(
-        os.path.abspath(__file__))), "src"))
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_ROOT, "src"))
 
 from repro.cli import main  # noqa: E402
+from repro.simgen.cache import codegen_cache_dir  # noqa: E402
 
 if __name__ == "__main__":
+    os.environ.setdefault(
+        "REPRO_CODEGEN_CACHE", os.path.join(_ROOT, ".cache", "codegen"))
+    # Fail loudly *before* any campaign runs if the cache directory is
+    # unusable (CodegenCacheError propagates with a non-zero exit).
+    resolved = codegen_cache_dir()
+    print(f"codegen cache: {resolved}", file=sys.stderr)
     sys.exit(main(["bench", *sys.argv[1:]]))

@@ -54,6 +54,15 @@ class CampaignError(ReproError):
     """A fault-injection campaign was misconfigured."""
 
 
+class CodegenCacheError(ReproError):
+    """The on-disk codegen cache (``REPRO_CODEGEN_CACHE``) is unusable.
+
+    Raised *loudly* instead of silently falling back to the decoded
+    dispatch tier: a benchmark that believes it measured generated code
+    but actually measured closures would report a fictitious speedup.
+    """
+
+
 class SimTrap(Exception):
     """A simulated program trapped (the DUE class of outcomes).
 

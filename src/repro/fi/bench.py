@@ -19,6 +19,15 @@ sandbox (DESIGN §11) disabled (``REPRO_CONTAIN=0``) and enabled,
 proving the budgets-and-boundary machinery costs a few percent at most
 and changes no result.
 
+Since bench_campaign/4 each layer carries a ``codegen`` section: the
+same engine campaign timed warm on the decoded tier and on the
+template-generated codegen tier (``dispatch="codegen"``, DESIGN §13),
+asserting record-level bit-identity, plus warm single golden-run
+timings of both tiers (best of 3).  The campaign-level speedup is
+diluted by the golden checkpointing pass (which always streams from
+the decoded core); the ``run_speedup`` figures measure the generated
+code itself and carry the >= 2x acceptance floor.
+
 Since bench_campaign/3 it additionally carries a ``testgen`` section
 (DESIGN §12): a differential-oracle smoke over a handful of generated
 programs timed against a 60 s budget, plus the
@@ -41,7 +50,7 @@ from ..pipeline import build
 
 __all__ = ["run_campaign_bench", "render_bench", "campaign_signature"]
 
-BENCH_SCHEMA = "bench_campaign/3"
+BENCH_SCHEMA = "bench_campaign/4"
 
 #: wall-clock budget for the testgen oracle-matrix smoke
 TESTGEN_BUDGET_SECONDS = 60.0
@@ -74,10 +83,32 @@ def campaign_signature(result: CampaignResult) -> Tuple:
     )
 
 
-def _time_campaign(run, *args, engine: bool) -> Tuple[float, CampaignResult]:
+def _time_campaign(run, *args, **kwargs) -> Tuple[float, CampaignResult]:
     t0 = time.perf_counter()
-    result = run(*args, engine=engine)
+    result = run(*args, **kwargs)
     return time.perf_counter() - t0, result
+
+
+def _time_golden(built, layer: str, dispatch: str,
+                 rounds: int = 3) -> float:
+    """Best-of-``rounds`` wall time of one full golden run (warm —
+    callers must have executed the tier once already so decode/codegen
+    caches are primed)."""
+    from ..interp.interpreter import IRInterpreter
+    from ..machine.machine import AsmMachine
+
+    best = float("inf")
+    for _ in range(rounds):
+        if layer == "ir":
+            sim = IRInterpreter(built.module, layout=built.layout,
+                                dispatch=dispatch)
+        else:
+            sim = AsmMachine(built.compiled, built.layout,
+                             dispatch=dispatch)
+        t0 = time.perf_counter()
+        sim.run()
+        best = min(best, time.perf_counter() - t0)
+    return best
 
 
 @contextmanager
@@ -132,10 +163,23 @@ def run_campaign_bench(
             off_s, off_res = _time_campaign(run, *args, engine=True)
         with _contain_env("1"):
             on_s, on_res = _time_campaign(run, *args, engine=True)
+        # dispatch tiers on the engine path: decoded vs generated code,
+        # both warm (the first codegen run below builds and caches the
+        # generated source; only the second is timed)
+        _time_campaign(run, *args, engine=True, dispatch="codegen")
+        dec_s, dec_res = _time_campaign(run, *args, engine=True,
+                                        dispatch="decoded")
+        cg_s, cg_res = _time_campaign(run, *args, engine=True,
+                                      dispatch="codegen")
         identical = campaign_signature(naive_res) == \
             campaign_signature(engine_res)
         contain_identical = campaign_signature(off_res) == \
             campaign_signature(on_res)
+        codegen_identical = campaign_signature(dec_res) == \
+            campaign_signature(cg_res)
+        # raw tier throughput: one full golden run per tier, warm
+        run_dec_s = _time_golden(built, layer, "decoded")
+        run_cg_s = _time_golden(built, layer, "codegen")
         work = naive_res.golden_dyn_total * n
         layers[layer] = {
             "naive_seconds": naive_s,
@@ -154,6 +198,16 @@ def run_campaign_bench(
                 "overhead_pct": (on_s - off_s) / off_s * 100.0
                 if off_s > 0 else 0.0,
                 "results_identical": contain_identical,
+            },
+            "codegen": {
+                "decoded_seconds": dec_s,
+                "codegen_seconds": cg_s,
+                "speedup": dec_s / cg_s if cg_s > 0 else float("inf"),
+                "run_decoded_seconds": run_dec_s,
+                "run_codegen_seconds": run_cg_s,
+                "run_speedup": run_dec_s / run_cg_s
+                if run_cg_s > 0 else float("inf"),
+                "results_identical": codegen_identical,
             },
         }
 
@@ -198,6 +252,14 @@ def run_campaign_bench(
         d["containment"]["off_seconds"] for d in layers.values())
     contain_on_total = sum(
         d["containment"]["on_seconds"] for d in layers.values())
+    codegen_dec_total = sum(
+        d["codegen"]["decoded_seconds"] for d in layers.values())
+    codegen_cg_total = sum(
+        d["codegen"]["codegen_seconds"] for d in layers.values())
+    run_dec_total = sum(
+        d["codegen"]["run_decoded_seconds"] for d in layers.values())
+    run_cg_total = sum(
+        d["codegen"]["run_codegen_seconds"] for d in layers.values())
     return {
         "schema": BENCH_SCHEMA,
         "params": {
@@ -225,6 +287,19 @@ def run_campaign_bench(
                 if contain_off_total > 0 else 0.0,
                 "results_identical": all(
                     d["containment"]["results_identical"]
+                    for d in layers.values()),
+            },
+            "codegen": {
+                "decoded_seconds": codegen_dec_total,
+                "codegen_seconds": codegen_cg_total,
+                "speedup": codegen_dec_total / codegen_cg_total
+                if codegen_cg_total > 0 else float("inf"),
+                "run_decoded_seconds": run_dec_total,
+                "run_codegen_seconds": run_cg_total,
+                "run_speedup": run_dec_total / run_cg_total
+                if run_cg_total > 0 else float("inf"),
+                "results_identical": all(
+                    d["codegen"]["results_identical"]
                     for d in layers.values()),
             },
         },
@@ -266,6 +341,26 @@ def render_bench(doc: Dict) -> str:
     lines.append(
         f"{'all':6s} {oc['off_seconds']:8.3f}s {oc['on_seconds']:8.3f}s "
         f"{oc['overhead_pct']:+8.2f}% {str(oc['results_identical']):>9s}"
+    )
+    lines.append("dispatch tiers, decoded vs codegen (campaign = engine "
+                 "path incl. decoded golden pass; run = one golden run):")
+    lines.append(
+        f"{'layer':6s} {'campaign-dec':>12s} {'campaign-cg':>12s} "
+        f"{'speedup':>8s} {'run-speedup':>11s} {'identical':>9s}")
+    for layer, d in doc["layers"].items():
+        g = d["codegen"]
+        lines.append(
+            f"{layer:6s} {g['decoded_seconds']:11.3f}s "
+            f"{g['codegen_seconds']:11.3f}s {g['speedup']:7.2f}x "
+            f"{g['run_speedup']:10.2f}x "
+            f"{str(g['results_identical']):>9s}"
+        )
+    og = o["codegen"]
+    lines.append(
+        f"{'all':6s} {og['decoded_seconds']:11.3f}s "
+        f"{og['codegen_seconds']:11.3f}s {og['speedup']:7.2f}x "
+        f"{og['run_speedup']:10.2f}x "
+        f"{str(og['results_identical']):>9s}"
     )
     tg = doc.get("testgen")
     if tg:

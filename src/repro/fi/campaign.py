@@ -28,7 +28,7 @@ from ..interp.interpreter import IRInterpreter
 from ..interp.layout import GlobalLayout
 from ..ir.module import Module
 from ..machine.machine import AsmMachine, CompiledProgram
-from .engine import engine_enabled, run_injection_suite
+from .engine import engine_dispatch, engine_enabled, run_injection_suite
 from .outcomes import Outcome, classify_outcome
 
 __all__ = [
@@ -158,6 +158,7 @@ def run_ir_campaign(
     layout: Optional[GlobalLayout] = None,
     observer=None,
     engine: Optional[bool] = None,
+    dispatch: Optional[str] = None,
 ) -> CampaignResult:
     """LLFI-style campaign at the IR layer.
 
@@ -165,13 +166,15 @@ def run_ir_campaign(
     :mod:`repro.fi.engine`): ``None`` defers to ``REPRO_ENGINE``
     (default on).  Results are bit-identical either way; the engine only
     changes how much golden prefix is re-executed per injection.
+    ``dispatch`` selects the engine-path tier (``None`` defers to
+    ``REPRO_DISPATCH``, default decoded); ignored without the engine.
     """
     use_engine = engine_enabled(engine)
-    dispatch = "decoded" if use_engine else "naive"
+    tier = engine_dispatch(dispatch) if use_engine else "naive"
     layout = layout or GlobalLayout(module)
     with _phase(observer, "golden", layer="ir"):
         golden = IRInterpreter(module, layout=layout,
-                               dispatch=dispatch).run()
+                               dispatch=tier).run()
     if golden.status is not RunStatus.OK:
         raise CampaignError(
             f"golden IR run failed: {golden.status.value}/{golden.trap_kind}"
@@ -207,6 +210,7 @@ def run_ir_campaign(
                 module=module,
                 layout=layout,
                 emit=emit,
+                dispatch=tier,
             )
         else:
             for i, (idx, bit) in enumerate(pairs):
@@ -233,16 +237,17 @@ def run_asm_campaign(
     config: CampaignConfig = CampaignConfig(),
     observer=None,
     engine: Optional[bool] = None,
+    dispatch: Optional[str] = None,
 ) -> CampaignResult:
     """PINFI-style campaign at the assembly layer.
 
-    ``engine`` selects the checkpoint-replay engine exactly as in
-    :func:`run_ir_campaign`.
+    ``engine`` and ``dispatch`` select the checkpoint-replay engine and
+    its tier exactly as in :func:`run_ir_campaign`.
     """
     use_engine = engine_enabled(engine)
-    dispatch = "decoded" if use_engine else "naive"
+    tier = engine_dispatch(dispatch) if use_engine else "naive"
     with _phase(observer, "golden", layer="asm"):
-        golden = AsmMachine(program, layout, dispatch=dispatch).run()
+        golden = AsmMachine(program, layout, dispatch=tier).run()
     if golden.status is not RunStatus.OK:
         raise CampaignError(
             f"golden asm run failed: {golden.status.value}/{golden.trap_kind}"
@@ -281,6 +286,7 @@ def run_asm_campaign(
                 program=program,
                 layout=layout,
                 emit=emit,
+                dispatch=tier,
             )
         else:
             for i, (idx, bit) in enumerate(pairs):

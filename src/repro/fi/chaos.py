@@ -9,14 +9,15 @@ host exception crossed the containment boundary).
 
 This module *attacks* that invariant instead of assuming it: it sweeps
 seeded random bit-flips across every benchmark, both layers (IR
-interpreter and asm machine), and both dispatch modes (naive ladders
-and pre-decoded closures), then reports
+interpreter and asm machine), and all three dispatch tiers (naive
+ladders, pre-decoded closures, exec-compiled generated code), then
+reports
 
 * **escapes** — a host exception reached the harness despite the
   boundary, with a minimized reproducer ``(benchmark, layer, dispatch,
   index, bit)``;
 * **divergences** — the same injection produced different results under
-  the two dispatch modes, breaking the bit-identity contract the
+  two dispatch tiers, breaking the bit-identity contract the
   equivalence suite relies on;
 * an outcome/trap-kind census proving every injection was classified.
 
@@ -73,7 +74,7 @@ class ChaosEscape:
 
     benchmark: str
     layer: str                  # 'ir' | 'asm'
-    dispatch: str               # 'naive' | 'decoded'
+    dispatch: str               # 'naive' | 'decoded' | 'codegen'
     index: int                  # injectable dynamic-instruction index
     bit: int
     exc_type: str
@@ -88,15 +89,20 @@ class ChaosEscape:
 
 @dataclass(frozen=True)
 class ChaosDivergence:
-    """One injection whose result differs between dispatch modes."""
+    """One injection whose result differs between dispatch tiers.
+
+    Every tier is compared against the first one executed for the
+    injection (``ref_dispatch``, normally ``naive``)."""
 
     benchmark: str
     layer: str
     index: int
     bit: int
     field: str                  # first differing result field
-    naive: str
-    decoded: str
+    ref_dispatch: str
+    other_dispatch: str
+    ref: str
+    other: str
 
 
 @dataclass
@@ -200,7 +206,7 @@ def chaos_sweep(
     n: int = 200,
     seed: int = 2023,
     layers: Sequence[str] = ("ir", "asm"),
-    dispatches: Sequence[str] = ("naive", "decoded"),
+    dispatches: Sequence[str] = ("naive", "decoded", "codegen"),
     contain: Optional[bool] = True,
     progress: Optional[Callable[[str], None]] = None,
 ) -> ChaosReport:
@@ -208,10 +214,11 @@ def chaos_sweep(
 
     For each ``benchmark x layer``, draws ``n`` seeded ``(index, bit)``
     injections over the golden injectable range and executes each under
-    every dispatch mode.  Host exceptions become :class:`ChaosEscape`
+    every dispatch tier.  Host exceptions become :class:`ChaosEscape`
     records (the harness itself never crashes); cross-dispatch result
-    mismatches become :class:`ChaosDivergence` records; every result is
-    classified against the golden output.
+    mismatches — every tier against the first — become
+    :class:`ChaosDivergence` records; every result is classified
+    against the golden output.
 
     ``contain`` is forwarded to the simulators (``False`` disables the
     boundary — used by the regression suite to prove the fuzzer detects
@@ -280,16 +287,23 @@ def chaos_sweep(
                         report.trap_counts[res.trap_kind] = \
                             report.trap_counts.get(res.trap_kind, 0) + 1
 
-                if "naive" in by_dispatch and "decoded" in by_dispatch:
-                    a = _sig(by_dispatch["naive"])
-                    b = _sig(by_dispatch["decoded"])
-                    for fld in _SIG_FIELDS:
-                        if a[fld] != b[fld]:
-                            report.divergences.append(ChaosDivergence(
-                                benchmark=name, layer=layer,
-                                index=idx, bit=bit, field=fld,
-                                naive=a[fld][:120], decoded=b[fld][:120]))
-                            break
+                present = [d for d in dispatches if d in by_dispatch]
+                if len(present) >= 2:
+                    ref = present[0]
+                    a = _sig(by_dispatch[ref])
+                    for other in present[1:]:
+                        b = _sig(by_dispatch[other])
+                        for fld in _SIG_FIELDS:
+                            if a[fld] != b[fld]:
+                                report.divergences.append(
+                                    ChaosDivergence(
+                                        benchmark=name, layer=layer,
+                                        index=idx, bit=bit, field=fld,
+                                        ref_dispatch=ref,
+                                        other_dispatch=other,
+                                        ref=a[fld][:120],
+                                        other=b[fld][:120]))
+                                break
             if progress is not None:
                 progress(f"{name:14s} {layer:3s}  "
                          f"{n * len(tuple(dispatches))} injections  "
@@ -303,7 +317,7 @@ def render_chaos(report: ChaosReport) -> str:
     lines = [
         f"chaos sweep: {len(report.benchmarks)} benchmarks x "
         f"{len(report.layers)} layers x {len(report.dispatches)} "
-        f"dispatch modes x {report.n_per_target} injections "
+        f"dispatch tiers x {report.n_per_target} injections "
         f"(scale={report.scale}, seed={report.seed}, "
         f"contain={'on' if report.contain else 'off'})",
         f"  injections executed:  {report.injections}",
@@ -325,8 +339,9 @@ def render_chaos(report: ChaosReport) -> str:
         for div in report.divergences[:20]:
             lines.append(
                 f"    {div.benchmark} {div.layer} idx={div.index} "
-                f"bit={div.bit}: {div.field} naive={div.naive!r} "
-                f"decoded={div.decoded!r}")
+                f"bit={div.bit}: {div.field} "
+                f"{div.ref_dispatch}={div.ref!r} "
+                f"{div.other_dispatch}={div.other!r}")
         if len(report.divergences) > 20:
             lines.append(f"    ... {len(report.divergences) - 20} more")
     lines.append("  invariant: " + ("HELD — no injected fault crashed, "

@@ -46,7 +46,7 @@ from ..interp.layout import GlobalLayout
 from ..ir.module import Module
 from ..machine.machine import AsmMachine, CompiledProgram
 
-__all__ = ["engine_enabled", "run_injection_suite"]
+__all__ = ["engine_dispatch", "engine_enabled", "run_injection_suite"]
 
 
 def engine_enabled(flag: Optional[bool] = None) -> bool:
@@ -60,6 +60,24 @@ def engine_enabled(flag: Optional[bool] = None) -> bool:
     return os.environ.get("REPRO_ENGINE", "1") != "0"
 
 
+def engine_dispatch(dispatch: Optional[str] = None) -> str:
+    """Resolve the dispatch tier used on the engine path.
+
+    An explicit ``dispatch`` wins; otherwise ``REPRO_DISPATCH`` decides,
+    defaulting to ``"decoded"`` (campaign results are bit-identical
+    across tiers, so the default stays conservative and journal hashes
+    stay stable).  Only the snapshot-capable tiers are legal here —
+    ``"naive"`` cannot resume from checkpoints.
+    """
+    resolved = (dispatch if dispatch is not None
+                else os.environ.get("REPRO_DISPATCH", "decoded"))
+    if resolved not in ("decoded", "codegen"):
+        raise ValueError(
+            f"engine dispatch must be 'decoded' or 'codegen', "
+            f"got {resolved!r}")
+    return resolved
+
+
 def run_injection_suite(
     layer: str,
     samples: Iterable[Tuple[object, int, int]],
@@ -69,6 +87,7 @@ def run_injection_suite(
     layout: Optional[GlobalLayout] = None,
     program: Optional[CompiledProgram] = None,
     emit: Callable[[object, ExecResult], None],
+    dispatch: Optional[str] = None,
 ) -> None:
     """Run every ``(tag, dyn_index, bit)`` injection with checkpoint-replay.
 
@@ -77,13 +96,21 @@ def run_injection_suite(
     their own structures by ``tag``).  Indices beyond the end of the
     golden trace — impossible when drawn below the injectable count, but
     guarded anyway — fall back to plain full executions.
+
+    ``dispatch`` selects the replay tier (see :func:`engine_dispatch`);
+    suffix replays run on it, while the golden checkpointing pass always
+    streams snapshots from the decoded core (the codegen tier delegates
+    internally when checkpoints are requested).
     """
+    tier = engine_dispatch(dispatch)
     if layer == "ir":
         def fresh():
-            return IRInterpreter(module, layout=layout, max_steps=max_steps)
+            return IRInterpreter(module, layout=layout, max_steps=max_steps,
+                                 dispatch=tier)
     elif layer == "asm":
         def fresh():
-            return AsmMachine(program, layout, max_steps=max_steps)
+            return AsmMachine(program, layout, max_steps=max_steps,
+                              dispatch=tier)
     else:
         raise ValueError(f"unknown layer {layer!r}")
 

@@ -154,7 +154,7 @@ class IRInterpreter:
         output_budget: Optional[int] = None,
         mem_budget: Optional[int] = None,
     ):
-        if dispatch not in ("decoded", "naive"):
+        if dispatch not in ("decoded", "naive", "codegen"):
             raise IRError(f"unknown dispatch mode {dispatch!r}")
         self.module = module
         self.layout = layout or GlobalLayout(module)
@@ -242,6 +242,19 @@ class IRInterpreter:
                 ret = self._execute_decoded(
                     fn, list(args), resume_from, checkpoints, checkpoint_cb
                 )
+            elif self.dispatch == "codegen":
+                # snapshots, profiling and trace taps run the decoded
+                # loop (bit-identical; checkpointing must stream decoded
+                # frames anyway) — generated code serves plain runs and
+                # snapshot *resumes*, the hot paths of the engine
+                if (checkpoints is not None or self._counts is not None
+                        or self.tracer is not None):
+                    ret = self._execute_decoded(
+                        fn, list(args), resume_from, checkpoints,
+                        checkpoint_cb
+                    )
+                else:
+                    ret = self._execute_codegen(fn, list(args), resume_from)
             else:
                 if resume_from is not None or checkpoints is not None:
                     raise IRError(
@@ -582,6 +595,219 @@ class IRInterpreter:
             self.dyn_total = dt
             self.dyn_injectable = inj
 
+    # -- codegen execution core -------------------------------------------
+
+    def _execute_codegen(self, entry_fn: Function,
+                         args: List[Union[int, float]],
+                         resume_from: Optional[IRSnapshot] = None):
+        from .codegen import codegen_module
+
+        gm = codegen_module(self.module, self.layout)
+        careful = False
+        if resume_from is None:
+            if entry_fn.is_declaration:
+                raise IRError(f"cannot execute declaration @{entry_fn.name}")
+            stack: List[_Frame] = []
+            frame = self._push_frame(entry_fn, args, None)
+            dfn = gm.dm.functions[entry_fn]
+            frame.block, frame.code = dfn.entry_pair
+            bbs: List[int] = []
+            bb = 0
+        else:
+            snap = resume_from
+            mem = self.memory
+            if len(snap.mem) != len(mem.data):
+                raise IRError("snapshot does not match interpreter memory "
+                              "geometry")
+            mem.data[:] = snap.mem
+            mem.heap_break = snap.heap_break
+            self.sp = snap.sp
+            self.outputs[:] = snap.outputs
+            self.dyn_total = snap.dyn_total
+            self.dyn_injectable = snap.dyn_injectable
+            self.injected = False
+            self.injected_iid = None
+            frames = [
+                _Frame(fn=f, block=b, index=i, temps=dict(t), sp_save=s,
+                       ret_target=rt, arg_values=list(av), ret_flip_bit=rf,
+                       code=c)
+                for (f, b, c, i, t, s, rt, rf, av) in snap.frames
+            ]
+            frame = frames.pop()
+            stack = frames
+            # outer frames always suspend at after-call positions, which
+            # are chunk boundaries by construction
+            bbs = [gm.functions[f.fn].entry_bb[(f.block, f.index)]
+                   for f in stack]
+            entry = gm.functions[frame.fn].entry_bb.get(
+                (frame.block, frame.index))
+            if entry is None:
+                # snapshot stopped mid-chunk: step decoded entries until
+                # the next control transfer, then enter generated code
+                careful = True
+                bb = -1
+            else:
+                bb = entry
+        self._armed = True
+        return self._run_codegen(gm, frame, stack, bbs, bb, careful)
+
+    def _run_codegen(self, gm, frame: _Frame, stack: List[_Frame],
+                     bbs: List[int], bb: int, careful: bool):
+        """Trampoline driver for generated code.
+
+        Generated functions execute whole chunks and return action
+        tuples (see :mod:`repro.interp.codegen`); this loop handles the
+        frame pushes/pops (with the decoded loop's exact depth and
+        stack-overflow semantics), return-value flips, and the fallback
+        onto the decoded loop when the step budget is about to expire.
+        """
+        c = [self.dyn_total, self.dyn_injectable,
+             self.inject_index if self.inject_index is not None else -1,
+             self.inject_bit]
+        stack_limit = self.memory.stack_limit
+        max_call_depth = self.max_call_depth
+        fns = gm.functions
+        try:
+            r = self._careful_step(frame, stack, c,
+                                   fns[frame.fn]) if careful else None
+            while True:
+                if r is None:
+                    r = fns[frame.fn].run(self, frame, c, bb)
+                tag = r[0]
+                if tag == 1:        # ret
+                    rv = r[1]
+                    self.sp = frame.sp_save
+                    if not stack:
+                        return rv
+                    tgt = frame.ret_target
+                    fb = frame.ret_flip_bit
+                    callee_ret = frame.fn.return_type
+                    frame = stack.pop()
+                    bb = bbs.pop()
+                    if tgt is not None:
+                        if fb is not None:
+                            rv = _flip_value(rv, callee_ret, fb)
+                            self.injected = True
+                        frame.temps[tgt] = rv
+                elif tag == 2:      # call
+                    dfn = r[1]
+                    if len(stack) >= max_call_depth:
+                        raise SimTrap(
+                            "stack-overflow",
+                            f"call depth {max_call_depth} exceeded "
+                            f"calling @{dfn.fn.name}")
+                    sp_save = self.sp
+                    sp = sp_save - 16
+                    self.sp = sp
+                    if sp < stack_limit:
+                        raise SimTrap("stack-overflow",
+                                      f"calling @{dfn.fn.name}")
+                    stack.append(frame)
+                    bbs.append(r[5])
+                    block, code = dfn.entry_pair
+                    frame = _Frame(
+                        fn=dfn.fn, block=block, index=0, temps={},
+                        sp_save=sp_save, ret_target=r[3],
+                        arg_values=r[2], ret_flip_bit=r[4], code=code,
+                    )
+                    bb = 0
+                elif tag == 0:      # budget bail: decoded finishes
+                    self.dyn_total = c[0]
+                    self.dyn_injectable = c[1]
+                    try:
+                        return self._run_decoded(frame, stack)
+                    finally:
+                        c[0] = self.dyn_total
+                        c[1] = self.dyn_injectable
+                else:               # careful stepper reached a block start
+                    bb = fns[frame.fn].entry_bb[(frame.block, 0)]
+                r = None
+        except KeyError as k:
+            raise IRError(
+                f"use of unevaluated %t{k.args[0]} in @{frame.fn.name}"
+            ) from None
+        finally:
+            self.dyn_total = c[0]
+            self.dyn_injectable = c[1]
+
+    def _careful_step(self, frame: _Frame, stack: List[_Frame], c,
+                      gf) -> tuple:
+        """Execute decoded entries of a mid-chunk frame until the next
+        control transfer (which always lands on a chunk boundary),
+        mirroring ``_run_decoded``'s counter and injection semantics.
+        Returns a codegen driver action: ``(1, rv)``, ``(2, ...)`` or
+        ``(3,)`` after positioning ``frame`` at a block start."""
+        dt, inj, target, inject_bit = c
+        max_steps = self.max_steps
+        stack_limit = self.memory.stack_limit
+        code = frame.code
+        i = frame.index
+        try:
+            while True:
+                e = code[i]
+                kind = e[0]
+                i += 1
+                dt += 1
+                if dt > max_steps:
+                    raise SimTrap("step-budget",
+                                  f"exceeded {max_steps} steps")
+                if kind == 0:
+                    r = e[1](self, frame)
+                    if inj == target:
+                        r = _flip_value(r, e[3].type, inject_bit)
+                        self.injected = True
+                        self.injected_iid = e[2]
+                    inj += 1
+                    frame.temps[e[2]] = r
+                elif kind == 5:
+                    frame.block, frame.code = e[1]
+                    frame.index = 0
+                    return (3,)
+                elif kind == 6:
+                    p = e[1]
+                    frame.block, frame.code = \
+                        p[1] if p[0](self, frame) else p[2]
+                    frame.index = 0
+                    return (3,)
+                elif kind == 2:
+                    e[1](self, frame)
+                elif kind == 4:
+                    p = e[1]
+                    rv = p(self, frame) if p is not None else None
+                    frame.index = i
+                    return (1, rv)
+                elif kind == 7:
+                    sp = (self.sp - e[1]) & ~7
+                    self.sp = sp
+                    if sp < stack_limit:
+                        raise SimTrap("stack-overflow",
+                                      f"@{frame.fn.name}")
+                    frame.temps[e[2]] = sp
+                else:               # call (kind 1 with result, 3 void)
+                    p = e[1]
+                    call_args = p[0](self, frame)
+                    flip_bit = None
+                    if kind == 1:
+                        if inj == target:
+                            flip_bit = inject_bit
+                            self.injected_iid = e[2]
+                        inj += 1
+                    frame.index = i
+                    return (2, p[1], call_args,
+                            e[2] if kind == 1 else None, flip_bit,
+                            gf.entry_bb[(frame.block, i)])
+        except IndexError:
+            raise IRError(
+                f"fell off block {frame.block.label} in @{frame.fn.name}"
+            ) from None
+        except KeyError as k:
+            raise IRError(
+                f"use of unevaluated %t{k.args[0]} in @{frame.fn.name}"
+            ) from None
+        finally:
+            c[0] = dt
+            c[1] = inj
+
     def _snapshot(self, stack: List[_Frame], frame: _Frame) -> IRSnapshot:
         frames = tuple(
             (f.fn, f.block, f.code, f.index, dict(f.temps), f.sp_save,
@@ -876,10 +1102,11 @@ def run_ir(
     profile: bool = False,
     max_steps: int = DEFAULT_MAX_STEPS,
     trace=None,
+    dispatch: str = "decoded",
 ) -> ExecResult:
     """Convenience wrapper: build an interpreter and run once."""
     interp = IRInterpreter(module, layout=layout, max_steps=max_steps,
-                           trace=trace)
+                           trace=trace, dispatch=dispatch)
     return interp.run(
         entry=entry,
         args=args,

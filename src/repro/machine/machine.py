@@ -353,7 +353,7 @@ class AsmMachine:
         output_budget: Optional[int] = None,
         mem_budget: Optional[int] = None,
     ):
-        if dispatch not in ("decoded", "naive"):
+        if dispatch not in ("decoded", "naive", "codegen"):
             raise ReproError(f"unknown dispatch mode {dispatch!r}")
         self.dispatch = dispatch
         self.program = program
@@ -415,6 +415,18 @@ class AsmMachine:
             if self.dispatch == "decoded":
                 self._loop_decoded(inject_index, inject_bit,
                                    resume_from, checkpoints, checkpoint_cb)
+            elif self.dispatch == "codegen":
+                # the generated fast path has no per-step tap points;
+                # snapshot streaming, profiling and tracing fall back to
+                # the (bit-identical) decoded core
+                if (checkpoints is not None or self._counts is not None
+                        or self.tracer is not None):
+                    self._loop_decoded(inject_index, inject_bit,
+                                       resume_from, checkpoints,
+                                       checkpoint_cb)
+                else:
+                    self._loop_codegen(inject_index, inject_bit,
+                                       resume_from)
             else:
                 if resume_from is not None or checkpoints is not None:
                     raise ReproError(
@@ -814,15 +826,10 @@ class AsmMachine:
         from an :class:`AsmSnapshot` and streaming snapshots out at the
         requested ``watch`` injection indices (ascending order).
         """
-        from .decode import AsmState, _Halt, decode_program
+        from .decode import AsmState
 
         prog = self.program
         mem = self.memory
-        dp = decode_program(prog, mem)
-        fns = dp.fns
-        inj_kind = prog.inj_kind
-        gpr_dest = dp.gpr_dest
-        xmm_dest = dp.xmm_dest
         data = mem.data
 
         st = AsmState()
@@ -863,6 +870,42 @@ class AsmMachine:
         st.xmm = xmm
         st.max_depth = self.max_call_depth
 
+        self.injected = False
+        self._decoded_core(st, pc, steps, injectable,
+                           inject_index, inject_bit, watch, watch_cb)
+
+    def _decoded_core(
+        self,
+        st,
+        pc: int,
+        steps: int,
+        injectable: int,
+        inject_index: Optional[int],
+        inject_bit: int,
+        watch: Optional[Sequence[int]] = None,
+        watch_cb=None,
+    ) -> None:
+        """The decoded driver loop proper, entered with live counters.
+
+        Split out from :meth:`_loop_decoded` so the codegen tier can
+        hand over mid-run (step budget nearly exhausted) with exact
+        ``steps``/``injectable`` values.  Reads ``self.injected`` as the
+        starting flip state: a hand-over after the flip has been applied
+        must not lose it.
+        """
+        from .decode import _Halt, decode_program
+
+        prog = self.program
+        mem = self.memory
+        dp = decode_program(prog, mem)
+        fns = dp.fns
+        inj_kind = prog.inj_kind
+        gpr_dest = dp.gpr_dest
+        xmm_dest = dp.xmm_dest
+        data = st.data
+        regs = st.regs
+        xmm = st.xmm
+
         watch_iter = iter(watch) if watch is not None else None
         next_watch = (next(watch_iter, None)
                       if watch_iter is not None else None)
@@ -874,7 +917,7 @@ class AsmMachine:
         track = counts is not None or hook is not None
 
         target = inject_index if inject_index is not None else -1
-        injected = False
+        injected = self.injected
         self._armed = True
 
         try:
@@ -932,6 +975,103 @@ class AsmMachine:
             self.injected = injected
             if tracer is not None:
                 tracer.finish(regs, xmm)
+
+    def _loop_codegen(
+        self,
+        inject_index: Optional[int],
+        inject_bit: int,
+        resume_from: Optional[AsmSnapshot] = None,
+    ) -> None:
+        """Generated-code twin of :meth:`_loop_decoded` (DESIGN §13).
+
+        Drives the specialized executor chunk to chunk; drops to the
+        decoded single-stepper when a corrupted return address leaves
+        the leader map, and hands the whole run to the decoded core
+        when the step budget could expire inside the next chunk.
+        """
+        from .codegen import careful_until_leader, codegen_program
+        from .decode import AsmState, _Halt, decode_program
+
+        prog = self.program
+        mem = self.memory
+        cp = codegen_program(prog, mem)
+        dp = decode_program(prog, mem)
+        data = mem.data
+
+        st = AsmState()
+        st.data = data
+        st.outputs = self.outputs
+        st.machine = self
+
+        if resume_from is None:
+            regs = [0] * 16
+            xmm = [0.0] * 16
+            st.fl = 0
+            st.depth = 0
+            sp = mem.stack_base - 8
+            data[sp:sp + 8] = _SENTINEL_RET.to_bytes(8, "little")
+            regs[_RSP] = sp
+            regs[_RBP] = sp
+            pc = prog.entry_index
+            steps = 0
+            injectable = 0
+        else:
+            snap = resume_from
+            if len(snap.mem) != len(data):
+                raise ReproError(
+                    "snapshot does not match machine memory geometry")
+            data[:] = snap.mem
+            mem.heap_break = snap.heap_break
+            regs = list(snap.regs)
+            xmm = list(snap.xmm)
+            st.fl = snap.fl
+            st.depth = snap.depth
+            pc = snap.pc
+            steps = snap.steps
+            injectable = snap.injectable
+            self.outputs[:] = snap.outputs
+            self.injected_index = None
+        st.regs = regs
+        st.xmm = xmm
+        st.max_depth = self.max_call_depth
+
+        target = inject_index if inject_index is not None else -1
+        self.injected = False
+        self._armed = True
+        # counter carrier shared with the generated code and the
+        # careful stepper: [steps, injectable, target, bit]
+        c = [steps, injectable, target, inject_bit]
+        run = cp.run
+        leaders = cp.leaders
+        try:
+            while True:
+                k = leaders.get(pc)
+                if k is None:
+                    try:
+                        pc = careful_until_leader(self, st, dp, leaders,
+                                                  c, pc)
+                    except _Halt:
+                        break
+                    continue
+                r = run(self, st, c, k)
+                tag = r[0]
+                if tag == 2:
+                    pc = r[1]
+                elif tag == 1:
+                    break
+                else:
+                    # budget hand-over: the decoded core owns the
+                    # exact step-budget raise point
+                    try:
+                        self._decoded_core(st, r[1], c[0], c[1],
+                                           inject_index, inject_bit)
+                    finally:
+                        c[0] = self.dyn_total
+                        c[1] = self.dyn_injectable
+                    break
+        finally:
+            self.dyn_total = c[0]
+            self.dyn_injectable = c[1]
 
     def _gpr_dest(self, index: int) -> int:
         inst = self.program.inst_at(index)

@@ -1,0 +1,89 @@
+"""Compilation (and optional on-disk caching) of generated simulator code.
+
+In-memory, each layer's codegen result is cached per program keyed by
+the same content fingerprint its decode cache uses, so in-place module
+mutation invalidates generated code exactly when it invalidates the
+closures.  That fingerprint mixes live object identities, which do not
+survive a process boundary — so the *disk* cache is keyed differently:
+by the SHA-256 of the generated source itself, which is a pure function
+of program content.  The disk cache therefore only skips the
+``compile()`` step (the ``exec`` against a fresh environment always
+runs), which is the expensive part for large generated modules.
+
+Set ``REPRO_CODEGEN_CACHE`` to a directory path to enable the disk
+cache (the benchmark harness does).  An unusable directory raises
+:class:`~repro.errors.CodegenCacheError` — never a silent fallback —
+because a benchmark silently measuring the decoded tier would report a
+fictitious codegen speedup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import marshal
+import os
+from types import CodeType
+from typing import Optional
+
+from ..errors import CodegenCacheError
+
+__all__ = ["compile_generated", "codegen_cache_dir"]
+
+#: bump when the cached artifact format changes
+_TAG = importlib.util.MAGIC_NUMBER.hex() + "/1"
+
+
+def codegen_cache_dir(env: Optional[str] = None) -> Optional[str]:
+    """Resolve (and validate) the on-disk cache directory.
+
+    ``env`` overrides ``REPRO_CODEGEN_CACHE``; empty/unset disables the
+    cache.  A configured-but-unusable directory is a hard error.
+    """
+    path = env if env is not None else os.environ.get("REPRO_CODEGEN_CACHE")
+    if not path:
+        return None
+    try:
+        os.makedirs(path, exist_ok=True)
+        probe = os.path.join(path, f".probe.{os.getpid()}")
+        with open(probe, "wb") as fh:
+            fh.write(b"ok")
+        os.unlink(probe)
+    except OSError as exc:
+        raise CodegenCacheError(
+            f"codegen cache directory {path!r} is not writable: {exc}"
+        ) from exc
+    return path
+
+
+def compile_generated(source: str, filename: str) -> CodeType:
+    """``compile()`` generated source, via the disk cache when enabled."""
+    cache = codegen_cache_dir()
+    if cache is None:
+        return compile(source, filename, "exec")
+    digest = hashlib.sha256(
+        (_TAG + "\n" + filename + "\n" + source).encode()
+    ).hexdigest()
+    path = os.path.join(cache, digest + ".marshal")
+    try:
+        with open(path, "rb") as fh:
+            code = marshal.loads(fh.read())
+        if isinstance(code, CodeType):
+            return code
+    except FileNotFoundError:
+        pass
+    except (OSError, ValueError, EOFError) as exc:
+        raise CodegenCacheError(
+            f"codegen cache entry {path!r} is unreadable: {exc}"
+        ) from exc
+    code = compile(source, filename, "exec")
+    tmp = f"{path}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(marshal.dumps(code))
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise CodegenCacheError(
+            f"cannot write codegen cache entry {path!r}: {exc}"
+        ) from exc
+    return code

@@ -14,7 +14,11 @@ asserts that every one of them is *killed* by at least one oracle:
   a detection-rate drop or an SDC-rate rise beyond thresholds against
   the un-mutated baseline;
 * **invariant oracle** — :func:`repro.protection.planner.validate_plan`
-  rejects a corrupted protection plan.
+  rejects a corrupted protection plan;
+* **codegen oracle** — a bit-identity check of the exec-compiled
+  codegen dispatch tier against the naive ladders (golden runs,
+  injection sweeps, and in-place module mutation), which must fail
+  when the generator or its cache is weakened.
 
 *Identity* pseudo-mutants rebuild each baseline from scratch and demand
 bit-exact agreement of the sweep outcome counts — proving both that the
@@ -36,6 +40,7 @@ point at any MiniC program (e.g. from :mod:`repro.testgen.minic`).
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import time
 from dataclasses import dataclass, field
@@ -48,8 +53,10 @@ from ..fi.outcomes import Outcome, classify_outcome
 from ..frontend.codegen import compile_source
 from ..interp.interpreter import IRInterpreter
 from ..interp.layout import GlobalLayout
+from ..interp import codegen as _ircodegen
 from ..ir.instructions import Br, CondBr, Instruction, Store
 from ..ir.module import Module
+from ..ir.values import Constant
 from ..ir.verifier import verify_module
 from ..machine.machine import AsmMachine, compile_program
 from ..protection.duplication import (
@@ -136,8 +143,8 @@ class Mutant:
     """One catalogued weakening of the protection pipeline."""
 
     name: str
-    kind: str           # checker | shadow | selection | flowery | plan | identity
-    oracle: str         # golden | coverage | invariant | identity
+    kind: str           # checker | shadow | selection | flowery | plan | codegen | identity
+    oracle: str         # golden | coverage | invariant | codegen | identity
     baseline: str       # dup-ir | flowery-asm | plan-ir | none
     description: str
     build: Callable[["_Context"], object]
@@ -527,6 +534,129 @@ def _busted_budget_plan(ctx: _Context) -> ProtectionPlan:
 
 
 # ---------------------------------------------------------------------------
+# codegen-tier weakenings (simulator mutants, not pipeline surgeries)
+#
+# These patch the IR codegen subsystem itself and are judged by the
+# codegen oracle: the generated-code tier must stay bit-identical to
+# the naive ladders on golden runs, under injection, and across
+# in-place module mutation.  A weakened generator/cache that survives
+# all three comparisons would mean the equivalence suite tests nothing.
+
+
+@contextlib.contextmanager
+def _patched(obj, name, value):
+    orig = getattr(obj, name)
+    setattr(obj, name, value)
+    try:
+        yield
+    finally:
+        setattr(obj, name, orig)
+
+
+def _stale_cache_patch(ctx: _Context):
+    """Break fingerprint-based invalidation: the codegen cache keeps
+    serving stale generated code after in-place module mutation."""
+    return _patched(_ircodegen, "_fingerprint", lambda module: ("stale",))
+
+
+def _wrong_operand_patch(ctx: _Context):
+    """Inline the wrong literal for integer constants (low bit flipped):
+    the classic specializer bug of baking in a stale/mistranscribed
+    operand value."""
+    orig = _ircodegen._Emitter.operand
+
+    def wrong(self, v):
+        if isinstance(v, Constant) and type(v.value) is int and v.value:
+            return f"({v.value ^ 1})"
+        return orig(self, v)
+
+    return _patched(_ircodegen._Emitter, "operand", wrong)
+
+
+def _dropped_flip_patch(ctx: _Context):
+    """Emit injection sites without the flip hook: golden runs are
+    unaffected, but armed injections silently never land in generated
+    code."""
+
+    def no_flip(self, sb, inst, expr):
+        iid = inst.iid
+        sb.line(f"t{iid} = {expr}")
+        sb.line("inj += 1")
+        self.local.add(iid)
+        if iid in self.escaping:
+            sb.line(f"t[{iid}] = t{iid}")
+
+    return _patched(_ircodegen._Emitter, "emit_value", no_flip)
+
+
+def _sig_codegen(res) -> tuple:
+    return (res.status.value, res.output, res.dyn_total,
+            res.dyn_injectable, res.trap_kind, res.injected,
+            res.injected_iid)
+
+
+def _eval_codegen(ctx: _Context, mutant: Mutant):
+    """Bit-identity check of the codegen tier against naive, run with
+    the mutant's patch applied: golden run, a spread injection sweep,
+    and a mutate-in-place/rerun cycle (stale-cache detector)."""
+    with mutant.build(ctx):
+        def run(module, layout, dispatch, **kw):
+            return IRInterpreter(module, layout=layout,
+                                 max_steps=kw.pop("max_steps", 100_000),
+                                 dispatch=dispatch).run(**kw)
+
+        module = ctx.fresh_module()
+        layout = GlobalLayout(module)
+        naive = run(module, layout, "naive")
+        codegen = run(module, layout, "codegen")
+        if _sig_codegen(naive) != _sig_codegen(codegen):
+            return True, "codegen", (
+                f"golden run diverged from naive: "
+                f"status {codegen.status.value} vs {naive.status.value}, "
+                f"output[:40] {codegen.output[:40]!r} vs "
+                f"{naive.output[:40]!r}, dyn_total {codegen.dyn_total} vs "
+                f"{naive.dyn_total}"), {}
+        n_inj = naive.dyn_injectable
+        ms = max(20_000, naive.dyn_total * 4)
+        sites = sorted({0, 1, n_inj // 4, n_inj // 2,
+                        3 * n_inj // 4, n_inj - 1})
+        mismatches = runs = 0
+        first = ""
+        for idx in sites:
+            for bit in (0, 17, 63):
+                a = run(module, layout, "naive", inject_index=idx,
+                        inject_bit=bit, max_steps=ms)
+                b = run(module, layout, "codegen", inject_index=idx,
+                        inject_bit=bit, max_steps=ms)
+                runs += 1
+                if _sig_codegen(a) != _sig_codegen(b):
+                    mismatches += 1
+                    if not first:
+                        first = f"idx={idx} bit={bit}"
+        metrics = {"injection_runs": float(runs),
+                   "injection_mismatches": float(mismatches)}
+        if mismatches:
+            return True, "codegen", (
+                f"{mismatches}/{runs} injections diverged from naive "
+                f"(first at {first})"), metrics
+        # in-place mutation: the cache must regenerate, not serve stale
+        m2 = ctx.fresh_module()
+        l2 = GlobalLayout(m2)
+        run(m2, l2, "codegen")
+        duplicate_module(m2)
+        after_cg = run(m2, l2, "codegen")
+        after_naive = run(m2, l2, "naive")
+        if _sig_codegen(after_cg) != _sig_codegen(after_naive):
+            return True, "codegen", (
+                "stale generated code served after in-place module "
+                f"mutation: dyn_total {after_cg.dyn_total} != naive "
+                f"{after_naive.dyn_total}"), metrics
+        return False, "codegen", (
+            f"bit-identical to naive: golden + {runs} injections + "
+            "mutate/rerun cycle"), metrics
+
+
+# ---------------------------------------------------------------------------
 # the catalog
 
 MUTANTS: Tuple[Mutant, ...] = (
@@ -598,6 +728,16 @@ MUTANTS: Tuple[Mutant, ...] = (
     Mutant("plan-busted-budget", "plan", "invariant", "none",
            "plan bookkeeping lies about spend and selects a bogus iid",
            _busted_budget_plan),
+    # -- codegen dispatch tier -----------------------------------------------
+    Mutant("codegen-stale-cache", "codegen", "codegen", "none",
+           "codegen cache serves stale code after in-place mutation",
+           _stale_cache_patch),
+    Mutant("codegen-wrong-operand-literal", "codegen", "codegen", "none",
+           "generator inlines the wrong operand literal (low bit flip)",
+           _wrong_operand_patch),
+    Mutant("codegen-dropped-flip-hook", "codegen", "codegen", "none",
+           "generated source omits the injection flip hook",
+           _dropped_flip_patch),
     # -- identity pseudo-mutants (must survive) ------------------------------
     Mutant("identity-dup", "identity", "identity", "dup-ir",
            "rebuild the dup-100 baseline unchanged (zero-false-kill proof)",
@@ -610,6 +750,9 @@ MUTANTS: Tuple[Mutant, ...] = (
            "rebuild the plan-70 baseline unchanged (zero-false-kill proof)",
            lambda ctx: _build(ctx, selected=set(ctx.plan70.selected)),
            expect_killed=False),
+    Mutant("identity-codegen", "identity", "codegen", "none",
+           "run the codegen oracle unpatched (zero-false-kill proof)",
+           lambda ctx: contextlib.nullcontext(), expect_killed=False),
 )
 
 #: fast subset for CI smoke runs: one golden kill, one structural kill,
@@ -620,6 +763,7 @@ SMOKE_MUTANTS: Tuple[str, ...] = (
     "dup-drop-store-checkers",
     "dup-checker-branch-unwired",
     "plan-busted-budget",
+    "codegen-dropped-flip-hook",
     "identity-dup",
 )
 
@@ -727,6 +871,9 @@ def run_mutation_suite(
         elif mutant.oracle == "invariant":
             killed, detail, metrics = _eval_invariant(ctx, mutant)
             killed_by = "invariant" if killed else ""
+        elif mutant.oracle == "codegen":
+            killed, killed_by, detail, metrics = _eval_codegen(ctx, mutant)
+            killed_by = killed_by if killed else ""
         elif mutant.oracle == "identity":
             killed, killed_by, detail, metrics = _eval_identity(ctx, mutant)
             killed_by = killed_by if killed else ""

@@ -8,11 +8,13 @@ variant
     unprotected, dup30, dup50, dup70, dup100, flowery
 
 and executes each at both layers (IR interpreter, asm machine) under
-both dispatch modes (naive ladders, pre-decoded closures).  Every run
+all three dispatch tiers (naive ladders, pre-decoded closures,
+exec-compiled generated code) — a 6 x 2 x 3 = 36-run matrix.  Every run
 must finish ``OK`` — a checker firing on a fault-free run is a protection
 bug, not noise — and produce output bit-identical to the unprotected
-IR golden run; within a layer the two dispatch modes must additionally
-agree on the full result signature (status, output, dynamic counters).
+IR golden run; within a layer every dispatch tier must additionally
+agree with the first on the full result signature (status, output,
+dynamic counters).
 
 Partial levels use :func:`partial_selection` — a seeded arbitrary
 subset of the duplicable instructions — rather than the profiling
@@ -59,7 +61,7 @@ class OracleConfig:
 
     variants: Tuple[str, ...] = ORACLE_VARIANTS
     layers: Tuple[str, ...] = ("ir", "asm")
-    dispatches: Tuple[str, ...] = ("naive", "decoded")
+    dispatches: Tuple[str, ...] = ("naive", "decoded", "codegen")
     #: seed for the partial-selection subsets (per-variant derived)
     selection_seed: int = 0
     #: step budget = max(floor, unprotected dyn_total x factor)
@@ -204,13 +206,16 @@ def run_differential_oracle(
                     report.failures.append(OracleFailure(
                         variant, layer, dispatch, "output",
                         res.output[:160], golden.output[:160]))
-            if len(by_dispatch) == 2:
-                a, b = (by_dispatch[d] for d in config.dispatches[:2])
-                sa, sb = _sig(a), _sig(b)
-                for fld in _SIG_FIELDS:
-                    if sa[fld] != sb[fld]:
-                        report.failures.append(OracleFailure(
-                            variant, layer, "cross-dispatch", fld,
-                            sb[fld][:160], sa[fld][:160]))
-                        break
+            if len(by_dispatch) >= 2:
+                ref_dispatch = config.dispatches[0]
+                sa = _sig(by_dispatch[ref_dispatch])
+                for dispatch in config.dispatches[1:]:
+                    sb = _sig(by_dispatch[dispatch])
+                    for fld in _SIG_FIELDS:
+                        if sa[fld] != sb[fld]:
+                            report.failures.append(OracleFailure(
+                                variant, layer,
+                                f"cross-dispatch:{dispatch}", fld,
+                                sb[fld][:160], sa[fld][:160]))
+                            break
     return report

@@ -301,7 +301,8 @@ class TestChaosSweep:
         report = chaos_sweep(benchmarks=["crc32", "pathfinder"],
                              scale="tiny", n=6, seed=7)
         assert report.ok
-        assert report.injections == 2 * 2 * 2 * 6
+        # 2 benchmarks x 2 layers x 3 dispatch tiers x 6 injections
+        assert report.injections == 2 * 2 * 3 * 6
         assert report.classified == report.injections
         assert not report.escapes and not report.divergences
         assert sum(report.outcome_counts.values()) == report.classified
@@ -345,13 +346,47 @@ class TestChaosSweep:
 
     def test_boundary_contains_the_same_faults(self, monkeypatch):
         # identical fault, containment on: zero escapes, everything
-        # classified as a host-escape DUE, both dispatch modes agree
+        # classified as a host-escape DUE, all dispatch tiers agree
         def bomb(value, ty, bit):
             raise RuntimeError("chaos-unguarded flip")
 
         monkeypatch.setattr(interp_mod, "_flip_value", bomb)
         report = chaos_sweep(benchmarks=["crc32"], scale="tiny", n=8,
                              seed=7, layers=("ir",), contain=True)
+        assert report.ok
+        assert not report.escapes and not report.divergences
+        assert report.trap_counts.get(HOST_ESCAPE, 0) > 0
+
+    def test_fuzzer_finds_unguarded_path_in_generated_code(
+            self, monkeypatch):
+        # generated code routes flips through the same late
+        # module-attribute lookup as the step loops, so the fuzzer must
+        # find an unguarded fault *inside exec-compiled source* too —
+        # this proves the codegen sweep is not vacuous
+        def bomb(value, ty, bit):
+            raise RuntimeError("chaos-unguarded flip")
+
+        monkeypatch.setattr(interp_mod, "_flip_value", bomb)
+        report = chaos_sweep(benchmarks=["crc32"], scale="tiny", n=8,
+                             seed=7, layers=("ir",),
+                             dispatches=("codegen",), contain=False)
+        assert report.escapes and not report.ok
+        assert all(e.dispatch == "codegen" for e in report.escapes)
+        assert all(e.exc_type == "RuntimeError" for e in report.escapes)
+
+    def test_codegen_faults_cannot_escape_past_boundary(self,
+                                                        monkeypatch):
+        # the same faults inside generated code, containment on: zero
+        # escapes — every one is caught at the host-escape boundary and
+        # classified as a DUE, bit-identical to the naive tier
+        def bomb(value, ty, bit):
+            raise RuntimeError("chaos-unguarded flip")
+
+        monkeypatch.setattr(interp_mod, "_flip_value", bomb)
+        report = chaos_sweep(benchmarks=["crc32"], scale="tiny", n=8,
+                             seed=7, layers=("ir",),
+                             dispatches=("naive", "codegen"),
+                             contain=True)
         assert report.ok
         assert not report.escapes and not report.divergences
         assert report.trap_counts.get(HOST_ESCAPE, 0) > 0

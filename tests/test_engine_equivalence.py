@@ -1,8 +1,9 @@
-"""Equivalence proofs for the perf work: pre-decoded dispatch and the
-checkpoint-replay campaign engine must be bit-identical to the naive
-paths they replace — same statuses, outputs, counters, traps, records,
-and profile counts, for golden runs and injections alike, serial or
-parallel, interrupted or not."""
+"""Equivalence proofs for the perf work: pre-decoded dispatch, the
+exec-compiled codegen tier, and the checkpoint-replay campaign engine
+must all be bit-identical to the naive paths they replace — same
+statuses, outputs, counters, traps, records, and profile counts, for
+golden runs and injections alike, serial or parallel, interrupted or
+not."""
 
 import pytest
 
@@ -159,6 +160,130 @@ class TestCheckpointReplay:
             _asm(built, "naive", checkpoints=[1], checkpoint_cb=print)
 
 
+class TestCodegenEquivalence:
+    """The codegen tier executes exec-compiled specialized source; every
+    observable must stay bit-identical to the naive ladders."""
+
+    @pytest.mark.parametrize("runner", [_ir, _asm], ids=["ir", "asm"])
+    def test_golden_run_identical(self, built, runner):
+        naive = runner(built, "naive")
+        codegen = runner(built, "codegen")
+        assert _res_sig(naive) == _res_sig(codegen)
+
+    @pytest.mark.parametrize("runner", [_ir, _asm], ids=["ir", "asm"])
+    def test_injections_identical_vs_naive(self, built, runner):
+        golden = runner(built, "naive")
+        n_inj = golden.dyn_injectable
+        sites = sorted({0, 1, n_inj // 3, n_inj // 2, n_inj - 1})
+        for idx in sites:
+            for bit in (0, 17, 62, 63):
+                naive = runner(built, "naive",
+                               inject_index=idx, inject_bit=bit)
+                codegen = runner(built, "codegen",
+                                 inject_index=idx, inject_bit=bit)
+                assert _res_sig(naive) == _res_sig(codegen), \
+                    f"mismatch at idx={idx} bit={bit}"
+
+    @pytest.mark.parametrize("runner", [_ir, _asm], ids=["ir", "asm"])
+    def test_protected_program_identical(self, built_protected, runner):
+        naive = runner(built_protected, "naive")
+        codegen = runner(built_protected, "codegen")
+        assert _res_sig(naive) == _res_sig(codegen)
+
+    def test_codegen_cache_invalidated_by_module_mutation(self):
+        # generated source is cached per module by content fingerprint;
+        # passes mutate modules in place, so the cache must regenerate
+        built = build_from_source(SRC, name="equiv_cgmut")
+        before = _ir(built, "codegen")
+        duplicate_module(built.module)
+        after_codegen = _ir(built, "codegen")
+        after_naive = _ir(built, "naive")
+        assert after_codegen.dyn_total > before.dyn_total
+        assert _res_sig(after_codegen) == _res_sig(after_naive)
+
+    @pytest.mark.parametrize("runner", [_ir, _asm], ids=["ir", "asm"])
+    def test_codegen_replay_matches_full_run(self, built, runner):
+        # snapshots stream from the decoded core; suffixes replay on the
+        # codegen tier and must match full codegen (and naive) runs
+        golden = runner(built, "decoded")
+        n_inj = golden.dyn_injectable
+        targets = sorted({1, n_inj // 2, n_inj - 1})
+        snaps = {}
+        res = runner(built, "codegen", checkpoints=targets,
+                     checkpoint_cb=lambda i, s: snaps.update({i: s}))
+        assert sorted(snaps) == targets
+        assert res.extra.get("early_stop") is True
+        for idx in targets:
+            for bit in (0, 40, 63):
+                full = runner(built, "naive",
+                              inject_index=idx, inject_bit=bit)
+                replay = runner(built, "codegen", inject_index=idx,
+                                inject_bit=bit, resume_from=snaps[idx])
+                assert _res_sig(full) == _res_sig(replay), \
+                    f"replay mismatch at idx={idx} bit={bit}"
+
+    @pytest.mark.parametrize("seed", [0, 2023])
+    def test_ir_campaign_codegen_dispatch(self, built, seed):
+        cfg = CampaignConfig(n_campaigns=40, seed=seed)
+        naive = run_ir_campaign(built.module, cfg, built.layout,
+                                engine=False)
+        codegen = run_ir_campaign(built.module, cfg, built.layout,
+                                  engine=True, dispatch="codegen")
+        assert campaign_signature(naive) == campaign_signature(codegen)
+
+    @pytest.mark.parametrize("seed", [0, 2023])
+    def test_asm_campaign_codegen_dispatch(self, built, seed):
+        cfg = CampaignConfig(n_campaigns=40, seed=seed)
+        naive = run_asm_campaign(built.compiled, built.layout, cfg,
+                                 engine=False)
+        codegen = run_asm_campaign(built.compiled, built.layout, cfg,
+                                   engine=True, dispatch="codegen")
+        assert campaign_signature(naive) == campaign_signature(codegen)
+
+    def test_benchmark_campaign_codegen_dispatch(self):
+        built = build("crc32", scale="tiny")
+        cfg = CampaignConfig(n_campaigns=30, seed=5)
+        for layer, run, args in (
+            ("ir", run_ir_campaign, (built.module, cfg, built.layout)),
+            ("asm", run_asm_campaign,
+             (built.compiled, built.layout, cfg)),
+        ):
+            decoded = run(*args, engine=True, dispatch="decoded")
+            codegen = run(*args, engine=True, dispatch="codegen")
+            assert campaign_signature(decoded) == \
+                campaign_signature(codegen), layer
+
+    @pytest.mark.parametrize("layer", ["ir", "asm"])
+    def test_parallel_codegen_matches_naive_serial(self, layer,
+                                                   monkeypatch):
+        spec = WorkSpec(source=SRC, layer=layer)
+        cfg = CampaignConfig(n_campaigns=16, seed=3)
+        monkeypatch.setenv("REPRO_DISPATCH", "codegen")
+        parallel = run_parallel_campaign(spec, cfg, workers=2)
+        monkeypatch.delenv("REPRO_DISPATCH")
+        monkeypatch.setenv("REPRO_ENGINE", "0")
+        serial = run_parallel_campaign(spec, cfg, workers=1)
+        assert campaign_signature(parallel) == campaign_signature(serial)
+
+    def test_kill_and_resume_codegen_matches_naive(self, tmp_path,
+                                                   monkeypatch):
+        spec = WorkSpec(source=SRC, layer="asm")
+        cfg = CampaignConfig(n_campaigns=16, seed=9)
+        monkeypatch.setenv("REPRO_DISPATCH", "codegen")
+        full = tmp_path / "full.jsonl"
+        run_parallel_campaign(spec, cfg, workers=1,
+                              journal_path=str(full))
+        lines = full.read_text().splitlines(keepends=True)
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text("".join(lines[:7]) + lines[7][:10])
+        resumed = run_parallel_campaign(spec, cfg, workers=1,
+                                        journal_path=str(torn))
+        monkeypatch.delenv("REPRO_DISPATCH")
+        monkeypatch.setenv("REPRO_ENGINE", "0")
+        clean = run_parallel_campaign(spec, cfg, workers=1)
+        assert campaign_signature(resumed) == campaign_signature(clean)
+
+
 class TestCampaignEquivalence:
     """Engine campaigns are bit-identical to naive re-execution."""
 
@@ -293,9 +418,12 @@ class TestTrapEquivalence:
             inject_index=idx, inject_bit=bit)
         decoded = self._sim(trap_built, layer, "decoded", ms).run(
             inject_index=idx, inject_bit=bit)
+        codegen = self._sim(trap_built, layer, "codegen", ms).run(
+            inject_index=idx, inject_bit=bit)
         assert naive.status is RunStatus.TRAP
         assert naive.trap_kind == kind
         assert _res_sig(naive) == _res_sig(decoded)
+        assert _res_sig(naive) == _res_sig(codegen)
 
     @pytest.mark.parametrize("layer,kind,idx,bit", TRAP_CASES)
     def test_trap_identical_through_engine(self, trap_built, layer,
@@ -319,7 +447,7 @@ class TestTrapEquivalence:
 class TestBenchHarness:
     def test_bench_document_shape(self):
         doc = run_campaign_bench("crc32", scale="tiny", n=6, seed=1)
-        assert doc["schema"] == "bench_campaign/3"
+        assert doc["schema"] == "bench_campaign/4"
         assert set(doc["layers"]) == {"ir", "asm"}
         for d in doc["layers"].values():
             assert d["results_identical"] is True
@@ -327,12 +455,16 @@ class TestBenchHarness:
             c = d["containment"]
             assert c["results_identical"] is True
             assert c["off_seconds"] > 0 and c["on_seconds"] > 0
+            g = d["codegen"]
+            assert g["results_identical"] is True
+            assert g["decoded_seconds"] > 0 and g["codegen_seconds"] > 0
         assert doc["overall"]["results_identical"] is True
         assert doc["overall"]["containment"]["results_identical"] is True
+        assert doc["overall"]["codegen"]["results_identical"] is True
         tg = doc["testgen"]
         assert tg["oracle_ok"] is True
         assert tg["within_budget"] is True
-        assert tg["oracle_matrix_runs"] == 24 * tg["oracle_programs"]
+        assert tg["oracle_matrix_runs"] == 36 * tg["oracle_programs"]
         # under pytest other suites may have imported repro.testgen
         # already, so only the flag's presence is asserted here; the CI
         # artifact is produced by a fresh process where it must be False

@@ -112,6 +112,23 @@ def test_strategies_wrap_the_deterministic_generator(prog):
     assert prog.source == render_minic(prog)
 
 
+@pytest.mark.parametrize("seed", (0, 3, 9))
+def test_generated_programs_match_on_codegen_tier(seed):
+    """Generated programs run bit-identically on the codegen dispatch
+    tier at both layers (full result signature, not just output)."""
+    module = compile_source(generate_minic(seed).source, f"cg{seed}")
+    layout = GlobalLayout(module)
+    compiled = compile_program(lower_module(module, layout).flatten())
+
+    def _sig(res):
+        return (res.status, res.output, res.dyn_total, res.dyn_injectable)
+
+    assert _sig(run_ir(module, layout=layout, dispatch="codegen")) == \
+        _sig(run_ir(module, layout=layout, dispatch="decoded"))
+    assert _sig(run_asm(compiled, layout, dispatch="codegen")) == \
+        _sig(run_asm(compiled, layout, dispatch="decoded"))
+
+
 # -- differential oracle ------------------------------------------------
 
 
@@ -122,7 +139,7 @@ def test_oracle_matrix_passes_on_generated_minic(seed):
         lambda: compile_source(prog.source, f"oracle{seed}"),
         name=f"minic-{seed}")
     assert report.ok, [f.describe() for f in report.failures]
-    assert report.runs == 24  # 6 variants x 2 layers x 2 dispatches
+    assert report.runs == 36  # 6 variants x 2 layers x 3 dispatches
 
 
 def test_oracle_matrix_passes_on_generated_ir():
