@@ -17,7 +17,7 @@
     repro chaos --smoke                      # fuzz the containment contract
     repro testgen --seed 7 --oracle          # generate + differential oracle
     repro mutate --smoke                     # mutation-test the protection
-    repro experiment fig2|fig3|fig17|table1|overhead|compile-time
+    repro experiment fig2|fig3|fig17|fault-matrix|table1|overhead|compile-time
 
 Environment knobs (REPRO_SCALE, REPRO_CAMPAIGNS, REPRO_BENCHMARKS...)
 apply to the ``experiment`` subcommand; see
@@ -33,18 +33,21 @@ from typing import List, Optional
 from .analysis.rootcause import classify_campaign
 from .analysis.coverage import sdc_coverage
 from .benchsuite.registry import BENCHMARKS, benchmark_names, load_source
+from .faultmodel import FAULT_MODELS
 from .fi.campaign import CampaignConfig, run_asm_campaign, run_ir_campaign
 from .ir.printer import print_module
 from .pipeline import build
 from .experiments import (
     ExperimentConfig,
     render_compile_time,
+    render_fault_matrix,
     render_figure2,
     render_figure3,
     render_figure17,
     render_overhead,
     render_table1,
     run_compile_time,
+    run_fault_matrix,
     run_figure2,
     run_figure3,
     run_figure17,
@@ -94,8 +97,15 @@ def _build_parser() -> argparse.ArgumentParser:
     inj_p.add_argument("--level", type=int, default=None,
                        help="protection level (omit for unprotected)")
     inj_p.add_argument("--flowery", action="store_true")
+    inj_p.add_argument("--cfc", action="store_true",
+                       help="add signature-based control-flow checking")
     inj_p.add_argument("-n", "--campaigns", type=int, default=300)
     inj_p.add_argument("--seed", type=int, default=2023)
+    inj_p.add_argument("--fault-model", choices=FAULT_MODELS,
+                       default="seu",
+                       help="injected fault model: single bit flip (seu), "
+                            "transient double flip + flag upset (set), or "
+                            "branch-target redirect (cf)")
 
     trace_p = sub.add_parser(
         "trace",
@@ -110,6 +120,11 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--bit", type=int, default=0)
     trace_p.add_argument("--layer", choices=("ir", "asm"), default="asm",
                          help="layer receiving the injection")
+    trace_p.add_argument("--fault-model", choices=FAULT_MODELS,
+                         default="seu",
+                         help="fault model for the injected layer (cf "
+                              "faults make the report name the corrupted "
+                              "edge)")
     trace_p.add_argument("--mode", default="sync",
                          choices=("sync", "ring", "sample", "full"),
                          help="step-record mode (sync events are always on)")
@@ -129,9 +144,15 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_common(stats_p)
     stats_p.add_argument("--level", type=int, default=None)
     stats_p.add_argument("--flowery", action="store_true")
+    stats_p.add_argument("--cfc", action="store_true",
+                         help="add signature-based control-flow checking")
     stats_p.add_argument("-n", "--campaigns", type=int, default=300)
     stats_p.add_argument("--seed", type=int, default=2023)
     stats_p.add_argument("--layer", choices=("ir", "asm"), default="asm")
+    stats_p.add_argument("--fault-model", choices=FAULT_MODELS,
+                         default="seu",
+                         help="injected fault model (recorded per journal "
+                              "row; campaigns resume bit-identically)")
     stats_p.add_argument(
         "--workers", type=int, default=None,
         help="worker processes (default: REPRO_WORKERS or the CPU count)",
@@ -196,6 +217,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help="CI-sized sweep: 8 injections per target at tiny scale",
     )
+    chaos_p.add_argument(
+        "--fault-model", action="append", default=None,
+        choices=FAULT_MODELS, metavar="MODEL",
+        help="restrict the sweep to this fault model (repeatable; "
+             "default: all of seu, set, cf)",
+    )
     chaos_p.add_argument("--json", default=None, metavar="PATH",
                          help="write the JSON report here")
 
@@ -240,8 +267,8 @@ def _build_parser() -> argparse.ArgumentParser:
     exp_p = sub.add_parser("experiment", help="regenerate a paper artifact")
     exp_p.add_argument(
         "which",
-        choices=("table1", "fig2", "fig3", "fig17", "overhead",
-                 "compile-time"),
+        choices=("table1", "fig2", "fig3", "fig17", "fault-matrix",
+                 "overhead", "compile-time"),
     )
     return parser
 
@@ -298,9 +325,15 @@ def _cmd_protect(args) -> int:
 def _cmd_inject(args) -> int:
     cfg = CampaignConfig(n_campaigns=args.campaigns, seed=args.seed)
     built = build(args.benchmark, scale=args.scale, level=args.level,
-                  flowery=args.flowery)
-    ir = run_ir_campaign(built.module, cfg, built.layout)
-    asm = run_asm_campaign(built.compiled, built.layout, cfg)
+                  flowery=args.flowery, cfc=args.cfc)
+    fm = args.fault_model
+    ir = run_ir_campaign(built.module, cfg, built.layout, fault_model=fm)
+    asm = run_asm_campaign(built.compiled, built.layout, cfg,
+                           fault_model=fm)
+    print(f"# fault model: {fm}"
+          + (f", protection: level={args.level}" if args.level is not None
+             else ", protection: none")
+          + (", cfc" if args.cfc else ""))
     print(f"{'layer':6s} {'sdc':>8s} {'due':>8s} {'detected':>9s} "
           f"{'benign':>8s}")
     for res in (ir, asm):
@@ -309,9 +342,10 @@ def _cmd_inject(args) -> int:
               f"{s['detected']:9.3f} {s['benign']:8.3f}")
     if args.level is not None:
         raw_built = build(args.benchmark, scale=args.scale)
-        raw_ir = run_ir_campaign(raw_built.module, cfg, raw_built.layout)
+        raw_ir = run_ir_campaign(raw_built.module, cfg, raw_built.layout,
+                                 fault_model=fm)
         raw_asm = run_asm_campaign(
-            raw_built.compiled, raw_built.layout, cfg
+            raw_built.compiled, raw_built.layout, cfg, fault_model=fm
         )
         print(f"coverage IR : "
               f"{sdc_coverage(raw_ir.sdc_probability, ir.sdc_probability):.3f}")
@@ -340,6 +374,7 @@ def _cmd_trace(args) -> int:
         inject_index=args.inject,
         inject_bit=args.bit,
         config=cfg,
+        fault_model=args.fault_model,
     )
     print(report.narrate())
     if args.mode != "sync" and args.tail > 0:
@@ -368,6 +403,8 @@ def _cmd_stats(args) -> int:
         level=args.level,
         flowery=args.flowery,
         layer=args.layer,
+        fault_model=args.fault_model,
+        cfc=args.cfc,
     )
     cfg = CampaignConfig(n_campaigns=args.campaigns, seed=args.seed)
     result = run_parallel_campaign(spec, cfg, workers=args.workers,
@@ -429,9 +466,13 @@ def _cmd_chaos(args) -> int:
     from .fi.chaos import chaos_sweep, render_chaos
 
     n = 8 if args.smoke else args.injections
+    kwargs = {}
+    if args.fault_model:
+        kwargs["fault_models"] = args.fault_model
     report = chaos_sweep(
         benchmarks=args.benchmark, scale=args.scale, n=n, seed=args.seed,
         progress=lambda line: print(f"# {line}"),
+        **kwargs,
     )
     print(render_chaos(report), end="")
     if args.json:
@@ -516,6 +557,8 @@ def _cmd_experiment(which: str) -> int:
         print(render_figure3(run_figure3(cfg)))
     elif which == "fig17":
         print(render_figure17(run_figure17(cfg)))
+    elif which == "fault-matrix":
+        print(render_fault_matrix(run_fault_matrix(cfg)))
     elif which == "overhead":
         print(render_overhead(run_overhead(cfg)))
     else:

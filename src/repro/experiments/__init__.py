@@ -2,6 +2,11 @@
 
 from .compile_time import render_compile_time, run_compile_time  # noqa: F401
 from .config import ExperimentConfig, QUICK_BENCHMARKS  # noqa: F401
+from .faultmatrix import (  # noqa: F401
+    FaultMatrixResult,
+    render_fault_matrix,
+    run_fault_matrix,
+)
 from .figure2 import Figure2Result, render_figure2, run_figure2  # noqa: F401
 from .figure3 import Figure3Result, render_figure3, run_figure3  # noqa: F401
 from .figure17 import Figure17Result, render_figure17, run_figure17  # noqa: F401
@@ -16,6 +21,7 @@ __all__ = [
     "run_figure2", "render_figure2", "Figure2Result",
     "run_figure3", "render_figure3", "Figure3Result",
     "run_figure17", "render_figure17", "Figure17Result",
+    "run_fault_matrix", "render_fault_matrix", "FaultMatrixResult",
     "run_overhead", "render_overhead",
     "run_compile_time", "render_compile_time",
 ]

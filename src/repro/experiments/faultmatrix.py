@@ -1,0 +1,119 @@
+"""Fault-model × protection matrix — the figure-2-style campaign grid
+for the cross-layer deficiency study.
+
+Runs every cell of {seu, set, cf} × {unprotected, dup-100, cfc,
+dup-100+cfc} per benchmark at both fault-injection layers.  The grid is
+the paper's core deficiency argument made quantitative: instruction
+duplication's detection collapses under control-flow faults (it only
+guards *values*), while signature-based CFC recovers exactly that class
+— and the two compose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..faultmodel import FAULT_MODELS
+from .config import ExperimentConfig
+from .render import pct, render_table
+from .runner import ExperimentContext
+
+__all__ = [
+    "PROTECTION_CELLS",
+    "FaultMatrixCell",
+    "FaultMatrixResult",
+    "run_fault_matrix",
+    "render_fault_matrix",
+]
+
+#: (label, duplication level, cfc) — the four protection configurations
+PROTECTION_CELLS: Tuple[Tuple[str, Optional[int], bool], ...] = (
+    ("none", None, False),
+    ("dup-100", 100, False),
+    ("cfc", None, True),
+    ("dup-100+cfc", 100, True),
+)
+
+
+@dataclass
+class FaultMatrixCell:
+    benchmark: str
+    protection: str
+    fault_model: str
+    layer: str
+    n: int
+    sdc: float
+    due: float
+    detected: float
+    benign: float
+
+
+@dataclass
+class FaultMatrixResult:
+    cells: List[FaultMatrixCell]
+
+    def cell(self, benchmark: str, protection: str, fault_model: str,
+             layer: str) -> Optional[FaultMatrixCell]:
+        for c in self.cells:
+            if (c.benchmark == benchmark and c.protection == protection
+                    and c.fault_model == fault_model and c.layer == layer):
+                return c
+        return None
+
+    def mean_detected(self, protection: str, fault_model: str,
+                      layer: str) -> float:
+        sel = [c.detected for c in self.cells
+               if c.protection == protection
+               and c.fault_model == fault_model and c.layer == layer]
+        return sum(sel) / len(sel) if sel else 0.0
+
+
+def run_fault_matrix(
+    config: Optional[ExperimentConfig] = None,
+    context: Optional[ExperimentContext] = None,
+) -> FaultMatrixResult:
+    ctx = context or ExperimentContext(config)
+    cells: List[FaultMatrixCell] = []
+    for name in ctx.config.benchmarks:
+        for prot, level, cfc in PROTECTION_CELLS:
+            built = ctx.matrix_build(name, level, cfc)
+            for fm in FAULT_MODELS:
+                for layer in ("ir", "asm"):
+                    res = ctx._campaign(built, layer, name, level=level,
+                                        fault_model=fm, cfc=cfc)
+                    s = res.summary()
+                    cells.append(FaultMatrixCell(
+                        benchmark=name, protection=prot, fault_model=fm,
+                        layer=layer, n=res.n, sdc=s["sdc"], due=s["due"],
+                        detected=s["detected"], benign=s["benign"],
+                    ))
+    return FaultMatrixResult(cells)
+
+
+def render_fault_matrix(result: FaultMatrixResult) -> str:
+    table = render_table(
+        ["Benchmark", "Protection", "Model", "Layer", "SDC", "DUE",
+         "Detected", "Benign"],
+        [
+            (c.benchmark, c.protection, c.fault_model, c.layer,
+             pct(c.sdc), pct(c.due), pct(c.detected), pct(c.benign))
+            for c in result.cells
+        ],
+        title=("Fault-model x protection matrix: "
+               "{seu,set,cf} x {none,dup-100,cfc,dup-100+cfc}"),
+    )
+    lines = [table, ""]
+    for layer in ("ir", "asm"):
+        lines.append(f"mean detection at {layer} layer:")
+        for prot, _, _ in PROTECTION_CELLS:
+            row = "  " + f"{prot:12s}"
+            for fm in FAULT_MODELS:
+                row += f"  {fm}={pct(result.mean_detected(prot, fm, layer))}"
+            lines.append(row)
+    lines.append(
+        "reading: duplication detects value faults (seu/set) but is "
+        "nearly blind to control-flow faults; CFC covers the cf column; "
+        "the composition covers both."
+    )
+    return "\n".join(lines)

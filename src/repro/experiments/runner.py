@@ -65,9 +65,12 @@ class ExperimentContext:
         self.journal_dir = (journal_dir if journal_dir is not None
                             else self.config.journal_dir)
         self._profiles: Dict[str, SdcProfile] = {}
-        self._raw: Dict[str, Tuple[CampaignResult, CampaignResult]] = {}
+        self._raw: Dict[Tuple[str, str],
+                        Tuple[CampaignResult, CampaignResult]] = {}
         self._raw_built: Dict[str, BuiltProgram] = {}
         self._protected: Dict[Tuple[str, int, bool, bool], ProtectedRun] = {}
+        self._matrix_built: Dict[Tuple[str, Optional[int], bool],
+                                 BuiltProgram] = {}
 
     # -- benchmark-level cached facts ------------------------------------
 
@@ -84,6 +87,8 @@ class ExperimentContext:
         level: Optional[int] = None,
         flowery: bool = False,
         compare_cse: bool = True,
+        fault_model: str = "seu",
+        cfc: bool = False,
     ) -> CampaignResult:
         """One campaign, journaled when a ``journal_dir`` is set.
 
@@ -95,18 +100,25 @@ class ExperimentContext:
         if not self.journal_dir:
             if layer == "ir":
                 return run_ir_campaign(built.module, cfg, built.layout,
-                                       observer=self.observer)
+                                       observer=self.observer,
+                                       fault_model=fault_model)
             return run_asm_campaign(built.compiled, built.layout, cfg,
-                                    observer=self.observer)
+                                    observer=self.observer,
+                                    fault_model=fault_model)
         selected = (frozenset(built.protection.dup_info.protected)
                     if built.protection is not None else None)
         spec = WorkSpec(
             source=built.source, name=name, level=level, flowery=flowery,
             compare_cse=compare_cse, selected=selected, layer=layer,
+            fault_model=fault_model, cfc=cfc,
         )
         tag = "raw" if level is None else f"l{level}"
         if flowery:
             tag += "-flowery"
+        if cfc:
+            tag += "-cfc"
+        if fault_model != "seu":
+            tag += f"-{fault_model}"
         path = os.path.join(
             self.journal_dir,
             f"{name}-{layer}-{tag}-{campaign_key(spec, cfg)[:12]}.jsonl",
@@ -138,16 +150,46 @@ class ExperimentContext:
             self._profiles[name] = prof
         return prof
 
-    def raw_campaigns(self, name: str) -> Tuple[CampaignResult, CampaignResult]:
+    def raw_campaigns(self, name: str, fault_model: str = "seu"
+                      ) -> Tuple[CampaignResult, CampaignResult]:
         """Unprotected SDC probabilities at both layers (cached)."""
-        cached = self._raw.get(name)
+        key = (name, fault_model)
+        cached = self._raw.get(key)
         if cached is None:
             built = self.raw_build(name)
-            raw_ir = self._campaign(built, "ir", name)
-            raw_asm = self._campaign(built, "asm", name)
+            raw_ir = self._campaign(built, "ir", name,
+                                    fault_model=fault_model)
+            raw_asm = self._campaign(built, "asm", name,
+                                     fault_model=fault_model)
             cached = (raw_ir, raw_asm)
-            self._raw[name] = cached
+            self._raw[key] = cached
         return cached
+
+    def matrix_build(self, name: str, level: Optional[int],
+                     cfc: bool) -> BuiltProgram:
+        """Build one protection-matrix cell ({level?, cfc?}); cached.
+
+        Unlike :meth:`protected_run` this also covers the unprotected
+        and CFC-only cells (no duplication info required).
+        """
+        if level is None and not cfc:
+            return self.raw_build(name)
+        key = (name, level, cfc)
+        built = self._matrix_built.get(key)
+        if built is None:
+            profile = (self.profile(name)
+                       if level is not None and level < 100 else None)
+            with _phase(self.observer, "compile", benchmark=name,
+                        level=level, cfc=cfc):
+                built = build(
+                    name,
+                    scale=self.config.scale,
+                    level=level,
+                    profile=profile,
+                    cfc=cfc,
+                )
+            self._matrix_built[key] = built
+        return built
 
     # -- protected measurement -----------------------------------------------
 

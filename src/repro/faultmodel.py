@@ -1,0 +1,86 @@
+"""Fault-model taxonomy shared by both simulators and the FI stack.
+
+The reproduction originally modelled exactly one fault: a single-event
+upset (SEU) flipping one bit of a destination register *after* the
+targeted dynamic instruction writes it.  Conclusions drawn under one
+fault model do not transfer (the paper's cross-layer warning), so the
+scenario space is opened to three models, each injectable at both
+layers and in all three dispatch tiers (see DESIGN §14):
+
+``"seu"``
+    Single bit-flip in the destination register (GPR / XMM / one flag
+    at the asm layer, the produced SSA value at the IR layer).  The
+    historical model; journal rows without a ``fault_model`` field mean
+    this.
+
+``"set"``
+    Single-event transient: a glitch in combinational logic latched
+    mid-instruction.  Wider than an SEU — a two-adjacent-bit burst in
+    the produced value, and (for GPR-writing asm instructions) one
+    condition flag corrupted by the same transient.  At the IR layer
+    the flag half has no analogue, so a SET is the two-bit burst alone.
+
+``"cf"``
+    Control-flow fault: a control transfer (jump / conditional jump /
+    call at the asm layer, br / condbr at the IR layer — IR calls have
+    direct callees, so call-target corruption only exists at the asm
+    layer) retargeted to a uniformly drawn legal instruction boundary
+    (any pc at the asm layer, any basic-block entry of the current
+    function at the IR layer).  The injectable universe becomes the
+    dynamic control transfers, and the drawn "bit" coordinate selects
+    the redirect target (drawn from ``[0, CF_BIT_RANGE)`` and reduced
+    modulo the number of boundaries).
+
+This module is deliberately dependency-free (``errors`` only) so both
+``repro.interp`` / ``repro.machine`` and ``repro.fi`` can import it
+without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .errors import CampaignError
+
+__all__ = [
+    "FAULT_MODELS",
+    "DEFAULT_FAULT_MODEL",
+    "CF_BIT_RANGE",
+    "validate_fault_model",
+    "fault_bit_range",
+]
+
+#: Supported fault models, in presentation order.
+FAULT_MODELS = ("seu", "set", "cf")
+
+DEFAULT_FAULT_MODEL = "seu"
+
+#: Exclusive upper bound of the fault-coordinate draw under the
+#: control-flow model.  SEU/SET draw a bit position in [0, 64); a
+#: control-flow fault draws a redirect coordinate, reduced modulo the
+#: number of legal landing sites at injection time.  2**30 is large
+#: enough that the modulo bias over any realistic program is nil.
+CF_BIT_RANGE = 1 << 30
+
+
+def validate_fault_model(fault_model: Optional[str]) -> str:
+    """Resolve and validate a fault-model name.
+
+    ``None`` means the default (``"seu"``).  Anything else must be an
+    exact member of :data:`FAULT_MODELS`; typos (``"set "``, ``"CF"``)
+    raise a :class:`CampaignError` naming the valid values rather than
+    silently falling back to SEU.
+    """
+    if fault_model is None:
+        return DEFAULT_FAULT_MODEL
+    if fault_model not in FAULT_MODELS:
+        raise CampaignError(
+            f"unknown fault model {fault_model!r}; expected one of "
+            + ", ".join(repr(m) for m in FAULT_MODELS)
+        )
+    return fault_model
+
+
+def fault_bit_range(fault_model: str) -> int:
+    """Exclusive upper bound for the drawn fault coordinate."""
+    return CF_BIT_RANGE if fault_model == "cf" else 64

@@ -24,12 +24,13 @@ import numpy as np
 
 from ..errors import CampaignError
 from ..execresult import RunStatus
+from ..faultmodel import fault_bit_range, validate_fault_model
 from ..interp.interpreter import IRInterpreter
 from ..interp.layout import GlobalLayout
 from ..ir.module import Module
 from ..machine.machine import AsmMachine, CompiledProgram
 from .engine import engine_dispatch, engine_enabled, run_injection_suite
-from .outcomes import Outcome, classify_outcome
+from .outcomes import Outcome, canonical_trap_kind, classify_outcome
 
 __all__ = [
     "CampaignConfig",
@@ -103,6 +104,8 @@ class InjectionRecord:
     asm_role: Optional[str] = None
     asm_opcode: Optional[str] = None
     trap_kind: Optional[str] = None
+    #: fault model this injection ran under (legacy records mean "seu")
+    fault_model: str = "seu"
 
 
 @dataclass
@@ -142,13 +145,22 @@ class CampaignResult:
 
 
 def _draw(
-    rng: np.random.Generator, n: int, injectable: int
+    rng: np.random.Generator, n: int, injectable: int,
+    fault_model: str = "seu",
 ) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw ``n`` (dynamic-index, fault-coordinate) pairs.
+
+    The second coordinate is a bit position in [0, 64) for SEU/SET and
+    a redirect coordinate in [0, CF_BIT_RANGE) for control-flow faults
+    (reduced modulo the landing-site count at injection time).
+    """
     if injectable <= 0:
-        raise CampaignError("program has no injectable dynamic instructions")
+        raise CampaignError(
+            "program has no injectable dynamic instructions under "
+            f"fault model {fault_model!r}")
     return (
         rng.integers(0, injectable, size=n),
-        rng.integers(0, 64, size=n),
+        rng.integers(0, fault_bit_range(fault_model), size=n),
     )
 
 
@@ -159,6 +171,7 @@ def run_ir_campaign(
     observer=None,
     engine: Optional[bool] = None,
     dispatch: Optional[str] = None,
+    fault_model: Optional[str] = None,
 ) -> CampaignResult:
     """LLFI-style campaign at the IR layer.
 
@@ -168,13 +181,17 @@ def run_ir_campaign(
     changes how much golden prefix is re-executed per injection.
     ``dispatch`` selects the engine-path tier (``None`` defers to
     ``REPRO_DISPATCH``, default decoded); ignored without the engine.
+    ``fault_model`` selects what each injection corrupts (default SEU;
+    see :mod:`repro.faultmodel`) — the golden run counts that model's
+    injectable sites, so the draw universe follows the model.
     """
+    fm = validate_fault_model(fault_model)
     use_engine = engine_enabled(engine)
     tier = engine_dispatch(dispatch) if use_engine else "naive"
     layout = layout or GlobalLayout(module)
     with _phase(observer, "golden", layer="ir"):
         golden = IRInterpreter(module, layout=layout,
-                               dispatch=tier).run()
+                               dispatch=tier, fault_model=fm).run()
     if golden.status is not RunStatus.OK:
         raise CampaignError(
             f"golden IR run failed: {golden.status.value}/{golden.trap_kind}"
@@ -183,7 +200,7 @@ def run_ir_campaign(
         config.min_max_steps, golden.dyn_total * config.max_steps_factor
     )
     rng = np.random.default_rng(config.seed)
-    indices, bits = _draw(rng, config.n_campaigns, golden.dyn_injectable)
+    indices, bits = _draw(rng, config.n_campaigns, golden.dyn_injectable, fm)
     pairs = list(zip(indices.tolist(), bits.tolist()))
 
     counts: Dict[Outcome, int] = {o: 0 for o in Outcome}
@@ -198,7 +215,8 @@ def run_ir_campaign(
             bit=bit,
             outcome=outcome,
             iid=res.injected_iid,
-            trap_kind=res.trap_kind,
+            trap_kind=canonical_trap_kind(res.trap_kind),
+            fault_model=fm,
         )
 
     with _phase(observer, "inject", layer="ir", n=config.n_campaigns):
@@ -211,12 +229,13 @@ def run_ir_campaign(
                 layout=layout,
                 emit=emit,
                 dispatch=tier,
+                fault_model=fm,
             )
         else:
             for i, (idx, bit) in enumerate(pairs):
                 emit(i, IRInterpreter(
                     module, layout=layout, max_steps=max_steps,
-                    dispatch="naive",
+                    dispatch="naive", fault_model=fm,
                 ).run(inject_index=idx, inject_bit=bit))
     records = [by_tag[i] for i in range(len(pairs))]
     _record_outcomes(observer, "ir", counts)
@@ -238,16 +257,20 @@ def run_asm_campaign(
     observer=None,
     engine: Optional[bool] = None,
     dispatch: Optional[str] = None,
+    fault_model: Optional[str] = None,
 ) -> CampaignResult:
     """PINFI-style campaign at the assembly layer.
 
-    ``engine`` and ``dispatch`` select the checkpoint-replay engine and
-    its tier exactly as in :func:`run_ir_campaign`.
+    ``engine``, ``dispatch`` and ``fault_model`` select the
+    checkpoint-replay engine, its tier and the injected fault exactly
+    as in :func:`run_ir_campaign`.
     """
+    fm = validate_fault_model(fault_model)
     use_engine = engine_enabled(engine)
     tier = engine_dispatch(dispatch) if use_engine else "naive"
     with _phase(observer, "golden", layer="asm"):
-        golden = AsmMachine(program, layout, dispatch=tier).run()
+        golden = AsmMachine(program, layout, dispatch=tier,
+                            fault_model=fm).run()
     if golden.status is not RunStatus.OK:
         raise CampaignError(
             f"golden asm run failed: {golden.status.value}/{golden.trap_kind}"
@@ -256,7 +279,7 @@ def run_asm_campaign(
         config.min_max_steps, golden.dyn_total * config.max_steps_factor
     )
     rng = np.random.default_rng(config.seed)
-    indices, bits = _draw(rng, config.n_campaigns, golden.dyn_injectable)
+    indices, bits = _draw(rng, config.n_campaigns, golden.dyn_injectable, fm)
     pairs = list(zip(indices.tolist(), bits.tolist()))
 
     counts: Dict[Outcome, int] = {o: 0 for o in Outcome}
@@ -274,7 +297,8 @@ def run_asm_campaign(
             asm_index=res.extra.get("asm_index"),
             asm_role=res.extra.get("asm_role"),
             asm_opcode=res.extra.get("asm_opcode"),
-            trap_kind=res.trap_kind,
+            trap_kind=canonical_trap_kind(res.trap_kind),
+            fault_model=fm,
         )
 
     with _phase(observer, "inject", layer="asm", n=config.n_campaigns):
@@ -287,11 +311,13 @@ def run_asm_campaign(
                 layout=layout,
                 emit=emit,
                 dispatch=tier,
+                fault_model=fm,
             )
         else:
             for i, (idx, bit) in enumerate(pairs):
                 emit(i, AsmMachine(
                     program, layout, max_steps=max_steps, dispatch="naive",
+                    fault_model=fm,
                 ).run(inject_index=idx, inject_bit=bit))
     records = [by_tag[i] for i in range(len(pairs))]
     _record_outcomes(observer, "asm", counts)

@@ -37,6 +37,7 @@ import numpy as np
 from ..benchsuite.registry import benchmark_names
 from ..errors import CampaignError
 from ..execresult import ExecResult, RunStatus
+from ..faultmodel import FAULT_MODELS, fault_bit_range, validate_fault_model
 from ..interp.interpreter import IRInterpreter
 from ..machine.machine import AsmMachine
 from .outcomes import canonical_trap_kind, classify_outcome
@@ -51,7 +52,7 @@ __all__ = [
     "CHAOS_SCHEMA",
 ]
 
-CHAOS_SCHEMA = "chaos/1"
+CHAOS_SCHEMA = "chaos/2"
 
 #: mirror of the campaign layer's step-budget policy (hangs become DUEs)
 _MIN_MAX_STEPS = 20_000
@@ -79,10 +80,12 @@ class ChaosEscape:
     bit: int
     exc_type: str
     detail: str
+    fault_model: str = "seu"
 
     def reproducer(self) -> str:
         return (f"repro chaos --benchmark {self.benchmark}: "
                 f"layer={self.layer} dispatch={self.dispatch} "
+                f"fault_model={self.fault_model} "
                 f"inject_index={self.index} inject_bit={self.bit} "
                 f"-> {self.exc_type}: {self.detail}")
 
@@ -103,6 +106,7 @@ class ChaosDivergence:
     other_dispatch: str
     ref: str
     other: str
+    fault_model: str = "seu"
 
 
 @dataclass
@@ -116,6 +120,7 @@ class ChaosReport:
     layers: Tuple[str, ...]
     dispatches: Tuple[str, ...]
     contain: bool
+    fault_models: Tuple[str, ...] = ("seu",)
     injections: int = 0
     classified: int = 0
     escapes: List[ChaosEscape] = field(default_factory=list)
@@ -138,6 +143,7 @@ class ChaosReport:
             "benchmarks": list(self.benchmarks),
             "layers": list(self.layers),
             "dispatches": list(self.dispatches),
+            "fault_models": list(self.fault_models),
             "contain": self.contain,
             "injections": self.injections,
             "classified": self.classified,
@@ -183,10 +189,15 @@ def shrink_case(items: Sequence, still_fails: Callable[[List], bool]) -> List:
     return items
 
 
-def _target_rng(seed: int, benchmark: str, layer: str) -> np.random.Generator:
-    """Deterministic per-(benchmark, layer) stream, stable across runs."""
-    return np.random.default_rng(
-        [seed, zlib.crc32(f"{benchmark}:{layer}".encode())])
+def _target_rng(seed: int, benchmark: str, layer: str,
+                fault_model: str = "seu") -> np.random.Generator:
+    """Deterministic per-(benchmark, layer, model) stream, stable across
+    runs.  The SEU tag matches the pre-fault-model harness so existing
+    seeded sweeps replay bit-identically."""
+    tag = f"{benchmark}:{layer}"
+    if fault_model != "seu":
+        tag += f":{fault_model}"
+    return np.random.default_rng([seed, zlib.crc32(tag.encode())])
 
 
 def _sig(res: ExecResult) -> Dict[str, str]:
@@ -209,16 +220,17 @@ def chaos_sweep(
     dispatches: Sequence[str] = ("naive", "decoded", "codegen"),
     contain: Optional[bool] = True,
     progress: Optional[Callable[[str], None]] = None,
+    fault_models: Sequence[str] = FAULT_MODELS,
 ) -> ChaosReport:
     """Fuzz the containment boundary of every simulator configuration.
 
-    For each ``benchmark x layer``, draws ``n`` seeded ``(index, bit)``
-    injections over the golden injectable range and executes each under
-    every dispatch tier.  Host exceptions become :class:`ChaosEscape`
-    records (the harness itself never crashes); cross-dispatch result
-    mismatches — every tier against the first — become
-    :class:`ChaosDivergence` records; every result is classified
-    against the golden output.
+    For each ``benchmark x layer x fault model``, draws ``n`` seeded
+    ``(index, fault-coordinate)`` injections over that model's golden
+    injectable range and executes each under every dispatch tier.  Host
+    exceptions become :class:`ChaosEscape` records (the harness itself
+    never crashes); cross-dispatch result mismatches — every tier
+    against the first — become :class:`ChaosDivergence` records; every
+    result is classified against the golden output.
 
     ``contain`` is forwarded to the simulators (``False`` disables the
     boundary — used by the regression suite to prove the fuzzer detects
@@ -227,88 +239,93 @@ def chaos_sweep(
     from ..pipeline import build
 
     names = list(benchmarks) if benchmarks else benchmark_names()
+    models = tuple(validate_fault_model(fm) for fm in fault_models)
     report = ChaosReport(
         scale=scale, seed=seed, n_per_target=n, benchmarks=names,
         layers=tuple(layers), dispatches=tuple(dispatches),
         contain=bool(contain) if contain is not None else True,
+        fault_models=models,
     )
 
     for name in names:
         built = build(name, scale=scale)
         for layer in layers:
-            if layer == "ir":
-                def sim(dispatch):
-                    return IRInterpreter(
-                        built.module, layout=built.layout,
-                        max_steps=max_steps, dispatch=dispatch,
-                        contain=contain)
-            elif layer == "asm":
-                def sim(dispatch):
-                    return AsmMachine(
-                        built.compiled, built.layout,
-                        max_steps=max_steps, dispatch=dispatch,
-                        contain=contain)
-            else:
-                raise CampaignError(f"unknown layer {layer!r}")
+            for fm in models:
+                if layer == "ir":
+                    def sim(dispatch):
+                        return IRInterpreter(
+                            built.module, layout=built.layout,
+                            max_steps=max_steps, dispatch=dispatch,
+                            contain=contain, fault_model=fm)
+                elif layer == "asm":
+                    def sim(dispatch):
+                        return AsmMachine(
+                            built.compiled, built.layout,
+                            max_steps=max_steps, dispatch=dispatch,
+                            contain=contain, fault_model=fm)
+                else:
+                    raise CampaignError(f"unknown layer {layer!r}")
 
-            max_steps = _MIN_MAX_STEPS
-            golden = sim("decoded").run()
-            if golden.status is not RunStatus.OK:
-                raise CampaignError(
-                    f"golden {layer} run of {name!r} failed: "
-                    f"{golden.status.value}/{golden.trap_kind}")
-            max_steps = max(_MIN_MAX_STEPS,
-                            golden.dyn_total * _MAX_STEPS_FACTOR)
+                max_steps = _MIN_MAX_STEPS
+                golden = sim("decoded").run()
+                if golden.status is not RunStatus.OK:
+                    raise CampaignError(
+                        f"golden {layer} run of {name!r} failed: "
+                        f"{golden.status.value}/{golden.trap_kind}")
+                max_steps = max(_MIN_MAX_STEPS,
+                                golden.dyn_total * _MAX_STEPS_FACTOR)
 
-            rng = _target_rng(seed, name, layer)
-            indices = rng.integers(0, golden.dyn_injectable, size=n)
-            bits = rng.integers(0, 64, size=n)
+                rng = _target_rng(seed, name, layer, fm)
+                indices = rng.integers(0, golden.dyn_injectable, size=n)
+                bits = rng.integers(0, fault_bit_range(fm), size=n)
 
-            for idx, bit in zip(indices.tolist(), bits.tolist()):
-                by_dispatch: Dict[str, ExecResult] = {}
-                for dispatch in dispatches:
-                    report.injections += 1
-                    try:
-                        res = sim(dispatch).run(
-                            inject_index=idx, inject_bit=bit)
-                    except Exception as exc:      # noqa: BLE001
-                        report.escapes.append(ChaosEscape(
-                            benchmark=name, layer=layer, dispatch=dispatch,
-                            index=idx, bit=bit,
-                            exc_type=type(exc).__name__, detail=str(exc)))
-                        continue
-                    by_dispatch[dispatch] = res
-                    outcome = classify_outcome(res, golden.output)
-                    report.classified += 1
-                    key = outcome.value
-                    report.outcome_counts[key] = \
-                        report.outcome_counts.get(key, 0) + 1
-                    if res.trap_kind is not None:
-                        report.trap_counts[res.trap_kind] = \
-                            report.trap_counts.get(res.trap_kind, 0) + 1
+                for idx, bit in zip(indices.tolist(), bits.tolist()):
+                    by_dispatch: Dict[str, ExecResult] = {}
+                    for dispatch in dispatches:
+                        report.injections += 1
+                        try:
+                            res = sim(dispatch).run(
+                                inject_index=idx, inject_bit=bit)
+                        except Exception as exc:      # noqa: BLE001
+                            report.escapes.append(ChaosEscape(
+                                benchmark=name, layer=layer,
+                                dispatch=dispatch, index=idx, bit=bit,
+                                exc_type=type(exc).__name__,
+                                detail=str(exc), fault_model=fm))
+                            continue
+                        by_dispatch[dispatch] = res
+                        outcome = classify_outcome(res, golden.output)
+                        report.classified += 1
+                        key = outcome.value
+                        report.outcome_counts[key] = \
+                            report.outcome_counts.get(key, 0) + 1
+                        if res.trap_kind is not None:
+                            report.trap_counts[res.trap_kind] = \
+                                report.trap_counts.get(res.trap_kind, 0) + 1
 
-                present = [d for d in dispatches if d in by_dispatch]
-                if len(present) >= 2:
-                    ref = present[0]
-                    a = _sig(by_dispatch[ref])
-                    for other in present[1:]:
-                        b = _sig(by_dispatch[other])
-                        for fld in _SIG_FIELDS:
-                            if a[fld] != b[fld]:
-                                report.divergences.append(
-                                    ChaosDivergence(
-                                        benchmark=name, layer=layer,
-                                        index=idx, bit=bit, field=fld,
-                                        ref_dispatch=ref,
-                                        other_dispatch=other,
-                                        ref=a[fld][:120],
-                                        other=b[fld][:120]))
-                                break
-            if progress is not None:
-                progress(f"{name:14s} {layer:3s}  "
-                         f"{n * len(tuple(dispatches))} injections  "
-                         f"escapes={len(report.escapes)} "
-                         f"divergences={len(report.divergences)}")
+                    present = [d for d in dispatches if d in by_dispatch]
+                    if len(present) >= 2:
+                        ref = present[0]
+                        a = _sig(by_dispatch[ref])
+                        for other in present[1:]:
+                            b = _sig(by_dispatch[other])
+                            for fld in _SIG_FIELDS:
+                                if a[fld] != b[fld]:
+                                    report.divergences.append(
+                                        ChaosDivergence(
+                                            benchmark=name, layer=layer,
+                                            index=idx, bit=bit, field=fld,
+                                            ref_dispatch=ref,
+                                            other_dispatch=other,
+                                            ref=a[fld][:120],
+                                            other=b[fld][:120],
+                                            fault_model=fm))
+                                    break
+                if progress is not None:
+                    progress(f"{name:14s} {layer:3s} {fm:3s}  "
+                             f"{n * len(tuple(dispatches))} injections  "
+                             f"escapes={len(report.escapes)} "
+                             f"divergences={len(report.divergences)}")
     return report
 
 
@@ -316,9 +333,11 @@ def render_chaos(report: ChaosReport) -> str:
     """Human-readable sweep summary (the ``repro chaos`` output)."""
     lines = [
         f"chaos sweep: {len(report.benchmarks)} benchmarks x "
-        f"{len(report.layers)} layers x {len(report.dispatches)} "
-        f"dispatch tiers x {report.n_per_target} injections "
+        f"{len(report.layers)} layers x {len(report.fault_models)} "
+        f"fault models x {len(report.dispatches)} dispatch tiers x "
+        f"{report.n_per_target} injections "
         f"(scale={report.scale}, seed={report.seed}, "
+        f"models={'/'.join(report.fault_models)}, "
         f"contain={'on' if report.contain else 'off'})",
         f"  injections executed:  {report.injections}",
         f"  injections classified: {report.classified}",

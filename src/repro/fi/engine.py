@@ -40,7 +40,9 @@ import os
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..contain import host_escape_result
+from ..errors import CampaignError
 from ..execresult import ExecResult
+from ..faultmodel import validate_fault_model
 from ..interp.interpreter import IRInterpreter
 from ..interp.layout import GlobalLayout
 from ..ir.module import Module
@@ -67,12 +69,13 @@ def engine_dispatch(dispatch: Optional[str] = None) -> str:
     defaulting to ``"decoded"`` (campaign results are bit-identical
     across tiers, so the default stays conservative and journal hashes
     stay stable).  Only the snapshot-capable tiers are legal here —
-    ``"naive"`` cannot resume from checkpoints.
+    ``"naive"`` cannot resume from checkpoints.  A typo (``"codgen"``)
+    raises :class:`CampaignError` rather than silently falling back.
     """
     resolved = (dispatch if dispatch is not None
                 else os.environ.get("REPRO_DISPATCH", "decoded"))
     if resolved not in ("decoded", "codegen"):
-        raise ValueError(
+        raise CampaignError(
             f"engine dispatch must be 'decoded' or 'codegen', "
             f"got {resolved!r}")
     return resolved
@@ -88,6 +91,7 @@ def run_injection_suite(
     program: Optional[CompiledProgram] = None,
     emit: Callable[[object, ExecResult], None],
     dispatch: Optional[str] = None,
+    fault_model: Optional[str] = None,
 ) -> None:
     """Run every ``(tag, dyn_index, bit)`` injection with checkpoint-replay.
 
@@ -100,17 +104,20 @@ def run_injection_suite(
     ``dispatch`` selects the replay tier (see :func:`engine_dispatch`);
     suffix replays run on it, while the golden checkpointing pass always
     streams snapshots from the decoded core (the codegen tier delegates
-    internally when checkpoints are requested).
+    internally when checkpoints are requested).  ``fault_model``
+    (default SEU) selects what the injection corrupts — the simulators
+    watch/checkpoint at that model's injectable sites.
     """
     tier = engine_dispatch(dispatch)
+    fm = validate_fault_model(fault_model)
     if layer == "ir":
         def fresh():
             return IRInterpreter(module, layout=layout, max_steps=max_steps,
-                                 dispatch=tier)
+                                 dispatch=tier, fault_model=fm)
     elif layer == "asm":
         def fresh():
             return AsmMachine(program, layout, max_steps=max_steps,
-                              dispatch=tier)
+                              dispatch=tier, fault_model=fm)
     else:
         raise ValueError(f"unknown layer {layer!r}")
 

@@ -49,12 +49,11 @@ class Outcome(enum.Enum):
 def classify_outcome(result: ExecResult, golden_output: str) -> Outcome:
     """Map an execution result to the paper's outcome taxonomy.
 
-    Also canonicalises ``result.trap_kind`` in place (the back-compat
-    alias for the ``timeout`` -> ``step-budget`` rename), so journal
-    replay and live execution report one vocabulary.
+    Pure: the caller's ``result`` is never mutated.  Trap-kind
+    canonicalisation (the ``timeout`` -> ``step-budget`` rename) happens
+    on locals via :func:`canonical_trap_kind`; callers that persist trap
+    kinds canonicalise at the point of record construction.
     """
-    if result.trap_kind in TRAP_KIND_ALIASES:
-        result.trap_kind = TRAP_KIND_ALIASES[result.trap_kind]
     if result.status is RunStatus.DETECTED:
         return Outcome.DETECTED
     if result.status is RunStatus.TRAP:

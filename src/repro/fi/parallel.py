@@ -25,10 +25,12 @@ import numpy as np
 
 from ..errors import CampaignError
 from ..execresult import RunStatus
+from ..faultmodel import validate_fault_model
 from .campaign import (
     CampaignConfig,
     CampaignResult,
     InjectionRecord,
+    _draw,
     _phase,
     _record_outcomes,
     run_asm_campaign,
@@ -91,14 +93,17 @@ def run_parallel_campaign(
     caller already compiled the spec'd program.
     """
     workers = workers or default_workers()
+    fm = validate_fault_model(spec.fault_model)
     if built is None:
         with _phase(observer, "build", layer=spec.layer):
             built = _build_from_spec(spec)
     with _phase(observer, "golden", layer=spec.layer):
+        # the golden run's dyn_injectable counts the fault model's own
+        # site universe (cf faults target branch sites, not values)
         if spec.layer == "ir":
-            golden = built.run_ir()
+            golden = built.run_ir(fault_model=fm)
         else:
-            golden = built.run_asm()
+            golden = built.run_asm(fault_model=fm)
     if golden.status is not RunStatus.OK:
         raise CampaignError(
             f"golden {spec.layer} run failed: "
@@ -111,14 +116,15 @@ def run_parallel_campaign(
     if workers <= 1 and journal_path is None:
         if spec.layer == "ir":
             return run_ir_campaign(built.module, config, built.layout,
-                                   observer=observer)
+                                   observer=observer, fault_model=fm)
         return run_asm_campaign(built.compiled, built.layout, config,
-                                observer=observer)
+                                observer=observer, fault_model=fm)
 
     rng = np.random.default_rng(config.seed)
-    indices = rng.integers(0, golden.dyn_injectable,
-                           size=config.n_campaigns).tolist()
-    bits = rng.integers(0, 64, size=config.n_campaigns).tolist()
+    drawn_indices, drawn_bits = _draw(
+        rng, config.n_campaigns, golden.dyn_injectable, fm)
+    indices = drawn_indices.tolist()
+    bits = drawn_bits.tolist()
 
     journal = (InjectionJournal.open(journal_path, spec, config)
                if journal_path else None)

@@ -58,11 +58,15 @@ __all__ = [
     "record_from_row",
 ]
 
-#: positional layout of one journaled/worker row
+#: positional layout of one journaled/worker row.  Version-1 journals
+#: wrote 9-element rows without the trailing ``fault_model``; the loader
+#: pads those with ``"seu"`` (the only model that existed then).
 ROW_FIELDS = ("idx", "bit", "status", "output", "iid",
-              "asm_index", "asm_role", "asm_opcode", "trap_kind")
+              "asm_index", "asm_role", "asm_opcode", "trap_kind",
+              "fault_model")
 
-JOURNAL_VERSION = 1
+JOURNAL_VERSION = 2
+_LEGACY_ROW_LEN = 9
 
 #: test-only fault hooks — each names a sentinel path; the first worker
 #: process to claim the sentinel crashes (or hangs) exactly once, which
@@ -84,6 +88,10 @@ class WorkSpec:
     #: explicit protected set (avoids re-profiling inside workers)
     selected: Optional[frozenset] = None
     layer: str = "asm"          # 'ir' | 'asm'
+    #: fault model injected by workers ('seu' | 'set' | 'cf')
+    fault_model: str = "seu"
+    #: add the signature-based control-flow-checking pass after duplication
+    cfc: bool = False
 
 
 @dataclass(frozen=True)
@@ -125,6 +133,13 @@ def _spec_doc(spec: WorkSpec) -> dict:
     doc = {f.name: getattr(spec, f.name) for f in dc_fields(WorkSpec)}
     if doc["selected"] is not None:
         doc["selected"] = sorted(doc["selected"])
+    # omit fields at their defaults so campaign keys (and journals) from
+    # before the fault-model/CFC additions still hash — and resume —
+    # identically
+    if doc.get("fault_model") == "seu":
+        del doc["fault_model"]
+    if doc.get("cfc") is False:
+        del doc["cfc"]
     return doc
 
 
@@ -170,7 +185,9 @@ _BUILD_CACHE_MAX = 8
 
 def _build_cache_key(spec: WorkSpec) -> str:
     doc = _spec_doc(spec)
-    doc.pop("layer", None)          # build does not depend on the layer
+    # the build depends on neither the layer nor the injected fault model
+    doc.pop("layer", None)
+    doc.pop("fault_model", None)
     return json.dumps(doc, sort_keys=True)
 
 
@@ -189,6 +206,7 @@ def _build_from_spec(spec: WorkSpec):
         flowery=spec.flowery,
         compare_cse=spec.compare_cse,
         selected=set(spec.selected) if spec.selected is not None else None,
+        cfc=spec.cfc,
     )
     _BUILD_CACHE[key] = built
     while len(_BUILD_CACHE) > _BUILD_CACHE_MAX:
@@ -196,20 +214,21 @@ def _build_from_spec(spec: WorkSpec):
     return built
 
 
-def _row_from_result(layer: str, idx: int, bit: int, res: ExecResult
-                     ) -> Tuple:
+def _row_from_result(layer: str, idx: int, bit: int, res: ExecResult,
+                     fault_model: str = "seu") -> Tuple:
     """Flatten one execution result into a JSON/pickle-safe row."""
     if layer == "ir":
         return (idx, bit, res.status.value, res.output, res.injected_iid,
-                None, None, None, res.trap_kind)
+                None, None, None, res.trap_kind, fault_model)
     return (idx, bit, res.status.value, res.output, res.injected_iid,
             res.extra.get("asm_index"), res.extra.get("asm_role"),
-            res.extra.get("asm_opcode"), res.trap_kind)
+            res.extra.get("asm_opcode"), res.trap_kind, fault_model)
 
 
 def _execute_chunk(built, layer: str,
                    samples: List[Tuple[int, int, int]], max_steps: int,
-                   emit: Callable[[int, Tuple], None]) -> None:
+                   emit: Callable[[int, Tuple], None],
+                   fault_model: str = "seu") -> None:
     """Run one chunk of ``(original_index, idx, bit)`` samples.
 
     Routes through the checkpoint-replay engine when enabled (the
@@ -222,7 +241,7 @@ def _execute_chunk(built, layer: str,
     if engine_enabled():
         def engine_emit(tag, res):
             orig, idx, bit = tag
-            emit(orig, _row_from_result(layer, idx, bit, res))
+            emit(orig, _row_from_result(layer, idx, bit, res, fault_model))
 
         run_injection_suite(
             layer,
@@ -232,14 +251,16 @@ def _execute_chunk(built, layer: str,
             layout=built.layout,
             program=getattr(built, "compiled", None),
             emit=engine_emit,
+            fault_model=fault_model,
         )
         return
     for orig, idx, bit in samples:
-        emit(orig, _execute_sample(built, layer, idx, bit, max_steps))
+        emit(orig, _execute_sample(built, layer, idx, bit, max_steps,
+                                   fault_model))
 
 
 def _execute_sample(built, layer: str, idx: int, bit: int,
-                    max_steps: int) -> Tuple:
+                    max_steps: int, fault_model: str = "seu") -> Tuple:
     """Run one injection; the returned row is JSON- and pickle-safe.
 
     A ``MemoryError``/``RecursionError`` that slips past the simulator's
@@ -252,16 +273,16 @@ def _execute_sample(built, layer: str, idx: int, bit: int,
         if layer == "ir":
             res = IRInterpreter(
                 built.module, layout=built.layout, max_steps=max_steps,
-                dispatch="naive",
+                dispatch="naive", fault_model=fault_model,
             ).run(inject_index=idx, inject_bit=bit)
         else:
             res = AsmMachine(
                 built.compiled, built.layout, max_steps=max_steps,
-                dispatch="naive",
+                dispatch="naive", fault_model=fault_model,
             ).run(inject_index=idx, inject_bit=bit)
     except (MemoryError, RecursionError) as exc:
         res = host_escape_result(exc, layer=layer)
-    return _row_from_result(layer, idx, bit, res)
+    return _row_from_result(layer, idx, bit, res, fault_model)
 
 
 def record_from_row(row: Tuple, golden_output: str
@@ -271,8 +292,10 @@ def record_from_row(row: Tuple, golden_output: str
     Uses :func:`classify_outcome` on a reconstructed result so journal
     replay and live execution share one classification path.
     """
+    if len(row) == _LEGACY_ROW_LEN:
+        row = row + ("seu",)
     (idx, bit, status, output, iid,
-     asm_index, asm_role, asm_opcode, trap_kind) = row
+     asm_index, asm_role, asm_opcode, trap_kind, fault_model) = row
     probe = ExecResult(status=RunStatus(status), output=output,
                        dyn_total=0, dyn_injectable=0)
     outcome = classify_outcome(probe, golden_output)
@@ -280,6 +303,7 @@ def record_from_row(row: Tuple, golden_output: str
         dyn_index=idx, bit=bit, outcome=outcome, iid=iid,
         asm_index=asm_index, asm_role=asm_role, asm_opcode=asm_opcode,
         trap_kind=canonical_trap_kind(trap_kind),
+        fault_model=fault_model,
     )
 
 
@@ -386,7 +410,9 @@ class InjectionJournal:
                     row = doc.get("row")
                     if isinstance(doc.get("i"), int) and \
                             isinstance(row, list) and \
-                            len(row) == len(ROW_FIELDS):
+                            len(row) in (len(ROW_FIELDS), _LEGACY_ROW_LEN):
+                        if len(row) == _LEGACY_ROW_LEN:
+                            row = row + ["seu"]
                         completed[doc["i"]] = tuple(row)
         return header, completed
 
@@ -471,7 +497,8 @@ def _chunk_worker(conn, spec: WorkSpec,
         t0 = time.perf_counter()
         built = _build_from_spec(spec)
         _execute_chunk(built, spec.layer, samples, max_steps,
-                       lambda orig, row: conn.send(("row", orig, row)))
+                       lambda orig, row: conn.send(("row", orig, row)),
+                       fault_model=spec.fault_model)
         conn.send(("done", time.perf_counter() - t0))
     except Exception as exc:                      # noqa: BLE001
         # surface the failure to the supervisor; it decides on retries
@@ -533,7 +560,8 @@ def run_supervised(
             built = _build_from_spec(spec)
         t0 = time.perf_counter()
         remaining = [s for s in todo if s[0] not in results]
-        _execute_chunk(built, spec.layer, remaining, max_steps, commit)
+        _execute_chunk(built, spec.layer, remaining, max_steps, commit,
+                       fault_model=spec.fault_model)
         if observer is not None:
             observer.worker(0, len(todo), time.perf_counter() - t0,
                             layer=spec.layer, mode="serial")

@@ -55,6 +55,15 @@ Runs that need snapshots, profiling or trace taps delegate to the
 decoded loop (bit-identical by the PR-5 equivalence suite); resuming
 *from* a snapshot runs generated code, entering via a short decoded
 "careful" stretch when the snapshot stopped mid-chunk.
+
+Fault models (DESIGN §14): generation is parameterized by the fault
+model and cached per (module, layout, fault_model).  SEU output is
+byte-identical to the historical generator.  SET swaps the flip hook
+for ``_interp._set_value``.  Under the control-flow model value sites
+vanish (no slow bodies, no ``inj`` accounting mid-chunk) and the
+``br``/``condbr`` tails become the injection sites: each allocates one
+index and, on a hit, records the corrupted edge and jumps to a
+uniformly drawn block-entry chunk of the current function.
 """
 
 from __future__ import annotations
@@ -126,20 +135,27 @@ _CACHE: "weakref.WeakKeyDictionary[Module, tuple]" = \
     weakref.WeakKeyDictionary()
 
 
-def codegen_module(module: Module, layout: GlobalLayout) -> CodegenModule:
+def codegen_module(module: Module, layout: GlobalLayout,
+                   fault_model: str = "seu") -> CodegenModule:
     """Generate (cached) specialized code for ``module``; regenerates if
     the module was mutated in place or the layout moved — same
-    invalidation rule (and fingerprint) as :func:`decode_module`."""
+    invalidation rule (and fingerprint) as :func:`decode_module`.  The
+    cache keeps one generated module per fault model (the corruption
+    hooks are baked into the source)."""
     fp = _fingerprint(module)
     cached = _CACHE.get(module)
     if cached is not None:
-        lay, cached_fp, gm = cached
+        lay, cached_fp, by_model = cached
         if cached_fp == fp and (
             lay is layout or lay.addresses == layout.addresses
         ):
+            gm = by_model.get(fault_model)
+            if gm is None:
+                gm = _generate(module, layout, fault_model)
+                by_model[fault_model] = gm
             return gm
-    gm = _generate(module, layout)
-    _CACHE[module] = (layout, fp, gm)
+    gm = _generate(module, layout, fault_model)
+    _CACHE[module] = (layout, fp, {fault_model: gm})
     return gm
 
 
@@ -161,8 +177,16 @@ class _Emitter(_Decoder):
     """Reuses the decoder's operand/expression machinery to emit source
     statements instead of compiling closures."""
 
-    def __init__(self, module: Module, layout: GlobalLayout):
+    def __init__(self, module: Module, layout: GlobalLayout,
+                 fault_model: str = "seu"):
         super().__init__(module, layout)
+        self.fault_model = fault_model
+        #: cf model: value sites vanish, br/condbr tails inject
+        self.cf = fault_model == "cf"
+        #: flip hook, a late module-attribute lookup so the chaos
+        #: harness's fault bombs hit generated code too
+        self.flip_name = ("_interp._set_value" if fault_model == "set"
+                          else "_interp._flip_value")
         #: raise-site fixup table: generated source line number ->
         #: (dt, inj) offsets from the chunk entry, for fast-body lines
         #: whose counter updates are coalesced at the chunk exit
@@ -186,7 +210,10 @@ class _Emitter(_Decoder):
 
     def injectable(self, inst: Instruction) -> bool:
         """True iff the decoded loop allocates an injection index for
-        this instruction (K_VALUE or K_CALL1)."""
+        this instruction (K_VALUE or K_CALL1).  Under the cf model no
+        value producer is a site (br/condbr tails allocate instead)."""
+        if self.cf:
+            return False
         op = inst.opcode
         if op == "call":
             callee = inst.callee
@@ -249,7 +276,7 @@ class _Emitter(_Decoder):
         iid = inst.iid
         sb.line(f"t{iid} = {expr}")
         with sb.block("if inj == tgt:"):
-            sb.line(f"t{iid} = _interp._flip_value(t{iid}, "
+            sb.line(f"t{iid} = {self.flip_name}(t{iid}, "
                     f"{self.ty_name(inst.type)}, bit)")
             sb.line("ip.injected = True")
             sb.line(f"ip.injected_iid = {iid}")
@@ -481,7 +508,7 @@ class _Emitter(_Decoder):
         callee = inst.callee
         sb.line(f"_a = [{', '.join(args)}]")
         has_result = not inst.type.is_void
-        if has_result:
+        if has_result and not self.cf:
             sb.line("inj += 1")
         sb.line(f"fr.index = {i + 1}")
         after = entry_bb[(block, i + 1)]
@@ -493,13 +520,27 @@ class _Emitter(_Decoder):
                        fn: Function, block, entry_bb) -> None:
         op = inst.opcode
         if op == "br":
+            if self.cf:
+                self._emit_cf_site(sb, inst, fn, block,
+                                   normal_label=repr(inst.target.label))
             sb.line(f"bb = {entry_bb[(inst.target, 0)]}")
             sb.line("continue")
         elif op == "condbr":
             cond = self.operand(inst.operands[0])
             then_bb = entry_bb[(inst.then_block, 0)]
             else_bb = entry_bb[(inst.else_block, 0)]
-            sb.line(f"bb = {then_bb} if {cond} else {else_bb}")
+            if self.cf:
+                # evaluate the condition once, before the site check —
+                # a raise inside it leaves inj unallocated, exactly as
+                # in the decoded cf loop
+                sb.line(f"_cv = {cond}")
+                self._emit_cf_site(
+                    sb, inst, fn, block,
+                    normal_label=(f"({inst.then_block.label!r} if _cv "
+                                  f"else {inst.else_block.label!r})"))
+                sb.line(f"bb = {then_bb} if _cv else {else_bb}")
+            else:
+                sb.line(f"bb = {then_bb} if {cond} else {else_bb}")
             sb.line("continue")
         elif op == "ret":
             rv = self.operand(inst.operands[0]) if inst.operands else "None"
@@ -507,6 +548,26 @@ class _Emitter(_Decoder):
         else:  # unreachable
             detail = f"@{fn.name}/{block.label}"
             sb.line(f"raise _SimTrap('unreachable', {detail!r})")
+
+    def _emit_cf_site(self, sb: SourceBuilder, inst: Instruction,
+                      fn: Function, block, normal_label: str) -> None:
+        """Control-flow injection site at a br/condbr tail: allocate one
+        index; on a hit record the corrupted edge and jump to the
+        uniformly drawn block-entry chunk instead of the normal target.
+        Counters are exact here — the chunk's ``dt`` coalesce has
+        already run and ``inj`` carries no mid-chunk sites under cf."""
+        tname, lname, nb = self._cf_fn
+        with sb.block("if inj == tgt:"):
+            sb.line("inj += 1")
+            sb.line("ip.injected = True")
+            sb.line(f"ip.injected_iid = {inst.iid}")
+            sb.line(f"ip._cf_edge = {{'layer': 'ir', 'fn': {fn.name!r}, "
+                    f"'from': {block.label!r}, 'iid': {inst.iid}, "
+                    f"'to': {normal_label}, "
+                    f"'redirect': {lname}[bit % {nb}]}}")
+            sb.line(f"bb = {tname}[bit % {nb}]")
+            sb.line("continue")
+        sb.line("inj += 1")
 
     def _register_fixups(self, first: int, stop: int,
                          dt_off: int, inj_off: int) -> None:
@@ -529,6 +590,16 @@ class _Emitter(_Decoder):
             chunks.append((block, start, len(insts)))
         entry_bb = {(block, start): k
                     for k, (block, start, _end) in enumerate(chunks)}
+
+        if self.cf:
+            # redirect tables for control-flow faults: chunk id of every
+            # block entry (in fn.blocks order) and the matching labels
+            # for edge forensics
+            tname = f"_cft{next(self.ng)}"
+            lname = f"_cfl{next(self.ng)}"
+            self.env[tname] = [entry_bb[(b, 0)] for b in fn.blocks]
+            self.env[lname] = [b.label for b in fn.blocks]
+            self._cf_fn = (tname, lname, len(fn.blocks))
 
         # liveness: temps read outside their defining chunk must cross
         # through the frame's temps dict (locals die at trampoline
@@ -656,9 +727,10 @@ class _Emitter(_Decoder):
         return entry_bb
 
 
-def _generate(module: Module, layout: GlobalLayout) -> CodegenModule:
+def _generate(module: Module, layout: GlobalLayout,
+              fault_model: str = "seu") -> CodegenModule:
     dm = decode_module(module, layout)
-    em = _Emitter(module, layout)
+    em = _Emitter(module, layout, fault_model)
     sb = SourceBuilder()
     fn_list = list(dm.functions.items())
     for n, (fn, dfn) in enumerate(fn_list):

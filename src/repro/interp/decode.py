@@ -24,6 +24,12 @@ K_CONDBR ``(cond_fn, then_pair, else_pair)``
 K_ALLOCA allocation size in bytes
 ======== =========================================================
 
+``K_BR``/``K_CONDBR`` entries carry a fifth element: the function's
+shared ``block_pairs`` list ((block, code) pairs in ``fn.blocks``
+order), which the control-flow fault model uses to redirect a corrupted
+transfer to a uniformly drawn block.  The SEU/SET loops index only
+elements 0–3 and never see it.
+
 The driver loop in :class:`~repro.interp.interpreter.IRInterpreter`
 tests ``kind <= 1`` to find the instructions that allocate injectable
 dynamic indices — exactly the set the naive loop allocates for, in the
@@ -86,13 +92,15 @@ _FCMP_OPS = {"oeq": "==", "olt": "<", "ole": "<=", "ogt": ">",
 class DecodedFunction:
     """Per-function decode result: one code list per basic block."""
 
-    __slots__ = ("fn", "pairs", "entry_pair")
+    __slots__ = ("fn", "pairs", "entry_pair", "block_pairs")
 
     def __init__(self, fn: Function):
         self.fn = fn
         #: block -> (block, code) shared pair; branch payloads alias these
         self.pairs = {b: (b, []) for b in fn.blocks}
         self.entry_pair = self.pairs[fn.entry]
+        #: pairs in fn.blocks order — the cf-model redirect universe
+        self.block_pairs = [self.pairs[b] for b in fn.blocks]
 
 
 class DecodedModule:
@@ -360,13 +368,14 @@ class _Decoder:
         iid = inst.iid
 
         if op == "br":
-            return (K_BR, dfn.pairs[inst.target], iid, inst)
+            return (K_BR, dfn.pairs[inst.target], iid, inst,
+                    dfn.block_pairs)
         if op == "condbr":
             cond = self.compile(self.operand(inst.operands[0]))
             return (K_CONDBR,
                     (cond, dfn.pairs[inst.then_block],
                      dfn.pairs[inst.else_block]),
-                    iid, inst)
+                    iid, inst, dfn.block_pairs)
         if op == "ret":
             payload = (self.compile(self.operand(inst.operands[0]))
                        if inst.operands else None)

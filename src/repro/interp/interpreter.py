@@ -11,6 +11,16 @@ one dynamic instruction — the LLFI-style fault model of the paper:
   injection sites — the root of the cross-layer deficiency;
 * the flipped bit is uniform over the destination's type width.
 
+Two further fault models open the scenario space (DESIGN §14):
+
+* ``fault_model="set"`` — a single-event transient: a two-adjacent-bit
+  burst in the produced value (:func:`_set_value`); same injectable
+  sites as SEU, wider corruption;
+* ``fault_model="cf"`` — a control-flow fault: the injectable sites
+  become dynamic ``br``/``condbr`` executions, and a hit retargets the
+  transfer to a uniformly drawn basic block of the current function.
+  The corrupted edge is reported in ``ExecResult.extra["cf_edge"]``.
+
 The interpreter shares the memory model and global layout with the
 machine so program semantics (pointer values, trap behaviour, output
 bytes) agree across layers.
@@ -31,6 +41,7 @@ from ..contain import (
 )
 from ..errors import CheckpointsDone, FaultDetected, IRError, SimTrap
 from ..execresult import ExecResult, RunStatus
+from ..faultmodel import validate_fault_model
 from ..ir import types as T
 from ..ir.instructions import (
     Alloca,
@@ -131,6 +142,31 @@ def _flip_value(value: Union[int, float], ty: T.Type, bit: int) -> Union[int, fl
     return bits.flip_int_bit(int(value), bit % width, width)
 
 
+def _set_value(value: Union[int, float], ty: T.Type, bit: int) -> Union[int, float]:
+    """Corrupt a destination value with a two-adjacent-bit burst.
+
+    The IR analogue of a single-event transient (SET): a glitch in
+    combinational logic is latched by the consuming flip-flops, so the
+    corruption is wider than one latch.  The asm layer additionally
+    corrupts a condition flag for GPR-writing instructions; flags have
+    no IR analogue, so here a SET is the burst alone.  Degrades to a
+    single flip at width 1 (both positions coincide mod the width).
+    """
+    if ty.is_float:
+        v = bits.flip_float_bit(float(value), bit % 64)
+        return bits.flip_float_bit(v, (bit + 1) % 64)
+    if ty.is_pointer:
+        m = (1 << (bit % 64)) | (1 << ((bit + 1) % 64))
+        return (int(value) ^ m) & bits.mask(64)
+    width = ty.bits
+    b1 = bit % width
+    b2 = (bit + 1) % width
+    v = bits.flip_int_bit(int(value), b1, width)
+    if b2 != b1:
+        v = bits.flip_int_bit(v, b2, width)
+    return v
+
+
 def _c_div(a: int, b: int) -> int:
     """C-style truncating integer division."""
     q = abs(a) // abs(b)
@@ -153,6 +189,7 @@ class IRInterpreter:
         max_call_depth: Optional[int] = None,
         output_budget: Optional[int] = None,
         mem_budget: Optional[int] = None,
+        fault_model: Optional[str] = None,
     ):
         if dispatch not in ("decoded", "naive", "codegen"):
             raise IRError(f"unknown dispatch mode {dispatch!r}")
@@ -160,6 +197,9 @@ class IRInterpreter:
         self.layout = layout or GlobalLayout(module)
         self.max_steps = max_steps
         self.dispatch = dispatch
+        # what an injection corrupts (seu/set/cf, see repro.faultmodel);
+        # typos raise CampaignError here rather than silently running SEU
+        self.fault_model = validate_fault_model(fault_model)
         # fault containment (DESIGN §11): resource budgets + host-escape
         # boundary, identical in both dispatch modes
         self.contain = containment_enabled(contain)
@@ -187,6 +227,8 @@ class IRInterpreter:
         self.inject_bit: int = 0
         self.injected = False
         self.injected_iid: Optional[int] = None
+        #: forensics for a control-flow fault: the corrupted edge
+        self._cf_edge: Optional[Dict[str, object]] = None
         # profiling state: preallocated per-iid array while running,
         # converted to the public dict form at run end
         self.per_inst_counts: Optional[Dict[int, int]] = None
@@ -231,6 +273,7 @@ class IRInterpreter:
         """
         self.inject_index = inject_index
         self.inject_bit = inject_bit
+        self._cf_edge = None
         if profile:
             self._counts = [0] * (self._iid_bound() + 1)
         fn = self.module.function(entry)
@@ -293,6 +336,8 @@ class IRInterpreter:
             extra["early_stop"] = True
         if escape is not None:
             extra["host_escape"] = escape
+        if self._cf_edge is not None:
+            extra["cf_edge"] = self._cf_edge
         return ExecResult(
             status=status,
             output="".join(self.outputs),
@@ -325,6 +370,9 @@ class IRInterpreter:
         # single per-step test whether profiling or tracing: keeps the
         # disabled path as cheap as the profiling-only loop always was
         track = counts is not None or hook is not None
+        fm = self.fault_model
+        cf_mode = fm == "cf"
+        flip = _set_value if fm == "set" else _flip_value
         self._armed = True
 
         while True:
@@ -350,13 +398,29 @@ class IRInterpreter:
             op = inst.opcode
 
             # ---- terminators & control flow (no destination value) -----
+            # under the cf model br/condbr ARE the injection sites: a
+            # hit retargets the transfer to a uniformly drawn block
             if op == "br":
-                frame.block = inst.target
+                target_block = inst.target
+                if cf_mode:
+                    idx = self.dyn_injectable
+                    self.dyn_injectable = idx + 1
+                    if idx == self.inject_index:
+                        target_block = self._redirect_block(
+                            frame, inst, target_block)
+                frame.block = target_block
                 frame.index = 0
                 continue
             if op == "condbr":
                 cond = self._value(frame, inst.operands[0])
-                frame.block = inst.then_block if cond else inst.else_block
+                target_block = inst.then_block if cond else inst.else_block
+                if cf_mode:
+                    idx = self.dyn_injectable
+                    self.dyn_injectable = idx + 1
+                    if idx == self.inject_index:
+                        target_block = self._redirect_block(
+                            frame, inst, target_block)
+                frame.block = target_block
                 frame.index = 0
                 continue
             if op == "ret":
@@ -371,7 +435,7 @@ class IRInterpreter:
                 frame = stack.pop()
                 if target is not None:
                     if flip_bit is not None:
-                        retval = _flip_value(retval, callee_ret, flip_bit)
+                        retval = flip(retval, callee_ret, flip_bit)
                         self.injected = True
                     frame.temps[target] = retval
                 continue
@@ -398,14 +462,16 @@ class IRInterpreter:
             # ---- value-producing instructions (injection sites) --------
             # flip before allocating the index (same order as the
             # decoded loop) so a host exception inside the flip leaves
-            # both dispatch modes with identical counters
+            # both dispatch modes with identical counters; under the cf
+            # model value producers allocate no indices at all
             result = self._compute(frame, inst, op)
-            idx = self.dyn_injectable
-            if idx == self.inject_index:
-                result = _flip_value(result, inst.type, self.inject_bit)
-                self.injected = True
-                self.injected_iid = inst.iid
-            self.dyn_injectable = idx + 1
+            if not cf_mode:
+                idx = self.dyn_injectable
+                if idx == self.inject_index:
+                    result = flip(result, inst.type, self.inject_bit)
+                    self.injected = True
+                    self.injected_iid = inst.iid
+                self.dyn_injectable = idx + 1
             frame.temps[inst.iid] = result
 
     # -- pre-decoded execution core ---------------------------------------
@@ -449,6 +515,9 @@ class IRInterpreter:
             frame = frames.pop()
             stack = frames
         self._armed = True
+        if self.fault_model == "cf":
+            return self._run_decoded_cf(frame, stack, checkpoints,
+                                        checkpoint_cb)
         return self._run_decoded(frame, stack, checkpoints, checkpoint_cb)
 
     def _run_decoded(self, frame: _Frame, stack: List[_Frame],
@@ -472,6 +541,7 @@ class IRInterpreter:
         max_steps = self.max_steps
         target = self.inject_index if self.inject_index is not None else -1
         inject_bit = self.inject_bit
+        flip = _set_value if self.fault_model == "set" else _flip_value
 
         watch_iter = iter(watch) if watch is not None else None
         next_watch = (next(watch_iter, None)
@@ -511,7 +581,7 @@ class IRInterpreter:
                 if kind == 0:       # value producer (injection site)
                     r = e[1](self, frame)
                     if inj == target:
-                        r = _flip_value(r, e[3].type, inject_bit)
+                        r = flip(r, e[3].type, inject_bit)
                         self.injected = True
                         self.injected_iid = e[2]
                     inj += 1
@@ -541,7 +611,7 @@ class IRInterpreter:
                     i = frame.index
                     if tgt is not None:
                         if fb is not None:
-                            rv = _flip_value(rv, callee_ret, fb)
+                            rv = flip(rv, callee_ret, fb)
                             self.injected = True
                         frame.temps[tgt] = rv
                 elif kind == 7:     # alloca
@@ -595,6 +665,150 @@ class IRInterpreter:
             self.dyn_total = dt
             self.dyn_injectable = inj
 
+    def _run_decoded_cf(self, frame: _Frame, stack: List[_Frame],
+                        watch: Optional[Sequence[int]] = None,
+                        watch_cb=None):
+        """Pre-decoded dispatch loop under the control-flow fault model.
+
+        A dedicated sibling of :meth:`_run_decoded` so the SEU/SET hot
+        path pays nothing: here the injectable sites are ``br`` (kind 5)
+        and ``condbr`` (kind 6) — decode entry element 4 carries the
+        per-function block list for the redirect — while value
+        producers and calls allocate no indices at all.
+        """
+        stack_limit = self.memory.stack_limit
+        max_call_depth = self.max_call_depth
+        counts = self._counts
+        tracer = self.tracer
+        hook = tracer.hook if tracer is not None else None
+        track = counts is not None or hook is not None
+
+        dt = self.dyn_total
+        inj = self.dyn_injectable
+        max_steps = self.max_steps
+        target = self.inject_index if self.inject_index is not None else -1
+        inject_bit = self.inject_bit
+
+        watch_iter = iter(watch) if watch is not None else None
+        next_watch = (next(watch_iter, None)
+                      if watch_iter is not None else None)
+
+        code = frame.code
+        i = frame.index
+        try:
+            while True:
+                e = code[i]
+                kind = e[0]
+
+                if (next_watch is not None and (kind == 5 or kind == 6)
+                        and inj == next_watch):
+                    frame.index = i
+                    self.dyn_total = dt
+                    self.dyn_injectable = inj
+                    watch_cb(next_watch, self._snapshot(stack, frame))
+                    next_watch = next(watch_iter, None)
+                    if next_watch is None:
+                        raise CheckpointsDone()
+
+                i += 1
+                dt += 1
+                if dt > max_steps:
+                    raise SimTrap("step-budget",
+                                  f"exceeded {max_steps} steps")
+                if track:
+                    if counts is not None:
+                        counts[e[2]] += 1
+                    if hook is not None:
+                        frame.index = i
+                        self.dyn_total = dt
+                        self.dyn_injectable = inj
+                        hook(e[3], frame)
+
+                if kind == 0:       # value producer (not a cf site)
+                    frame.temps[e[2]] = e[1](self, frame)
+                elif kind == 5:     # br (injection site)
+                    if inj == target:
+                        pairs = e[4]
+                        pair = pairs[inject_bit % len(pairs)]
+                        self._note_cf_edge(frame, e[3], e[1][0], pair[0])
+                        frame.block, code = pair
+                    else:
+                        frame.block, code = e[1]
+                    inj += 1
+                    frame.code = code
+                    i = 0
+                elif kind == 6:     # condbr (injection site)
+                    p = e[1]
+                    normal = p[1] if p[0](self, frame) else p[2]
+                    if inj == target:
+                        pairs = e[4]
+                        pair = pairs[inject_bit % len(pairs)]
+                        self._note_cf_edge(frame, e[3], normal[0], pair[0])
+                        frame.block, code = pair
+                    else:
+                        frame.block, code = normal
+                    inj += 1
+                    frame.code = code
+                    i = 0
+                elif kind == 2:     # store / void intrinsic / raiser
+                    e[1](self, frame)
+                elif kind == 4:     # ret (never flipped under cf)
+                    p = e[1]
+                    rv = p(self, frame) if p is not None else None
+                    self.sp = frame.sp_save
+                    if not stack:
+                        return rv
+                    tgt = frame.ret_target
+                    frame = stack.pop()
+                    code = frame.code
+                    i = frame.index
+                    if tgt is not None:
+                        frame.temps[tgt] = rv
+                elif kind == 7:     # alloca
+                    sp = (self.sp - e[1]) & ~7
+                    self.sp = sp
+                    if sp < stack_limit:
+                        raise SimTrap("stack-overflow",
+                                      f"@{frame.fn.name}")
+                    frame.temps[e[2]] = sp
+                else:               # call (results never flipped under cf)
+                    p = e[1]
+                    call_args = p[0](self, frame)
+                    dfn = p[1]
+                    if len(stack) >= max_call_depth:
+                        raise SimTrap(
+                            "stack-overflow",
+                            f"call depth {max_call_depth} exceeded "
+                            f"calling @{dfn.fn.name}")
+                    sp_save = self.sp
+                    sp = sp_save - 16
+                    self.sp = sp
+                    if sp < stack_limit:
+                        raise SimTrap("stack-overflow",
+                                      f"calling @{dfn.fn.name}")
+                    frame.index = i
+                    stack.append(frame)
+                    block, code = dfn.entry_pair
+                    frame = _Frame(
+                        fn=dfn.fn, block=block, index=0, temps={},
+                        sp_save=sp_save,
+                        ret_target=e[2] if kind == 1 else None,
+                        arg_values=call_args, ret_flip_bit=None,
+                        code=code,
+                    )
+                    i = 0
+        except IndexError:
+            raise IRError(
+                f"fell off block {frame.block.label} in @{frame.fn.name}"
+            ) from None
+        except KeyError as k:
+            raise IRError(
+                f"use of unevaluated %t{k.args[0]} in @{frame.fn.name}"
+            ) from None
+        finally:
+            self.dyn_total = dt
+            self.dyn_injectable = inj
+
     # -- codegen execution core -------------------------------------------
 
     def _execute_codegen(self, entry_fn: Function,
@@ -602,7 +816,7 @@ class IRInterpreter:
                          resume_from: Optional[IRSnapshot] = None):
         from .codegen import codegen_module
 
-        gm = codegen_module(self.module, self.layout)
+        gm = codegen_module(self.module, self.layout, self.fault_model)
         careful = False
         if resume_from is None:
             if entry_fn.is_declaration:
@@ -667,9 +881,15 @@ class IRInterpreter:
         stack_limit = self.memory.stack_limit
         max_call_depth = self.max_call_depth
         fns = gm.functions
+        cf_mode = self.fault_model == "cf"
+        flip = _set_value if self.fault_model == "set" else _flip_value
+        careful_step = self._careful_step_cf if cf_mode else \
+            self._careful_step
+        decoded_loop = self._run_decoded_cf if cf_mode else \
+            self._run_decoded
         try:
-            r = self._careful_step(frame, stack, c,
-                                   fns[frame.fn]) if careful else None
+            r = careful_step(frame, stack, c,
+                             fns[frame.fn]) if careful else None
             while True:
                 if r is None:
                     r = fns[frame.fn].run(self, frame, c, bb)
@@ -686,7 +906,7 @@ class IRInterpreter:
                     bb = bbs.pop()
                     if tgt is not None:
                         if fb is not None:
-                            rv = _flip_value(rv, callee_ret, fb)
+                            rv = flip(rv, callee_ret, fb)
                             self.injected = True
                         frame.temps[tgt] = rv
                 elif tag == 2:      # call
@@ -715,7 +935,7 @@ class IRInterpreter:
                     self.dyn_total = c[0]
                     self.dyn_injectable = c[1]
                     try:
-                        return self._run_decoded(frame, stack)
+                        return decoded_loop(frame, stack)
                     finally:
                         c[0] = self.dyn_total
                         c[1] = self.dyn_injectable
@@ -740,6 +960,7 @@ class IRInterpreter:
         dt, inj, target, inject_bit = c
         max_steps = self.max_steps
         stack_limit = self.memory.stack_limit
+        flip = _set_value if self.fault_model == "set" else _flip_value
         code = frame.code
         i = frame.index
         try:
@@ -754,7 +975,7 @@ class IRInterpreter:
                 if kind == 0:
                     r = e[1](self, frame)
                     if inj == target:
-                        r = _flip_value(r, e[3].type, inject_bit)
+                        r = flip(r, e[3].type, inject_bit)
                         self.injected = True
                         self.injected_iid = e[2]
                     inj += 1
@@ -795,6 +1016,84 @@ class IRInterpreter:
                     frame.index = i
                     return (2, p[1], call_args,
                             e[2] if kind == 1 else None, flip_bit,
+                            gf.entry_bb[(frame.block, i)])
+        except IndexError:
+            raise IRError(
+                f"fell off block {frame.block.label} in @{frame.fn.name}"
+            ) from None
+        except KeyError as k:
+            raise IRError(
+                f"use of unevaluated %t{k.args[0]} in @{frame.fn.name}"
+            ) from None
+        finally:
+            c[0] = dt
+            c[1] = inj
+
+    def _careful_step_cf(self, frame: _Frame, stack: List[_Frame], c,
+                         gf) -> tuple:
+        """Control-flow-model sibling of :meth:`_careful_step`:
+        br/condbr are the injection sites (with redirect), value
+        producers and calls allocate no indices."""
+        dt, inj, target, inject_bit = c
+        max_steps = self.max_steps
+        stack_limit = self.memory.stack_limit
+        code = frame.code
+        i = frame.index
+        try:
+            while True:
+                e = code[i]
+                kind = e[0]
+                i += 1
+                dt += 1
+                if dt > max_steps:
+                    raise SimTrap("step-budget",
+                                  f"exceeded {max_steps} steps")
+                if kind == 0:
+                    frame.temps[e[2]] = e[1](self, frame)
+                elif kind == 5:
+                    if inj == target:
+                        pairs = e[4]
+                        pair = pairs[inject_bit % len(pairs)]
+                        self._note_cf_edge(frame, e[3], e[1][0], pair[0])
+                        frame.block, frame.code = pair
+                    else:
+                        frame.block, frame.code = e[1]
+                    inj += 1
+                    frame.index = 0
+                    return (3,)
+                elif kind == 6:
+                    p = e[1]
+                    normal = p[1] if p[0](self, frame) else p[2]
+                    if inj == target:
+                        pairs = e[4]
+                        pair = pairs[inject_bit % len(pairs)]
+                        self._note_cf_edge(frame, e[3], normal[0], pair[0])
+                        frame.block, frame.code = pair
+                    else:
+                        frame.block, frame.code = normal
+                    inj += 1
+                    frame.index = 0
+                    return (3,)
+                elif kind == 2:
+                    e[1](self, frame)
+                elif kind == 4:
+                    p = e[1]
+                    rv = p(self, frame) if p is not None else None
+                    frame.index = i
+                    return (1, rv)
+                elif kind == 7:
+                    sp = (self.sp - e[1]) & ~7
+                    self.sp = sp
+                    if sp < stack_limit:
+                        raise SimTrap("stack-overflow",
+                                      f"@{frame.fn.name}")
+                    frame.temps[e[2]] = sp
+                else:               # call (kind 1 with result, 3 void)
+                    p = e[1]
+                    call_args = p[0](self, frame)
+                    frame.index = i
+                    return (2, p[1], call_args,
+                            e[2] if kind == 1 else None, None,
                             gf.entry_bb[(frame.block, i)])
         except IndexError:
             raise IRError(
@@ -853,6 +1152,28 @@ class IRInterpreter:
             arg_values=list(args),
         )
 
+    def _note_cf_edge(self, frame: _Frame, inst: Instruction,
+                      normal: BasicBlock, redirect: BasicBlock) -> None:
+        """Record the corrupted edge of a control-flow fault."""
+        self.injected = True
+        self.injected_iid = inst.iid
+        self._cf_edge = {
+            "layer": "ir",
+            "fn": frame.fn.name,
+            "from": frame.block.label,
+            "iid": inst.iid,
+            "to": normal.label,
+            "redirect": redirect.label,
+        }
+
+    def _redirect_block(self, frame: _Frame, inst: Instruction,
+                        normal: BasicBlock) -> BasicBlock:
+        """Pick the uniformly drawn redirect target of a cf fault."""
+        blocks = frame.fn.blocks
+        redirect = blocks[self.inject_bit % len(blocks)]
+        self._note_cf_edge(frame, inst, normal, redirect)
+        return redirect
+
     def _value(self, frame: _Frame, v: Value) -> Union[int, float]:
         if isinstance(v, Instruction):
             try:
@@ -886,9 +1207,10 @@ class IRInterpreter:
         args = [self._value(frame, a) for a in inst.operands]
         has_result = not inst.type.is_void
 
-        # decide whether this call's *result* receives the fault
+        # decide whether this call's *result* receives the fault (calls
+        # are not sites under the cf model — IR callees are direct)
         flip_bit: Optional[int] = None
-        if has_result:
+        if has_result and self.fault_model != "cf":
             idx = self.dyn_injectable
             self.dyn_injectable += 1
             if idx == self.inject_index:
@@ -899,7 +1221,9 @@ class IRInterpreter:
             result = self._intrinsic(inst.callee, args)
             if has_result:
                 if flip_bit is not None:
-                    result = _flip_value(result, inst.type, flip_bit)
+                    flip = (_set_value if self.fault_model == "set"
+                            else _flip_value)
+                    result = flip(result, inst.type, flip_bit)
                     self.injected = True
                 frame.temps[inst.iid] = result
             return frame
@@ -1103,10 +1427,12 @@ def run_ir(
     max_steps: int = DEFAULT_MAX_STEPS,
     trace=None,
     dispatch: str = "decoded",
+    fault_model: Optional[str] = None,
 ) -> ExecResult:
     """Convenience wrapper: build an interpreter and run once."""
     interp = IRInterpreter(module, layout=layout, max_steps=max_steps,
-                           trace=trace, dispatch=dispatch)
+                           trace=trace, dispatch=dispatch,
+                           fault_model=fault_model)
     return interp.run(
         entry=entry,
         args=args,

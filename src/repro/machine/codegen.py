@@ -121,10 +121,12 @@ def _fingerprint(program: CompiledProgram) -> tuple:
             hash(tuple(program.uops)))
 
 
-def codegen_program(program: CompiledProgram, mem: Memory) -> CodegenProgram:
+def codegen_program(program: CompiledProgram, mem: Memory,
+                    fault_model: str = "seu") -> CodegenProgram:
     """Generate (cached) specialized code for ``program`` under ``mem``'s
-    geometry; regenerates if the uop stream was mutated in place."""
-    key = (mem.global_base, mem.size, mem.stack_limit)
+    geometry and ``fault_model`` (the corruption hooks are baked into
+    the source); regenerates if the uop stream was mutated in place."""
+    key = (mem.global_base, mem.size, mem.stack_limit, fault_model)
     fp = _fingerprint(program)
     cache = getattr(program, "_codegen", None)
     if cache is None:
@@ -133,7 +135,7 @@ def codegen_program(program: CompiledProgram, mem: Memory) -> CodegenProgram:
     hit = cache.get(key)
     if hit is not None and hit[0] == fp:
         return hit[1]
-    cp = _generate(program, mem)
+    cp = _generate(program, mem, fault_model)
     cache[key] = (fp, cp)
     return cp
 
@@ -181,10 +183,18 @@ class _Emitter:
     """Emits the single specialized executor for one program/geometry."""
 
     def __init__(self, program: CompiledProgram, dp: DecodedProgram,
-                 lo: int, hi: int, stack_limit: int):
+                 lo: int, hi: int, stack_limit: int,
+                 fault_model: str = "seu"):
         self.program = program
         self.uops = program.uops
-        self.inj_kind = program.inj_kind
+        self.fault_model = fault_model
+        self.cf = fault_model == "cf"
+        self.set = fault_model == "set"
+        #: under cf the register-destination sites vanish (no slow
+        #: bodies, no coalesced inj) — control-uop chunk tails become
+        #: the injection sites instead
+        self.inj_kind = ([0] * len(program.uops) if self.cf
+                         else program.inj_kind)
         self.gpr_dest = dp.gpr_dest
         self.xmm_dest = dp.xmm_dest
         self.lo = lo
@@ -518,17 +528,39 @@ class _Emitter:
         decoded loop; the XMM route goes through module attributes so
         monkeypatched flip helpers — the chaos bombs — stay visible)."""
         kind = self.inj_kind[i]
+        burst = ("((1 << (bit & 63)) | (1 << ((bit + 1) & 63)))"
+                 if self.set else "(1 << (bit & 63))")
         with sb.block("if inj == tgt:"):
             sb.line("mc.injected = True")
             sb.line(f"mc.injected_index = {i}")
             if kind == 1:
-                sb.line(f"rg[{self.gpr_dest[i]}] ^= 1 << (bit & 63)")
+                sb.line(f"rg[{self.gpr_dest[i]}] ^= {burst}")
+                if self.set:
+                    sb.line("fl ^= _FM[bit % 5]")
             elif kind == 2:
                 d = self.xmm_dest[i]
                 sb.line(f"xm[{d}] = _mach._b2f(_mach._f2b(xm[{d}])"
-                        " ^ (1 << (bit & 63)))")
+                        f" ^ {burst})")
             else:
                 sb.line("fl ^= _FM[bit % 5]")
+                if self.set:
+                    sb.line("fl ^= _FM[(bit + 1) % 5]")
+        sb.line("inj += 1")
+
+    def emit_cf_site(self, sb: SourceBuilder, i: int, to_expr: str) -> None:
+        """Control-flow injection site at a jmp/jcc/call chunk tail:
+        counters are exact here (the chunk coalesce already ran and
+        value sites carry no ``inj`` under cf), so a hit records the
+        corrupted edge and exits to the driver, which re-enters at the
+        redirect pc — through :func:`careful_until_leader` when the
+        landing point is not a leader."""
+        n = len(self.uops)
+        with sb.block("if inj == tgt:"):
+            sb.line("mc.injected = True")
+            sb.line(f"_rd = bit % {n}")
+            sb.line(f"mc._record_cf_edge({i}, {to_expr}, _rd)")
+            sb.line("inj += 1")
+            sb.line("return (2, _rd)")
         sb.line("inj += 1")
 
     def emit_tail(self, sb: SourceBuilder, chunks, leaders,
@@ -547,20 +579,31 @@ class _Emitter:
         u = self.uops[i]
         code = u[0]
         if code == JMP:
+            if self.cf:
+                self.emit_cf_site(sb, i, str(u[1]))
             sb.line(f"bb = {leaders[u[1]]}")
             sb.line("continue")
         elif code == JCC:
             t = leaders[u[1]]
             f = leaders[i + 1] if i + 1 < n else None
+            if self.cf:
+                # condition evaluated once, before the site check —
+                # the fault corrupts the transfer, not the decision
+                sb.line(f"_cv = {_CC_EXPR[u[2]]}")
+                self.emit_cf_site(sb, i,
+                                  f"({u[1]} if _cv else {i + 1})")
+                cc = "_cv"
+            else:
+                cc = _CC_EXPR[u[2]]
             if f is None:
                 # fall-through past program end: mirror the decoded
                 # fetch failure
-                with sb.block(f"if {_CC_EXPR[u[2]]}:"):
+                with sb.block(f"if {cc}:"):
                     sb.line(f"bb = {t}")
                     sb.line("continue")
                 sb.line(f'raise _SimTrap("bad-jump", "pc={n}")')
             else:
-                sb.line(f"bb = {t} if {_CC_EXPR[u[2]]} else {f}")
+                sb.line(f"bb = {t} if {cc} else {f}")
                 sb.line("continue")
         elif code == CALL:
             nxt = i + 1
@@ -576,6 +619,8 @@ class _Emitter:
             spq = self.struct_fn("sp", "Q", "pack_into")
             sb.line(f"{spq}(md, _sp, {nxt})")
             sb.line(f"rg[{_RSP}] = _sp")
+            if self.cf:
+                self.emit_cf_site(sb, i, str(u[1]))
             sb.line(f"bb = {leaders[u[1]]}")
             sb.line("continue")
         elif code == RET:
@@ -700,10 +745,12 @@ class _Emitter:
         sb.dedent()  # def
 
 
-def _generate(program: CompiledProgram, mem: Memory) -> CodegenProgram:
+def _generate(program: CompiledProgram, mem: Memory,
+              fault_model: str = "seu") -> CodegenProgram:
     dp = decode_program(program, mem)
     chunks, leaders = _find_chunks(program.uops, program.entry_index)
-    em = _Emitter(program, dp, mem.global_base, mem.size, mem.stack_limit)
+    em = _Emitter(program, dp, mem.global_base, mem.size, mem.stack_limit,
+                  fault_model)
     em.env["_L"] = leaders
     sb = SourceBuilder()
     em.emit(sb, chunks, leaders)
@@ -723,7 +770,11 @@ def careful_until_leader(mc, st, dp: DecodedProgram,
     leader; mirrors the decoded driver loop exactly, including the
     flip hooks and counter placement at every raise point."""
     fns = dp.fns
-    inj_kind = dp.program.inj_kind
+    fm = mc.fault_model
+    cf_fault = fm == "cf"
+    set_fault = fm == "set"
+    inj_kind = dp.program.cf_kind if cf_fault else dp.program.inj_kind
+    n_insts = len(dp.program.uops)
     gpr_dest = dp.gpr_dest
     xmm_dest = dp.xmm_dest
     regs = st.regs
@@ -755,14 +806,28 @@ def careful_until_leader(mc, st, dp: DecodedProgram,
                 if injectable == target:
                     mc.injected = True
                     mc.injected_index = cur
-                    if kind == 1:
-                        regs[gpr_dest[cur]] ^= 1 << (inject_bit & 63)
+                    if cf_fault:
+                        red = inject_bit % n_insts
+                        mc._record_cf_edge(cur, pc, red)
+                        pc = red
+                    elif kind == 1:
+                        if set_fault:
+                            regs[gpr_dest[cur]] ^= (
+                                (1 << (inject_bit & 63))
+                                | (1 << ((inject_bit + 1) & 63)))
+                            st.fl ^= (1, 2, 4, 8, 16)[inject_bit % 5]
+                        else:
+                            regs[gpr_dest[cur]] ^= 1 << (inject_bit & 63)
                     elif kind == 2:
                         d = xmm_dest[cur]
-                        xmm[d] = _machine._b2f(
-                            _machine._f2b(xmm[d]) ^ (1 << (inject_bit & 63)))
+                        mask = 1 << (inject_bit & 63)
+                        if set_fault:
+                            mask |= 1 << ((inject_bit + 1) & 63)
+                        xmm[d] = _machine._b2f(_machine._f2b(xmm[d]) ^ mask)
                     else:
                         st.fl ^= (1, 2, 4, 8, 16)[inject_bit % 5]
+                        if set_fault:
+                            st.fl ^= (1, 2, 4, 8, 16)[(inject_bit + 1) % 5]
                 injectable += 1
     finally:
         c[0] = steps

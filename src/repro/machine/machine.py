@@ -11,10 +11,21 @@ following the scientific-Python guidance: the campaign loop executes
 millions of these, so attribute lookups and string compares are hoisted
 out of the hot loop).
 
-Fault model (PIN-style, matching §4.3): a campaign selects one dynamic
-instruction *with a register destination* and flips one bit of that
-destination after the instruction writes it — GPR/XMM bits 0..63, or
-one of the five FLAGS bits for ``cmp``/``test``/``ucomisd``.
+Fault models (PIN-style, matching §4.3; see :mod:`repro.faultmodel`):
+
+``seu``  a campaign selects one dynamic instruction *with a register
+         destination* and flips one bit of that destination after the
+         instruction writes it — GPR/XMM bits 0..63, or one of the five
+         FLAGS bits for ``cmp``/``test``/``ucomisd``;
+``set``  same sites, but the transient corrupts the whole datapath:
+         two adjacent destination bits flip, and a GPR-writing ALU
+         result additionally flips one FLAGS bit (a FLAGS site flips
+         two flags);
+``cf``   sites are the dynamic control transfers (``jmp``/``jcc``/
+         ``call``; ``ret`` and runtime calls excluded) and the fault
+         redirects the transfer to ``bit % len(uops)`` — a uniformly
+         drawn legal instruction boundary.  The corrupted edge is
+         reported in ``ExecResult.extra["cf_edge"]``.
 """
 
 from __future__ import annotations
@@ -34,6 +45,7 @@ from ..errors import (
     CheckpointsDone, FaultDetected, LoweringError, ReproError, SimTrap,
 )
 from ..execresult import ExecResult, RunStatus
+from ..faultmodel import validate_fault_model
 from ..interp.layout import GlobalLayout
 from ..ir.intrinsics import INTRINSICS, math_impl
 from ..memorymodel import Memory
@@ -99,11 +111,16 @@ class CompiledProgram:
         inj_kind: List[int],
         entry_index: int,
         injectable_indices: List[int],
+        cf_kind: Optional[List[int]] = None,
     ):
         self.flat = flat
         self.uops = uops
         #: 0 = not a site, 1 = GPR dest, 2 = XMM dest, 3 = FLAGS dest
         self.inj_kind = inj_kind
+        #: control-flow-fault sites: 1 for jmp/jcc/call uops, else 0
+        self.cf_kind = (cf_kind if cf_kind is not None else
+                        [1 if u[0] in (JMP, JCC, CALL) else 0
+                         for u in uops])
         self.entry_index = entry_index
         self.injectable_static = injectable_indices
 
@@ -352,10 +369,12 @@ class AsmMachine:
         max_call_depth: Optional[int] = None,
         output_budget: Optional[int] = None,
         mem_budget: Optional[int] = None,
+        fault_model: Optional[str] = None,
     ):
         if dispatch not in ("decoded", "naive", "codegen"):
             raise ReproError(f"unknown dispatch mode {dispatch!r}")
         self.dispatch = dispatch
+        self.fault_model = validate_fault_model(fault_model)
         self.program = program
         self.layout = layout
         self.max_steps = max_steps
@@ -382,6 +401,7 @@ class AsmMachine:
         self.dyn_injectable = 0
         self.injected = False
         self.injected_index: Optional[int] = None  # static asm index
+        self._cf_edge: Optional[Dict[str, object]] = None
         self.per_inst_counts: Optional[Dict[int, int]] = None
         self._counts: Optional[List[int]] = None
         # trace tap (off by default; see repro.trace) — accepts a
@@ -411,6 +431,7 @@ class AsmMachine:
         early = False
         escape = None
         self._armed = False
+        self._cf_edge = None
         try:
             if self.dispatch == "decoded":
                 self._loop_decoded(inject_index, inject_bit,
@@ -470,6 +491,8 @@ class AsmMachine:
             )
         if self.tracer is not None:
             extra["trace"] = self.tracer.trace
+        if self._cf_edge is not None:
+            extra["cf_edge"] = self._cf_edge
         if early:
             extra["early_stop"] = True
         if escape is not None:
@@ -491,7 +514,12 @@ class AsmMachine:
     def _loop(self, inject_index: Optional[int], inject_bit: int) -> None:
         prog = self.program
         uops = prog.uops
-        inj_kind = prog.inj_kind
+        fm = self.fault_model
+        cf_fault = fm == "cf"
+        set_fault = fm == "set"
+        # the injectable-site universe follows the fault model: register
+        # destinations for seu/set, dynamic control transfers for cf
+        inj_kind = prog.cf_kind if cf_fault else prog.inj_kind
         n_insts = len(uops)
         mem = self.memory
         data = mem.data
@@ -781,16 +809,20 @@ class AsmMachine:
                     if injectable == target:
                         injected = True
                         self.injected_index = cur
-                        if kind == 1:
+                        if cf_fault:
+                            red = inject_bit % n_insts
+                            self._record_cf_edge(cur, pc, red)
+                            pc = red
+                        elif kind == 1:
                             dest = self._gpr_dest(cur)
-                            regs[dest] ^= 1 << (inject_bit & 63)
-                        elif kind == 2:
-                            dest = _XMM_INDEX[
-                                self.program.inst_at(cur).dest_reg().name
-                            ]
-                            xmm[dest] = _b2f(_f2b(xmm[dest]) ^ (1 << (inject_bit & 63)))
-                        else:  # flags
-                            which = inject_bit % 5
+                            if set_fault:
+                                regs[dest] ^= (
+                                    (1 << (inject_bit & 63))
+                                    | (1 << ((inject_bit + 1) & 63)))
+                                which = inject_bit % 5
+                            else:
+                                regs[dest] ^= 1 << (inject_bit & 63)
+                                which = -1
                             if which == 0:
                                 zf ^= 1
                             elif which == 1:
@@ -799,8 +831,31 @@ class AsmMachine:
                                 of ^= 1
                             elif which == 3:
                                 cf ^= 1
-                            else:
+                            elif which == 4:
                                 uf ^= 1
+                        elif kind == 2:
+                            dest = _XMM_INDEX[
+                                self.program.inst_at(cur).dest_reg().name
+                            ]
+                            mask = 1 << (inject_bit & 63)
+                            if set_fault:
+                                mask |= 1 << ((inject_bit + 1) & 63)
+                            xmm[dest] = _b2f(_f2b(xmm[dest]) ^ mask)
+                        else:  # flags
+                            for which in (
+                                (inject_bit % 5, (inject_bit + 1) % 5)
+                                if set_fault else (inject_bit % 5,)
+                            ):
+                                if which == 0:
+                                    zf ^= 1
+                                elif which == 1:
+                                    sf ^= 1
+                                elif which == 2:
+                                    of ^= 1
+                                elif which == 3:
+                                    cf ^= 1
+                                else:
+                                    uf ^= 1
                     injectable += 1
 
         finally:
@@ -899,7 +954,11 @@ class AsmMachine:
         mem = self.memory
         dp = decode_program(prog, mem)
         fns = dp.fns
-        inj_kind = prog.inj_kind
+        fm = self.fault_model
+        cf_fault = fm == "cf"
+        set_fault = fm == "set"
+        inj_kind = prog.cf_kind if cf_fault else prog.inj_kind
+        n_insts = len(prog.uops)
         gpr_dest = dp.gpr_dest
         xmm_dest = dp.xmm_dest
         data = st.data
@@ -960,14 +1019,29 @@ class AsmMachine:
                     if injectable == target:
                         injected = True
                         self.injected_index = cur
-                        if kind == 1:
-                            regs[gpr_dest[cur]] ^= 1 << (inject_bit & 63)
+                        if cf_fault:
+                            red = inject_bit % n_insts
+                            self._record_cf_edge(cur, pc, red)
+                            pc = red
+                        elif kind == 1:
+                            if set_fault:
+                                regs[gpr_dest[cur]] ^= (
+                                    (1 << (inject_bit & 63))
+                                    | (1 << ((inject_bit + 1) & 63)))
+                                st.fl ^= (1, 2, 4, 8, 16)[inject_bit % 5]
+                            else:
+                                regs[gpr_dest[cur]] ^= 1 << (inject_bit & 63)
                         elif kind == 2:
                             d = xmm_dest[cur]
-                            xmm[d] = _b2f(
-                                _f2b(xmm[d]) ^ (1 << (inject_bit & 63)))
+                            mask = 1 << (inject_bit & 63)
+                            if set_fault:
+                                mask |= 1 << ((inject_bit + 1) & 63)
+                            xmm[d] = _b2f(_f2b(xmm[d]) ^ mask)
                         else:  # flags
                             st.fl ^= (1, 2, 4, 8, 16)[inject_bit % 5]
+                            if set_fault:
+                                st.fl ^= (1, 2, 4, 8, 16)[
+                                    (inject_bit + 1) % 5]
                     injectable += 1
         finally:
             self.dyn_total = steps
@@ -994,7 +1068,7 @@ class AsmMachine:
 
         prog = self.program
         mem = self.memory
-        cp = codegen_program(prog, mem)
+        cp = codegen_program(prog, mem, self.fault_model)
         dp = decode_program(prog, mem)
         data = mem.data
 
@@ -1079,6 +1153,18 @@ class AsmMachine:
         assert reg is not None
         return _GPR_INDEX[reg.name]
 
+    def _record_cf_edge(self, index: int, to: int, redirect: int) -> None:
+        """Forensics for a control-flow fault: the static transfer, the
+        target it would have reached, and where the fault sent it."""
+        self.injected_index = index
+        self._cf_edge = {
+            "layer": "asm",
+            "pc": index,
+            "opcode": self.program.inst_at(index).opcode,
+            "to": to,
+            "redirect": redirect,
+        }
+
     def _runtime(self, kind: int, payload, regs, xmm, outputs) -> None:
         if kind == _RT_PRINT_I64:
             outputs.append(format_i64(_sx(regs[_RDI])) + "\n")
@@ -1148,10 +1234,11 @@ def run_asm(
     max_steps: int = DEFAULT_MAX_STEPS,
     trace=None,
     dispatch: str = "decoded",
+    fault_model: Optional[str] = None,
 ) -> ExecResult:
     """Convenience wrapper: fresh machine, one execution."""
     machine = AsmMachine(program, layout, max_steps=max_steps, trace=trace,
-                         dispatch=dispatch)
+                         dispatch=dispatch, fault_model=fault_model)
     return machine.run(
         inject_index=inject_index, inject_bit=inject_bit, profile=profile
     )

@@ -26,8 +26,10 @@ from .frontend.codegen import compile_source
 from .interp.interpreter import IRInterpreter
 from .interp.layout import GlobalLayout
 from .ir.module import Module
+from .ir.verifier import verify_module
 from .machine.machine import AsmMachine, CompiledProgram, compile_program
 from .protection.api import ProtectedProgram, protect
+from .protection.cfc import CFCInfo, apply_cfc
 from .protection.planner import SdcProfile
 
 __all__ = ["BuiltProgram", "build", "build_from_source"]
@@ -44,6 +46,7 @@ class BuiltProgram:
     asm: AsmProgram
     compiled: CompiledProgram
     protection: Optional[ProtectedProgram] = None
+    cfc_info: Optional[CFCInfo] = None
 
     def run_ir(self, **kwargs) -> ExecResult:
         interp = IRInterpreter(
@@ -51,6 +54,7 @@ class BuiltProgram:
             layout=self.layout,
             max_steps=kwargs.pop("max_steps", 50_000_000),
             trace=kwargs.pop("trace", None),
+            fault_model=kwargs.pop("fault_model", None),
         )
         return interp.run(**kwargs)
 
@@ -66,6 +70,7 @@ class BuiltProgram:
             self.layout,
             max_steps=kwargs.pop("max_steps", 100_000_000),
             trace=trace,
+            fault_model=kwargs.pop("fault_model", None),
         )
         return machine.run(**kwargs)
 
@@ -91,8 +96,14 @@ def build_from_source(
     compare_cse: bool = True,
     profile_campaigns: int = 400,
     profile_seed: int = 0,
+    cfc: bool = False,
+    cfc_weakness: Optional[str] = None,
 ) -> BuiltProgram:
-    """Compile MiniC source; ``level=None`` leaves it unprotected."""
+    """Compile MiniC source; ``level=None`` leaves it unprotected.
+
+    ``cfc=True`` adds signature-based control-flow checking after
+    duplication (composable: ``level`` and ``cfc`` are independent).
+    """
     module = compile_source(source, name)
     protection = None
     if level is not None:
@@ -105,6 +116,10 @@ def build_from_source(
             profile_campaigns=profile_campaigns,
             profile_seed=profile_seed,
         )
+    cfc_info = None
+    if cfc:
+        cfc_info = apply_cfc(module, weakness=cfc_weakness)
+        verify_module(module)
     layout = GlobalLayout(module)
     asm = lower_module(
         module, layout, LoweringOptions(compare_cse=compare_cse)
@@ -118,6 +133,7 @@ def build_from_source(
         asm=asm,
         compiled=compiled,
         protection=protection,
+        cfc_info=cfc_info,
     )
 
 
@@ -130,6 +146,8 @@ def build(
     compare_cse: bool = True,
     profile_campaigns: int = 400,
     profile_seed: int = 0,
+    cfc: bool = False,
+    cfc_weakness: Optional[str] = None,
 ) -> BuiltProgram:
     """Build a registered benchmark (see :mod:`repro.benchsuite`)."""
     source = load_source(benchmark, scale)
@@ -142,4 +160,6 @@ def build(
         compare_cse=compare_cse,
         profile_campaigns=profile_campaigns,
         profile_seed=profile_seed,
+        cfc=cfc,
+        cfc_weakness=cfc_weakness,
     )

@@ -1,0 +1,293 @@
+"""Signature-based control-flow checking (CFC).
+
+A compile-time pass in the spirit of CFCSS/ACFC: every basic block gets
+a globally-unique compile-time signature, and a single runtime signature
+register (here a volatile module global, ``@__cfc_sig``) tracks the
+block control flow *believes* it is in.  Before every branch to a
+signature-mapped block the taken edge stores the *target*'s signature;
+on entry to every non-entry block the current runtime signature is
+compared against the block's own compile-time signature, and a mismatch
+transfers to a per-function ``cfc.detect`` block that raises the
+existing ``__detect`` path (so :func:`classify_outcome` counts the run
+as Detected, exactly like a duplication checker firing).
+
+Invariant maintained on fault-free runs: *at the first instruction of a
+signature-mapped block, the runtime signature equals that block's
+compile-time signature*.  After a call to a defined function (whose own
+instrumentation clobbers the global) the caller re-stores the signature
+of the block containing the call, restoring the invariant mid-block.
+
+What this catches: a control-flow fault that redirects a branch to the
+wrong block entry arrives with the signature of the *intended* edge
+still in the global, so the landing block's entry check fires (unless
+the landing block is unchecked — the entry block, a ``.cfc``
+continuation, or a detect block — the classic single-signature scheme
+gap).  What it does not catch: redirects that happen to land on the
+intended target, and cross-function edges (function entries are
+unchecked because the verifier guarantees entry blocks have no
+intra-function predecessors; a corrupted asm-layer ``CALL`` is only
+caught once the callee branches into a checked block).
+
+The pass runs *after* duplication (so ``.chk`` continuation blocks are
+themselves signature-mapped and checked) and *before*
+:class:`~repro.backend.layout.GlobalLayout` (so ``@__cfc_sig`` is laid
+out like any other global).  All inserted instructions carry
+``attrs["checker"]`` and ``attrs["cfc"]`` so duplication-oriented
+analyses skip them; the entry-check conditional branch additionally
+carries ``attrs["cfc_check"]`` so the edge-store walk does not treat it
+as a real edge.
+
+``weakness`` deliberately mis-implements the scheme for mutation
+testing (see ``testgen/mutants.py``):
+
+* ``"dropped-update"`` — no edge stores (and no post-call restores):
+  the very first entry check of a fault-free run mismatches, so the
+  golden run dies in the detect path.
+* ``"unchecked-backedge"`` — blocks targeted by a back edge (an edge
+  from a block at the same or a later layout position, i.e. loop
+  headers) get no entry check; redirects landing on hot loop headers go
+  undetected and measured detection drops.
+* ``"constant-signature"`` — every block shares one signature value;
+  all checks pass vacuously and detection collapses to ~zero while the
+  golden run stays clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import IRError
+from ..ir import types as T
+from ..ir.instructions import (
+    Br,
+    Call,
+    CondBr,
+    ICmp,
+    Instruction,
+    Load,
+    Select,
+    Store,
+    Unreachable,
+)
+from ..ir.intrinsics import DETECT
+from ..ir.module import BasicBlock, Function, Module
+from ..ir.values import Constant
+
+__all__ = ["CFC_WEAKNESSES", "CFCInfo", "apply_cfc"]
+
+SIG_GLOBAL = "__cfc_sig"
+
+CFC_WEAKNESSES = ("dropped-update", "unchecked-backedge", "constant-signature")
+
+
+@dataclass
+class CFCInfo:
+    """What the CFC pass did — for reporting and tests."""
+
+    #: fn name -> block label -> compile-time signature
+    signatures: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: fn name -> label of the per-function ``cfc.detect`` block
+    detect_blocks: Dict[str, str] = field(default_factory=dict)
+    checks: int = 0
+    edge_stores: int = 0
+    restores: int = 0
+    weakness: Optional[str] = None
+
+    def to_doc(self) -> Dict[str, object]:
+        return {
+            "checks": self.checks,
+            "edge_stores": self.edge_stores,
+            "restores": self.restores,
+            "weakness": self.weakness,
+            "functions": sorted(self.signatures),
+        }
+
+
+def _is_detect_block(block: BasicBlock) -> bool:
+    insts = block.instructions
+    return bool(insts) and isinstance(insts[0], Call) and insts[0].callee_name == DETECT
+
+
+def _mark(inst: Instruction) -> Instruction:
+    inst.attrs["checker"] = True
+    inst.attrs["cfc"] = True
+    return inst
+
+
+class _FunctionCFC:
+    def __init__(
+        self,
+        module: Module,
+        fn: Function,
+        sig_ptr,
+        sigs: Dict[BasicBlock, int],
+        info: CFCInfo,
+        weakness: Optional[str],
+    ) -> None:
+        self.module = module
+        self.fn = fn
+        self.sig_ptr = sig_ptr
+        self.sigs = sigs
+        self.info = info
+        self.weakness = weakness
+        self.detect_block: Optional[BasicBlock] = None
+
+    # -- helpers -----------------------------------------------------------
+
+    def _const(self, sig: int) -> Constant:
+        return Constant(T.I64, sig)
+
+    def _get_detect_block(self) -> BasicBlock:
+        if self.detect_block is None:
+            block = self.fn.new_block("cfc.detect")
+            call = _mark(Call(DETECT, [], ret_type=T.VOID))
+            self.module.assign_iid(call)
+            block.append(call)
+            ur = _mark(Unreachable())
+            self.module.assign_iid(ur)
+            block.append(ur)
+            self.detect_block = block
+            self.info.detect_blocks[self.fn.name] = block.label
+        return self.detect_block
+
+    def _split_entry(self, block: BasicBlock) -> BasicBlock:
+        """Move all of ``block``'s instructions into a fresh ``.cfc``
+        continuation inserted right after it; the (now empty) original
+        keeps its label and incoming edges and will hold the check."""
+        cont = BasicBlock(self.fn._unique_label(block.label + ".cfc"), self.fn)
+        cont.instructions = block.instructions
+        for inst in cont.instructions:
+            inst.parent = cont
+        block.instructions = []
+        self.fn.blocks.insert(self.fn.blocks.index(block) + 1, cont)
+        # the continuation runs in the same "control-flow region": give it
+        # the same signature so post-call restores inside it are coherent
+        self.sigs[cont] = self.sigs[block]
+        return cont
+
+    # -- the three instrumentation walks -----------------------------------
+
+    def insert_checks(self) -> None:
+        entry = self.fn.entry
+        back_targets = set()
+        if self.weakness == "unchecked-backedge":
+            pos = {b: i for i, b in enumerate(self.fn.blocks)}
+            for block in self.fn.blocks:
+                for succ in block.successors():
+                    if pos[succ] <= pos[block]:
+                        back_targets.add(succ)
+        for block in list(self.fn.blocks):
+            if block is entry or block not in self.sigs:
+                continue
+            if block in back_targets:
+                continue
+            cont = self._split_entry(block)
+            detect = self._get_detect_block()
+            load = _mark(Load(self.sig_ptr, volatile=True))
+            self.module.assign_iid(load)
+            block.append(load)
+            cmp = _mark(ICmp("eq", load, self._const(self.sigs[cont])))
+            self.module.assign_iid(cmp)
+            block.append(cmp)
+            condbr = _mark(CondBr(cmp, cont, detect))
+            condbr.attrs["cfc_check"] = True
+            self.module.assign_iid(condbr)
+            block.append(condbr)
+            self.info.checks += 1
+
+    def insert_edge_stores(self) -> None:
+        for block in list(self.fn.blocks):
+            if _is_detect_block(block):
+                continue
+            term = block.terminator
+            if term is None or term.attrs.get("cfc_check"):
+                continue
+            stores: List[Instruction] = []
+            if isinstance(term, Br):
+                sig = self.sigs.get(term.target)
+                if sig is not None:
+                    stores.append(Store(self._const(sig), self.sig_ptr, volatile=True))
+            elif isinstance(term, CondBr):
+                s_then = self.sigs.get(term.then_block)
+                s_else = self.sigs.get(term.else_block)
+                if s_then is not None and s_else is not None and s_then != s_else:
+                    sel = _mark(
+                        Select(term.condition, self._const(s_then), self._const(s_else))
+                    )
+                    self.module.assign_iid(sel)
+                    stores.append(sel)
+                    stores.append(Store(sel, self.sig_ptr, volatile=True))
+                else:
+                    sig = s_then if s_then is not None else s_else
+                    if sig is not None:
+                        stores.append(
+                            Store(self._const(sig), self.sig_ptr, volatile=True)
+                        )
+            if not stores:
+                continue
+            at = block.index_of(term)
+            for inst in stores:
+                if inst.iid <= 0:
+                    _mark(inst)
+                    self.module.assign_iid(inst)
+                block.insert(at, inst)
+                at += 1
+            self.info.edge_stores += 1
+
+    def insert_restores(self) -> None:
+        for block in list(self.fn.blocks):
+            sig = self.sigs.get(block)
+            if sig is None:
+                continue
+            call_at = [
+                i
+                for i, inst in enumerate(block.instructions)
+                if isinstance(inst, Call)
+                and isinstance(inst.callee, Function)
+                and not inst.callee.is_declaration
+            ]
+            for i in reversed(call_at):
+                st = _mark(Store(self._const(sig), self.sig_ptr, volatile=True))
+                self.module.assign_iid(st)
+                block.insert(i + 1, st)
+                self.info.restores += 1
+
+    def run(self) -> None:
+        self.insert_checks()
+        if self.weakness != "dropped-update":
+            self.insert_edge_stores()
+            self.insert_restores()
+
+
+def apply_cfc(module: Module, weakness: Optional[str] = None) -> CFCInfo:
+    """Instrument ``module`` in place with signature-based CFC.
+
+    Idempotence is not supported: applying CFC twice raises.  Returns a
+    :class:`CFCInfo` describing the instrumentation.
+    """
+    if weakness is not None and weakness not in CFC_WEAKNESSES:
+        raise IRError(
+            f"unknown CFC weakness {weakness!r}; expected one of "
+            f"{', '.join(CFC_WEAKNESSES)}"
+        )
+    if SIG_GLOBAL in module.globals:
+        raise IRError("module already has CFC applied")
+    sig_ptr = module.global_var(SIG_GLOBAL, T.I64, initializer=0, volatile=True)
+
+    info = CFCInfo(weakness=weakness)
+    next_sig = 1
+    for fn in module.functions.values():
+        if fn.is_declaration:
+            continue
+        sigs: Dict[BasicBlock, int] = {}
+        for block in fn.blocks:
+            if _is_detect_block(block):
+                continue
+            sigs[block] = 1 if weakness == "constant-signature" else next_sig
+            next_sig += 1
+        _FunctionCFC(module, fn, sig_ptr, sigs, info, weakness).run()
+        info.signatures[fn.name] = {
+            b.label: s for b, s in sigs.items() if b in set(fn.blocks)
+        }
+    return info

@@ -3,8 +3,9 @@
 A differential oracle and an FI campaign are only trustworthy if they
 *fail* when the protection they exercise is broken.  This harness
 applies a catalog of systematic weakenings — **mutants** — to the
-duplication pass, the Flowery patches and the knapsack planner, and
-asserts that every one of them is *killed* by at least one oracle:
+duplication pass, the Flowery patches, the knapsack planner and the
+control-flow-checking pass, and asserts that every one of them is
+*killed* by at least one oracle:
 
 * **golden oracle** — the mutated pipeline mis-executes a fault-free
   run (a checker fires spuriously, or output diverges from the
@@ -48,6 +49,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..backend.lower import lower_module
 from ..execresult import RunStatus
+from ..faultmodel import fault_bit_range
 from ..fi.engine import run_injection_suite
 from ..fi.outcomes import Outcome, classify_outcome
 from ..frontend.codegen import compile_source
@@ -59,6 +61,7 @@ from ..ir.module import Module
 from ..ir.values import Constant
 from ..ir.verifier import verify_module
 from ..machine.machine import AsmMachine, compile_program
+from ..protection.cfc import apply_cfc
 from ..protection.duplication import (
     DuplicationInfo,
     duplicable_instructions,
@@ -143,13 +146,16 @@ class Mutant:
     """One catalogued weakening of the protection pipeline."""
 
     name: str
-    kind: str           # checker | shadow | selection | flowery | plan | codegen | identity
+    kind: str           # checker | shadow | selection | flowery | plan | codegen | cfc | identity
     oracle: str         # golden | coverage | invariant | codegen | identity
-    baseline: str       # dup-ir | flowery-asm | plan-ir | none
+    baseline: str       # dup-ir | flowery-asm | plan-ir | cfc-ir | none
     description: str
     build: Callable[["_Context"], object]
     #: identity pseudo-mutants must *survive*; everything else must die
     expect_killed: bool = True
+    #: fault model the coverage/identity sweep injects under — CFC
+    #: weakenings only show up under control-flow faults
+    fault_model: str = "seu"
 
 
 @dataclass
@@ -164,6 +170,7 @@ class MutantResult:
     killed: bool
     killed_by: str      # which oracle actually fired ('' if survived)
     detail: str
+    fault_model: str = "seu"
     metrics: Dict[str, float] = field(default_factory=dict)
     elapsed_s: float = 0.0
 
@@ -181,6 +188,7 @@ class MutantResult:
             "killed": self.killed,
             "killed_by": self.killed_by,
             "ok": self.ok,
+            "fault_model": self.fault_model,
             "detail": self.detail,
             "metrics": {k: round(v, 6) for k, v in self.metrics.items()},
             "elapsed_s": round(self.elapsed_s, 3),
@@ -274,7 +282,8 @@ class _Context:
         }
         self._profile = None
         self._plan70: Optional[ProtectionPlan] = None
-        self._baselines: Dict[str, Tuple[Dict[str, int], object]] = {}
+        self._baselines: Dict[Tuple[str, str],
+                              Tuple[Dict[str, int], object]] = {}
 
     def fresh_module(self) -> Module:
         return compile_source(self.config.source, "witness")
@@ -300,18 +309,20 @@ class _Context:
         ranked = sorted(self.full, key=lambda i: (-self.dyn_counts.get(i, 0), i))
         return set(ranked[:n])
 
-    def baseline(self, name: str):
-        if name not in self._baselines:
+    def baseline(self, name: str, fault_model: str = "seu"):
+        key = (name, fault_model)
+        if key not in self._baselines:
             built = _BASELINE_BUILDERS[name](self)
             layer = name.rsplit("-", 1)[1]
-            counts, golden = _sweep(self, built, layer)
+            counts, golden = _sweep(self, built, layer,
+                                    fault_model=fault_model)
             if counts is None:
                 raise ValueError(
                     f"baseline {name} failed its own golden run: "
                     f"{golden.status}"
                 )
-            self._baselines[name] = (counts, golden)
-        return self._baselines[name]
+            self._baselines[key] = (counts, golden)
+        return self._baselines[key]
 
 
 def _build(
@@ -339,17 +350,30 @@ def _build(
     return module, layout, compiled
 
 
+def _build_cfc(ctx: _Context, weakness: Optional[str] = None):
+    """A CFC-only pipeline build (no duplication): apply the signature
+    pass (optionally weakened), verify, lay out, lower, assemble."""
+    module = ctx.fresh_module()
+    apply_cfc(module, weakness=weakness)
+    verify_module(module)
+    layout = GlobalLayout(module)
+    compiled = compile_program(lower_module(module, layout).flatten())
+    return module, layout, compiled
+
+
 _BASELINE_BUILDERS: Dict[str, Callable[[_Context], object]] = {
     "dup-ir": lambda ctx: _build(ctx),
     "flowery-asm": lambda ctx: _build(ctx, flowery=True, store_mode="eager"),
     "plan-ir": lambda ctx: _build(ctx, selected=set(ctx.plan70.selected)),
+    "cfc-ir": lambda ctx: _build_cfc(ctx),
 }
 
 
-def _sweep(ctx: _Context, built, layer: str):
+def _sweep(ctx: _Context, built, layer: str, fault_model: str = "seu"):
     """Exhaustive deterministic sweep: one injection per dynamic index,
-    bit schedule ``(idx*13 + 7) % 64``.  Returns ``(outcome counts,
-    golden)`` — counts is None when the golden run itself fails."""
+    bit schedule ``(idx*13 + 7) % fault_bit_range``.  Returns ``(outcome
+    counts, golden)`` — counts is None when the golden run itself
+    fails."""
     module, layout, compiled = built
     if layer == "ir":
         golden = IRInterpreter(module, layout=layout).run()
@@ -368,11 +392,13 @@ def _sweep(ctx: _Context, built, layer: str):
     def emit(tag, res):
         counts[classify_outcome(res, golden.output).value] += 1
 
+    bit_range = fault_bit_range(fault_model)
     samples = [
-        (k, idx, (idx * 13 + 7) % 64)
+        (k, idx, (idx * 13 + 7) % bit_range)
         for k, idx in enumerate(range(golden.dyn_injectable))
     ]
-    run_injection_suite(layer, samples, max_steps, emit=emit, **kwargs)
+    run_injection_suite(layer, samples, max_steps, emit=emit,
+                        fault_model=fault_model, **kwargs)
     return counts, golden
 
 
@@ -738,6 +764,21 @@ MUTANTS: Tuple[Mutant, ...] = (
     Mutant("codegen-dropped-flip-hook", "codegen", "codegen", "none",
            "generated source omits the injection flip hook",
            _dropped_flip_patch),
+    # -- control-flow checking -----------------------------------------------
+    Mutant("cfc-dropped-update", "cfc", "golden", "none",
+           "signature checks kept but no signature updates: every "
+           "fault-free run false-detects at the first check",
+           lambda ctx: _build_cfc(ctx, weakness="dropped-update")),
+    Mutant("cfc-unchecked-backedge", "cfc", "coverage", "cfc-ir",
+           "loop back-edge targets get no entry check (wrong-iteration "
+           "redirects go unnoticed)",
+           lambda ctx: _build_cfc(ctx, weakness="unchecked-backedge"),
+           fault_model="cf"),
+    Mutant("cfc-constant-signature", "cfc", "coverage", "cfc-ir",
+           "every block shares signature 1: checks are vacuously true "
+           "for any control-flow corruption",
+           lambda ctx: _build_cfc(ctx, weakness="constant-signature"),
+           fault_model="cf"),
     # -- identity pseudo-mutants (must survive) ------------------------------
     Mutant("identity-dup", "identity", "identity", "dup-ir",
            "rebuild the dup-100 baseline unchanged (zero-false-kill proof)",
@@ -753,6 +794,11 @@ MUTANTS: Tuple[Mutant, ...] = (
     Mutant("identity-codegen", "identity", "codegen", "none",
            "run the codegen oracle unpatched (zero-false-kill proof)",
            lambda ctx: contextlib.nullcontext(), expect_killed=False),
+    Mutant("identity-cfc", "identity", "identity", "cfc-ir",
+           "rebuild the CFC baseline unchanged, swept under cf faults "
+           "(zero-false-kill proof)",
+           lambda ctx: _build_cfc(ctx), expect_killed=False,
+           fault_model="cf"),
 )
 
 #: fast subset for CI smoke runs: one golden kill, one structural kill,
@@ -764,6 +810,7 @@ SMOKE_MUTANTS: Tuple[str, ...] = (
     "dup-checker-branch-unwired",
     "plan-busted-budget",
     "codegen-dropped-flip-hook",
+    "cfc-dropped-update",
     "identity-dup",
 )
 
@@ -784,10 +831,11 @@ def _eval_golden(ctx: _Context, mutant: Mutant) -> Tuple[bool, str, Dict]:
 
 
 def _eval_coverage(ctx: _Context, mutant: Mutant):
-    base_counts, _ = ctx.baseline(mutant.baseline)
+    base_counts, _ = ctx.baseline(mutant.baseline, mutant.fault_model)
     layer = mutant.baseline.rsplit("-", 1)[1]
     built = mutant.build(ctx)
-    counts, golden = _sweep(ctx, built, layer)
+    counts, golden = _sweep(ctx, built, layer,
+                            fault_model=mutant.fault_model)
     if counts is None:
         # the weakening broke fault-free semantics outright — that is a
         # kill too, credited to the golden oracle
@@ -824,10 +872,11 @@ def _eval_identity(ctx: _Context, mutant: Mutant):
     """Exact-equality re-run of a baseline: any difference at all — one
     flipped outcome, a golden mismatch, a plan violation — is a (false)
     kill."""
-    base_counts, _ = ctx.baseline(mutant.baseline)
+    base_counts, _ = ctx.baseline(mutant.baseline, mutant.fault_model)
     layer = mutant.baseline.rsplit("-", 1)[1]
     built = mutant.build(ctx)
-    counts, golden = _sweep(ctx, built, layer)
+    counts, golden = _sweep(ctx, built, layer,
+                            fault_model=mutant.fault_model)
     if counts is None:
         return True, "golden", (
             f"identity rebuild failed golden: {golden.status.value}"), {}
@@ -883,6 +932,7 @@ def run_mutation_suite(
             name=mutant.name, kind=mutant.kind, oracle=mutant.oracle,
             baseline=mutant.baseline, expect_killed=mutant.expect_killed,
             killed=killed, killed_by=killed_by, detail=detail,
+            fault_model=mutant.fault_model,
             metrics=metrics, elapsed_s=time.monotonic() - t0,
         )
         results.append(result)

@@ -5,11 +5,11 @@ For a program factory (anything returning a fresh
 generation, or a benchmark source), the oracle builds every protection
 variant
 
-    unprotected, dup30, dup50, dup70, dup100, flowery
+    unprotected, dup30, dup50, dup70, dup100, flowery, cfc, dup100+cfc
 
 and executes each at both layers (IR interpreter, asm machine) under
 all three dispatch tiers (naive ladders, pre-decoded closures,
-exec-compiled generated code) — a 6 x 2 x 3 = 36-run matrix.  Every run
+exec-compiled generated code) — an 8 x 2 x 3 = 48-run matrix.  Every run
 must finish ``OK`` — a checker firing on a fault-free run is a protection
 bug, not noise — and produce output bit-identical to the unprotected
 IR golden run; within a layer every dispatch tier must additionally
@@ -36,6 +36,7 @@ from ..interp.layout import GlobalLayout
 from ..ir.module import Module
 from ..ir.verifier import verify_module
 from ..machine.machine import AsmMachine, compile_program
+from ..protection.cfc import apply_cfc
 from ..protection.duplication import duplicable_instructions, duplicate_module
 from ..protection.flowery import apply_flowery
 
@@ -49,7 +50,7 @@ __all__ = [
 ]
 
 ORACLE_VARIANTS = ("unprotected", "dup30", "dup50", "dup70", "dup100",
-                   "flowery")
+                   "flowery", "cfc", "dup100+cfc")
 
 #: result fields that must agree across dispatch modes within a layer
 _SIG_FIELDS = ("status", "output", "dyn_total", "dyn_injectable")
@@ -134,6 +135,11 @@ def build_variant(
         if variant == "flowery":
             info = duplicate_module(module, store_mode="eager")
             apply_flowery(module, info)
+        elif variant == "cfc":
+            apply_cfc(module)
+        elif variant == "dup100+cfc":
+            duplicate_module(module)
+            apply_cfc(module)
         elif variant == "dup100":
             duplicate_module(module)
         elif variant.startswith("dup"):

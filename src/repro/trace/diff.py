@@ -85,10 +85,26 @@ class DivergenceReport:
     inject_layer: Optional[str] = None
     inject_index: Optional[int] = None
     inject_bit: int = 0
+    fault_model: str = "seu"
+    #: forensics for control-flow faults: the corrupted edge the
+    #: injected simulator recorded ({from-site, intended target,
+    #: redirect target})
+    cf_edge: Optional[dict] = None
 
     @property
     def diverged(self) -> bool:
         return self.divergence is not None
+
+    def _cf_edge_line(self) -> str:
+        e = self.cf_edge
+        if e.get("layer") == "ir":
+            return (f"corrupted edge: @{e.get('fn')} "
+                    f"%{e.get('from')} (iid {e.get('iid')}) "
+                    f"-> intended %{e.get('to')}, "
+                    f"redirected to %{e.get('redirect')}")
+        return (f"corrupted edge: pc {e.get('pc')} "
+                f"({e.get('opcode')}) -> intended pc {e.get('to')}, "
+                f"redirected to pc {e.get('redirect')}")
 
     def narrate(self) -> str:
         head = (f"lockstep {self.layer_a} vs {self.layer_b}: "
@@ -99,7 +115,10 @@ class DivergenceReport:
                 f"{self.status_b})")
         if self.inject_layer is not None:
             head += (f"\ninjection: {self.inject_layer} dynamic site "
-                     f"#{self.inject_index}, bit {self.inject_bit}")
+                     f"#{self.inject_index}, bit {self.inject_bit}, "
+                     f"fault model {self.fault_model}")
+            if self.cf_edge is not None:
+                head += "\n" + self._cf_edge_line()
         if not self.diverged:
             note = " [sync stream truncated]" if self.truncated else ""
             return head + f"\nno divergence: layers agree{note}"
@@ -150,20 +169,26 @@ def run_lockstep(
     inject_index: Optional[int] = None,
     inject_bit: int = 0,
     config: Optional[TraceConfig] = None,
+    fault_model: Optional[str] = None,
 ) -> DivergenceReport:
     """Co-run both layers with sync tracing and diff the streams.
 
     ``inject_layer`` ('ir' | 'asm' | None) selects which layer, if
-    any, receives the single bit-flip at injectable dynamic site
-    ``inject_index``.  The report also exposes the two traces as
-    ``report.trace_a`` / ``report.trace_b``.
+    any, receives the single fault at injectable dynamic site
+    ``inject_index`` under ``fault_model``.  For control-flow faults
+    the report also names the corrupted edge (the branch site, its
+    intended target, and where the fault redirected it).  The report
+    also exposes the two traces as ``report.trace_a`` /
+    ``report.trace_b``.
     """
+    from ..faultmodel import validate_fault_model
     from ..interp.interpreter import IRInterpreter
     from ..machine.machine import AsmMachine
 
     if inject_layer not in (None, "ir", "asm"):
         raise ValueError(f"inject_layer must be 'ir' or 'asm', "
                          f"got {inject_layer!r}")
+    fm = validate_fault_model(fault_model)
     cfg = config or TraceConfig()
 
     ir_kwargs = {}
@@ -180,7 +205,7 @@ def run_lockstep(
         golden = IRInterpreter(module, layout=layout).run()
         ir_res = IRInterpreter(
             module, layout=layout, max_steps=_budget(golden.dyn_total),
-            trace=ir_tracer,
+            trace=ir_tracer, fault_model=fm,
         ).run(**ir_kwargs)
     else:
         ir_res = IRInterpreter(module, layout=layout,
@@ -191,7 +216,7 @@ def run_lockstep(
         golden = AsmMachine(compiled, layout).run()
         asm_res = AsmMachine(
             compiled, layout, max_steps=_budget(golden.dyn_total),
-            trace=asm_tracer,
+            trace=asm_tracer, fault_model=fm,
         ).run(**asm_kwargs)
     else:
         asm_res = AsmMachine(compiled, layout,
@@ -203,6 +228,12 @@ def run_lockstep(
     report.inject_layer = inject_layer
     report.inject_index = inject_index if inject_layer else None
     report.inject_bit = inject_bit if inject_layer else 0
+    report.fault_model = fm
+    if inject_layer is not None:
+        inj_res = ir_res if inject_layer == "ir" else asm_res
+        edge = inj_res.extra.get("cf_edge")
+        if isinstance(edge, dict):
+            report.cf_edge = edge
     return report
 
 

@@ -464,7 +464,7 @@ class TestBenchHarness:
         tg = doc["testgen"]
         assert tg["oracle_ok"] is True
         assert tg["within_budget"] is True
-        assert tg["oracle_matrix_runs"] == 36 * tg["oracle_programs"]
+        assert tg["oracle_matrix_runs"] == 48 * tg["oracle_programs"]
         # under pytest other suites may have imported repro.testgen
         # already, so only the flag's presence is asserted here; the CI
         # artifact is produced by a fresh process where it must be False

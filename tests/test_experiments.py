@@ -129,3 +129,39 @@ class TestCompileTime:
             assert r.duplication_seconds >= 0
             assert r.flowery_seconds >= 0
         assert "compile-time" in render_compile_time(rows)
+
+
+class TestFaultMatrix:
+    def test_all_cells_and_the_cf_deficiency(self):
+        from repro.experiments.faultmatrix import (
+            PROTECTION_CELLS,
+            render_fault_matrix,
+            run_fault_matrix,
+        )
+
+        cfg = ExperimentConfig(scale="tiny", campaigns=40,
+                               profile_campaigns=80, seed=5,
+                               benchmarks=("crc32",))
+        result = run_fault_matrix(cfg)
+        # 1 benchmark x 4 protections x 3 models x 2 layers
+        assert len(result.cells) == 4 * 3 * 2
+        for c in result.cells:
+            assert c.n == 40
+            assert abs(c.sdc + c.due + c.detected + c.benign - 1.0) < 1e-9
+        # the paper's deficiency: unprotected detects nothing, dup is
+        # weak against cf at the IR layer, CFC is not
+        assert result.mean_detected("none", "cf", "ir") == 0.0
+        assert result.mean_detected("cfc", "cf", "ir") > \
+            result.mean_detected("dup-100", "cf", "ir")
+        assert result.mean_detected("dup-100", "seu", "ir") > 0.5
+        text = render_fault_matrix(result)
+        assert "dup-100+cfc" in text and "mean detection" in text
+        assert {p for p, _, _ in PROTECTION_CELLS} == \
+            {"none", "dup-100", "cfc", "dup-100+cfc"}
+
+    def test_matrix_build_covers_cfc_only_cells(self, ctx):
+        built = ctx.matrix_build("crc32", None, True)
+        assert built.protection is None and built.cfc_info is not None
+        assert ctx.matrix_build("crc32", None, True) is built
+        assert ctx.matrix_build("crc32", None, False) is \
+            ctx.raw_build("crc32")

@@ -139,7 +139,7 @@ def test_oracle_matrix_passes_on_generated_minic(seed):
         lambda: compile_source(prog.source, f"oracle{seed}"),
         name=f"minic-{seed}")
     assert report.ok, [f.describe() for f in report.failures]
-    assert report.runs == 36  # 6 variants x 2 layers x 3 dispatches
+    assert report.runs == 48  # 8 variants x 2 layers x 3 dispatches
 
 
 def test_oracle_matrix_passes_on_generated_ir():
@@ -186,6 +186,29 @@ def test_mutation_regression_weakened_checker_is_killed():
 def test_mutation_suite_rejects_unknown_names():
     with pytest.raises(ValueError, match="unknown mutants"):
         run_mutation_suite(names=("no-such-mutant",))
+
+
+def test_mutation_cfc_weakenings_are_killed():
+    """Every CFC weakening must die — dropped updates by the golden
+    oracle (fault-free false detect), the coverage weakenings by a
+    cf-fault detection drop — while the unmutated CFC pipeline
+    survives a cf sweep bit-exactly."""
+    report = run_mutation_suite(names=(
+        "cfc-dropped-update",
+        "cfc-unchecked-backedge",
+        "cfc-constant-signature",
+        "identity-cfc",
+    ))
+    by_name = {r.name: r for r in report.results}
+    assert by_name["cfc-dropped-update"].killed
+    assert by_name["cfc-dropped-update"].killed_by == "golden"
+    assert by_name["cfc-unchecked-backedge"].killed
+    assert by_name["cfc-unchecked-backedge"].killed_by == "coverage"
+    assert by_name["cfc-unchecked-backedge"].fault_model == "cf"
+    assert by_name["cfc-constant-signature"].killed
+    assert by_name["cfc-constant-signature"].metrics["det_drop"] > 0.05
+    assert not by_name["identity-cfc"].killed
+    assert report.ok and not report.survivors and not report.false_kills
 
 
 def test_validate_plan_accepts_real_plan_and_rejects_corruption():
