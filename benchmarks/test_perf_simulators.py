@@ -85,6 +85,30 @@ def test_codegen_tier_speedup_floor():
         f"{doc['layers']['asm']['codegen']['run_speedup']:.2f}x)")
 
 
+def test_incremental_warm_path_floor():
+    """A second incremental campaign over an unchanged program must be
+    served entirely from the section-profile store (zero simulated
+    injections) and come in at least 10x faster than the checkpoint-
+    replay engine, while the cold pass stays within 1.3x of the engine
+    (sectioning + cache bookkeeping overhead bound, DESIGN §15).
+    """
+    from repro.fi.bench import run_campaign_bench
+
+    doc = run_campaign_bench()          # pathfinder/medium n=40 seed=2023
+    for layer, d in doc["layers"].items():
+        inc = d["incremental"]
+        assert inc["warm_pure_hits"], \
+            f"{layer} warm incremental pass re-simulated injections"
+        assert inc["cold_ratio_vs_engine"] <= 1.3, (
+            f"{layer} cold incremental pass costs "
+            f"{inc['cold_ratio_vs_engine']:.2f}x the engine (>1.3x)")
+    warm = doc["overall"]["incremental"]["warm_speedup_vs_engine"]
+    assert warm >= 10.0, (
+        f"incremental warm-path speedup {warm:.2f}x below the 10x floor "
+        f"(ir {doc['layers']['ir']['incremental']['warm_speedup_vs_engine']:.2f}x, "
+        f"asm {doc['layers']['asm']['incremental']['warm_speedup_vs_engine']:.2f}x)")
+
+
 def test_lowering_throughput(benchmark):
     from repro.backend.lower import lower_module
     from repro.frontend.codegen import compile_source

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Compare a bench document against the committed baseline.
+
+    PYTHONPATH=src python scripts/bench_compare.py BENCH_campaign.json \
+        [--baseline results/bench/BENCH_campaign_baseline.json] \
+        [--threshold 0.15]
+
+Diffs the throughput figures of a fresh ``BENCH_campaign.json`` (see
+``repro bench`` / ``scripts/bench_campaign.py``) against the archived
+baseline and exits nonzero when any tracked metric regressed by more
+than the threshold (default 15%).  Improvements and sub-threshold
+noise pass; a missing metric in either document is reported but only
+fails when it is missing from the *current* document (schema moves
+forward, never silently drops coverage).
+
+Tracked metrics (higher is better):
+
+- per-layer ``naive_campaigns_per_sec`` / ``engine_campaigns_per_sec``
+- per-layer codegen ``run_speedup`` (generated code vs decoded)
+- per-layer incremental ``warm_speedup_vs_engine`` (cache-hit path)
+
+The comparison refuses documents produced with different workload
+params (benchmark/scale/n/seed) — a "regression" against a different
+workload is noise, not signal.
+"""
+
+import argparse
+import json
+import sys
+
+#: (path into the per-layer dict, short label)
+LAYER_METRICS = (
+    (("naive_campaigns_per_sec",), "naive camp/s"),
+    (("engine_campaigns_per_sec",), "engine camp/s"),
+    (("codegen", "run_speedup"), "codegen run-speedup"),
+    (("incremental", "warm_speedup_vs_engine"), "incremental warm-speedup"),
+)
+
+
+def _dig(doc, path):
+    for key in path:
+        if not isinstance(doc, dict) or key not in doc:
+            return None
+        doc = doc[key]
+    return doc
+
+
+def compare(current: dict, baseline: dict, threshold: float):
+    """Yield (label, base, cur, ratio, regressed) per tracked metric."""
+    for layer in sorted(baseline.get("layers", {})):
+        base_layer = baseline["layers"][layer]
+        cur_layer = current.get("layers", {}).get(layer)
+        for path, label in LAYER_METRICS:
+            base = _dig(base_layer, path)
+            if base is None:
+                continue        # metric postdates the baseline schema
+            cur = _dig(cur_layer, path) if cur_layer else None
+            full = f"{layer} {label}"
+            if cur is None:
+                yield (full, base, None, None, True)
+                continue
+            ratio = cur / base if base > 0 else float("inf")
+            yield (full, base, cur, ratio, ratio < 1.0 - threshold)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", nargs="?", default="BENCH_campaign.json",
+                    help="fresh bench document (default: %(default)s)")
+    ap.add_argument("--baseline",
+                    default="results/bench/BENCH_campaign_baseline.json",
+                    help="committed baseline (default: %(default)s)")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max tolerated fractional drop (default: 0.15)")
+    args = ap.parse_args(argv)
+
+    with open(args.current) as fh:
+        current = json.load(fh)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+
+    cur_params = current.get("params", {})
+    base_params = baseline.get("params", {})
+    if cur_params != base_params:
+        print(f"FAIL: workload params differ\n  current : {cur_params}"
+              f"\n  baseline: {base_params}")
+        return 2
+
+    regressions = []
+    print(f"bench compare vs {args.baseline} "
+          f"(threshold {args.threshold:.0%}):")
+    for label, base, cur, ratio, regressed in compare(
+            current, baseline, args.threshold):
+        if cur is None:
+            print(f"  {label:34s} MISSING from current document")
+            regressions.append(label)
+            continue
+        mark = "REGRESSED" if regressed else "ok"
+        print(f"  {label:34s} {base:10.2f} -> {cur:10.2f} "
+              f"({ratio:6.2f}x)  {mark}")
+        if regressed:
+            regressions.append(label)
+
+    if regressions:
+        print(f"FAIL: {len(regressions)} metric(s) regressed more than "
+              f"{args.threshold:.0%}: {', '.join(regressions)}")
+        return 1
+    print("PASS: no throughput regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

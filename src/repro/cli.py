@@ -12,12 +12,14 @@
                                              # lockstep divergence diff
     repro stats crc32 --level 100 -n 100     # campaign observability
     repro stats crc32 -n 300 --journal c.jsonl   # crash-safe campaign
+    repro campaign crc32 --incremental --store s.jsonl
+                                             # section-composed, cache hits
     repro resume c.jsonl                     # finish an interrupted one
     repro bench pathfinder --scale medium    # naive vs engine throughput
     repro chaos --smoke                      # fuzz the containment contract
     repro testgen --seed 7 --oracle          # generate + differential oracle
     repro mutate --smoke                     # mutation-test the protection
-    repro experiment fig2|fig3|fig17|fault-matrix|table1|overhead|compile-time
+    repro experiment fig2|fig3|fig17|fault-matrix|incremental|table1|overhead|compile-time
 
 Environment knobs (REPRO_SCALE, REPRO_CAMPAIGNS, REPRO_BENCHMARKS...)
 apply to the ``experiment`` subcommand; see
@@ -42,6 +44,7 @@ from .experiments import (
     render_compile_time,
     render_fault_matrix,
     render_figure2,
+    render_incremental,
     render_figure3,
     render_figure17,
     render_overhead,
@@ -49,6 +52,7 @@ from .experiments import (
     run_compile_time,
     run_fault_matrix,
     run_figure2,
+    run_incremental,
     run_figure3,
     run_figure17,
     run_overhead,
@@ -178,6 +182,33 @@ def _build_parser() -> argparse.ArgumentParser:
     res_p.add_argument("--jsonl", default=None,
                        help="write the observer event stream to this path")
 
+    camp_p = sub.add_parser(
+        "campaign",
+        help="fault-injection campaign; --incremental composes "
+             "section profiles from a persistent content-hash store",
+    )
+    _add_common(camp_p)
+    camp_p.add_argument("--level", type=int, default=None)
+    camp_p.add_argument("--flowery", action="store_true")
+    camp_p.add_argument("--cfc", action="store_true")
+    camp_p.add_argument("-n", "--campaigns", type=int, default=300)
+    camp_p.add_argument("--seed", type=int, default=2023)
+    camp_p.add_argument("--layer", choices=("ir", "asm"), default="ir")
+    camp_p.add_argument("--fault-model", choices=FAULT_MODELS,
+                        default="seu")
+    camp_p.add_argument("--incremental", action="store_true",
+                        help="section-level campaign: unchanged sections "
+                             "are cache hits against --store")
+    camp_p.add_argument("--store", default=None, metavar="PATH",
+                        help="section-profile store (JSONL journal); "
+                             "created on first use, shared across "
+                             "programs and re-runs")
+    camp_p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the injections the store cannot "
+             "serve (incremental mode)",
+    )
+
     bench_p = sub.add_parser(
         "bench",
         help="benchmark campaign throughput: naive vs checkpoint-replay "
@@ -268,7 +299,7 @@ def _build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument(
         "which",
         choices=("table1", "fig2", "fig3", "fig17", "fault-matrix",
-                 "overhead", "compile-time"),
+                 "incremental", "overhead", "compile-time"),
     )
     return parser
 
@@ -392,6 +423,59 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _fmt_summary(s) -> str:
+    """Rates with their Wilson 95% intervals, one line."""
+    parts = []
+    for k in ("sdc", "due", "detected", "benign"):
+        lo, hi = s[f"{k}_ci"]
+        parts.append(f"{k}={s[k]:.3f} [{lo:.3f},{hi:.3f}]")
+    return " ".join(parts)
+
+
+def _cmd_campaign(args) -> int:
+    built = build(args.benchmark, scale=args.scale, level=args.level,
+                  flowery=args.flowery, cfc=args.cfc)
+    cfg = CampaignConfig(n_campaigns=args.campaigns, seed=args.seed)
+    fm = args.fault_model
+    if not args.incremental:
+        if args.layer == "ir":
+            res = run_ir_campaign(built.module, cfg, built.layout,
+                                  fault_model=fm)
+        else:
+            res = run_asm_campaign(built.compiled, built.layout, cfg,
+                                   fault_model=fm)
+        print(f"{args.benchmark} {args.layer} n={res.n}")
+        print(_fmt_summary(res.summary()))
+        return 0
+
+    from .fi.compose import SectionProfileStore, run_incremental_campaign
+    from .fi.parallel import run_incremental_campaign_for_spec
+    from .fi.resilience import WorkSpec
+
+    if args.workers > 1:
+        spec = WorkSpec(
+            source=built.source, name=args.benchmark, level=args.level,
+            flowery=args.flowery, layer=args.layer, fault_model=fm,
+            cfc=args.cfc,
+        )
+        res = run_incremental_campaign_for_spec(
+            spec, cfg, args.store, workers=args.workers, built=built,
+        )
+    elif args.store:
+        with SectionProfileStore(args.store) as store:
+            res = run_incremental_campaign(built, args.layer, cfg, store,
+                                           fault_model=fm)
+    else:
+        res = run_incremental_campaign(built, args.layer, cfg, None,
+                                       fault_model=fm)
+    print(f"{args.benchmark} {args.layer} n={res.n_total} "
+          f"sections={len(res.sections)} simulated={res.simulated} "
+          f"replayed={res.replayed} "
+          f"cache-hits={res.cache_hits}/{len(res.sections)}")
+    print(_fmt_summary(res.summary()))
+    return 0
+
+
 def _cmd_stats(args) -> int:
     from .fi.parallel import WorkSpec, run_parallel_campaign
     from .trace import CampaignObserver
@@ -411,9 +495,7 @@ def _cmd_stats(args) -> int:
                                    observer=observer,
                                    journal_path=args.journal)
     print(observer.summary(), end="")
-    s = result.summary()
-    print(f"sdc={s['sdc']:.3f} due={s['due']:.3f} "
-          f"detected={s['detected']:.3f} benign={s['benign']:.3f}")
+    print(_fmt_summary(result.summary()))
     if args.jsonl:
         observer.write_jsonl(args.jsonl)
         print(f"# events written to {args.jsonl}")
@@ -433,9 +515,7 @@ def _cmd_resume(args) -> int:
                                    observer=observer,
                                    journal_path=args.journal)
     print(observer.summary(), end="")
-    s = result.summary()
-    print(f"sdc={s['sdc']:.3f} due={s['due']:.3f} "
-          f"detected={s['detected']:.3f} benign={s['benign']:.3f}")
+    print(_fmt_summary(result.summary()))
     if args.jsonl:
         observer.write_jsonl(args.jsonl)
         print(f"# events written to {args.jsonl}")
@@ -559,6 +639,8 @@ def _cmd_experiment(which: str) -> int:
         print(render_figure17(run_figure17(cfg)))
     elif which == "fault-matrix":
         print(render_fault_matrix(run_fault_matrix(cfg)))
+    elif which == "incremental":
+        print(render_incremental(run_incremental(cfg)))
     elif which == "overhead":
         print(render_overhead(run_overhead(cfg)))
     else:
@@ -584,6 +666,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "resume":
         return _cmd_resume(args)
     if args.command == "bench":

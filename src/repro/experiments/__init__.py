@@ -8,6 +8,11 @@ from .faultmatrix import (  # noqa: F401
     run_fault_matrix,
 )
 from .figure2 import Figure2Result, render_figure2, run_figure2  # noqa: F401
+from .incremental import (  # noqa: F401
+    IncrementalResult,
+    render_incremental,
+    run_incremental,
+)
 from .figure3 import Figure3Result, render_figure3, run_figure3  # noqa: F401
 from .figure17 import Figure17Result, render_figure17, run_figure17  # noqa: F401
 from .overhead import render_overhead, run_overhead  # noqa: F401
@@ -22,6 +27,7 @@ __all__ = [
     "run_figure3", "render_figure3", "Figure3Result",
     "run_figure17", "render_figure17", "Figure17Result",
     "run_fault_matrix", "render_fault_matrix", "FaultMatrixResult",
+    "run_incremental", "render_incremental", "IncrementalResult",
     "run_overhead", "render_overhead",
     "run_compile_time", "render_compile_time",
 ]

@@ -128,6 +128,21 @@ class ExperimentContext:
             journal_path=path, built=built,
         )
 
+    def incremental_campaign(self, built: BuiltProgram, layer: str,
+                             store, fault_model: str = "seu"):
+        """Section-level campaign against a shared profile store.
+
+        Unchanged sections are served from ``store`` without
+        simulation; see :mod:`repro.fi.compose`.  Returns the
+        :class:`~repro.fi.compose.ComposedResult`.
+        """
+        from ..fi.compose import run_incremental_campaign
+
+        return run_incremental_campaign(
+            built, layer, self.campaign_config(), store,
+            fault_model=fault_model, observer=self.observer,
+        )
+
     def raw_build(self, name: str) -> BuiltProgram:
         built = self._raw_built.get(name)
         if built is None:

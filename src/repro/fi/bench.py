@@ -28,6 +28,15 @@ diluted by the golden checkpointing pass (which always streams from
 the decoded core); the ``run_speedup`` figures measure the generated
 code itself and carry the >= 2x acceptance floor.
 
+Since bench_campaign/5 each layer carries an ``incremental`` section
+(DESIGN §15): the section-level compositional campaign run cold (empty
+profile store — every section simulates, plus the one traced golden
+pass that enumerates sites) and warm (identical program — every
+section is a store hit, zero injections simulated).  The cold run must
+stay within the 1.3x acceptance ratio of the plain engine campaign;
+the warm run is the "plan re-evaluation" path and carries the >= 10x
+floor enforced by ``benchmarks/test_perf_simulators.py``.
+
 Since bench_campaign/3 it additionally carries a ``testgen`` section
 (DESIGN §12): a differential-oracle smoke over a handful of generated
 programs timed against a 60 s budget, plus the
@@ -41,6 +50,7 @@ from __future__ import annotations
 
 import os
 import sys
+import tempfile
 import time
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
@@ -50,7 +60,7 @@ from ..pipeline import build
 
 __all__ = ["run_campaign_bench", "render_bench", "campaign_signature"]
 
-BENCH_SCHEMA = "bench_campaign/4"
+BENCH_SCHEMA = "bench_campaign/5"
 
 #: wall-clock budget for the testgen oracle-matrix smoke
 TESTGEN_BUDGET_SECONDS = 60.0
@@ -180,6 +190,20 @@ def run_campaign_bench(
         # raw tier throughput: one full golden run per tier, warm
         run_dec_s = _time_golden(built, layer, "decoded")
         run_cg_s = _time_golden(built, layer, "codegen")
+        # compositional incremental campaign: cold (empty store, every
+        # section simulates + one traced site-enumeration pass) vs warm
+        # (same program — pure store lookups, the plan-re-evaluation
+        # path).  Timed against the plain engine campaign above.
+        from .compose import SectionProfileStore, run_incremental_campaign
+
+        store_path = os.path.join(
+            tempfile.mkdtemp(prefix="repro-bench-store-"), "store.jsonl")
+        with SectionProfileStore(store_path) as inc_store:
+            inc_cold_s, inc_cold = _time_campaign(
+                run_incremental_campaign, built, layer, cfg, inc_store)
+        with SectionProfileStore(store_path) as inc_store:
+            inc_warm_s, inc_warm = _time_campaign(
+                run_incremental_campaign, built, layer, cfg, inc_store)
         work = naive_res.golden_dyn_total * n
         layers[layer] = {
             "naive_seconds": naive_s,
@@ -208,6 +232,18 @@ def run_campaign_bench(
                 "run_speedup": run_dec_s / run_cg_s
                 if run_cg_s > 0 else float("inf"),
                 "results_identical": codegen_identical,
+            },
+            "incremental": {
+                "sections": len(inc_cold.sections),
+                "cold_seconds": inc_cold_s,
+                "warm_seconds": inc_warm_s,
+                "cold_simulated": inc_cold.simulated,
+                "warm_simulated": inc_warm.simulated,
+                "cold_ratio_vs_engine": inc_cold_s / engine_s
+                if engine_s > 0 else float("inf"),
+                "warm_speedup_vs_engine": engine_s / inc_warm_s
+                if inc_warm_s > 0 else float("inf"),
+                "warm_pure_hits": inc_warm.simulated == 0,
             },
         }
 
@@ -256,6 +292,10 @@ def run_campaign_bench(
         d["codegen"]["decoded_seconds"] for d in layers.values())
     codegen_cg_total = sum(
         d["codegen"]["codegen_seconds"] for d in layers.values())
+    inc_cold_total = sum(
+        d["incremental"]["cold_seconds"] for d in layers.values())
+    inc_warm_total = sum(
+        d["incremental"]["warm_seconds"] for d in layers.values())
     run_dec_total = sum(
         d["codegen"]["run_decoded_seconds"] for d in layers.values())
     run_cg_total = sum(
@@ -300,6 +340,17 @@ def run_campaign_bench(
                 if run_cg_total > 0 else float("inf"),
                 "results_identical": all(
                     d["codegen"]["results_identical"]
+                    for d in layers.values()),
+            },
+            "incremental": {
+                "cold_seconds": inc_cold_total,
+                "warm_seconds": inc_warm_total,
+                "cold_ratio_vs_engine": inc_cold_total / engine_total
+                if engine_total > 0 else float("inf"),
+                "warm_speedup_vs_engine": engine_total / inc_warm_total
+                if inc_warm_total > 0 else float("inf"),
+                "warm_pure_hits": all(
+                    d["incremental"]["warm_pure_hits"]
                     for d in layers.values()),
             },
         },
@@ -361,6 +412,26 @@ def render_bench(doc: Dict) -> str:
         f"{og['codegen_seconds']:11.3f}s {og['speedup']:7.2f}x "
         f"{og['run_speedup']:10.2f}x "
         f"{str(og['results_identical']):>9s}"
+    )
+    lines.append("incremental campaigns, cold (empty store) vs warm "
+                 "(pure cache hits), vs the plain engine campaign:")
+    lines.append(
+        f"{'layer':6s} {'cold':>9s} {'warm':>9s} {'cold-ratio':>10s} "
+        f"{'warm-speedup':>12s} {'warm-sim':>8s}")
+    for layer, d in doc["layers"].items():
+        i = d["incremental"]
+        lines.append(
+            f"{layer:6s} {i['cold_seconds']:8.3f}s {i['warm_seconds']:8.3f}s "
+            f"{i['cold_ratio_vs_engine']:9.2f}x "
+            f"{i['warm_speedup_vs_engine']:11.1f}x "
+            f"{i['warm_simulated']:8d}"
+        )
+    oi = o["incremental"]
+    lines.append(
+        f"{'all':6s} {oi['cold_seconds']:8.3f}s {oi['warm_seconds']:8.3f}s "
+        f"{oi['cold_ratio_vs_engine']:9.2f}x "
+        f"{oi['warm_speedup_vs_engine']:11.1f}x "
+        f"{'0' if oi['warm_pure_hits'] else '!':>8s}"
     )
     tg = doc.get("testgen")
     if tg:

@@ -31,6 +31,7 @@ from ..ir.module import Module
 from ..machine.machine import AsmMachine, CompiledProgram
 from .engine import engine_dispatch, engine_enabled, run_injection_suite
 from .outcomes import Outcome, canonical_trap_kind, classify_outcome
+from .stats import wilson_interval
 
 __all__ = [
     "CampaignConfig",
@@ -135,13 +136,25 @@ class CampaignResult:
     def sdc_records(self) -> List[InjectionRecord]:
         return [r for r in self.records if r.outcome is Outcome.SDC]
 
-    def summary(self) -> Dict[str, float]:
-        return {
+    def summary(self) -> Dict[str, object]:
+        """Outcome rates plus Wilson 95% confidence intervals.
+
+        The ``*_ci`` entries use the same :mod:`repro.fi.stats` helper
+        as the composed incremental estimates, so whole-program and
+        section-composed summaries are directly comparable.
+        """
+        out: Dict[str, object] = {
             "sdc": self.sdc_probability,
             "due": self.due_probability,
             "detected": self.detected_probability,
             "benign": self.counts.get(Outcome.BENIGN, 0) / self.n if self.n else 0.0,
         }
+        for name, outcome in (("sdc", Outcome.SDC), ("due", Outcome.DUE),
+                              ("detected", Outcome.DETECTED),
+                              ("benign", Outcome.BENIGN)):
+            out[f"{name}_ci"] = wilson_interval(
+                self.counts.get(outcome, 0), self.n)
+        return out
 
 
 def _draw(

@@ -1,0 +1,682 @@
+"""Compositional incremental campaigns over a section-profile store.
+
+The whole-program campaign (:mod:`repro.fi.campaign`) answers "what is
+this program's SDC rate" by re-injecting the entire program.  This
+module answers the same question *compositionally* (FastFlip, DESIGN
+§15): partition the program into sections (:mod:`repro.fi.sections`),
+run one injection sub-campaign per section through the checkpoint-
+replay engine, and compose the per-section SDC/DUE/detected profiles —
+weighted by each section's share of the dynamic injectable-site space —
+into whole-program estimates with confidence intervals
+(:mod:`repro.fi.stats`).
+
+Each section profile is cached in a :class:`SectionProfileStore`, an
+append-only fsync'd JSONL journal in the style of
+:class:`repro.fi.resilience.InjectionJournal`, keyed by a content hash
+over (section code, layer, dispatch tier, fault model, execution
+environment, dynamic signature, protection config, sampling plan).
+Re-running an unchanged program is therefore pure cache hits — zero
+simulated injections — and editing one function (or flipping one
+function's protection) re-simulates only the sections whose hashes
+changed.  A killed run resumes bit-identically: every classified
+injection was fsync'd as a row before the profile commit, so the next
+run replays journaled rows and simulates only the remainder.
+
+**Approximation contract.** For an unchanged program the composed
+result is exact (the per-section oracle test proves outcome counts
+bit-match an exhaustive whole-program campaign).  After an edit, reused
+profiles of *unchanged* sections carry the FastFlip independence
+approximation: the section's injections were classified against the
+old program's golden output and executed in its context.  The dynamic
+signature in the key rejects reuse whenever the edit changed the
+section's dynamic site profile, which catches the common cross-section
+couplings (trip counts, call counts); residual error is the documented
+cost of not re-simulating the world.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CampaignError
+from .campaign import CampaignConfig, _phase, _record_outcomes
+from .engine import engine_dispatch, run_injection_suite
+from .outcomes import Outcome
+from .resilience import ROW_FIELDS, _row_from_result, record_from_row
+from .sections import SiteMap, map_sites
+from .stats import DEFAULT_Z, composed_interval
+from ..faultmodel import fault_bit_range, validate_fault_model
+
+__all__ = [
+    "STORE_SCHEMA",
+    "SectionProfile",
+    "SectionProfileStore",
+    "SectionOutcome",
+    "ComposedResult",
+    "profile_key",
+    "run_incremental_campaign",
+    "cached_site_map",
+]
+
+#: bump when the store document layout changes (JOURNAL_VERSION-style)
+STORE_SCHEMA = "section-profile/1"
+STORE_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# profile identity
+# ---------------------------------------------------------------------------
+
+def _protection_doc(built) -> Dict:
+    """Protection configuration of a built program, canonically.
+
+    The section content hash already encodes the protected code; this
+    doc is the belt-and-braces identity the ISSUE's key demands (and
+    what makes store files self-describing).
+    """
+    doc: Dict = {}
+    prot = getattr(built, "protection", None)
+    if prot is not None:
+        doc["level"] = prot.level
+        if getattr(prot, "flowery", False):
+            doc["flowery"] = True
+    if getattr(built, "cfc_info", None) is not None:
+        doc["cfc"] = True
+    return doc
+
+
+def profile_key(
+    section,
+    site_map: SiteMap,
+    *,
+    dispatch: str,
+    protection: Dict,
+    seed: int,
+    exhaustive_bits: Optional[Tuple[int, ...]] = None,
+) -> str:
+    """Content hash identifying one cached section profile.
+
+    Two lookups share a key iff the section's code, execution layer,
+    replay tier, fault model, environment (globals), dynamic site
+    profile, protection config and sampling *stream* (the seed, or the
+    exhaustive bit plan) all match.  The per-run sample *count* is
+    deliberately NOT part of the key: it is derived from the whole
+    program's site totals, so baking it in would invalidate every
+    unchanged section whenever any other section was edited.  A cached
+    profile is served when it holds at least as many samples as the
+    current plan asks for (it is at least as precise); a plan that
+    needs more samples re-simulates the section and commits the larger
+    profile over the old one.
+    """
+    doc = {
+        "schema": STORE_SCHEMA,
+        "content": section.content_hash,
+        "layer": section.layer,
+        "dispatch": dispatch,
+        "fault_model": site_map.fault_model,
+        "env": site_map.env_hash,
+        "dyn_sig": site_map.dyn_signatures[section.index],
+        "protection": protection,
+    }
+    if exhaustive_bits is not None:
+        doc["exhaustive_bits"] = list(exhaustive_bits)
+    else:
+        doc["seed"] = seed
+    canon = json.dumps(doc, sort_keys=True)
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+def _section_seed(seed: int, section, fault_model: str) -> int:
+    """Deterministic per-section RNG stream, independent of every other
+    section (so an edit elsewhere never perturbs this section's draw)."""
+    digest = hashlib.sha256(
+        f"{seed}|{section.layer}|{fault_model}|{section.content_hash}"
+        .encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+# ---------------------------------------------------------------------------
+# profiles
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SectionProfile:
+    """Aggregated sub-campaign outcome for one section."""
+
+    key: str
+    name: str
+    content_hash: str
+    n: int
+    counts: Dict[Outcome, int]
+    #: dynamic injectable sites the section owned at profiling time
+    site_count: int
+
+    def to_doc(self) -> Dict:
+        return {
+            "name": self.name,
+            "content": self.content_hash,
+            "n": self.n,
+            "counts": {o.value: c for o, c in self.counts.items() if c},
+            "sites": self.site_count,
+        }
+
+    @classmethod
+    def from_doc(cls, key: str, doc: Dict) -> "SectionProfile":
+        return cls(
+            key=key,
+            name=doc["name"],
+            content_hash=doc["content"],
+            n=doc["n"],
+            counts={o: doc["counts"].get(o.value, 0) for o in Outcome},
+            site_count=doc["sites"],
+        )
+
+
+# ---------------------------------------------------------------------------
+# the store
+# ---------------------------------------------------------------------------
+
+class SectionProfileStore:
+    """Journal-backed content-addressed section-profile cache.
+
+    Schema (one JSON object per line; shared by many campaigns)::
+
+        {"ev": "header", "version": 1, "schema": "section-profile/1"}
+        {"ev": "row", "k": <profile key>, "n": <plan sample count>,
+         "i": <local sample index>,
+         "row": [idx, bit, status, output, iid, asm_index, asm_role,
+                 asm_opcode, trap_kind, fault_model]}
+        {"ev": "profile", "k": <profile key>, "profile": {...}}
+
+    Rows are fsync'd per append (the InjectionJournal discipline), so a
+    ``SIGKILL`` at any point leaves all fully classified injections on
+    disk plus at most one torn trailing line, which the loader
+    discards.  A ``profile`` line marks the section complete; rows
+    without one are a partial sub-campaign the next run resumes.  Rows
+    carry the plan's sample count because the seed-derived draw is a
+    single RNG stream per (section, seed): the i-th sample of an
+    n=30 plan and of an n=40 plan differ, so rows only replay into a
+    plan of the same size.  Profile lines are latest-wins — committing
+    a larger re-simulated profile supersedes the old one.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.profiles: Dict[str, SectionProfile] = {}
+        #: partial (uncommitted) rows: key -> {(plan n, local i): row}
+        self.partial: Dict[str, Dict[Tuple[int, int], Tuple]] = {}
+        exists = os.path.exists(path) and os.path.getsize(path) > 0
+        if exists:
+            self._load()
+        else:
+            parent = os.path.dirname(os.path.abspath(path))
+            os.makedirs(parent, exist_ok=True)
+        self._fh = open(path, "a", encoding="utf-8")
+        if not exists:
+            self._append({
+                "ev": "header", "version": STORE_VERSION,
+                "schema": STORE_SCHEMA,
+            })
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as fh:
+            header_seen = False
+            for line in fh:
+                if not line.endswith("\n"):
+                    break               # torn tail of a killed writer
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError:
+                    break
+                ev = doc.get("ev")
+                if ev == "header":
+                    if doc.get("schema") != STORE_SCHEMA:
+                        raise CampaignError(
+                            f"store {self.path!r} has schema "
+                            f"{doc.get('schema')!r}, expected "
+                            f"{STORE_SCHEMA!r}")
+                    header_seen = True
+                elif ev == "row":
+                    row = doc.get("row")
+                    if isinstance(doc.get("i"), int) and \
+                            isinstance(doc.get("n"), int) and \
+                            isinstance(row, list) and \
+                            len(row) == len(ROW_FIELDS):
+                        self.partial.setdefault(
+                            doc["k"], {})[(doc["n"], doc["i"])] = tuple(row)
+                elif ev == "profile":
+                    try:
+                        self.profiles[doc["k"]] = SectionProfile.from_doc(
+                            doc["k"], doc["profile"])
+                    except (KeyError, TypeError):
+                        continue        # malformed entry: treat as absent
+                    self.partial.pop(doc["k"], None)
+            if not header_seen:
+                raise CampaignError(
+                    f"store {self.path!r} has no readable header")
+
+    def _append(self, doc: Dict) -> None:
+        self._fh.write(json.dumps(doc) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def get(self, key: str) -> Optional[SectionProfile]:
+        return self.profiles.get(key)
+
+    def partial_rows(self, key: str, n: int) -> Dict[int, Tuple]:
+        """Journaled rows for ``key`` drawn under a plan of size ``n``."""
+        return {i: row
+                for (rn, i), row in self.partial.get(key, {}).items()
+                if rn == n}
+
+    def record_row(self, key: str, n: int, i: int, row: Tuple) -> None:
+        """Durably checkpoint one classified injection."""
+        self._append({"ev": "row", "k": key, "n": n, "i": i,
+                      "row": list(row)})
+        self.partial.setdefault(key, {})[(n, i)] = tuple(row)
+
+    def commit_profile(self, profile: SectionProfile) -> None:
+        """Mark one section's sub-campaign complete."""
+        self._append({"ev": "profile", "k": profile.key,
+                      "profile": profile.to_doc()})
+        self.profiles[profile.key] = profile
+        self.partial.pop(profile.key, None)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SectionProfileStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# composed results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SectionOutcome:
+    """One section's contribution to a composed campaign."""
+
+    section: object                 # sections.Section
+    profile: SectionProfile
+    #: served entirely from a committed store profile
+    cached: bool
+    #: injections actually executed by *this* run
+    simulated: int
+    #: journaled rows replayed from a prior interrupted run
+    replayed: int
+
+
+@dataclass
+class ComposedResult:
+    """Whole-program estimate composed from section profiles."""
+
+    layer: str
+    fault_model: str
+    dispatch: str
+    sections: List[SectionOutcome]
+    golden_output: str
+    golden_dyn_total: int
+    golden_dyn_injectable: int
+
+    @property
+    def n_total(self) -> int:
+        return sum(s.profile.n for s in self.sections)
+
+    @property
+    def simulated(self) -> int:
+        return sum(s.simulated for s in self.sections)
+
+    @property
+    def replayed(self) -> int:
+        return sum(s.replayed for s in self.sections)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for s in self.sections if s.cached)
+
+    @property
+    def counts(self) -> Dict[Outcome, int]:
+        total = {o: 0 for o in Outcome}
+        for s in self.sections:
+            for o, c in s.profile.counts.items():
+                total[o] += c
+        return total
+
+    def _weights(self) -> List[float]:
+        total = sum(s.profile.site_count for s in self.sections)
+        if total == 0:
+            return [0.0] * len(self.sections)
+        return [s.profile.site_count / total for s in self.sections]
+
+    def summary(self, z: float = DEFAULT_Z) -> Dict[str, object]:
+        """Composed rates with confidence intervals.
+
+        Rates are site-weighted compositions ``sum(w_s * k_s / n_s)``
+        — the estimate a whole-program uniform campaign converges to —
+        with intervals from the per-section binomial variances
+        (:func:`repro.fi.stats.composed_interval`).  Sections with
+        zero dynamic sites carry zero weight and drop out.
+        """
+        weights = self._weights()
+        contributing = [
+            (w, s) for w, s in zip(weights, self.sections) if w > 0
+        ]
+        out: Dict[str, object] = {}
+        for outcome in (Outcome.SDC, Outcome.DUE, Outcome.DETECTED,
+                        Outcome.BENIGN):
+            p, lo, hi = composed_interval(
+                [w for w, _ in contributing],
+                [s.profile.counts.get(outcome, 0) for _, s in contributing],
+                [s.profile.n for _, s in contributing],
+                z=z,
+            )
+            out[outcome.value] = p
+            out[f"{outcome.value}_ci"] = (lo, hi)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# site-map memoization (the warm-path enabler)
+# ---------------------------------------------------------------------------
+
+_SITE_MAPS: "weakref.WeakKeyDictionary[object, Dict]" = \
+    weakref.WeakKeyDictionary()
+
+
+def _module_fingerprint(module) -> Tuple[int, int]:
+    n = 0
+    h = 0
+    for fn in module.functions.values():
+        for block in fn.blocks:
+            for inst in block.instructions:
+                n += 1
+                h ^= id(inst) ^ (inst.iid * 0x9E3779B1)
+    return n, h
+
+
+def cached_site_map(built, layer: str, fault_model: str) -> SiteMap:
+    """Per-process memo of :func:`repro.fi.sections.map_sites`.
+
+    Keyed by the module object plus the same cheap structural
+    fingerprint the decode caches use, so in-place pass mutation
+    re-enumerates while repeated plan evaluation over one build (the
+    warm path) pays the traced golden run exactly once.
+    """
+    module = built.module
+    fp = _module_fingerprint(module)
+    per_module = _SITE_MAPS.get(module)
+    if per_module is None:
+        per_module = {}
+        _SITE_MAPS[module] = per_module
+    cached = per_module.get((layer, fault_model))
+    if cached is not None and cached[0] == fp:
+        return cached[1]
+    sm = map_sites(built, layer, fault_model)
+    per_module[(layer, fault_model)] = (fp, sm)
+    return sm
+
+
+# ---------------------------------------------------------------------------
+# the incremental campaign
+# ---------------------------------------------------------------------------
+
+def _allocate(n: int, site_counts: Sequence[int]) -> List[int]:
+    """Largest-remainder proportional allocation of ``n`` injections.
+
+    Sections without dynamic sites get zero.  When the budget allows,
+    every live section gets at least one injection (stealing from the
+    largest allocation) so no composed term degenerates to the
+    maximum-variance prior.
+    """
+    total = sum(site_counts)
+    if total == 0:
+        raise CampaignError(
+            "program has no injectable dynamic sites in any section")
+    quotas = [n * c / total for c in site_counts]
+    alloc = [int(q) for q in quotas]
+    remainders = sorted(
+        range(len(quotas)),
+        key=lambda i: (alloc[i] - quotas[i], i),
+    )
+    short = n - sum(alloc)
+    for i in remainders[:short]:
+        alloc[i] += 1
+    live = [i for i, c in enumerate(site_counts) if c > 0]
+    if n >= len(live):
+        for i in live:
+            if alloc[i] == 0:
+                donor = max(
+                    (j for j in live if alloc[j] > 1),
+                    key=lambda j: alloc[j],
+                    default=None,
+                )
+                if donor is None:
+                    break
+                alloc[donor] -= 1
+                alloc[i] += 1
+    return alloc
+
+
+def _draw_section(
+    seed: int, n: int, dyn_indices: Sequence[int], fault_model: str,
+) -> List[Tuple[int, int]]:
+    """Draw ``n`` (global dynamic index, fault coordinate) pairs
+    uniformly over one section's dynamic site list."""
+    rng = np.random.default_rng(seed)
+    positions = rng.integers(0, len(dyn_indices), size=n)
+    bits = rng.integers(0, fault_bit_range(fault_model), size=n)
+    return [(dyn_indices[p], int(b))
+            for p, b in zip(positions.tolist(), bits.tolist())]
+
+
+def run_incremental_campaign(
+    built,
+    layer: str,
+    config: CampaignConfig = CampaignConfig(),
+    store: Optional[SectionProfileStore] = None,
+    *,
+    fault_model: Optional[str] = None,
+    dispatch: Optional[str] = None,
+    observer=None,
+    exhaustive_bits: Optional[Sequence[int]] = None,
+    site_map: Optional[SiteMap] = None,
+    spec=None,
+    workers: int = 0,
+    policy=None,
+) -> ComposedResult:
+    """Section-level campaign with store-served cache hits.
+
+    ``config.n_campaigns`` injections are allocated across sections
+    proportionally to their dynamic injectable-site counts, each
+    section drawing from its own seed-derived RNG stream (so edits
+    elsewhere never change this section's samples).  With
+    ``exhaustive_bits`` the sampling plan is instead *every* (site,
+    bit) pair per section — the statistical-oracle mode the
+    equivalence tests compose against whole-program exhaustive
+    campaigns.
+
+    ``store=None`` runs storeless (every section simulates).  With
+    ``spec`` (a :class:`~repro.fi.resilience.WorkSpec`) and
+    ``workers > 1`` the pending injections run under the chunked crash-
+    tolerant supervisor; otherwise they run in-process through the
+    checkpoint-replay engine.
+    """
+    fm = validate_fault_model(fault_model)
+    tier = engine_dispatch(dispatch)
+    with _phase(observer, "sections", layer=layer):
+        sm = site_map or cached_site_map(built, layer, fm)
+    protection = _protection_doc(built)
+    max_steps = max(
+        config.min_max_steps, sm.golden_dyn_total * config.max_steps_factor
+    )
+    bits_plan = (tuple(int(b) for b in exhaustive_bits)
+                 if exhaustive_bits is not None else None)
+
+    site_counts = sm.site_counts
+    if bits_plan is None:
+        alloc = _allocate(config.n_campaigns, site_counts)
+    else:
+        alloc = [c * len(bits_plan) for c in site_counts]
+
+    # -- plan: per-section sample lists, cache lookups, resume ----------
+    keys: List[str] = []
+    plans: List[List[Tuple[int, int]]] = []      # (dyn index, bit) per section
+    outcomes: List[Optional[SectionOutcome]] = [None] * len(sm.sections)
+    # pending execution: flat (tag, idx, bit) with tag -> (section, i)
+    flat_samples: List[Tuple[Tuple[int, int], int, int]] = []
+    replayed_rows: Dict[int, Dict[int, Tuple]] = {}
+    for sec in sm.sections:
+        pos = sec.index
+        key = profile_key(
+            sec, sm, dispatch=tier, protection=protection,
+            seed=config.seed, exhaustive_bits=bits_plan,
+        )
+        keys.append(key)
+        if bits_plan is None:
+            samples = (
+                _draw_section(_section_seed(config.seed, sec, fm),
+                              alloc[pos], sm.dyn_indices[pos], fm)
+                if alloc[pos] > 0 and site_counts[pos] > 0 else []
+            )
+        else:
+            samples = [(dyn, b)
+                       for dyn in sm.dyn_indices[pos] for b in bits_plan]
+        plans.append(samples)
+        cached = store.get(key) if store is not None else None
+        # a cached profile with at least as many samples as this plan
+        # wants is at least as precise — serve it (sample counts float
+        # with the whole program's site totals, so demanding an exact
+        # match would evict every unchanged section on any edit)
+        if cached is not None and cached.n >= len(samples):
+            outcomes[pos] = SectionOutcome(
+                section=sec, profile=cached, cached=True,
+                simulated=0, replayed=0,
+            )
+            continue
+        done = (store.partial_rows(key, len(samples))
+                if store is not None else {})
+        replayed_rows[pos] = {i: r for i, r in done.items()
+                              if i < len(samples)}
+        for i, (idx, bit) in enumerate(samples):
+            if i not in replayed_rows[pos]:
+                flat_samples.append(((pos, i), idx, bit))
+
+    # -- execute whatever the store could not serve ---------------------
+    live_rows: Dict[int, Dict[int, Tuple]] = {
+        pos: {} for pos in replayed_rows
+    }
+
+    if flat_samples:
+        with _phase(observer, "inject", layer=layer, n=len(flat_samples)):
+            if workers > 1 and spec is not None:
+                from .resilience import run_supervised
+
+                tag_of = {}
+                supervised = []
+                for orig, (tag, idx, bit) in enumerate(flat_samples):
+                    tag_of[orig] = tag
+                    supervised.append((orig, idx, bit))
+                # index-sorted chunks keep each chunk's golden replay
+                # window narrow (same trick as run_parallel_campaign)
+                supervised.sort(key=lambda s: (s[1], s[0]))
+
+                class _StoreJournal:
+                    """Duck-typed journal: routes supervisor rows into
+                    the section store under their profile keys."""
+
+                    def record(self, orig: int, row: Tuple) -> None:
+                        pos, i = tag_of[orig]
+                        if store is not None:
+                            store.record_row(keys[pos], len(plans[pos]),
+                                             i, row)
+                        live_rows[pos][i] = tuple(row)
+
+                run_supervised(
+                    spec, supervised, max_steps, workers=workers,
+                    policy=policy, observer=observer,
+                    journal=_StoreJournal(), built=built,
+                )
+            else:
+                def emit(tag, res):
+                    pos, i = tag
+                    idx, bit = plans[pos][i]
+                    row = _row_from_result(layer, idx, bit, res, fm)
+                    if store is not None:
+                        store.record_row(keys[pos], len(plans[pos]),
+                                         i, row)
+                    live_rows[pos][i] = row
+
+                run_injection_suite(
+                    layer,
+                    flat_samples,
+                    max_steps,
+                    module=getattr(built, "module", None),
+                    layout=built.layout,
+                    program=getattr(built, "compiled", None),
+                    emit=emit,
+                    dispatch=tier,
+                    fault_model=fm,
+                )
+
+    # -- aggregate + commit ---------------------------------------------
+    total_counts: Dict[Outcome, int] = {o: 0 for o in Outcome}
+    for sec in sm.sections:
+        pos = sec.index
+        if outcomes[pos] is not None:          # cache hit
+            for o, c in outcomes[pos].profile.counts.items():
+                total_counts[o] += c
+            continue
+        counts: Dict[Outcome, int] = {o: 0 for o in Outcome}
+        replay = replayed_rows.get(pos, {})
+        fresh = live_rows.get(pos, {})
+        n_planned = len(plans[pos])
+        missing = [i for i in range(n_planned)
+                   if i not in replay and i not in fresh]
+        if missing:
+            raise CampaignError(
+                f"section {sec.name!r} lost {len(missing)} samples "
+                f"(e.g. #{missing[0]}); store and execution disagree")
+        for i in range(n_planned):
+            row = replay.get(i) or fresh[i]
+            outcome, _rec = record_from_row(row, sm.golden_output)
+            counts[outcome] += 1
+        profile = SectionProfile(
+            key=keys[pos],
+            name=sec.name,
+            content_hash=sec.content_hash,
+            n=n_planned,
+            counts=counts,
+            site_count=site_counts[pos],
+        )
+        if store is not None:
+            store.commit_profile(profile)
+        outcomes[pos] = SectionOutcome(
+            section=sec, profile=profile, cached=False,
+            simulated=len(fresh), replayed=len(replay),
+        )
+        for o, c in counts.items():
+            total_counts[o] += c
+
+    _record_outcomes(observer, layer, total_counts)
+    return ComposedResult(
+        layer=layer,
+        fault_model=fm,
+        dispatch=tier,
+        sections=[s for s in outcomes if s is not None],
+        golden_output=sm.golden_output,
+        golden_dyn_total=sm.golden_dyn_total,
+        golden_dyn_injectable=sm.golden_dyn_injectable,
+    )

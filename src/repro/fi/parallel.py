@@ -46,7 +46,8 @@ from .resilience import (
     run_supervised,
 )
 
-__all__ = ["WorkSpec", "run_parallel_campaign", "default_workers"]
+__all__ = ["WorkSpec", "run_parallel_campaign",
+           "run_incremental_campaign_for_spec", "default_workers"]
 
 
 def default_workers() -> int:
@@ -178,3 +179,41 @@ def run_parallel_campaign(
         golden_dyn_total=golden.dyn_total,
         golden_dyn_injectable=golden.dyn_injectable,
     )
+
+
+def run_incremental_campaign_for_spec(
+    spec: WorkSpec,
+    config: CampaignConfig = CampaignConfig(),
+    store_path: Optional[str] = None,
+    workers: Optional[int] = None,
+    observer=None,
+    policy: Optional[ResiliencePolicy] = None,
+    built=None,
+    dispatch: Optional[str] = None,
+):
+    """Section-level incremental campaign for a :class:`WorkSpec`.
+
+    The section planner (:mod:`repro.fi.compose`) decides what the
+    store cannot serve; only those injections execute — in-process
+    through the checkpoint-replay engine, or (``workers > 1``) fanned
+    out through the chunked crash-tolerant supervisor with each
+    classified row checkpointed into the store under its section's
+    profile key.  Returns a :class:`repro.fi.compose.ComposedResult`.
+    """
+    from .compose import SectionProfileStore, run_incremental_campaign
+
+    workers = workers if workers is not None else default_workers()
+    fm = validate_fault_model(spec.fault_model)
+    if built is None:
+        with _phase(observer, "build", layer=spec.layer):
+            built = _build_from_spec(spec)
+    store = SectionProfileStore(store_path) if store_path else None
+    try:
+        return run_incremental_campaign(
+            built, spec.layer, config, store,
+            fault_model=fm, dispatch=dispatch, observer=observer,
+            spec=spec, workers=workers, policy=policy,
+        )
+    finally:
+        if store is not None:
+            store.close()

@@ -1,0 +1,71 @@
+"""Confidence-interval helpers shared by campaigns and composition.
+
+Campaign outcome rates are binomial proportions, so
+:func:`wilson_interval` gives the standard score interval (well-behaved
+at 0/n and n/n, unlike the Wald interval).  Composed whole-program
+estimates are *weighted sums* of independent per-section proportions;
+:func:`composed_interval` propagates the per-section binomial variances
+through the weights and reports a normal-approximation interval,
+clamped to [0, 1] — exactly the DETOx-style budget-vs-confidence
+readout the incremental campaign engine owes its callers (DESIGN §15).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+__all__ = ["wilson_interval", "composed_interval", "DEFAULT_Z"]
+
+#: two-sided 95% normal quantile — the interval every summary reports
+DEFAULT_Z = 1.96
+
+
+def wilson_interval(k: int, n: int, z: float = DEFAULT_Z
+                    ) -> Tuple[float, float]:
+    """Wilson score interval for ``k`` successes in ``n`` trials.
+
+    Returns ``(lo, hi)``; an empty campaign (``n == 0``) yields the
+    vacuous ``(0.0, 1.0)``.
+    """
+    if n <= 0:
+        return (0.0, 1.0)
+    if not 0 <= k <= n:
+        raise ValueError(f"need 0 <= k <= n, got k={k} n={n}")
+    p = k / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    center = (p + z2 / (2 * n)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / n + z2 / (4 * n * n))
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+def composed_interval(
+    weights: Sequence[float],
+    ks: Sequence[int],
+    ns: Sequence[int],
+    z: float = DEFAULT_Z,
+) -> Tuple[float, float, float]:
+    """Interval for a weighted sum of independent binomial proportions.
+
+    ``weights[i]`` scales section ``i``'s rate ``ks[i]/ns[i]`` in the
+    composed estimate ``p = sum(w_i * p_i)``; the variance is
+    ``sum(w_i^2 * p_i (1 - p_i) / n_i)``.  Returns ``(p, lo, hi)``.
+    Sections with ``n_i == 0`` contribute their weight's full range to
+    the interval (maximum binomial variance at p = 1/2) rather than
+    false certainty.
+    """
+    if not (len(weights) == len(ks) == len(ns)):
+        raise ValueError("weights/ks/ns length mismatch")
+    p = 0.0
+    var = 0.0
+    for w, k, n in zip(weights, ks, ns):
+        if n > 0:
+            pi = k / n
+            p += w * pi
+            var += w * w * pi * (1 - pi) / n
+        else:
+            p += w * 0.5
+            var += w * w * 0.25
+    half = z * math.sqrt(var)
+    return (p, max(0.0, p - half), min(1.0, p + half))

@@ -18,6 +18,7 @@ program for small instances (used in tests and the planner ablation).
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -31,7 +32,8 @@ from ..ir.module import Module
 from .duplication import duplicable_instructions
 
 __all__ = ["SdcProfile", "ProtectionPlan", "profile_module", "plan_protection",
-           "knapsack_greedy", "knapsack_exact", "validate_plan"]
+           "knapsack_greedy", "knapsack_exact", "validate_plan",
+           "evaluate_protection"]
 
 PROTECTION_LEVELS = (30, 50, 70, 100)
 
@@ -71,6 +73,42 @@ class ProtectionPlan:
         return self.spent / self.total_cost if self.total_cost else 0.0
 
 
+#: golden profiling runs keyed by module; a level sweep re-plans over
+#: the same unprotected module many times, but its dynamic counts never
+#: change, so the (expensive) profiled execution is paid once
+_GOLDEN_CACHE: "weakref.WeakKeyDictionary[Module, Tuple]" = \
+    weakref.WeakKeyDictionary()
+
+
+def _module_fingerprint(module: Module) -> Tuple[int, int]:
+    """Cheap structural identity (decode-cache style): instruction
+    count plus an order-insensitive hash of object ids, so in-place
+    pass mutation invalidates the cached golden run."""
+    n = 0
+    h = 0
+    for fn in module.functions.values():
+        for block in fn.blocks:
+            for inst in block.instructions:
+                n += 1
+                h ^= id(inst) ^ (inst.iid * 0x9E3779B1)
+    return n, h
+
+
+def _golden_profile(module: Module, layout: GlobalLayout):
+    """One profiled golden execution per (module, structure) pair."""
+    fp = _module_fingerprint(module)
+    cached = _GOLDEN_CACHE.get(module)
+    if cached is not None and cached[0] == fp:
+        return cached[1]
+    golden = IRInterpreter(module, layout=layout).run(profile=True)
+    if golden.status is not RunStatus.OK:
+        raise PlanError(
+            f"golden run failed: {golden.status} {golden.trap_kind}"
+        )
+    _GOLDEN_CACHE[module] = (fp, golden)
+    return golden
+
+
 def profile_module(
     module: Module,
     n_campaigns: int = 1000,
@@ -85,11 +123,7 @@ def profile_module(
     that received the fault.
     """
     layout = layout or GlobalLayout(module)
-    golden = IRInterpreter(module, layout=layout).run(profile=True)
-    if golden.status is not RunStatus.OK:
-        raise PlanError(
-            f"golden run failed: {golden.status} {golden.trap_kind}"
-        )
+    golden = _golden_profile(module, layout)
     max_steps = max(10_000, golden.dyn_total * max_steps_factor)
     rng = np.random.default_rng(seed)
     indices = rng.integers(0, golden.dyn_injectable, size=n_campaigns)
@@ -254,3 +288,33 @@ def plan_protection(
         raise PlanError(f"unknown solver {solver!r}")
     spent = sum(c for iid, _, c in items if iid in selected)
     return ProtectionPlan(level, selected, budget, spent, total_cost)
+
+
+def evaluate_protection(
+    built,
+    store,
+    config=None,
+    *,
+    layer: str = "ir",
+    fault_model: Optional[str] = None,
+    dispatch: Optional[str] = None,
+):
+    """Estimate a built (possibly protected) program's outcome rates by
+    section-profile lookup + composition.
+
+    This is how a planner sweep over protection levels becomes
+    near-free: each candidate level rebuilds the program, but functions
+    whose protected code is unchanged between candidates hash to the
+    same section keys, so only genuinely new sections are simulated —
+    the rest is a :class:`~repro.fi.compose.SectionProfileStore` lookup
+    followed by the weighted composition.  Returns the
+    :class:`~repro.fi.compose.ComposedResult`; call ``.summary()`` for
+    rates with confidence intervals.
+    """
+    from ..fi.campaign import CampaignConfig
+    from ..fi.compose import run_incremental_campaign
+
+    return run_incremental_campaign(
+        built, layer, config or CampaignConfig(), store,
+        fault_model=fault_model, dispatch=dispatch,
+    )

@@ -447,7 +447,7 @@ class TestTrapEquivalence:
 class TestBenchHarness:
     def test_bench_document_shape(self):
         doc = run_campaign_bench("crc32", scale="tiny", n=6, seed=1)
-        assert doc["schema"] == "bench_campaign/4"
+        assert doc["schema"] == "bench_campaign/5"
         assert set(doc["layers"]) == {"ir", "asm"}
         for d in doc["layers"].values():
             assert d["results_identical"] is True
@@ -458,6 +458,11 @@ class TestBenchHarness:
             g = d["codegen"]
             assert g["results_identical"] is True
             assert g["decoded_seconds"] > 0 and g["codegen_seconds"] > 0
+            inc = d["incremental"]
+            assert inc["sections"] >= 1
+            assert inc["cold_seconds"] > 0 and inc["warm_seconds"] > 0
+            assert inc["warm_simulated"] == 0
+            assert inc["warm_pure_hits"] is True
         assert doc["overall"]["results_identical"] is True
         assert doc["overall"]["containment"]["results_identical"] is True
         assert doc["overall"]["codegen"]["results_identical"] is True

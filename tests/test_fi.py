@@ -85,7 +85,11 @@ class TestIrCampaign:
         module = compile_source(SRC)
         res = run_ir_campaign(module, CampaignConfig(n_campaigns=40, seed=3))
         s = res.summary()
-        assert abs(sum(s.values()) - 1.0) < 1e-9
+        rates = [s[k] for k in ("sdc", "due", "detected", "benign")]
+        assert abs(sum(rates) - 1.0) < 1e-9
+        for k in ("sdc", "due", "detected", "benign"):
+            lo, hi = s[f"{k}_ci"]
+            assert 0.0 <= lo <= s[k] <= hi <= 1.0
 
     def test_deterministic_given_seed(self):
         a = run_ir_campaign(compile_source(SRC),
