@@ -20,6 +20,9 @@
     repro testgen --seed 7 --oracle          # generate + differential oracle
     repro mutate --smoke                     # mutation-test the protection
     repro experiment fig2|fig3|fig17|fault-matrix|incremental|table1|overhead|compile-time
+    repro store verify s.jsonl               # recompute CRCs + key hashes
+    repro store compact s.jsonl              # rewrite to live content
+    repro store stats                        # counters ($REPRO_STORE)
 
 Environment knobs (REPRO_SCALE, REPRO_CAMPAIGNS, REPRO_BENCHMARKS...)
 apply to the ``experiment`` subcommand; see
@@ -29,6 +32,7 @@ apply to the ``experiment`` subcommand; see
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -202,7 +206,8 @@ def _build_parser() -> argparse.ArgumentParser:
     camp_p.add_argument("--store", default=None, metavar="PATH",
                         help="section-profile store (JSONL journal); "
                              "created on first use, shared across "
-                             "programs and re-runs")
+                             "programs, re-runs and concurrent "
+                             "campaigns (default: $REPRO_STORE)")
     camp_p.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for the injections the store cannot "
@@ -301,6 +306,18 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("table1", "fig2", "fig3", "fig17", "fault-matrix",
                  "incremental", "overhead", "compile-time"),
     )
+
+    store_p = sub.add_parser(
+        "store",
+        help="maintain a shared section-profile store: compact "
+             "(rewrite to live content, atomically, under the lock), "
+             "verify (recompute CRCs and key hashes), stats",
+    )
+    store_p.add_argument("action", choices=("compact", "verify", "stats"))
+    store_p.add_argument("path", nargs="?", default=None,
+                         help="store file (default: $REPRO_STORE)")
+    store_p.add_argument("--json", action="store_true",
+                         help="emit the raw report as JSON")
     return parser
 
 
@@ -452,6 +469,7 @@ def _cmd_campaign(args) -> int:
     from .fi.parallel import run_incremental_campaign_for_spec
     from .fi.resilience import WorkSpec
 
+    store_path = args.store or os.environ.get("REPRO_STORE") or None
     if args.workers > 1:
         spec = WorkSpec(
             source=built.source, name=args.benchmark, level=args.level,
@@ -459,10 +477,10 @@ def _cmd_campaign(args) -> int:
             cfc=args.cfc,
         )
         res = run_incremental_campaign_for_spec(
-            spec, cfg, args.store, workers=args.workers, built=built,
+            spec, cfg, store_path, workers=args.workers, built=built,
         )
-    elif args.store:
-        with SectionProfileStore(args.store) as store:
+    elif store_path:
+        with SectionProfileStore(store_path) as store:
             res = run_incremental_campaign(built, args.layer, cfg, store,
                                            fault_model=fm)
     else:
@@ -627,6 +645,33 @@ def _cmd_mutate(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_store(args) -> int:
+    import json
+
+    from .fi.compose import compact_store, store_stats, verify_store
+
+    path = args.path or os.environ.get("REPRO_STORE")
+    if not path:
+        print("error: no store path given and REPRO_STORE is not set",
+              file=sys.stderr)
+        return 2
+    if args.action == "compact":
+        report = compact_store(path)
+        ok = True
+    elif args.action == "verify":
+        report = verify_store(path)
+        ok = bool(report["ok"])
+    else:
+        report = store_stats(path)
+        ok = True
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        for k, v in report.items():
+            print(f"{k:22s} {v}")
+    return 0 if ok else 1
+
+
 def _cmd_experiment(which: str) -> int:
     cfg = ExperimentConfig.from_env()
     if which == "table1":
@@ -678,6 +723,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_testgen(args)
     if args.command == "mutate":
         return _cmd_mutate(args)
+    if args.command == "store":
+        return _cmd_store(args)
     if args.command == "experiment":
         return _cmd_experiment(args.which)
     raise AssertionError("unreachable")

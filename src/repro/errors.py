@@ -54,6 +54,17 @@ class CampaignError(ReproError):
     """A fault-injection campaign was misconfigured."""
 
 
+class StoreLockTimeout(CampaignError):
+    """Advisory-lock acquisition on a shared store exhausted its budget.
+
+    Raised *loudly* by :class:`repro.fi.journal.FileLock` after bounded
+    exponential backoff, naming the lock path and the wait budget.
+    The shared-store layer (DESIGN §16) catches it at coordination
+    points and degrades to private-store mode rather than aborting a
+    campaign; anything else propagating it is a genuine failure.
+    """
+
+
 class CodegenCacheError(ReproError):
     """The on-disk codegen cache (``REPRO_CODEGEN_CACHE``) is unusable.
 

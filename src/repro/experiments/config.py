@@ -14,6 +14,11 @@ hours).  Environment variables raise them toward the paper's setup:
   journals; when set, every campaign checkpoints each classified
   injection so an interrupted experiment run resumes instead of
   restarting from zero (empty value disables journaling)
+* ``REPRO_STORE``       — shared section-profile store file used by
+  incremental campaigns (``repro campaign --incremental`` and
+  ``repro experiment incremental``); points a whole fleet of
+  concurrent campaign processes at one store without per-invocation
+  flags (empty value disables)
 """
 
 from __future__ import annotations
@@ -42,6 +47,9 @@ class ExperimentConfig:
     #: when set, campaigns journal each injection here and resume from
     #: the journal after an interruption (see repro.fi.resilience)
     journal_dir: Optional[str] = None
+    #: when set, incremental campaigns share this section-profile
+    #: store (see repro.fi.compose.SectionProfileStore)
+    store_path: Optional[str] = None
 
     @classmethod
     def from_env(cls, **overrides) -> "ExperimentConfig":
@@ -70,6 +78,9 @@ class ExperimentConfig:
         journal_dir = os.environ.get(
             "REPRO_JOURNAL_DIR", overrides.pop("journal_dir", None)
         ) or None
+        store_path = os.environ.get(
+            "REPRO_STORE", overrides.pop("store_path", None)
+        ) or None
         return cls(
             scale=scale,
             campaigns=campaigns,
@@ -77,5 +88,6 @@ class ExperimentConfig:
             seed=seed,
             benchmarks=benchmarks,
             journal_dir=journal_dir,
+            store_path=store_path,
             **overrides,
         )

@@ -71,6 +71,9 @@ def run_incremental(
 
     ctx = context or ExperimentContext(config)
     if store_path is None:
+        # REPRO_STORE points a whole fleet at one shared store
+        store_path = ctx.config.store_path
+    if store_path is None:
         if ctx.journal_dir:
             os.makedirs(ctx.journal_dir, exist_ok=True)
             store_path = os.path.join(ctx.journal_dir, "section_store.jsonl")

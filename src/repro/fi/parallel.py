@@ -199,6 +199,12 @@ def run_incremental_campaign_for_spec(
     out through the chunked crash-tolerant supervisor with each
     classified row checkpointed into the store under its section's
     profile key.  Returns a :class:`repro.fi.compose.ComposedResult`.
+
+    With ``store_path=None`` the shared-store default ``REPRO_STORE``
+    applies (DESIGN §16), so a fleet of campaign processes can be
+    pointed at one store without threading the path through every
+    call site; the store layer handles cross-process locking, claim
+    dedup and degradation to private mode.
     """
     from .compose import SectionProfileStore, run_incremental_campaign
 
@@ -207,6 +213,8 @@ def run_incremental_campaign_for_spec(
     if built is None:
         with _phase(observer, "build", layer=spec.layer):
             built = _build_from_spec(spec)
+    if store_path is None:
+        store_path = os.environ.get("REPRO_STORE") or None
     store = SectionProfileStore(store_path) if store_path else None
     try:
         return run_incremental_campaign(

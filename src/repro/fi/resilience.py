@@ -47,6 +47,7 @@ from ..interp.interpreter import IRInterpreter
 from ..machine.machine import AsmMachine
 from .campaign import CampaignConfig, InjectionRecord
 from .engine import engine_enabled, run_injection_suite
+from .journal import QuarantineLog, append_doc, scan_jsonl
 from .outcomes import Outcome, canonical_trap_kind, classify_outcome
 
 __all__ = [
@@ -388,40 +389,36 @@ class InjectionJournal:
 
     @staticmethod
     def _read(path: str) -> Tuple[Optional[dict], Dict[int, Tuple]]:
-        """Parse a journal, tolerating a torn (partially written) tail.
+        """Parse a journal via the shared torn-tail-tolerant scanner.
 
-        A line that fails to parse ends the scan: it can only be the
-        torn final write of a killed process, and nothing after it can
-        be trusted.
+        An unterminated final line is the torn tail of a killed writer
+        and is discarded.  A *complete* line that fails to parse or
+        fails its CRC32 checksum is corruption: it is quarantined to
+        the ``.quarantine`` sidecar and skipped, so one rotted row
+        never shadows the valid rows after it (DESIGN §16).
         """
-        header: Optional[dict] = None
+        state: Dict[str, object] = {"header": None}
         completed: Dict[int, Tuple] = {}
-        with open(path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                if not line.endswith("\n"):
-                    break               # torn tail: no trailing newline
-                try:
-                    doc = json.loads(line)
-                except json.JSONDecodeError:
-                    break
-                if doc.get("ev") == "header":
-                    header = doc
-                elif doc.get("ev") == "row":
-                    row = doc.get("row")
-                    if isinstance(doc.get("i"), int) and \
-                            isinstance(row, list) and \
-                            len(row) in (len(ROW_FIELDS), _LEGACY_ROW_LEN):
-                        if len(row) == _LEGACY_ROW_LEN:
-                            row = row + ["seu"]
-                        completed[doc["i"]] = tuple(row)
-        return header, completed
+
+        def on_doc(doc: dict) -> None:
+            if doc.get("ev") == "header":
+                state["header"] = doc
+            elif doc.get("ev") == "row":
+                row = doc.get("row")
+                if isinstance(doc.get("i"), int) and \
+                        isinstance(row, list) and \
+                        len(row) in (len(ROW_FIELDS), _LEGACY_ROW_LEN):
+                    if len(row) == _LEGACY_ROW_LEN:
+                        row = row + ["seu"]
+                    completed[doc["i"]] = tuple(row)
+
+        scan_jsonl(path, on_doc, quarantine=QuarantineLog(path))
+        return state["header"], completed
 
     # -- writing --------------------------------------------------------
 
     def _append(self, doc: dict) -> None:
-        self._fh.write(json.dumps(doc) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        append_doc(self._fh, doc)
 
     def record(self, i: int, row: Tuple) -> None:
         """Durably checkpoint one classified sample."""

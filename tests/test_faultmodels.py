@@ -288,6 +288,7 @@ class TestJournalCompat:
         lines = []
         for line in path.read_text().splitlines():
             doc = json.loads(line)
+            doc.pop("c", None)     # v1 journals predate per-row CRCs
             if doc["ev"] == "header":
                 doc["version"] = 1
             else:
