@@ -109,6 +109,39 @@ def test_incremental_warm_path_floor():
         f"asm {doc['layers']['asm']['incremental']['warm_speedup_vs_engine']:.2f}x)")
 
 
+def test_pruned_stratified_steps_floor():
+    """A pruned+stratified campaign must reproduce the 3000-injection
+    uniform campaign's SDC estimate (estimate inside the uniform CI at
+    equal-or-narrower width) on fully-duplicated pathfinder at >= 2x
+    fewer simulated steps, and pruning alone over the identical uniform
+    draw must return bit-identical estimates (DESIGN §17).  Step counts
+    are deterministic for the fixed seed, so this floor is exact, not a
+    wall-clock measurement.
+    """
+    from repro.fi.bench import _run_pruning_section
+
+    pr = _run_pruning_section()
+    st = pr["stratified"]
+    assert st["within_uniform_ci"], (
+        f"stratified sdc {st['stratified_sdc']:.4f} outside the uniform "
+        f"CI {st['uniform_sdc_ci']}")
+    assert st["ci_overlap"], "stratified and uniform CIs are disjoint"
+    assert st["width_ok"], (
+        f"stratified CI wider than uniform at "
+        f"{st['stratified_n']}/{st['uniform_n']} of the budget")
+    assert st["steps_ratio"] >= 2.0, (
+        f"pruned+stratified simulated only "
+        f"{st['steps_ratio']:.2f}x fewer steps (< 2x floor): "
+        f"{st['stratified_steps']} vs {st['uniform_steps']}")
+    pu = pr["prune"]
+    assert pu["estimates_identical"], \
+        "pruned campaign estimates diverge from the uniform draw"
+    assert pu["pruned"] > 0, "pruner resolved no draws statically"
+    assert pu["steps_ratio"] > 1.0, (
+        f"pruning saved no simulated steps "
+        f"({pu['pruned_steps']} vs {pu['uniform_steps']})")
+
+
 def test_lowering_throughput(benchmark):
     from repro.backend.lower import lower_module
     from repro.frontend.codegen import compile_source

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Pruning & smart-sampling acceptance check (DESIGN §17).
+
+Two gates on one small fully-duplicated benchmark build:
+
+1. **Exhaustive benign soundness** — every (site, bit) pair the
+   bit-liveness pruner classifies Benign is actually flipped; any
+   status or output change fails the check.  IR is swept under both
+   value fault models, asm under SEU (the asm SET sweep is covered by
+   the tier-1 suite on smaller witnesses; this gate budgets CI time).
+2. **Estimator agreement** — a pruned campaign over the identical
+   uniform draw must return bit-identical estimates, and a
+   pruned+stratified campaign at half the budget must land inside an
+   overlapping Wilson CI of the uniform estimate.
+
+Run from the repository root (CI does)::
+
+    PYTHONPATH=src python scripts/ci_prune_check.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+from dataclasses import replace
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.fi.campaign import CampaignConfig, run_asm_campaign  # noqa: E402
+from repro.fi.prune import verify_benign  # noqa: E402
+from repro.pipeline import build  # noqa: E402
+
+BENCHMARK = "crc32"
+SCALE = "tiny"
+LEVEL = 100
+UNIFORM_N = 600
+STRATIFIED_N = 300
+SEED = 7
+
+#: (layer, fault_model) combinations swept exhaustively
+SWEEPS = (("ir", "seu"), ("ir", "set"), ("asm", "seu"))
+
+
+def main() -> int:
+    t0 = time.monotonic()
+    built = build(BENCHMARK, scale=SCALE, level=LEVEL)
+    print(f"# {BENCHMARK}/{SCALE} level={LEVEL} built "
+          f"({time.monotonic() - t0:.1f}s)")
+
+    total_pairs = 0
+    for layer, fm in SWEEPS:
+        kwargs = (dict(module=built.module, layout=built.layout)
+                  if layer == "ir"
+                  else dict(program=built.compiled, layout=built.layout))
+        t1 = time.monotonic()
+        rep = verify_benign(layer, fault_model=fm, **kwargs)
+        total_pairs += rep["pairs"]
+        print(f"# {layer}/{fm}: {rep['pairs']} benign-classified pairs "
+              f"flipped, {len(rep['violations'])} violations "
+              f"({time.monotonic() - t1:.1f}s)")
+        if rep["violations"]:
+            dyn, bit, status, trap = rep["violations"][0]
+            print(f"FAIL: pruner misclassification at {layer}/{fm} "
+                  f"dyn={dyn} bit={bit} -> {status}/{trap}")
+            return 1
+    if total_pairs == 0:
+        print("FAIL: the exhaustive sweep flipped zero pairs (vacuous)")
+        return 1
+
+    uniform_cfg = CampaignConfig(n_campaigns=UNIFORM_N, seed=SEED)
+    uniform = run_asm_campaign(built.compiled, built.layout,
+                               uniform_cfg).summary()
+    pruned = run_asm_campaign(built.compiled, built.layout,
+                              replace(uniform_cfg, prune=True)).summary()
+    for key in ("sdc", "due", "detected", "benign"):
+        if pruned[key] != uniform[key]:
+            print(f"FAIL: pruned {key} {pruned[key]} != uniform "
+                  f"{uniform[key]} (must be bit-identical)")
+            return 1
+    if pruned["pruned"] == 0:
+        print("FAIL: the pruned campaign resolved no draws statically")
+        return 1
+    print(f"# pruned campaign: estimates bit-identical, "
+          f"{pruned['pruned']}/{UNIFORM_N} draws resolved statically")
+
+    strat_cfg = CampaignConfig(n_campaigns=STRATIFIED_N, seed=SEED,
+                               prune=True, stratify=True)
+    strat = run_asm_campaign(built.compiled, built.layout,
+                             strat_cfg).summary()
+    lo_u, hi_u = uniform["sdc_ci"]
+    lo_s, hi_s = strat["sdc_ci"]
+    if not (lo_s <= hi_u and lo_u <= hi_s):
+        print(f"FAIL: stratified sdc CI [{lo_s:.4f},{hi_s:.4f}] disjoint "
+              f"from uniform [{lo_u:.4f},{hi_u:.4f}]")
+        return 1
+    print(f"# stratified (n={STRATIFIED_N}): sdc {strat['sdc']:.4f} "
+          f"[{lo_s:.4f},{hi_s:.4f}] overlaps uniform (n={UNIFORM_N}) "
+          f"{uniform['sdc']:.4f} [{lo_u:.4f},{hi_u:.4f}]")
+
+    print(f"OK: pruning sound and estimator-preserving "
+          f"({time.monotonic() - t0:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

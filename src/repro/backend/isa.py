@@ -51,6 +51,7 @@ __all__ = [
     "SCRATCH_XMMS",
     "CC_CODES",
     "FP_CC_CODES",
+    "CC_READS",
     "Role",
 ]
 
@@ -72,6 +73,21 @@ CC_CODES = ("e", "ne", "l", "le", "g", "ge", "b", "be", "a", "ae")
 #: floating-point condition codes (read UF; all-false when unordered
 #: except none — matching the IR's ordered predicates)
 FP_CC_CODES = ("fe", "fne", "fb", "fbe", "fa", "fae")
+
+#: architectural flag read-set per condition code, mirroring the
+#: machine's ``_eval_cc`` exactly — flags outside a branch's read set
+#: are dead at that branch, the fact the bit-level liveness analysis
+#: (:mod:`repro.analysis.bitlive`) builds on
+CC_READS = {
+    "e": ("zf",), "ne": ("zf",),
+    "l": ("sf", "of"), "ge": ("sf", "of"),
+    "le": ("zf", "sf", "of"), "g": ("zf", "sf", "of"),
+    "b": ("cf",), "ae": ("cf",),
+    "be": ("cf", "zf"), "a": ("cf", "zf"),
+    "fe": ("uf", "zf"), "fne": ("uf", "zf"),
+    "fb": ("uf", "cf"), "fae": ("uf", "cf"),
+    "fbe": ("uf", "cf", "zf"), "fa": ("uf", "cf", "zf"),
+}
 
 
 class Role:

@@ -52,6 +52,7 @@ from .experiments import (
     render_figure3,
     render_figure17,
     render_overhead,
+    render_pruning,
     render_table1,
     run_compile_time,
     run_fault_matrix,
@@ -60,6 +61,7 @@ from .experiments import (
     run_figure3,
     run_figure17,
     run_overhead,
+    run_pruning,
     run_table1,
 )
 
@@ -114,6 +116,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="injected fault model: single bit flip (seu), "
                             "transient double flip + flag upset (set), or "
                             "branch-target redirect (cf)")
+    inj_p.add_argument("--prune", action="store_true",
+                       help="resolve provably-benign draws statically "
+                            "(bit-liveness pruning: same draw, same "
+                            "estimates, fewer simulated steps)")
+    inj_p.add_argument("--stratify", action="store_true",
+                       help="stratified sampling over bit-liveness site "
+                            "classes with Neyman allocation")
 
     trace_p = sub.add_parser(
         "trace",
@@ -173,6 +182,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "journal; rerunning (or `repro resume`) skips journaled "
              "samples",
     )
+    stats_p.add_argument("--prune", action="store_true",
+                         help="resolve provably-benign draws statically "
+                              "(bit-liveness pruning: same draw, same "
+                              "estimates, fewer simulated steps)")
+    stats_p.add_argument("--stratify", action="store_true",
+                         help="stratified sampling over bit-liveness "
+                              "site classes with Neyman allocation")
 
     res_p = sub.add_parser(
         "resume",
@@ -213,6 +229,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for the injections the store cannot "
              "serve (incremental mode)",
     )
+    camp_p.add_argument("--prune", action="store_true",
+                        help="resolve provably-benign draws statically "
+                             "(bit-liveness pruning: same draw, same "
+                             "estimates, fewer simulated steps)")
+    camp_p.add_argument("--stratify", action="store_true",
+                        help="stratified sampling over bit-liveness site "
+                             "classes with Neyman allocation (not "
+                             "compatible with --incremental)")
 
     bench_p = sub.add_parser(
         "bench",
@@ -304,7 +328,7 @@ def _build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument(
         "which",
         choices=("table1", "fig2", "fig3", "fig17", "fault-matrix",
-                 "incremental", "overhead", "compile-time"),
+                 "incremental", "pruning", "overhead", "compile-time"),
     )
 
     store_p = sub.add_parser(
@@ -371,7 +395,8 @@ def _cmd_protect(args) -> int:
 
 
 def _cmd_inject(args) -> int:
-    cfg = CampaignConfig(n_campaigns=args.campaigns, seed=args.seed)
+    cfg = CampaignConfig(n_campaigns=args.campaigns, seed=args.seed,
+                         prune=args.prune, stratify=args.stratify)
     built = build(args.benchmark, scale=args.scale, level=args.level,
                   flowery=args.flowery, cfc=args.cfc)
     fm = args.fault_model
@@ -386,8 +411,11 @@ def _cmd_inject(args) -> int:
           f"{'benign':>8s}")
     for res in (ir, asm):
         s = res.summary()
-        print(f"{res.layer:6s} {s['sdc']:8.3f} {s['due']:8.3f} "
-              f"{s['detected']:9.3f} {s['benign']:8.3f}")
+        line = (f"{res.layer:6s} {s['sdc']:8.3f} {s['due']:8.3f} "
+                f"{s['detected']:9.3f} {s['benign']:8.3f}")
+        if s.get("pruned"):
+            line += f"  pruned={s['pruned']}"
+        print(line)
     if args.level is not None:
         raw_built = build(args.benchmark, scale=args.scale)
         raw_ir = run_ir_campaign(raw_built.module, cfg, raw_built.layout,
@@ -446,13 +474,29 @@ def _fmt_summary(s) -> str:
     for k in ("sdc", "due", "detected", "benign"):
         lo, hi = s[f"{k}_ci"]
         parts.append(f"{k}={s[k]:.3f} [{lo:.3f},{hi:.3f}]")
+    if s.get("pruned"):
+        parts.append(f"pruned={s['pruned']}")
     return " ".join(parts)
+
+
+def _print_campaign_result(res) -> None:
+    """Summary line(s) for a CampaignResult or StratifiedResult."""
+    s = res.summary()
+    print(_fmt_summary(s))
+    if res.simulated_steps is not None:
+        print(f"# simulated steps: {res.simulated_steps}")
+    for st in s.get("strata", []):
+        lo, hi = st["sdc_ci"]
+        print(f"#   stratum {st['name']:<10} w={st['weight']:.3f} "
+              f"n={st['n']} sdc={st['sdc']:.3f} [{lo:.3f},{hi:.3f}] "
+              f"pruned={st['pruned']}")
 
 
 def _cmd_campaign(args) -> int:
     built = build(args.benchmark, scale=args.scale, level=args.level,
                   flowery=args.flowery, cfc=args.cfc)
-    cfg = CampaignConfig(n_campaigns=args.campaigns, seed=args.seed)
+    cfg = CampaignConfig(n_campaigns=args.campaigns, seed=args.seed,
+                         prune=args.prune, stratify=args.stratify)
     fm = args.fault_model
     if not args.incremental:
         if args.layer == "ir":
@@ -462,7 +506,7 @@ def _cmd_campaign(args) -> int:
             res = run_asm_campaign(built.compiled, built.layout, cfg,
                                    fault_model=fm)
         print(f"{args.benchmark} {args.layer} n={res.n}")
-        print(_fmt_summary(res.summary()))
+        _print_campaign_result(res)
         return 0
 
     from .fi.compose import SectionProfileStore, run_incremental_campaign
@@ -508,12 +552,13 @@ def _cmd_stats(args) -> int:
         fault_model=args.fault_model,
         cfc=args.cfc,
     )
-    cfg = CampaignConfig(n_campaigns=args.campaigns, seed=args.seed)
+    cfg = CampaignConfig(n_campaigns=args.campaigns, seed=args.seed,
+                         prune=args.prune, stratify=args.stratify)
     result = run_parallel_campaign(spec, cfg, workers=args.workers,
                                    observer=observer,
                                    journal_path=args.journal)
     print(observer.summary(), end="")
-    print(_fmt_summary(result.summary()))
+    _print_campaign_result(result)
     if args.jsonl:
         observer.write_jsonl(args.jsonl)
         print(f"# events written to {args.jsonl}")
@@ -686,6 +731,8 @@ def _cmd_experiment(which: str) -> int:
         print(render_fault_matrix(run_fault_matrix(cfg)))
     elif which == "incremental":
         print(render_incremental(run_incremental(cfg)))
+    elif which == "pruning":
+        print(render_pruning(run_pruning(cfg)))
     elif which == "overhead":
         print(render_overhead(run_overhead(cfg)))
     else:

@@ -16,6 +16,11 @@ from .incremental import (  # noqa: F401
 from .figure3 import Figure3Result, render_figure3, run_figure3  # noqa: F401
 from .figure17 import Figure17Result, render_figure17, run_figure17  # noqa: F401
 from .overhead import render_overhead, run_overhead  # noqa: F401
+from .pruning import (  # noqa: F401
+    PruningResult,
+    render_pruning,
+    run_pruning,
+)
 from .runner import ExperimentContext, ProtectedRun  # noqa: F401
 from .table1 import render_table1, run_table1  # noqa: F401
 
@@ -29,5 +34,6 @@ __all__ = [
     "run_fault_matrix", "render_fault_matrix", "FaultMatrixResult",
     "run_incremental", "render_incremental", "IncrementalResult",
     "run_overhead", "render_overhead",
+    "run_pruning", "render_pruning", "PruningResult",
     "run_compile_time", "render_compile_time",
 ]

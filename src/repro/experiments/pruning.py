@@ -1,0 +1,151 @@
+"""Pruning/stratification experiment: smart sampling, quantified.
+
+For each benchmark × layer cell (fully duplicated, where the
+bit-liveness analysis has both a benign *and* a checker-shadowed
+stratum to exploit) this runs the same-budget campaign three ways —
+
+* **uniform**   — the plain estimator every other experiment uses;
+* **pruned**    — identical draw, provably-benign draws resolved
+  statically (:mod:`repro.analysis.bitlive`), so the estimates must be
+  *bit-identical* to uniform while simulating fewer steps;
+* **stratified** — per-stratum draws with pilot + Neyman allocation
+  (:mod:`repro.fi.prune`), whose composed estimate must agree with
+  uniform within the confidence intervals
+
+— and reports SDC estimates with 95% CIs next to the measured
+simulated-step reduction.  The verdict checks the two soundness
+contracts (pruned == uniform exactly; stratified CI overlaps uniform
+CI) for every cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from ..fi.campaign import run_asm_campaign, run_ir_campaign
+from .config import ExperimentConfig
+from .render import pct, render_table
+from .runner import ExperimentContext
+
+__all__ = [
+    "PruningCell",
+    "PruningResult",
+    "run_pruning",
+    "render_pruning",
+]
+
+#: full duplication — the protected stratum exists at this level only
+PRUNING_LEVEL = 100
+
+
+@dataclass
+class PruningCell:
+    benchmark: str
+    layer: str
+    n: int
+    uniform_sdc: float
+    uniform_lo: float
+    uniform_hi: float
+    uniform_steps: int
+    pruned_sdc: float
+    pruned_count: int
+    pruned_steps: int
+    strat_sdc: float
+    strat_lo: float
+    strat_hi: float
+    strat_steps: int
+
+    @property
+    def pruned_identical(self) -> bool:
+        return self.pruned_sdc == self.uniform_sdc
+
+    @property
+    def ci_overlap(self) -> bool:
+        return (self.strat_lo <= self.uniform_hi
+                and self.uniform_lo <= self.strat_hi)
+
+    @property
+    def prune_ratio(self) -> float:
+        return (self.uniform_steps / self.pruned_steps
+                if self.pruned_steps else float("inf"))
+
+    @property
+    def strat_ratio(self) -> float:
+        return (self.uniform_steps / self.strat_steps
+                if self.strat_steps else float("inf"))
+
+
+@dataclass
+class PruningResult:
+    cells: List[PruningCell]
+
+    @property
+    def all_sound(self) -> bool:
+        return all(c.pruned_identical and c.ci_overlap
+                   for c in self.cells)
+
+
+def run_pruning(
+    config: Optional[ExperimentConfig] = None,
+    context: Optional[ExperimentContext] = None,
+) -> PruningResult:
+    ctx = context or ExperimentContext(config)
+    base = ctx.campaign_config()
+    cells: List[PruningCell] = []
+    for name in ctx.config.benchmarks:
+        built = ctx.matrix_build(name, PRUNING_LEVEL, False)
+        for layer in ("ir", "asm"):
+            def campaign(cfg):
+                if layer == "ir":
+                    return run_ir_campaign(
+                        built.module, cfg, built.layout,
+                        observer=ctx.observer)
+                return run_asm_campaign(
+                    built.compiled, built.layout, cfg,
+                    observer=ctx.observer)
+
+            uniform = campaign(base)
+            pruned = campaign(replace(base, prune=True))
+            strat = campaign(replace(base, prune=True, stratify=True))
+            us, ss = uniform.summary(), strat.summary()
+            cells.append(PruningCell(
+                benchmark=name, layer=layer, n=uniform.n,
+                uniform_sdc=us["sdc"],
+                uniform_lo=us["sdc_ci"][0], uniform_hi=us["sdc_ci"][1],
+                uniform_steps=uniform.simulated_steps or 0,
+                pruned_sdc=pruned.summary()["sdc"],
+                pruned_count=pruned.pruned,
+                pruned_steps=pruned.simulated_steps or 0,
+                strat_sdc=ss["sdc"],
+                strat_lo=ss["sdc_ci"][0], strat_hi=ss["sdc_ci"][1],
+                strat_steps=strat.simulated_steps or 0,
+            ))
+    return PruningResult(cells=cells)
+
+
+def render_pruning(result: PruningResult) -> str:
+    rows = []
+    for c in result.cells:
+        rows.append((
+            c.benchmark, c.layer, c.n,
+            f"{pct(c.uniform_sdc)} [{pct(c.uniform_lo)},"
+            f"{pct(c.uniform_hi)}]",
+            "ok" if c.pruned_identical else "DRIFT",
+            c.pruned_count,
+            f"{c.prune_ratio:5.2f}x",
+            f"{pct(c.strat_sdc)} [{pct(c.strat_lo)},{pct(c.strat_hi)}]",
+            "ok" if c.ci_overlap else "DISJOINT",
+            f"{c.strat_ratio:5.2f}x",
+        ))
+    table = render_table(
+        ("benchmark", "layer", "n", "uniform sdc [ci]", "prune=",
+         "pruned", "steps", "stratified sdc [ci]", "ci∩", "steps"),
+        rows,
+        title=f"pruned & stratified campaigns vs uniform "
+              f"(dup level {PRUNING_LEVEL})",
+    )
+    verdict = ("pruning exact + stratified CIs overlap in every cell"
+               if result.all_sound else
+               "WARNING: soundness contract violated in some cells")
+    return f"{table}\n{verdict}\n"

@@ -37,6 +37,17 @@ stay within the 1.3x acceptance ratio of the plain engine campaign;
 the warm run is the "plan re-evaluation" path and carries the >= 10x
 floor enforced by ``benchmarks/test_perf_simulators.py``.
 
+Since bench_campaign/6 it carries a ``pruning`` section (DESIGN §17):
+the same fully-duplicated program measured under the two smart-sampling
+mechanisms.  A pruned+stratified campaign (bit-liveness site classes,
+pilot + Neyman allocation) must reproduce the 3000-injection uniform
+campaign's SDC estimate — estimate inside the uniform CI, intervals
+overlapping, equal-or-narrower width — at >= 2x fewer simulated steps
+(the floor ``benchmarks/test_perf_simulators.py`` enforces); and a
+pruned campaign over the *identical* uniform draw must return
+bit-identical outcome estimates while skipping the simulation of every
+statically-benign draw.
+
 Since bench_campaign/3 it additionally carries a ``testgen`` section
 (DESIGN §12): a differential-oracle smoke over a handful of generated
 programs timed against a 60 s budget, plus the
@@ -60,7 +71,7 @@ from ..pipeline import build
 
 __all__ = ["run_campaign_bench", "render_bench", "campaign_signature"]
 
-BENCH_SCHEMA = "bench_campaign/5"
+BENCH_SCHEMA = "bench_campaign/6"
 
 #: wall-clock budget for the testgen oracle-matrix smoke
 TESTGEN_BUDGET_SECONDS = 60.0
@@ -74,6 +85,20 @@ DEFAULT_BENCHMARK = "pathfinder"
 DEFAULT_SCALE = "medium"
 DEFAULT_N = 40
 DEFAULT_SEED = 2023
+
+#: pruning-section workload: fully duplicated so the bit-liveness
+#: analysis has a checker-shadowed stratum to allocate away from; tiny
+#: scale keeps the 3000-injection uniform reference CI-affordable
+PRUNING_BENCHMARK = "pathfinder"
+PRUNING_SCALE = "tiny"
+PRUNING_LEVEL = 100
+#: the uniform reference budget (the paper-scale per-cell campaign)
+PRUNING_UNIFORM_N = 3000
+#: stratified budget sized for the same CI width as the uniform
+#: reference — the >= 2x steps floor is measured at equal precision
+PRUNING_STRATIFIED_N = 1000
+#: budget of the prune bit-identity check (asm layer, same draw)
+PRUNING_PRUNE_N = 1000
 
 
 def campaign_signature(result: CampaignResult) -> Tuple:
@@ -119,6 +144,87 @@ def _time_golden(built, layer: str, dispatch: str,
         sim.run()
         best = min(best, time.perf_counter() - t0)
     return best
+
+
+def _run_pruning_section() -> Dict:
+    """The smart-sampling benchmark (DESIGN §17), as a JSON-safe doc.
+
+    IR layer: pruned+stratified vs the 3000-injection uniform reference
+    at equal CI width — the estimate must land inside the uniform CI
+    with >= 2x fewer simulated steps.  Asm layer: pruning alone over the
+    identical uniform draw — estimates must be bit-identical with every
+    statically-benign draw's simulation skipped.  All step counts are
+    deterministic for the fixed (benchmark, scale, seed), so the ratios
+    below are reproducible figures, not wall-clock noise.
+    """
+    from .campaign import run_asm_campaign, run_ir_campaign
+
+    built = build(PRUNING_BENCHMARK, scale=PRUNING_SCALE,
+                  level=PRUNING_LEVEL)
+    uni_s, uniform = _time_campaign(
+        run_ir_campaign, built.module,
+        CampaignConfig(n_campaigns=PRUNING_UNIFORM_N, seed=DEFAULT_SEED),
+        built.layout, dispatch="codegen")
+    strat_s, strat = _time_campaign(
+        run_ir_campaign, built.module,
+        CampaignConfig(n_campaigns=PRUNING_STRATIFIED_N,
+                       seed=DEFAULT_SEED, prune=True, stratify=True),
+        built.layout, dispatch="codegen")
+    us, ss = uniform.summary(), strat.summary()
+    u_lo, u_hi = us["sdc_ci"]
+    s_lo, s_hi = ss["sdc_ci"]
+    steps_ratio = (uniform.simulated_steps / strat.simulated_steps
+                   if strat.simulated_steps else float("inf"))
+
+    asm_uni_s, asm_uni = _time_campaign(
+        run_asm_campaign, built.compiled, built.layout,
+        CampaignConfig(n_campaigns=PRUNING_PRUNE_N, seed=DEFAULT_SEED),
+        dispatch="codegen")
+    asm_pr_s, asm_pr = _time_campaign(
+        run_asm_campaign, built.compiled, built.layout,
+        CampaignConfig(n_campaigns=PRUNING_PRUNE_N, seed=DEFAULT_SEED,
+                       prune=True),
+        dispatch="codegen")
+    au, ap = asm_uni.summary(), asm_pr.summary()
+    prune_identical = all(
+        au[k] == ap[k] for k in ("sdc", "due", "detected", "benign"))
+    prune_ratio = (asm_uni.simulated_steps / asm_pr.simulated_steps
+                   if asm_pr.simulated_steps else float("inf"))
+    return {
+        "benchmark": PRUNING_BENCHMARK,
+        "scale": PRUNING_SCALE,
+        "level": PRUNING_LEVEL,
+        "stratified": {
+            "layer": "ir",
+            "uniform_n": PRUNING_UNIFORM_N,
+            "stratified_n": PRUNING_STRATIFIED_N,
+            "uniform_sdc": us["sdc"],
+            "uniform_sdc_ci": [u_lo, u_hi],
+            "stratified_sdc": ss["sdc"],
+            "stratified_sdc_ci": [s_lo, s_hi],
+            "uniform_steps": uniform.simulated_steps,
+            "stratified_steps": strat.simulated_steps,
+            "steps_ratio": steps_ratio,
+            "uniform_seconds": uni_s,
+            "stratified_seconds": strat_s,
+            "within_uniform_ci": u_lo <= ss["sdc"] <= u_hi,
+            "ci_overlap": s_lo <= u_hi and u_lo <= s_hi,
+            "width_ok": (s_hi - s_lo) <= (u_hi - u_lo),
+        },
+        "prune": {
+            "layer": "asm",
+            "n": PRUNING_PRUNE_N,
+            "pruned": asm_pr.pruned,
+            "uniform_steps": asm_uni.simulated_steps,
+            "pruned_steps": asm_pr.simulated_steps,
+            "steps_ratio": prune_ratio,
+            "uniform_seconds": asm_uni_s,
+            "pruned_seconds": asm_pr_s,
+            "estimates_identical": prune_identical,
+        },
+        "sound": (u_lo <= ss["sdc"] <= u_hi and prune_identical
+                  and steps_ratio >= 2.0),
+    }
 
 
 @contextmanager
@@ -247,6 +353,8 @@ def run_campaign_bench(
             },
         }
 
+    pruning = _run_pruning_section()
+
     # zero-runtime-cost proof: nothing the campaigns above executed may
     # have imported the validation tooling.  Snapshot the flag *before*
     # the oracle smoke imports it.
@@ -311,6 +419,7 @@ def run_campaign_bench(
             "flowery": flowery,
         },
         "layers": layers,
+        "pruning": pruning,
         "testgen": testgen,
         "overall": {
             "naive_seconds": naive_total,
@@ -433,6 +542,29 @@ def render_bench(doc: Dict) -> str:
         f"{oi['warm_speedup_vs_engine']:11.1f}x "
         f"{'0' if oi['warm_pure_hits'] else '!':>8s}"
     )
+    pr = doc.get("pruning")
+    if pr:
+        st, pu = pr["stratified"], pr["prune"]
+        lines.append(
+            f"smart sampling ({pr['benchmark']}/{pr['scale']} "
+            f"level={pr['level']}, DESIGN §17):")
+        lines.append(
+            f"  stratified ir: sdc {st['stratified_sdc']:.4f} "
+            f"[{st['stratified_sdc_ci'][0]:.4f},"
+            f"{st['stratified_sdc_ci'][1]:.4f}] n={st['stratified_n']} "
+            f"vs uniform {st['uniform_sdc']:.4f} "
+            f"[{st['uniform_sdc_ci'][0]:.4f},"
+            f"{st['uniform_sdc_ci'][1]:.4f}] n={st['uniform_n']}: "
+            f"{st['steps_ratio']:.2f}x fewer steps "
+            f"(within-ci={st['within_uniform_ci']}, "
+            f"width-ok={st['width_ok']})"
+        )
+        lines.append(
+            f"  pruned asm: {pu['pruned']}/{pu['n']} draws resolved "
+            f"statically, {pu['steps_ratio']:.2f}x fewer steps, "
+            f"estimates identical: {pu['estimates_identical']}"
+        )
+        lines.append(f"  sound: {pr['sound']}")
     tg = doc.get("testgen")
     if tg:
         lines.append(

@@ -73,6 +73,15 @@ class CampaignConfig:
     #: timeout = factor x golden dynamic count (hangs become DUEs)
     max_steps_factor: int = 4
     min_max_steps: int = 20_000
+    #: statically classify provably-benign draws (bit-liveness pruning,
+    #: :mod:`repro.analysis.bitlive`) without simulating them; the draw
+    #: itself is unchanged, so every estimate is bit-identical to the
+    #: unpruned campaign — only the simulation work shrinks
+    prune: bool = False
+    #: replace the uniform draw with stratified sampling over the
+    #: bit-liveness site classes (pilot + Neyman allocation, composed
+    #: interval; see :mod:`repro.fi.prune`)
+    stratify: bool = False
 
     def __post_init__(self) -> None:
         if self.n_campaigns <= 0:
@@ -120,6 +129,10 @@ class CampaignResult:
     golden_output: str
     golden_dyn_total: int
     golden_dyn_injectable: int
+    #: dynamic steps actually simulated (initial golden run + engine
+    #: checkpoint pass + replayed suffixes, or naive full re-executions);
+    #: None when the campaign predates the accounting (journal replays)
+    simulated_steps: Optional[int] = None
 
     @property
     def sdc_probability(self) -> float:
@@ -133,6 +146,11 @@ class CampaignResult:
     def due_probability(self) -> float:
         return self.counts.get(Outcome.DUE, 0) / self.n if self.n else 0.0
 
+    @property
+    def pruned(self) -> int:
+        """Draws resolved statically by the bit-liveness pruner."""
+        return self.counts.get(Outcome.PRUNE_BENIGN, 0)
+
     def sdc_records(self) -> List[InjectionRecord]:
         return [r for r in self.records if r.outcome is Outcome.SDC]
 
@@ -141,19 +159,26 @@ class CampaignResult:
 
         The ``*_ci`` entries use the same :mod:`repro.fi.stats` helper
         as the composed incremental estimates, so whole-program and
-        section-composed summaries are directly comparable.
+        section-composed summaries are directly comparable.  The benign
+        rate folds in statically-pruned draws (they are benign with
+        certainty), keeping pruned estimates bit-identical to their
+        uniform equivalents; ``pruned`` separately reports how many
+        draws never simulated.
         """
+        benign_k = (self.counts.get(Outcome.BENIGN, 0)
+                    + self.counts.get(Outcome.PRUNE_BENIGN, 0))
         out: Dict[str, object] = {
             "sdc": self.sdc_probability,
             "due": self.due_probability,
             "detected": self.detected_probability,
-            "benign": self.counts.get(Outcome.BENIGN, 0) / self.n if self.n else 0.0,
+            "benign": benign_k / self.n if self.n else 0.0,
+            "pruned": self.pruned,
         }
-        for name, outcome in (("sdc", Outcome.SDC), ("due", Outcome.DUE),
-                              ("detected", Outcome.DETECTED),
-                              ("benign", Outcome.BENIGN)):
-            out[f"{name}_ci"] = wilson_interval(
-                self.counts.get(outcome, 0), self.n)
+        for name, k in (("sdc", self.counts.get(Outcome.SDC, 0)),
+                        ("due", self.counts.get(Outcome.DUE, 0)),
+                        ("detected", self.counts.get(Outcome.DETECTED, 0)),
+                        ("benign", benign_k)):
+            out[f"{name}_ci"] = wilson_interval(k, self.n)
         return out
 
 
@@ -197,8 +222,20 @@ def run_ir_campaign(
     ``fault_model`` selects what each injection corrupts (default SEU;
     see :mod:`repro.faultmodel`) — the golden run counts that model's
     injectable sites, so the draw universe follows the model.
+
+    ``config.prune`` resolves provably-benign draws statically
+    (:mod:`repro.analysis.bitlive`) without simulating them — same
+    draw, same estimates, fewer simulated steps.  ``config.stratify``
+    replaces the uniform draw entirely and delegates to
+    :func:`repro.fi.prune.run_stratified_campaign`.
     """
     fm = validate_fault_model(fault_model)
+    if config.stratify:
+        from .prune import run_stratified_campaign
+
+        return run_stratified_campaign(
+            "ir", config, module=module, layout=layout, observer=observer,
+            engine=engine, dispatch=dispatch, fault_model=fm)
     use_engine = engine_enabled(engine)
     tier = engine_dispatch(dispatch) if use_engine else "naive"
     layout = layout or GlobalLayout(module)
@@ -216,6 +253,14 @@ def run_ir_campaign(
     indices, bits = _draw(rng, config.n_campaigns, golden.dyn_injectable, fm)
     pairs = list(zip(indices.tolist(), bits.tolist()))
 
+    plan = None
+    if config.prune:
+        from .prune import build_prune_plan
+
+        with _phase(observer, "prune", layer="ir"):
+            plan = build_prune_plan("ir", module=module, layout=layout,
+                                    fault_model=fm)
+
     counts: Dict[Outcome, int] = {o: 0 for o in Outcome}
     by_tag: Dict[int, InjectionRecord] = {}
 
@@ -232,24 +277,39 @@ def run_ir_campaign(
             fault_model=fm,
         )
 
+    live: List[Tuple[int, int, int]] = []
+    for i, (idx, bit) in enumerate(pairs):
+        if plan is not None and plan.is_benign(idx, bit):
+            counts[Outcome.PRUNE_BENIGN] += 1
+            by_tag[i] = InjectionRecord(
+                dyn_index=idx, bit=bit, outcome=Outcome.PRUNE_BENIGN,
+                iid=plan.static_id(idx), fault_model=fm)
+        else:
+            live.append((i, idx, bit))
+
+    engine_steps: Dict[str, int] = {}
+    naive_steps = 0
     with _phase(observer, "inject", layer="ir", n=config.n_campaigns):
         if use_engine:
             run_injection_suite(
                 "ir",
-                [(i, idx, bit) for i, (idx, bit) in enumerate(pairs)],
+                live,
                 max_steps,
                 module=module,
                 layout=layout,
                 emit=emit,
                 dispatch=tier,
                 fault_model=fm,
+                stats=engine_steps,
             )
         else:
-            for i, (idx, bit) in enumerate(pairs):
-                emit(i, IRInterpreter(
+            for i, idx, bit in live:
+                res = IRInterpreter(
                     module, layout=layout, max_steps=max_steps,
                     dispatch="naive", fault_model=fm,
-                ).run(inject_index=idx, inject_bit=bit))
+                ).run(inject_index=idx, inject_bit=bit)
+                naive_steps += res.dyn_total
+                emit(i, res)
     records = [by_tag[i] for i in range(len(pairs))]
     _record_outcomes(observer, "ir", counts)
     return CampaignResult(
@@ -260,6 +320,11 @@ def run_ir_campaign(
         golden_output=golden.output,
         golden_dyn_total=golden.dyn_total,
         golden_dyn_injectable=golden.dyn_injectable,
+        simulated_steps=(
+            golden.dyn_total
+            + engine_steps.get("golden_steps", 0)
+            + engine_steps.get("suffix_steps", 0)
+            + naive_steps),
     )
 
 
@@ -276,9 +341,17 @@ def run_asm_campaign(
 
     ``engine``, ``dispatch`` and ``fault_model`` select the
     checkpoint-replay engine, its tier and the injected fault exactly
-    as in :func:`run_ir_campaign`.
+    as in :func:`run_ir_campaign`; ``config.prune`` and
+    ``config.stratify`` behave exactly as there too.
     """
     fm = validate_fault_model(fault_model)
+    if config.stratify:
+        from .prune import run_stratified_campaign
+
+        return run_stratified_campaign(
+            "asm", config, program=program, layout=layout,
+            observer=observer, engine=engine, dispatch=dispatch,
+            fault_model=fm)
     use_engine = engine_enabled(engine)
     tier = engine_dispatch(dispatch) if use_engine else "naive"
     with _phase(observer, "golden", layer="asm"):
@@ -294,6 +367,14 @@ def run_asm_campaign(
     rng = np.random.default_rng(config.seed)
     indices, bits = _draw(rng, config.n_campaigns, golden.dyn_injectable, fm)
     pairs = list(zip(indices.tolist(), bits.tolist()))
+
+    plan = None
+    if config.prune:
+        from .prune import build_prune_plan
+
+        with _phase(observer, "prune", layer="asm"):
+            plan = build_prune_plan("asm", program=program, layout=layout,
+                                    fault_model=fm)
 
     counts: Dict[Outcome, int] = {o: 0 for o in Outcome}
     by_tag: Dict[int, InjectionRecord] = {}
@@ -314,24 +395,42 @@ def run_asm_campaign(
             fault_model=fm,
         )
 
+    live: List[Tuple[int, int, int]] = []
+    for i, (idx, bit) in enumerate(pairs):
+        if plan is not None and plan.is_benign(idx, bit):
+            counts[Outcome.PRUNE_BENIGN] += 1
+            pc = plan.static_id(idx)
+            inst = program.inst_at(pc)
+            by_tag[i] = InjectionRecord(
+                dyn_index=idx, bit=bit, outcome=Outcome.PRUNE_BENIGN,
+                iid=inst.prov_iid, asm_index=pc, asm_role=inst.role,
+                asm_opcode=inst.opcode, fault_model=fm)
+        else:
+            live.append((i, idx, bit))
+
+    engine_steps: Dict[str, int] = {}
+    naive_steps = 0
     with _phase(observer, "inject", layer="asm", n=config.n_campaigns):
         if use_engine:
             run_injection_suite(
                 "asm",
-                [(i, idx, bit) for i, (idx, bit) in enumerate(pairs)],
+                live,
                 max_steps,
                 program=program,
                 layout=layout,
                 emit=emit,
                 dispatch=tier,
                 fault_model=fm,
+                stats=engine_steps,
             )
         else:
-            for i, (idx, bit) in enumerate(pairs):
-                emit(i, AsmMachine(
+            for i, idx, bit in live:
+                res = AsmMachine(
                     program, layout, max_steps=max_steps, dispatch="naive",
                     fault_model=fm,
-                ).run(inject_index=idx, inject_bit=bit))
+                ).run(inject_index=idx, inject_bit=bit)
+                naive_steps += res.dyn_total
+                emit(i, res)
     records = [by_tag[i] for i in range(len(pairs))]
     _record_outcomes(observer, "asm", counts)
     return CampaignResult(
@@ -342,4 +441,9 @@ def run_asm_campaign(
         golden_output=golden.output,
         golden_dyn_total=golden.dyn_total,
         golden_dyn_injectable=golden.dyn_injectable,
+        simulated_steps=(
+            golden.dyn_total
+            + engine_steps.get("golden_steps", 0)
+            + engine_steps.get("suffix_steps", 0)
+            + naive_steps),
     )

@@ -76,7 +76,12 @@ from .journal import (
     seal_doc,
 )
 from .outcomes import Outcome
-from .resilience import ROW_FIELDS, _row_from_result, record_from_row
+from .resilience import (
+    ROW_FIELDS,
+    _row_from_result,
+    pruned_row,
+    record_from_row,
+)
 from .sections import SiteMap, map_sites
 from .stats import DEFAULT_Z, composed_interval
 from ..faultmodel import fault_bit_range, validate_fault_model
@@ -155,10 +160,17 @@ def profile_key_doc(
     protection: Dict,
     seed: int,
     exhaustive_bits: Optional[Tuple[int, ...]] = None,
+    prune: bool = False,
 ) -> Dict:
     """The preimage document a profile key hashes (see
     :func:`profile_key`).  Stored alongside profile commits as ``kd``
-    so ``repro store verify`` can recompute every key hash."""
+    so ``repro store verify`` can recompute every key hash.
+
+    ``prune`` marks profiles whose rows may contain statically-resolved
+    :data:`~repro.fi.outcomes.Outcome.PRUNE_BENIGN` entries.  It enters
+    the doc only when True — unpruned campaigns keep the exact keys
+    they hashed before the pruner existed, so a store populated by an
+    older binary stays warm."""
     doc = {
         "schema": STORE_SCHEMA,
         "content": section.content_hash,
@@ -173,6 +185,8 @@ def profile_key_doc(
         doc["exhaustive_bits"] = list(exhaustive_bits)
     else:
         doc["seed"] = seed
+    if prune:
+        doc["prune"] = True
     return doc
 
 
@@ -190,6 +204,7 @@ def profile_key(
     protection: Dict,
     seed: int,
     exhaustive_bits: Optional[Tuple[int, ...]] = None,
+    prune: bool = False,
 ) -> str:
     """Content hash identifying one cached section profile.
 
@@ -207,7 +222,7 @@ def profile_key(
     """
     return key_from_doc(profile_key_doc(
         section, site_map, dispatch=dispatch, protection=protection,
-        seed=seed, exhaustive_bits=exhaustive_bits,
+        seed=seed, exhaustive_bits=exhaustive_bits, prune=prune,
     ))
 
 
@@ -925,7 +940,10 @@ class ComposedResult:
         — the estimate a whole-program uniform campaign converges to —
         with intervals from the per-section binomial variances
         (:func:`repro.fi.stats.composed_interval`).  Sections with
-        zero dynamic sites carry zero weight and drop out.
+        zero dynamic sites carry zero weight and drop out.  Statically
+        pruned draws are benign by construction, so the benign rate
+        folds :data:`~repro.fi.outcomes.Outcome.PRUNE_BENIGN` in —
+        pruned composed estimates stay bit-identical to unpruned ones.
         """
         weights = self._weights()
         contributing = [
@@ -934,14 +952,21 @@ class ComposedResult:
         out: Dict[str, object] = {}
         for outcome in (Outcome.SDC, Outcome.DUE, Outcome.DETECTED,
                         Outcome.BENIGN):
+            def k_of(s) -> int:
+                k = s.profile.counts.get(outcome, 0)
+                if outcome is Outcome.BENIGN:
+                    k += s.profile.counts.get(Outcome.PRUNE_BENIGN, 0)
+                return k
+
             p, lo, hi = composed_interval(
                 [w for w, _ in contributing],
-                [s.profile.counts.get(outcome, 0) for _, s in contributing],
+                [k_of(s) for _, s in contributing],
                 [s.profile.n for _, s in contributing],
                 z=z,
             )
             out[outcome.value] = p
             out[f"{outcome.value}_ci"] = (lo, hi)
+        out["pruned"] = self.counts.get(Outcome.PRUNE_BENIGN, 0)
         return out
 
 
@@ -1079,9 +1104,24 @@ def run_incremental_campaign(
     """
     fm = validate_fault_model(fault_model)
     tier = engine_dispatch(dispatch)
+    if config.stratify:
+        raise CampaignError(
+            "stratified sampling replaces the section allocator; use "
+            "run_ir_campaign/run_asm_campaign with config.stratify")
     with _phase(observer, "sections", layer=layer):
         sm = site_map or cached_site_map(built, layer, fm)
     protection = _protection_doc(built)
+    prune_plan = None
+    if config.prune:
+        from .prune import build_prune_plan
+
+        with _phase(observer, "prune", layer=layer):
+            prune_plan = build_prune_plan(
+                layer,
+                module=getattr(built, "module", None),
+                layout=built.layout,
+                program=getattr(built, "compiled", None),
+                fault_model=fm)
     max_steps = max(
         config.min_max_steps, sm.golden_dyn_total * config.max_steps_factor
     )
@@ -1120,8 +1160,25 @@ def run_incremental_campaign(
         for o, c in cached.counts.items():
             total_counts[o] += c
 
+    def statically_benign_row(idx: int, bit: int) -> Tuple:
+        if layer == "asm":
+            pc = prune_plan.static_id(idx)
+            inst = built.compiled.inst_at(pc)
+            return pruned_row(
+                "asm", idx, bit, sm.golden_output, pc, fm,
+                asm_role=inst.role, asm_opcode=inst.opcode,
+                iid=inst.prov_iid)
+        return pruned_row("ir", idx, bit, sm.golden_output,
+                          prune_plan.static_id(idx), fm)
+
     def stage_for_execution(pos: int) -> None:
-        """Queue the section's unserved samples for simulation."""
+        """Queue the section's unserved samples for simulation.
+
+        Statically-benign draws short-circuit here: their rows go
+        straight into the section's live set (and the store, so a
+        resumed run replays them like executed rows) without ever
+        reaching the simulator.
+        """
         key = keys[pos]
         samples = plans[pos]
         done = (store.partial_rows(key, len(samples))
@@ -1130,7 +1187,14 @@ def run_incremental_campaign(
                               if i < len(samples)}
         live_rows.setdefault(pos, {})
         for i, (idx, bit) in enumerate(samples):
-            if i not in replayed_rows[pos]:
+            if i in replayed_rows[pos]:
+                continue
+            if prune_plan is not None and prune_plan.is_benign(idx, bit):
+                row = statically_benign_row(idx, bit)
+                if store is not None:
+                    store.record_row(key, len(samples), i, row)
+                live_rows[pos][i] = row
+            else:
                 flat_samples.append(((pos, i), idx, bit))
 
     for sec in sm.sections:
@@ -1138,6 +1202,7 @@ def run_incremental_campaign(
         key_doc = profile_key_doc(
             sec, sm, dispatch=tier, protection=protection,
             seed=config.seed, exhaustive_bits=bits_plan,
+            prune=config.prune,
         )
         key = key_from_doc(key_doc)
         keys.append(key)
@@ -1243,10 +1308,13 @@ def run_incremental_campaign(
             raise CampaignError(
                 f"section {sec.name!r} lost {len(missing)} samples "
                 f"(e.g. #{missing[0]}); store and execution disagree")
+        statically_resolved = 0
         for i in range(n_planned):
             row = replay.get(i) or fresh[i]
             outcome, _rec = record_from_row(row, sm.golden_output)
             counts[outcome] += 1
+            if i in fresh and outcome is Outcome.PRUNE_BENIGN:
+                statically_resolved += 1
         profile = SectionProfile(
             key=keys[pos],
             name=sec.name,
@@ -1259,7 +1327,8 @@ def run_incremental_campaign(
             store.commit_profile(profile, key_doc=key_docs[pos])
         outcomes[pos] = SectionOutcome(
             section=sec, profile=profile, cached=False,
-            simulated=len(fresh), replayed=len(replay),
+            simulated=len(fresh) - statically_resolved,
+            replayed=len(replay),
         )
         for o, c in counts.items():
             total_counts[o] += c

@@ -92,6 +92,7 @@ def run_injection_suite(
     emit: Callable[[object, ExecResult], None],
     dispatch: Optional[str] = None,
     fault_model: Optional[str] = None,
+    stats: Optional[Dict[str, int]] = None,
 ) -> None:
     """Run every ``(tag, dyn_index, bit)`` injection with checkpoint-replay.
 
@@ -107,6 +108,14 @@ def run_injection_suite(
     internally when checkpoints are requested).  ``fault_model``
     (default SEU) selects what the injection corrupts — the simulators
     watch/checkpoint at that model's injectable sites.
+
+    ``stats``, when given, accumulates the engine's simulated-step
+    accounting in place: ``golden_steps`` (the shared checkpointing
+    pass), ``suffix_steps`` (dynamic steps actually re-executed across
+    every replay — a resumed run's ``dyn_total`` is full-run-equivalent,
+    so the suffix is its total minus the snapshot's step counter) and
+    ``replays``.  This is the denominator behind the pruning benchmark's
+    "fewer simulated steps" claim (:mod:`repro.fi.prune`).
     """
     tier = engine_dispatch(dispatch)
     fm = validate_fault_model(fault_model)
@@ -136,7 +145,17 @@ def run_injection_suite(
     # allocation cost on short traces.
     replay_sim = fresh()
 
+    def account(suffix: int) -> None:
+        if stats is not None:
+            stats["suffix_steps"] = stats.get("suffix_steps", 0) + suffix
+            stats["replays"] = stats.get("replays", 0) + 1
+
     def replay(idx: int, snap) -> None:
+        # IRSnapshot carries ``dyn_total``, AsmSnapshot ``steps`` — both
+        # are the golden step count at the checkpoint
+        prefix = getattr(snap, "steps", None)
+        if prefix is None:
+            prefix = snap.dyn_total
         for tag, bit in by_idx[idx]:
             try:
                 res = replay_sim.run(
@@ -148,10 +167,14 @@ def run_injection_suite(
                 # classify this one injection as a trap instead of
                 # letting the worker die and burn split-retry budget
                 res = host_escape_result(exc, layer=layer)
+            account(max(0, res.dyn_total - prefix))
             emit(tag, res)
         done.add(idx)
 
-    fresh().run(checkpoints=targets, checkpoint_cb=replay)
+    golden = fresh().run(checkpoints=targets, checkpoint_cb=replay)
+    if stats is not None:
+        stats["golden_steps"] = (
+            stats.get("golden_steps", 0) + golden.dyn_total)
     for idx in targets:
         if idx not in done:  # pragma: no cover - defensive
             for tag, bit in by_idx[idx]:
@@ -159,4 +182,5 @@ def run_injection_suite(
                     res = fresh().run(inject_index=idx, inject_bit=bit)
                 except (MemoryError, RecursionError) as exc:
                     res = host_escape_result(exc, layer=layer)
+                account(res.dyn_total)
                 emit(tag, res)

@@ -1,9 +1,11 @@
 """Outcome taxonomy of a fault-injection campaign (§2.1).
 
-* **Benign**   — run completed, output identical to golden
-* **SDC**      — run completed, output differs (silent data corruption)
-* **DUE**      — run trapped (segfault/div-by-zero/bad jump/budget/...)
-* **Detected** — a duplication/Flowery checker fired
+* **Benign**       — run completed, output identical to golden
+* **SDC**          — run completed, output differs (silent data corruption)
+* **DUE**          — run trapped (segfault/div-by-zero/bad jump/budget/...)
+* **Detected**     — a duplication/Flowery checker fired
+* **Prune-benign** — proven benign statically (bit-liveness pruning,
+  :mod:`repro.analysis.bitlive`); counted with Benign in every rate
 
 The paper studies SDCs; DUEs are tracked but not optimised for (§2.2).
 
@@ -44,6 +46,11 @@ class Outcome(enum.Enum):
     SDC = "sdc"
     DUE = "due"
     DETECTED = "detected"
+    #: statically proven benign by the bit-liveness pass
+    #: (:mod:`repro.analysis.bitlive`) — never simulated.  Kept distinct
+    #: from :attr:`BENIGN` so summaries can report how much work the
+    #: pruner skipped; estimators fold it into the benign rate.
+    PRUNE_BENIGN = "prune-benign"
 
 
 def classify_outcome(result: ExecResult, golden_output: str) -> Outcome:

@@ -42,6 +42,7 @@ from .resilience import (
     ResiliencePolicy,
     WorkSpec,
     _build_from_spec,
+    pruned_row,
     record_from_row,
     run_supervised,
 )
@@ -114,6 +115,15 @@ def run_parallel_campaign(
         config.min_max_steps, golden.dyn_total * config.max_steps_factor
     )
 
+    if config.stratify:
+        # stratified campaigns have their own draw/estimator; the serial
+        # runner delegates to repro.fi.prune (journaling not supported)
+        if spec.layer == "ir":
+            return run_ir_campaign(built.module, config, built.layout,
+                                   observer=observer, fault_model=fm)
+        return run_asm_campaign(built.compiled, built.layout, config,
+                                observer=observer, fault_model=fm)
+
     if workers <= 1 and journal_path is None:
         if spec.layer == "ir":
             return run_ir_campaign(built.module, config, built.layout,
@@ -127,6 +137,18 @@ def run_parallel_campaign(
     indices = drawn_indices.tolist()
     bits = drawn_bits.tolist()
 
+    plan = None
+    if config.prune:
+        from .prune import build_prune_plan
+
+        with _phase(observer, "prune", layer=spec.layer):
+            plan = build_prune_plan(
+                spec.layer,
+                module=getattr(built, "module", None),
+                layout=built.layout,
+                program=getattr(built, "compiled", None),
+                fault_model=fm)
+
     journal = (InjectionJournal.open(journal_path, spec, config)
                if journal_path else None)
     try:
@@ -135,12 +157,33 @@ def run_parallel_campaign(
         if journal is not None and completed and observer is not None:
             observer.resume(skipped=len(completed), path=journal.path,
                             layer=spec.layer)
+        # statically-benign draws resolve here, before any worker sees
+        # them: their rows are journaled like executed ones, so resume
+        # stays bit-identical whether or not the interrupted run pruned
+        pruned: Dict[int, Tuple] = {}
+        if plan is not None:
+            for i, (idx, bit) in enumerate(zip(indices, bits)):
+                if i in completed or not plan.is_benign(idx, bit):
+                    continue
+                if spec.layer == "asm":
+                    pc = plan.static_id(idx)
+                    inst = built.compiled.inst_at(pc)
+                    row = pruned_row(
+                        "asm", idx, bit, golden.output, pc, fm,
+                        asm_role=inst.role, asm_opcode=inst.opcode,
+                        iid=inst.prov_iid)
+                else:
+                    row = pruned_row("ir", idx, bit, golden.output,
+                                     plan.static_id(idx), fm)
+                if journal is not None:
+                    journal.record(i, row)
+                pruned[i] = row
         # every sample carries its original position, so stitching back
         # is exact for any worker count (including n_campaigns < workers)
         todo: List[Tuple[int, int, int]] = [
             (i, idx, bit)
             for i, (idx, bit) in enumerate(zip(indices, bits))
-            if i not in completed
+            if i not in completed and i not in pruned
         ]
         # sort by injection index so each chunk covers a narrow window of
         # the golden trace: the checkpoint-replay engine stops the
@@ -158,7 +201,7 @@ def run_parallel_campaign(
         if journal is not None:
             journal.close()
 
-    by_sample = {**completed, **fresh}
+    by_sample = {**completed, **pruned, **fresh}
     counts: Dict[Outcome, int] = {o: 0 for o in Outcome}
     records: List[InjectionRecord] = []
     for i in range(config.n_campaigns):

@@ -57,17 +57,25 @@ __all__ = [
     "campaign_key",
     "run_supervised",
     "record_from_row",
+    "pruned_row",
 ]
 
 #: positional layout of one journaled/worker row.  Version-1 journals
 #: wrote 9-element rows without the trailing ``fault_model``; the loader
 #: pads those with ``"seu"`` (the only model that existed then).
+#: Version-2 journals wrote 10-element rows without the trailing
+#: ``pruned`` flag; the loader pads those with ``0`` (nothing was
+#: statically pruned before the flag existed).  ``pruned == 1`` marks a
+#: draw the bit-liveness pruner resolved without simulation
+#: (:mod:`repro.fi.prune`); its row still carries the golden output so
+#: replay classifies it without re-running the analysis.
 ROW_FIELDS = ("idx", "bit", "status", "output", "iid",
               "asm_index", "asm_role", "asm_opcode", "trap_kind",
-              "fault_model")
+              "fault_model", "pruned")
 
-JOURNAL_VERSION = 2
+JOURNAL_VERSION = 3
 _LEGACY_ROW_LEN = 9
+_V2_ROW_LEN = 10
 
 #: test-only fault hooks — each names a sentinel path; the first worker
 #: process to claim the sentinel crashes (or hangs) exactly once, which
@@ -145,8 +153,16 @@ def _spec_doc(spec: WorkSpec) -> dict:
 
 
 def _config_doc(config: CampaignConfig) -> dict:
-    return {f.name: getattr(config, f.name)
-            for f in dc_fields(CampaignConfig)}
+    doc = {f.name: getattr(config, f.name)
+           for f in dc_fields(CampaignConfig)}
+    # omit the pruning switches at their defaults so campaign keys (and
+    # journals) from before they existed still hash — and resume —
+    # identically
+    if doc.get("prune") is False:
+        del doc["prune"]
+    if doc.get("stratify") is False:
+        del doc["stratify"]
+    return doc
 
 
 def _spec_from_doc(doc: dict) -> WorkSpec:
@@ -220,10 +236,28 @@ def _row_from_result(layer: str, idx: int, bit: int, res: ExecResult,
     """Flatten one execution result into a JSON/pickle-safe row."""
     if layer == "ir":
         return (idx, bit, res.status.value, res.output, res.injected_iid,
-                None, None, None, res.trap_kind, fault_model)
+                None, None, None, res.trap_kind, fault_model, 0)
     return (idx, bit, res.status.value, res.output, res.injected_iid,
             res.extra.get("asm_index"), res.extra.get("asm_role"),
-            res.extra.get("asm_opcode"), res.trap_kind, fault_model)
+            res.extra.get("asm_opcode"), res.trap_kind, fault_model, 0)
+
+
+def pruned_row(layer: str, idx: int, bit: int, golden_output: str,
+               static_id, fault_model: str, *,
+               asm_role=None, asm_opcode=None, iid=None) -> Tuple:
+    """Row for a draw the pruner resolved statically.
+
+    The row records the golden output with an OK status (a pruned
+    draw's true outcome *is* benign) plus the ``pruned`` flag, so a
+    journal replay classifies it as
+    :attr:`~repro.fi.outcomes.Outcome.PRUNE_BENIGN` without needing the
+    liveness analysis at read time.
+    """
+    if layer == "ir":
+        return (idx, bit, RunStatus.OK.value, golden_output, static_id,
+                None, None, None, None, fault_model, 1)
+    return (idx, bit, RunStatus.OK.value, golden_output, iid,
+            static_id, asm_role, asm_opcode, None, fault_model, 1)
 
 
 def _execute_chunk(built, layer: str,
@@ -291,15 +325,25 @@ def record_from_row(row: Tuple, golden_output: str
     """Classify one row against the golden output.
 
     Uses :func:`classify_outcome` on a reconstructed result so journal
-    replay and live execution share one classification path.
+    replay and live execution share one classification path.  Rows with
+    the ``pruned`` flag short-circuit to
+    :attr:`~repro.fi.outcomes.Outcome.PRUNE_BENIGN` — they were never
+    simulated, and folding them into plain Benign would hide how much
+    work the pruner skipped.
     """
     if len(row) == _LEGACY_ROW_LEN:
         row = row + ("seu",)
+    if len(row) == _V2_ROW_LEN:
+        row = row + (0,)
     (idx, bit, status, output, iid,
-     asm_index, asm_role, asm_opcode, trap_kind, fault_model) = row
-    probe = ExecResult(status=RunStatus(status), output=output,
-                       dyn_total=0, dyn_injectable=0)
-    outcome = classify_outcome(probe, golden_output)
+     asm_index, asm_role, asm_opcode, trap_kind, fault_model,
+     pruned) = row
+    if pruned:
+        outcome = Outcome.PRUNE_BENIGN
+    else:
+        probe = ExecResult(status=RunStatus(status), output=output,
+                           dyn_total=0, dyn_injectable=0)
+        outcome = classify_outcome(probe, golden_output)
     return outcome, InjectionRecord(
         dyn_index=idx, bit=bit, outcome=outcome, iid=iid,
         asm_index=asm_index, asm_role=asm_role, asm_opcode=asm_opcode,
@@ -407,9 +451,12 @@ class InjectionJournal:
                 row = doc.get("row")
                 if isinstance(doc.get("i"), int) and \
                         isinstance(row, list) and \
-                        len(row) in (len(ROW_FIELDS), _LEGACY_ROW_LEN):
+                        len(row) in (len(ROW_FIELDS), _V2_ROW_LEN,
+                                     _LEGACY_ROW_LEN):
                     if len(row) == _LEGACY_ROW_LEN:
                         row = row + ["seu"]
+                    if len(row) == _V2_ROW_LEN:
+                        row = row + [0]
                     completed[doc["i"]] = tuple(row)
 
         scan_jsonl(path, on_doc, quarantine=QuarantineLog(path))

@@ -52,11 +52,39 @@ __all__ = [
     "ICMP_PREDS",
     "FCMP_PREDS",
     "CAST_OPS",
+    "BIT_SEMANTICS",
 ]
 
 INT_BINOPS = frozenset(
     ["add", "sub", "mul", "sdiv", "srem", "and", "or", "xor", "shl", "ashr", "lshr"]
 )
+
+#: Bit-semantics class per opcode, consumed by the bit-level liveness
+#: analysis (:mod:`repro.analysis.bitlive`).  The class names how a
+#: flip in an *operand* bit can reach the result's bits:
+#:
+#: - ``carry``      low bits reach every higher bit (carry/borrow chains)
+#: - ``bitwise``    bit i only reaches bit i
+#: - ``mask-and``   bit i reaches bit i unless the other operand forces 0
+#: - ``mask-or``    bit i reaches bit i unless the other operand forces 1
+#: - ``shift-*``    bits translate by the (possibly constant) amount
+#: - ``opaque-trap`` any bit reaches any bit *and* operand values gate a
+#:   trap (division), so operands are observed even when the result dies
+#: - ``compare``/``select``/``cast``/``addr``/``load`` structural cases
+#:
+#: Opcodes absent from the table (stores, branches, calls, returns,
+#: float arithmetic) observe their operands fully.
+BIT_SEMANTICS = {
+    "add": "carry", "sub": "carry", "mul": "carry",
+    "sdiv": "opaque-trap", "srem": "opaque-trap",
+    "and": "mask-and", "or": "mask-or", "xor": "bitwise",
+    "shl": "shift-l", "lshr": "shift-r", "ashr": "shift-ar",
+    "icmp": "compare", "fcmp": "compare",
+    "select": "select", "gep": "addr", "load": "load",
+    "sext": "cast", "zext": "cast", "trunc": "cast",
+    "sitofp": "cast", "fptosi": "cast",
+    "bitcast": "cast", "ptrtoint": "cast", "inttoptr": "cast",
+}
 FLOAT_BINOPS = frozenset(["fadd", "fsub", "fmul", "fdiv"])
 ICMP_PREDS = frozenset(["eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge"])
 FCMP_PREDS = frozenset(["oeq", "one", "olt", "ole", "ogt", "oge"])

@@ -75,6 +75,13 @@ _CC_IDS = {
     "fe": 10, "fne": 11, "fb": 12, "fbe": 13, "fa": 14, "fae": 15,
 }
 
+#: flag-word bit assignment shared by the injection paths below (the
+#: ``(1, 2, 4, 8, 16)[bit % 5]`` tuples) and the bit-level liveness
+#: analysis (:mod:`repro.analysis.bitlive`): a drawn fault coordinate
+#: ``b`` at a FLAGS site flips the flag at position ``b % 5`` in this
+#: order
+FLAG_BITS = {"zf": 1, "sf": 2, "of": 4, "cf": 8, "uf": 16}
+
 # micro-op opcodes
 (
     MOV_RR, MOV_RI, MOV_RM, MOV_MR, MOV_MI,

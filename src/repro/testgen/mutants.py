@@ -19,7 +19,11 @@ control-flow-checking pass, and asserts that every one of them is
 * **codegen oracle** — a bit-identity check of the exec-compiled
   codegen dispatch tier against the naive ladders (golden runs,
   injection sweeps, and in-place module mutation), which must fail
-  when the generator or its cache is weakened.
+  when the generator or its cache is weakened;
+* **bitlive oracle** — an exhaustive flip of every (site, bit) pair the
+  campaign pruner (:mod:`repro.analysis.bitlive`) classifies Benign on
+  two witness builds, both layers, both value fault models: any status
+  or output change kills the analysis weakening (DESIGN §17).
 
 *Identity* pseudo-mutants rebuild each baseline from scratch and demand
 bit-exact agreement of the sweep outcome counts — proving both that the
@@ -47,6 +51,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..analysis import bitlive as _bitlive
 from ..backend.lower import lower_module
 from ..execresult import RunStatus
 from ..faultmodel import fault_bit_range
@@ -78,6 +83,7 @@ from ..protection.planner import (
 
 __all__ = [
     "WITNESS_SOURCE",
+    "BITLIVE_WITNESS_SOURCE",
     "MUTANTS",
     "SMOKE_MUTANTS",
     "Mutant",
@@ -115,6 +121,28 @@ int main() {
 }
 """
 
+#: second witness for the bitlive-pruner mutants: add/mul results that
+#: feed *only* high-bit masks as SSA temps, so the carry-closure rule
+#: is load-bearing.  Deliberately unprotected — under dup-100 every
+#: value is observed fully by its checker compare, which hides the
+#: masked-high-dead weakening (DESIGN §17).
+BITLIVE_WITNESS_SOURCE = """\
+const int N = 8;
+
+int main() {
+    int s = 5;
+    int acc = 0;
+    for (int i = 0; i < N; i++) {
+        acc = acc + ((s + (i * 9)) & 64);
+        acc = acc + ((s * (i + 3)) & 192);
+        s = (s * 7 + 13) % 509;
+        print(acc);
+    }
+    print(s);
+    return 0;
+}
+"""
+
 
 @dataclass(frozen=True)
 class MutationConfig:
@@ -146,8 +174,8 @@ class Mutant:
     """One catalogued weakening of the protection pipeline."""
 
     name: str
-    kind: str           # checker | shadow | selection | flowery | plan | codegen | cfc | identity
-    oracle: str         # golden | coverage | invariant | codegen | identity
+    kind: str           # checker | shadow | selection | flowery | plan | codegen | cfc | pruner | identity
+    oracle: str         # golden | coverage | invariant | codegen | bitlive | identity
     baseline: str       # dup-ir | flowery-asm | plan-ir | cfc-ir | none
     description: str
     build: Callable[["_Context"], object]
@@ -284,6 +312,7 @@ class _Context:
         self._plan70: Optional[ProtectionPlan] = None
         self._baselines: Dict[Tuple[str, str],
                               Tuple[Dict[str, int], object]] = {}
+        self._bitlive_builds: Optional[Tuple] = None
 
     def fresh_module(self) -> Module:
         return compile_source(self.config.source, "witness")
@@ -304,6 +333,24 @@ class _Context:
         if self._plan70 is None:
             self._plan70 = plan_protection(self.ref_module, self.profile, 70)
         return self._plan70
+
+    @property
+    def bitlive_builds(self) -> Tuple:
+        """Witness builds for the bitlive-pruner oracle: the dup-100
+        default witness (checker shadowing matters) plus the unprotected
+        carry witness (carry closure matters)."""
+        if self._bitlive_builds is None:
+            carry_module = compile_source(
+                BITLIVE_WITNESS_SOURCE, "bitlive-witness")
+            verify_module(carry_module)
+            carry_layout = GlobalLayout(carry_module)
+            carry_compiled = compile_program(
+                lower_module(carry_module, carry_layout).flatten())
+            self._bitlive_builds = (
+                ("dup",) + _build(self),
+                ("carry", carry_module, carry_layout, carry_compiled),
+            )
+        return self._bitlive_builds
 
     def hottest(self, n: int) -> Set[int]:
         ranked = sorted(self.full, key=lambda i: (-self.dyn_counts.get(i, 0), i))
@@ -683,6 +730,83 @@ def _eval_codegen(ctx: _Context, mutant: Mutant):
 
 
 # ---------------------------------------------------------------------------
+# bitlive-pruner weakenings (analysis mutants, not pipeline surgeries)
+#
+# These patch the transfer hooks of the bit-liveness analysis
+# (repro.analysis.bitlive) and are judged by the bitlive oracle: every
+# (site, bit) pair the weakened analysis classifies Benign is actually
+# flipped on the witness builds, and any status or output change is a
+# kill.  A weakening that survives would mean the campaign pruner can
+# silently drop non-benign faults (DESIGN §17).
+
+
+def _masked_high_patch(ctx: _Context):
+    """Drop the carry closure: operand bits above the highest observed
+    result bit of an add/sub/mul are treated as dead, ignoring that a
+    low-bit flip can carry into an observed high bit."""
+    return _patched(_bitlive, "_carry_close", lambda m: m)
+
+
+def _ignore_call_clobbers_patch(ctx: _Context):
+    """Calls and returns stop being all-live boundaries: values live
+    across a call are classified by local uses only."""
+    return _patched(_bitlive, "_call_boundary", lambda: 0)
+
+
+def _flags_always_dead_patch(ctx: _Context):
+    """Condition codes read no flags: every compare's flag production
+    looks unobserved, so compared values go dead."""
+    return _patched(_bitlive, "_cc_reads", lambda cc: 0)
+
+
+def _skip_checker_shadow_patch(ctx: _Context):
+    """Checker compares observe nothing: checker-shadowed bits are
+    classified Benign even though flipping them raises a detection."""
+    return _patched(_bitlive, "_checker_observes", lambda user: False)
+
+
+def _eval_bitlive(ctx: _Context, mutant: Mutant):
+    """Exhaustive benign-flip oracle over both witness builds, both
+    layers and both value fault models, with the mutant's analysis
+    patch applied.  Kill = any Benign-classified pair whose injected
+    run is not status-OK with golden-identical output.  Killed mutants
+    stop at the first combination with violations; the identity row
+    scans everything."""
+    from ..fi.prune import verify_benign
+
+    pairs = violations = 0
+    first = ""
+    with mutant.build(ctx):
+        for tag, module, layout, compiled in ctx.bitlive_builds:
+            for layer in ("ir", "asm"):
+                kwargs = (dict(module=module, layout=layout)
+                          if layer == "ir"
+                          else dict(program=compiled, layout=layout))
+                for fm in ("seu", "set"):
+                    rep = verify_benign(layer, fault_model=fm, **kwargs)
+                    pairs += rep["pairs"]
+                    bad = rep["violations"]
+                    violations += len(bad)
+                    if bad and not first:
+                        dyn, bit, status, trap = bad[0]
+                        first = (f"{tag}/{layer}/{fm} dyn={dyn} "
+                                 f"bit={bit} -> {status}"
+                                 + (f"/{trap}" if trap else ""))
+                if violations:
+                    break
+            if violations:
+                break
+    metrics = {"pairs": float(pairs), "violations": float(violations)}
+    if violations:
+        return True, "bitlive", (
+            f"{violations} benign-classified flips changed execution "
+            f"over {pairs} pairs (first: {first})"), metrics
+    return False, "bitlive", (
+        f"all {pairs} benign-classified flips ran status-OK with "
+        "golden-identical output"), metrics
+
+
+# ---------------------------------------------------------------------------
 # the catalog
 
 MUTANTS: Tuple[Mutant, ...] = (
@@ -779,6 +903,19 @@ MUTANTS: Tuple[Mutant, ...] = (
            "for any control-flow corruption",
            lambda ctx: _build_cfc(ctx, weakness="constant-signature"),
            fault_model="cf"),
+    # -- bitlive pruner (campaign pre-pruning analysis) ----------------------
+    Mutant("bitlive-masked-high-dead", "pruner", "bitlive", "none",
+           "drop carry closure: masked-high operand bits of add/sub/mul "
+           "classified dead", _masked_high_patch),
+    Mutant("bitlive-ignore-call-clobbers", "pruner", "bitlive", "none",
+           "calls/returns no longer all-live boundaries",
+           _ignore_call_clobbers_patch),
+    Mutant("bitlive-flags-always-dead", "pruner", "bitlive", "none",
+           "condition codes read no flags: compared values go dead",
+           _flags_always_dead_patch),
+    Mutant("bitlive-skip-checker-shadow", "pruner", "bitlive", "none",
+           "checker compares observe nothing: shadowed bits Benign",
+           _skip_checker_shadow_patch),
     # -- identity pseudo-mutants (must survive) ------------------------------
     Mutant("identity-dup", "identity", "identity", "dup-ir",
            "rebuild the dup-100 baseline unchanged (zero-false-kill proof)",
@@ -799,6 +936,10 @@ MUTANTS: Tuple[Mutant, ...] = (
            "(zero-false-kill proof)",
            lambda ctx: _build_cfc(ctx), expect_killed=False,
            fault_model="cf"),
+    Mutant("identity-bitlive", "identity", "bitlive", "none",
+           "run the exhaustive benign-flip oracle unpatched "
+           "(zero-false-kill proof: the sound analysis has no violations)",
+           lambda ctx: contextlib.nullcontext(), expect_killed=False),
 )
 
 #: fast subset for CI smoke runs: one golden kill, one structural kill,
@@ -811,6 +952,7 @@ SMOKE_MUTANTS: Tuple[str, ...] = (
     "plan-busted-budget",
     "codegen-dropped-flip-hook",
     "cfc-dropped-update",
+    "bitlive-skip-checker-shadow",
     "identity-dup",
 )
 
@@ -922,6 +1064,9 @@ def run_mutation_suite(
             killed_by = "invariant" if killed else ""
         elif mutant.oracle == "codegen":
             killed, killed_by, detail, metrics = _eval_codegen(ctx, mutant)
+            killed_by = killed_by if killed else ""
+        elif mutant.oracle == "bitlive":
+            killed, killed_by, detail, metrics = _eval_bitlive(ctx, mutant)
             killed_by = killed_by if killed else ""
         elif mutant.oracle == "identity":
             killed, killed_by, detail, metrics = _eval_identity(ctx, mutant)

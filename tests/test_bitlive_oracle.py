@@ -1,0 +1,220 @@
+"""Exhaustive soundness oracle for the bit-liveness pruner (DESIGN §17).
+
+The campaign pruner (:mod:`repro.analysis.bitlive`) classifies
+(site, bit) pairs Benign *statically*; a pruned campaign then records
+those draws without simulating them.  That is only sound if every
+Benign-classified flip really leaves execution bit-identical.  This
+suite proves it the hard way on small testgen programs:
+
+* **exhaustive flips** — every Benign pair on every witness build is
+  actually injected, at both layers, under both value fault models,
+  across all three dispatch tiers (the engine-capable decoded/codegen
+  tiers through :func:`repro.fi.prune.verify_benign`, the naive ladders
+  through direct full executions), and must run status-OK with
+  golden-identical output — zero misclassifications;
+* **estimator invariance** — hypothesis property: for any generated
+  program, a pruned campaign's SDC/DUE point estimates are *exactly*
+  the unpruned campaign's (the draw is shared; pruning only skips
+  simulation), which is trivially within CI width;
+* **stratified agreement** — a stratified campaign at half the budget
+  agrees with the uniform estimate within the summed CI half-widths.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.backend.lower import lower_module
+from repro.execresult import RunStatus
+from repro.fi.campaign import CampaignConfig, run_asm_campaign, run_ir_campaign
+from repro.fi.outcomes import Outcome
+from repro.fi.prune import build_prune_plan, verify_benign
+from repro.frontend.codegen import compile_source
+from repro.interp.interpreter import IRInterpreter
+from repro.interp.layout import GlobalLayout
+from repro.ir.verifier import verify_module
+from repro.machine.machine import AsmMachine, compile_program
+from repro.protection.duplication import duplicate_module
+from repro.testgen import generate_ir, generate_minic
+from repro.testgen.minic import GenConfig
+from repro.testgen.mutants import BITLIVE_WITNESS_SOURCE
+from repro.testgen.strategies import minic_programs
+
+#: small integer-only programs: the oracle is exhaustive, so keep the
+#: pair universe in the thousands, not the millions
+SMALL = GenConfig(p_float=0.0, n_functions=(1, 1), n_main_stmts=(3, 4),
+                  max_trip=3, n_global_arrays=(1, 1), array_pow2=(1, 2))
+
+_SETTINGS = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _build(module, protect: bool):
+    if protect:
+        duplicate_module(module)
+    verify_module(module)
+    layout = GlobalLayout(module)
+    compiled = compile_program(lower_module(module, layout).flatten())
+    return module, layout, compiled
+
+
+#: (tag, build) witness set: an unprotected and a dup-100 MiniC program
+#: (checker shadowing matters on the latter), a direct-IR program, and
+#: the carry witness whose add/mul results feed only high-bit masks
+_WITNESSES = ("gen3", "gen3-dup", "irgen2", "carry")
+
+
+@pytest.fixture(scope="module")
+def witness_builds():
+    return {
+        "gen3": _build(
+            compile_source(generate_minic(3, SMALL).source, "g3"), False),
+        "gen3-dup": _build(
+            compile_source(generate_minic(3, SMALL).source, "g3d"), True),
+        "irgen2": _build(generate_ir(2), False),
+        "carry": _build(
+            compile_source(BITLIVE_WITNESS_SOURCE, "carry"), False),
+    }
+
+
+def _layer_kwargs(build, layer):
+    module, layout, compiled = build
+    if layer == "ir":
+        return dict(module=module, layout=layout)
+    return dict(program=compiled, layout=layout)
+
+
+# -- exhaustive flips, engine tiers -------------------------------------
+
+
+@pytest.mark.parametrize("fault_model", ["seu", "set"])
+@pytest.mark.parametrize("dispatch", ["decoded", "codegen"])
+@pytest.mark.parametrize("tag", _WITNESSES)
+@pytest.mark.parametrize("layer", ["ir", "asm"])
+def test_every_benign_pair_is_benign(witness_builds, tag, layer,
+                                     dispatch, fault_model):
+    """Flip every Benign-classified (site, bit) pair; any status or
+    output change is a pruner misclassification."""
+    rep = verify_benign(layer, fault_model=fault_model, dispatch=dispatch,
+                        **_layer_kwargs(witness_builds[tag], layer))
+    assert rep["violations"] == [], (
+        f"{tag} {layer}/{dispatch}/{fault_model}: "
+        f"{len(rep['violations'])} of {rep['pairs']} benign-classified "
+        f"flips changed execution (first: {rep['violations'][:3]})")
+
+
+# -- exhaustive flips, naive tier ---------------------------------------
+
+
+@pytest.mark.parametrize("fault_model", ["seu", "set"])
+@pytest.mark.parametrize("tag", ["gen3", "irgen2"])
+@pytest.mark.parametrize("layer", ["ir", "asm"])
+def test_benign_pairs_on_naive_tier(witness_builds, tag, layer, fault_model):
+    """The naive ladders cannot replay from checkpoints, so the naive
+    leg of the tier matrix injects through direct full executions on
+    the two smallest witnesses."""
+    module, layout, compiled = witness_builds[tag]
+    plan = build_prune_plan(layer, fault_model=fault_model,
+                            **_layer_kwargs(witness_builds[tag], layer))
+    max_steps = max(20_000, plan.golden_dyn_total * 4)
+    for dyn, bit in plan.benign_pairs():
+        if layer == "ir":
+            res = IRInterpreter(module, layout=layout, max_steps=max_steps,
+                                dispatch="naive", fault_model=fault_model
+                                ).run(inject_index=dyn, inject_bit=bit)
+        else:
+            res = AsmMachine(compiled, layout, max_steps=max_steps,
+                             dispatch="naive", fault_model=fault_model
+                             ).run(inject_index=dyn, inject_bit=bit)
+        assert res.status is RunStatus.OK and \
+            res.output == plan.golden_output, (
+                f"{tag} {layer}/naive/{fault_model}: benign-classified "
+                f"flip (dyn={dyn}, bit={bit}) changed execution: "
+                f"{res.status.value}/{res.trap_kind}")
+
+
+def test_oracle_is_not_vacuous(witness_builds):
+    """The witness set must actually exercise the classifier: benign
+    pairs at both layers, and protected site classes on the dup build."""
+    pairs = {"ir": 0, "asm": 0}
+    for tag in _WITNESSES:
+        for layer in ("ir", "asm"):
+            plan = build_prune_plan(
+                layer, **_layer_kwargs(witness_builds[tag], layer))
+            pairs[layer] += len(plan.benign_pairs())
+    assert pairs["ir"] > 0 and pairs["asm"] > 0, pairs
+    dup_plan = build_prune_plan(
+        "ir", **_layer_kwargs(witness_builds["gen3-dup"], "ir"))
+    classes = set(dup_plan.report.site_class.values())
+    assert "protected" in classes and "live" in classes, classes
+
+
+# -- estimator invariance (property) ------------------------------------
+
+
+def _fold_benign(counts):
+    folded = {o: k for o, k in counts.items()
+              if o not in (Outcome.BENIGN, Outcome.PRUNE_BENIGN)}
+    folded[Outcome.BENIGN] = (counts.get(Outcome.BENIGN, 0)
+                              + counts.get(Outcome.PRUNE_BENIGN, 0))
+    return folded
+
+
+@_SETTINGS
+@given(minic_programs(SMALL))
+def test_pruning_never_moves_the_estimates(prog):
+    """For any generated program, prune mode keeps the identical
+    uniform draw, so every point estimate (and hence every CI) is
+    exactly the unpruned campaign's at both layers."""
+    module, layout, compiled = _build(
+        compile_source(prog.source, f"p{prog.seed}"), True)
+    base = CampaignConfig(n_campaigns=40, seed=prog.seed & 0xFFFF)
+    for layer in ("ir", "asm"):
+        if layer == "ir":
+            uni = run_ir_campaign(module, base, layout)
+            pruned = run_ir_campaign(module, replace(base, prune=True),
+                                     layout)
+        else:
+            uni = run_asm_campaign(compiled, layout, base)
+            pruned = run_asm_campaign(compiled, layout,
+                                      replace(base, prune=True))
+        u, p = uni.summary(), pruned.summary()
+        for key in ("sdc", "due", "detected", "benign"):
+            assert p[key] == u[key], (layer, key, p[key], u[key])
+            lo, hi = u[f"{key}_ci"]
+            assert abs(p[key] - u[key]) <= (hi - lo), (layer, key)
+        assert _fold_benign(pruned.counts) == _fold_benign(uni.counts)
+
+
+# -- stratified agreement -----------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [1, 3, 7])
+@pytest.mark.parametrize("layer", ["ir", "asm"])
+def test_stratified_estimates_agree_with_uniform(seed, layer):
+    """A stratified campaign at half the uniform budget lands within
+    the summed CI half-widths of the uniform estimate (deterministic
+    for the fixed seeds)."""
+    module, layout, compiled = _build(
+        compile_source(generate_minic(seed, SMALL).source, f"s{seed}"), True)
+    uni_cfg = CampaignConfig(n_campaigns=400, seed=11)
+    strat_cfg = CampaignConfig(n_campaigns=200, seed=11,
+                               prune=True, stratify=True)
+    if layer == "ir":
+        u = run_ir_campaign(module, uni_cfg, layout).summary()
+        s = run_ir_campaign(module, strat_cfg, layout).summary()
+    else:
+        u = run_asm_campaign(compiled, layout, uni_cfg).summary()
+        s = run_asm_campaign(compiled, layout, strat_cfg).summary()
+    for key in ("sdc", "due"):
+        lo_u, hi_u = u[f"{key}_ci"]
+        lo_s, hi_s = s[f"{key}_ci"]
+        bound = (hi_u - lo_u) / 2 + (hi_s - lo_s) / 2
+        assert abs(s[key] - u[key]) <= bound, (
+            f"{layer}/{key}: stratified {s[key]:.4f} vs uniform "
+            f"{u[key]:.4f} beyond {bound:.4f}")
+    assert s["strata"], "stratified summary carries no per-stratum rows"

@@ -289,8 +289,9 @@ class TestResilienceGuard:
         monkeypatch.setattr(IRInterpreter, "run", bomb)
         row = _execute_sample(loop_built, "ir", 0, 0, 1000)
         assert row[2] == "trap"
-        assert row[-2] == HOST_ESCAPE
-        assert row[-1] == "seu"
+        assert row[-3] == HOST_ESCAPE
+        assert row[-2] == "seu"
+        assert row[-1] == 0
         outcome, rec = record_from_row(row, "golden")
         assert outcome is Outcome.DUE
         assert rec.trap_kind == HOST_ESCAPE

@@ -447,7 +447,7 @@ class TestTrapEquivalence:
 class TestBenchHarness:
     def test_bench_document_shape(self):
         doc = run_campaign_bench("crc32", scale="tiny", n=6, seed=1)
-        assert doc["schema"] == "bench_campaign/5"
+        assert doc["schema"] == "bench_campaign/6"
         assert set(doc["layers"]) == {"ir", "asm"}
         for d in doc["layers"].values():
             assert d["results_identical"] is True
@@ -463,6 +463,12 @@ class TestBenchHarness:
             assert inc["cold_seconds"] > 0 and inc["warm_seconds"] > 0
             assert inc["warm_simulated"] == 0
             assert inc["warm_pure_hits"] is True
+        pr = doc["pruning"]
+        assert pr["sound"] is True
+        assert pr["prune"]["estimates_identical"] is True
+        assert pr["prune"]["pruned"] > 0
+        assert pr["stratified"]["ci_overlap"] is True
+        assert pr["stratified"]["steps_ratio"] >= 2.0
         assert doc["overall"]["results_identical"] is True
         assert doc["overall"]["containment"]["results_identical"] is True
         assert doc["overall"]["codegen"]["results_identical"] is True

@@ -276,7 +276,7 @@ class TestJournalCompat:
         assert len(body) == 8
         for r in body:
             assert len(r["row"]) == len(ROW_FIELDS)
-            assert r["row"][-1] == "cf"
+            assert r["row"][-2] == "cf"      # fault_model precedes pruned
 
     def test_legacy_nine_field_rows_resume_identically(self, tmp_path):
         spec = WorkSpec(source=SRC, layer="asm")
@@ -284,7 +284,8 @@ class TestJournalCompat:
         path = tmp_path / "j.jsonl"
         clean = run_parallel_campaign(spec, cfg, workers=1,
                                       journal_path=str(path))
-        # rewrite the journal as a v1 file: strip the fault_model column
+        # rewrite the journal as a v1 file: strip the fault_model and
+        # pruned columns (v1 rows predate both)
         lines = []
         for line in path.read_text().splitlines():
             doc = json.loads(line)
@@ -292,8 +293,8 @@ class TestJournalCompat:
             if doc["ev"] == "header":
                 doc["version"] = 1
             else:
-                assert doc["row"][-1] == "seu"
-                doc["row"] = doc["row"][:-1]
+                assert doc["row"][-2:] == ["seu", 0]
+                doc["row"] = doc["row"][:-2]
             lines.append(json.dumps(doc))
         legacy = tmp_path / "legacy.jsonl"
         legacy.write_text("\n".join(lines[:6]) + "\n")   # partial: resumes
@@ -346,6 +347,124 @@ class TestJournalCompat:
         recs = [dataclasses.astuple(r) for r in resumed.records]
         assert recs == [dataclasses.astuple(r) for r in clean.records]
         assert all(r.fault_model == "cf" for r in resumed.records)
+
+
+class TestJournalV3Compat:
+    """Rows grow a ``pruned`` column (journal v3); v2 journals without
+    it must still load and resume bit-identically — the exact mirror of
+    the v1 -> v2 fault-model-column pattern above."""
+
+    def test_key_ignores_default_prune_flags(self):
+        spec = WorkSpec(source=SRC, layer="ir")
+        plain = CampaignConfig(n_campaigns=8, seed=2)
+        explicit = CampaignConfig(n_campaigns=8, seed=2,
+                                  prune=False, stratify=False)
+        assert campaign_key(spec, plain) == campaign_key(spec, explicit)
+        pruned = CampaignConfig(n_campaigns=8, seed=2, prune=True)
+        assert campaign_key(spec, pruned) != campaign_key(spec, plain)
+
+    def test_rows_carry_pruned_flag(self, tmp_path):
+        spec = WorkSpec(source=SRC, layer="asm", level=100)
+        cfg = CampaignConfig(n_campaigns=24, seed=5, prune=True)
+        path = tmp_path / "p.jsonl"
+        res = run_parallel_campaign(spec, cfg, workers=1,
+                                    journal_path=str(path))
+        rows = [json.loads(l) for l in path.read_text().splitlines()]
+        header = rows[0]
+        assert header["ev"] == "header" and header["version"] == 3
+        body = [r for r in rows if r["ev"] == "row"]
+        assert len(body) == 24
+        assert all(len(r["row"]) == len(ROW_FIELDS) for r in body)
+        statically = [r for r in body if r["row"][-1] == 1]
+        assert len(statically) == res.summary()["pruned"] > 0
+        for r in statically:
+            assert r["row"][2] == "ok"
+            assert r["row"][3] == res.golden_output
+
+    def test_v2_ten_field_rows_resume_identically(self, tmp_path):
+        spec = WorkSpec(source=SRC, layer="asm")
+        cfg = CampaignConfig(n_campaigns=10, seed=6)
+        path = tmp_path / "j.jsonl"
+        clean = run_parallel_campaign(spec, cfg, workers=1,
+                                      journal_path=str(path))
+        # rewrite the journal as a v2 file: strip the pruned column
+        lines = []
+        for line in path.read_text().splitlines():
+            doc = json.loads(line)
+            doc.pop("c", None)
+            if doc["ev"] == "header":
+                doc["version"] = 2
+            else:
+                assert doc["row"][-1] == 0
+                doc["row"] = doc["row"][:-1]
+            lines.append(json.dumps(doc))
+        v2 = tmp_path / "v2.jsonl"
+        v2.write_text("\n".join(lines[:6]) + "\n")       # partial: resumes
+        resumed = run_parallel_campaign(spec, cfg, workers=1,
+                                        journal_path=str(v2))
+        assert campaign_signature(resumed) == campaign_signature(clean)
+
+    def test_journal_reader_pads_v2_rows(self, tmp_path):
+        spec = WorkSpec(source=SRC, layer="ir")
+        cfg = CampaignConfig(n_campaigns=6, seed=3)
+        path = tmp_path / "j.jsonl"
+        run_parallel_campaign(spec, cfg, workers=1, journal_path=str(path))
+        _, completed = InjectionJournal._read(str(path))
+        trimmed = {i: row[:-1] for i, row in completed.items()}
+        v2 = tmp_path / "v2.jsonl"
+        with open(v2, "w") as fh:
+            fh.write(json.dumps({"ev": "header", "version": 2,
+                                 "key": campaign_key(spec, cfg)}) + "\n")
+            for i, row in trimmed.items():
+                fh.write(json.dumps({"ev": "row", "i": i,
+                                     "row": list(row)}) + "\n")
+        _, reread = InjectionJournal._read(str(v2))
+        assert reread == completed     # padded back to pruned=0
+
+    def test_record_from_row_pads_v2(self, tmp_path):
+        spec = WorkSpec(source=SRC, layer="ir")
+        cfg = CampaignConfig(n_campaigns=6, seed=3)
+        path = tmp_path / "j.jsonl"
+        res = run_parallel_campaign(spec, cfg, workers=1,
+                                    journal_path=str(path))
+        _, completed = InjectionJournal._read(str(path))
+        for i, row in completed.items():
+            outcome, new = record_from_row(row, res.golden_output)
+            old_outcome, old = record_from_row(row[:-1], res.golden_output)
+            assert outcome is old_outcome
+            assert dataclasses.astuple(new) == dataclasses.astuple(old)
+            assert outcome is not Outcome.PRUNE_BENIGN
+
+    def test_pruned_rows_classify_as_prune_benign(self, tmp_path):
+        spec = WorkSpec(source=SRC, layer="asm", level=100)
+        cfg = CampaignConfig(n_campaigns=24, seed=5, prune=True)
+        path = tmp_path / "p.jsonl"
+        res = run_parallel_campaign(spec, cfg, workers=1,
+                                    journal_path=str(path))
+        _, completed = InjectionJournal._read(str(path))
+        pruned = [row for row in completed.values() if row[-1] == 1]
+        assert len(pruned) == res.counts[Outcome.PRUNE_BENIGN] > 0
+        for row in pruned:
+            outcome, rec = record_from_row(row, res.golden_output)
+            assert outcome is Outcome.PRUNE_BENIGN
+            assert rec.outcome is Outcome.PRUNE_BENIGN
+
+    def test_pruned_resume_is_bit_identical(self, tmp_path):
+        spec = WorkSpec(source=SRC, layer="asm", level=100)
+        cfg = CampaignConfig(n_campaigns=24, seed=5, prune=True)
+        full = tmp_path / "full.jsonl"
+        clean = run_parallel_campaign(spec, cfg, workers=1,
+                                      journal_path=str(full))
+        lines = full.read_text().splitlines(keepends=True)
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text("".join(lines[:8]) + lines[8][:8])
+        resumed = run_parallel_campaign(spec, cfg, workers=1,
+                                        journal_path=str(torn))
+        assert campaign_signature(resumed) == campaign_signature(clean)
+        recs = [dataclasses.astuple(r) for r in resumed.records]
+        assert recs == [dataclasses.astuple(r) for r in clean.records]
+        assert resumed.counts[Outcome.PRUNE_BENIGN] == \
+            clean.counts[Outcome.PRUNE_BENIGN] > 0
 
 
 class TestLockstepForensics:

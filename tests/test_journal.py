@@ -233,3 +233,62 @@ class TestFileLock:
             FileLock(str(tmp_path / "s.lock"))
         monkeypatch.setenv("REPRO_STORE_LOCK_TIMEOUT", "7.5")
         assert FileLock(str(tmp_path / "s.lock")).timeout == 7.5
+
+
+class TestRowSchemaV3:
+    """Journal rows end with (fault_model, pruned) since v3; the loader
+    pads 9-field v1 rows and 10-field v2 rows back to the full shape."""
+
+    def test_row_fields_shape(self):
+        from repro.fi.resilience import JOURNAL_VERSION, ROW_FIELDS
+
+        assert JOURNAL_VERSION == 3
+        assert len(ROW_FIELDS) == 11
+        assert ROW_FIELDS[-2:] == ("fault_model", "pruned")
+
+    def test_record_from_row_pads_v1_and_v2(self):
+        from repro.fi.outcomes import Outcome
+        from repro.fi.resilience import record_from_row
+
+        v1 = (3, 17, "ok", "42\n", 7, None, None, None, None)
+        v2 = v1 + ("seu",)
+        v3 = v2 + (0,)
+        for row in (v1, v2, v3):
+            outcome, rec = record_from_row(row, "42\n")
+            assert outcome is Outcome.BENIGN
+            assert rec.fault_model == "seu"
+
+    def test_pruned_row_shapes(self):
+        from repro.fi.outcomes import Outcome
+        from repro.fi.resilience import ROW_FIELDS, pruned_row, record_from_row
+
+        ir = pruned_row("ir", 3, 9, "out\n", 41, "seu")
+        asm = pruned_row("asm", 4, 8, "out\n", 12, "set",
+                         asm_role="compute", asm_opcode="ADD_RR", iid=41)
+        for row in (ir, asm):
+            assert len(row) == len(ROW_FIELDS)
+            assert row[-1] == 1
+            outcome, rec = record_from_row(row, "out\n")
+            assert outcome is Outcome.PRUNE_BENIGN
+        assert ir[4] == 41 and ir[5] is None
+        assert asm[5] == 12 and asm[6] == "compute" and asm[4] == 41
+
+    def test_pruned_row_classifies_without_golden_match(self):
+        """A pruned row short-circuits on the flag, not on the output
+        comparison — replay never re-runs the liveness analysis."""
+        from repro.fi.outcomes import Outcome
+        from repro.fi.resilience import pruned_row, record_from_row
+
+        row = pruned_row("ir", 0, 0, "recorded\n", 1, "seu")
+        outcome, _ = record_from_row(row, "recorded\n")
+        assert outcome is Outcome.PRUNE_BENIGN
+
+    def test_config_doc_omits_default_prune_switches(self):
+        from repro.fi.campaign import CampaignConfig
+        from repro.fi.resilience import _config_doc
+
+        plain = _config_doc(CampaignConfig(n_campaigns=5, seed=1))
+        assert "prune" not in plain and "stratify" not in plain
+        on = _config_doc(CampaignConfig(n_campaigns=5, seed=1,
+                                        prune=True, stratify=True))
+        assert on["prune"] is True and on["stratify"] is True

@@ -1,0 +1,180 @@
+"""Regression tests for the interval helpers (:mod:`repro.fi.stats`).
+
+An earlier bug let ``composed_interval`` accept ``k > n`` strata, which
+produced a negative variance term and journaled CIs wider than [0, 1].
+Degenerate inputs must now fail loudly — except ``n == 0``, whose
+well-defined vacuous answers (``(0, 1)`` for Wilson, maximum binomial
+variance for a composed stratum) are pinned here too.
+"""
+
+import math
+
+import pytest
+
+from repro.fi.stats import (
+    DEFAULT_Z,
+    composed_interval,
+    neyman_allocation,
+    wilson_interval,
+)
+
+
+# -- wilson_interval ----------------------------------------------------
+
+
+def test_wilson_basic_shape():
+    lo, hi = wilson_interval(10, 100)
+    assert 0.0 <= lo < 0.1 < hi <= 1.0
+    assert hi - lo < 0.15
+
+
+def test_wilson_edges_stay_in_unit_interval():
+    for k, n in ((0, 50), (50, 50), (1, 1), (0, 1)):
+        lo, hi = wilson_interval(k, n)
+        assert 0.0 <= lo <= hi <= 1.0
+
+
+def test_wilson_n_zero_is_vacuous():
+    assert wilson_interval(0, 0) == (0.0, 1.0)
+
+
+@pytest.mark.parametrize("k,n", [(5, 4), (1, 0), (-1, 10), (10, -1)])
+def test_wilson_rejects_out_of_range_counts(k, n):
+    with pytest.raises(ValueError):
+        wilson_interval(k, n)
+
+
+@pytest.mark.parametrize("k,n", [(float("nan"), 10), (1, float("nan")),
+                                 (float("inf"), 10), (1, float("inf"))])
+def test_wilson_rejects_non_finite_counts(k, n):
+    with pytest.raises(ValueError):
+        wilson_interval(k, n)
+
+
+def test_wilson_narrows_with_n():
+    narrow = wilson_interval(10, 1000)
+    wide = wilson_interval(1, 100)
+    assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+
+# -- composed_interval --------------------------------------------------
+
+
+def test_composed_single_stratum_matches_binomial():
+    p, lo, hi = composed_interval([1.0], [20], [200])
+    assert p == pytest.approx(0.1)
+    half = DEFAULT_Z * math.sqrt(0.1 * 0.9 / 200)
+    assert lo == pytest.approx(0.1 - half)
+    assert hi == pytest.approx(0.1 + half)
+
+
+def test_composed_weights_scale_the_estimate():
+    p, lo, hi = composed_interval([0.5, 0.5], [0, 100], [100, 100])
+    assert p == pytest.approx(0.5)
+    assert lo == pytest.approx(0.5) and hi == pytest.approx(0.5)
+
+
+def test_composed_empty_is_degenerate_zero():
+    assert composed_interval([], [], []) == (0.0, 0.0, 0.0)
+
+
+def test_composed_n_zero_stratum_books_max_variance():
+    """An unsampled stratum must widen the interval (p=1/2, maximum
+    binomial variance), never claim false certainty."""
+    p, lo, hi = composed_interval([0.5, 0.5], [10, 0], [100, 0])
+    assert p == pytest.approx(0.5 * 0.1 + 0.5 * 0.5)
+    certain = composed_interval([0.5, 0.5], [10, 50], [100, 100])
+    assert (hi - lo) > (certain[2] - certain[1])
+    half = DEFAULT_Z * math.sqrt(0.25 * 0.1 * 0.9 / 100 + 0.25 * 0.25)
+    assert hi - lo == pytest.approx(min(1.0, p + half)
+                                    - max(0.0, p - half))
+
+
+def test_composed_rejects_k_greater_than_n():
+    """The original regression: a k > n stratum used to produce a
+    negative variance term instead of raising."""
+    with pytest.raises(ValueError):
+        composed_interval([1.0], [11], [10])
+    with pytest.raises(ValueError):
+        composed_interval([0.5, 0.5], [5, 9], [10, 8])
+
+
+@pytest.mark.parametrize("weights", [[-0.1], [float("nan")],
+                                     [float("inf")]])
+def test_composed_rejects_bad_weights(weights):
+    with pytest.raises(ValueError):
+        composed_interval(weights, [1], [10])
+
+
+def test_composed_rejects_length_mismatch():
+    with pytest.raises(ValueError):
+        composed_interval([1.0], [1, 2], [10, 10])
+    with pytest.raises(ValueError):
+        composed_interval([0.5, 0.5], [1], [10])
+
+
+def test_composed_interval_clamped_to_unit():
+    p, lo, hi = composed_interval([1.0], [1], [2])
+    assert 0.0 <= lo <= p <= hi <= 1.0
+
+
+# -- neyman_allocation --------------------------------------------------
+
+
+def test_neyman_sums_to_budget():
+    alloc = neyman_allocation([0.5, 0.3, 0.2], [0.3, 0.1, 0.4], 100)
+    assert sum(alloc) == 100
+    assert all(a >= 0 for a in alloc)
+
+
+def test_neyman_concentrates_on_variance():
+    alloc = neyman_allocation([0.5, 0.5], [0.4, 0.0], 100)
+    assert alloc[0] > alloc[1]
+
+
+def test_neyman_minimum_floor():
+    """A zero-variance stratum still gets the pilot floor — its true sd
+    may be nonzero even when the pilot saw no events."""
+    alloc = neyman_allocation([0.9, 0.1], [0.5, 0.0], 100, minimum=10)
+    assert alloc[1] >= 10
+    assert sum(alloc) == 100
+
+
+def test_neyman_budget_below_floor_grows_to_floor():
+    alloc = neyman_allocation([0.5, 0.5], [0.1, 0.1], 3, minimum=5)
+    assert alloc == [5, 5]
+
+
+def test_neyman_zero_variance_falls_back_to_weights():
+    alloc = neyman_allocation([0.75, 0.25], [0.0, 0.0], 100)
+    assert sum(alloc) == 100
+    assert alloc[0] == 75 and alloc[1] == 25
+
+
+def test_neyman_all_zero_spreads_evenly():
+    alloc = neyman_allocation([0.0, 0.0], [0.0, 0.0], 10)
+    assert alloc == [5, 5]
+
+
+def test_neyman_empty_strata():
+    assert neyman_allocation([], [], 50) == []
+
+
+def test_neyman_largest_remainder_is_deterministic():
+    a = neyman_allocation([1 / 3, 1 / 3, 1 / 3], [0.2, 0.2, 0.2], 10)
+    assert a == neyman_allocation([1 / 3, 1 / 3, 1 / 3],
+                                  [0.2, 0.2, 0.2], 10)
+    assert sum(a) == 10
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [dict(weights=[0.5], sds=[0.1, 0.2], budget=10),
+     dict(weights=[0.5], sds=[0.1], budget=-1),
+     dict(weights=[0.5], sds=[0.1], budget=10, minimum=-1),
+     dict(weights=[-0.5], sds=[0.1], budget=10),
+     dict(weights=[0.5], sds=[float("nan")], budget=10),
+     dict(weights=[float("inf")], sds=[0.1], budget=10)])
+def test_neyman_rejects_degenerate_inputs(kwargs):
+    with pytest.raises(ValueError):
+        neyman_allocation(**kwargs)
